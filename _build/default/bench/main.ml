@@ -1,0 +1,354 @@
+(* Benchmark harness.
+
+   Two sections:
+
+   1. {b Reproduction} — regenerates every table and figure of the paper at
+      the default (quick) fidelity and prints them with the paper's
+      published values alongside.  `bin/ldlp_repro` exposes the same
+      generators with full-fidelity knobs (`--full` = 100 layouts x 1 s).
+
+   2. {b Microbenchmarks} — one Bechamel [Test.make] per table/figure (a
+      reduced-size run of its generator, so regressions in the simulator
+      itself are visible), plus wall-clock benches of the real code paths:
+      both checksum routines, mbuf operations, the signalling codec and
+      switch, and the LDLP engine against the conventional discipline. *)
+
+open Bechamel
+open Toolkit
+
+let quick = Ldlp_model.Params.quick
+
+let bench_params = { quick with Ldlp_model.Params.runs = 1; seconds = 0.05 }
+
+let seed = 1996
+
+(* ------------------------------------------------------------------ *)
+(* Section 1: reproduction output.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let reproduce () =
+  let banner title =
+    Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+  in
+  banner "Reproduction: tables";
+  print_endline (Ldlp_report.Report.table1 (Ldlp_model.Figures.table1 ()));
+  print_endline (Ldlp_report.Report.table3 (Ldlp_model.Figures.table3 ()));
+  let phases, funcs = Ldlp_model.Figures.figure1 () in
+  print_endline (Ldlp_report.Report.figure1 phases funcs);
+  banner "Reproduction: figures 5 and 6 (Poisson rate sweep)";
+  let points = Ldlp_model.Figures.rate_sweep ~params:quick ~seed () in
+  print_endline (Ldlp_report.Report.fig5 points);
+  print_endline (Ldlp_report.Report.fig6 points);
+  banner "Reproduction: figure 7 (clock sweep, self-similar traffic)";
+  print_endline
+    (Ldlp_report.Report.fig7 (Ldlp_model.Figures.clock_sweep ~params:quick ~seed ()));
+  banner "Reproduction: figure 8 (checksum study)";
+  print_endline (Ldlp_report.Report.fig8 (Ldlp_model.Figures.fig8 ()));
+  banner "Section 3.2 blocking analysis";
+  let p = Ldlp_model.Params.paper in
+  let shape =
+    {
+      Ldlp_core.Blocking.layer_code_bytes =
+        List.init p.Ldlp_model.Params.layers (fun _ -> p.Ldlp_model.Params.layer_code_bytes);
+      layer_data_bytes =
+        List.init p.Ldlp_model.Params.layers (fun _ -> p.Ldlp_model.Params.layer_data_bytes);
+      msg_bytes = p.Ldlp_model.Params.msg_bytes;
+      cycles_per_msg =
+        p.Ldlp_model.Params.layers
+        * Ldlp_model.Params.cycles_per_layer p ~msg_bytes:p.Ldlp_model.Params.msg_bytes;
+    }
+  in
+  print_endline
+    (Ldlp_report.Report.blocking
+       (Ldlp_core.Blocking.recommend Ldlp_core.Blocking.paper_machine shape));
+  banner "Ablations (Section 5)";
+  print_endline
+    (Ldlp_report.Report.ablation_batch
+       (Ldlp_model.Figures.ablation_batch ~params:quick ~seed ()));
+  print_endline
+    (Ldlp_report.Report.ablation_density
+       (Ldlp_model.Figures.ablation_density ~params:quick ~seed ()));
+  print_endline
+    (Ldlp_report.Report.ablation_linesize
+       (Ldlp_model.Figures.ablation_linesize ~params:quick ~seed ()));
+  print_endline
+    (Ldlp_report.Report.ablation_dilution (Ldlp_model.Figures.ablation_dilution ()));
+  print_endline
+    (Ldlp_report.Report.ablation_relayout (Ldlp_model.Figures.ablation_relayout ()));
+  print_endline
+    (Ldlp_report.Report.ablation_associativity
+       (Ldlp_model.Figures.ablation_associativity ~params:quick ~seed ()));
+  print_endline
+    (Ldlp_report.Report.ablation_prefetch
+       (Ldlp_model.Figures.ablation_prefetch ~params:quick ~seed ()));
+  print_endline
+    (Ldlp_report.Report.ablation_unified
+       (Ldlp_model.Figures.ablation_unified ~params:quick ~seed ()));
+  print_endline
+    (Ldlp_report.Report.ablation_layout
+       (Ldlp_model.Figures.ablation_layout ~params:quick ~seed ()));
+  banner "Extension: transmit-side LDLP";
+  print_endline
+    (Ldlp_report.Report.extension_txside
+       (Ldlp_model.Figures.extension_txside ~params:quick ~seed ()));
+  banner "Comparison: conventional vs ILP vs LDLP";
+  print_endline
+    (Ldlp_report.Report.comparison_ilp
+       (Ldlp_model.Figures.comparison_ilp ~params:quick ~seed ()));
+  banner "Goal check: Section 1 signalling target";
+  print_endline
+    (Ldlp_report.Report.extension_goal
+       (Ldlp_model.Figures.extension_goal ~seed ~runs:3 ()));
+  banner "Ablation: layer granularity (Section 6 grouping advice)";
+  print_endline
+    (Ldlp_report.Report.ablation_granularity
+       (Ldlp_model.Figures.ablation_granularity ~seed ~runs:3 ()));
+  banner "Extension: LDLP on the real Table 1 TCP/IP footprints";
+  print_endline
+    (Ldlp_report.Report.extension_tcp_stack
+       (Ldlp_model.Figures.extension_tcp_stack ~seed ~runs:3 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Section 2: Bechamel tests.                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One reduced-size generator invocation per table/figure. *)
+
+let one_point discipline =
+  let make_source rng =
+    Ldlp_traffic.Source.limit_time
+      (Ldlp_traffic.Poisson.source ~rng ~rate:6000.0 ())
+      bench_params.Ldlp_model.Params.seconds
+  in
+  fun () ->
+    Ldlp_model.Simrun.run_avg ~params:bench_params ~discipline ~seed
+      ~make_source ()
+
+let test_table1 =
+  Test.make ~name:"table1:trace+analysis"
+    (Staged.stage (fun () ->
+         let s = Ldlp_trace.Synth.generate () in
+         Ldlp_trace.Analyze.table1 s.Ldlp_trace.Synth.trace))
+
+let test_table3 =
+  let s = Ldlp_trace.Synth.generate () in
+  Test.make ~name:"table3:line-size-sweep"
+    (Staged.stage (fun () ->
+         Ldlp_trace.Analyze.line_size_sweep s.Ldlp_trace.Synth.trace))
+
+let test_fig1 =
+  let s = Ldlp_trace.Synth.generate () in
+  Test.make ~name:"fig1:phase-analysis"
+    (Staged.stage (fun () -> Ldlp_trace.Analyze.phases s.Ldlp_trace.Synth.trace))
+
+let test_fig5_conv =
+  Test.make ~name:"fig5/6:sim-point-conventional"
+    (Staged.stage (one_point Ldlp_model.Simrun.Conventional))
+
+let test_fig5_ldlp =
+  Test.make ~name:"fig5/6:sim-point-ldlp"
+    (Staged.stage (one_point Ldlp_model.Simrun.Ldlp))
+
+let test_fig7 =
+  Test.make ~name:"fig7:sim-point-20MHz"
+    (Staged.stage (fun () ->
+         let make_source rng =
+           Ldlp_traffic.Source.limit_time
+             (Ldlp_traffic.Onoff.source ~rng ())
+             bench_params.Ldlp_model.Params.seconds
+         in
+         Ldlp_model.Simrun.run_avg ~params:bench_params
+           ~discipline:Ldlp_model.Simrun.Ldlp ~seed ~make_source
+           ~clock_hz:20e6 ()))
+
+let test_fig8 =
+  Test.make ~name:"fig8:cksum-study"
+    (Staged.stage (fun () -> Ldlp_model.Cksum_study.series ()))
+
+(* Real-code microbenches. *)
+
+let payload_1500 = Bytes.init 1500 (fun i -> Char.chr (i land 0xFF))
+
+let test_cksum_simple =
+  Test.make ~name:"cksum:simple-1500B"
+    (Staged.stage (fun () -> Ldlp_packet.Cksum.simple payload_1500 0 1500))
+
+let test_cksum_unrolled =
+  Test.make ~name:"cksum:unrolled-1500B"
+    (Staged.stage (fun () -> Ldlp_packet.Cksum.unrolled payload_1500 0 1500))
+
+let bench_pool = Ldlp_buf.Pool.create ()
+
+let test_cksum_chain =
+  let chain = Ldlp_buf.Mbuf.of_bytes bench_pool payload_1500 in
+  Test.make ~name:"cksum:chain-1500B"
+    (Staged.stage (fun () -> Ldlp_packet.Cksum.unrolled_chain chain))
+
+let test_mbuf_cycle =
+  let data = Bytes.create 552 in
+  Test.make ~name:"mbuf:of_bytes+free-552B"
+    (Staged.stage (fun () ->
+         let m = Ldlp_buf.Mbuf.of_bytes bench_pool data in
+         Ldlp_buf.Mbuf.free bench_pool m))
+
+let test_sigmsg_codec =
+  let m =
+    Ldlp_sigproto.Sigmsg.v ~call_ref:77 Ldlp_sigproto.Sigmsg.Setup
+      [ Ldlp_sigproto.Ie.called_party "host-b:42"; Ldlp_sigproto.Ie.qos 1 ]
+  in
+  Test.make ~name:"sigproto:encode+decode"
+    (Staged.stage (fun () ->
+         Result.get_ok (Ldlp_sigproto.Sigmsg.decode (Ldlp_sigproto.Sigmsg.encode m))))
+
+let test_switch_lifecycle =
+  let sw =
+    Ldlp_sigproto.Switch.create ~auto_answer:true ~routes:[] ~local_port:0 ()
+  in
+  let n = ref 0 in
+  Test.make ~name:"sigproto:switch-call-lifecycle"
+    (Staged.stage (fun () ->
+         incr n;
+         let call_ref = (!n mod 0x7FFFF0) + 1 in
+         let open Ldlp_sigproto in
+         ignore
+           (Switch.handle sw ~port:1
+              (Sigmsg.v ~call_ref Sigmsg.Setup [ Ie.called_party "x" ]));
+         ignore
+           (Switch.handle sw ~port:1 (Sigmsg.v ~call_ref Sigmsg.Connect_ack []));
+         ignore (Switch.handle sw ~port:1 (Sigmsg.v ~call_ref Sigmsg.Release []))))
+
+let test_dns_server =
+  let srv =
+    Ldlp_dnslite.Server.create
+      ~zone:[ ("www.example.com", "93.184.216.34") ]
+      ()
+  in
+  let query =
+    Ldlp_dnslite.Dnsmsg.encode
+      (Ldlp_dnslite.Dnsmsg.query ~id:1
+         (Ldlp_dnslite.Name.of_string "www.example.com"))
+  in
+  Test.make ~name:"dns:query+response"
+    (Staged.stage (fun () -> Ldlp_dnslite.Server.handle srv query))
+
+let test_sscop_roundtrip =
+  let a = Ldlp_sigproto.Sscop.create () and b = Ldlp_sigproto.Sscop.create () in
+  let payload = Bytes.create 100 in
+  Test.make ~name:"sscop:sd+ack-roundtrip"
+    (Staged.stage (fun () ->
+         let f = Ldlp_sigproto.Sscop.send a payload in
+         (match Ldlp_sigproto.Sscop.on_receive b f with
+         | Ldlp_sigproto.Sscop.Deliver _ -> ()
+         | _ -> assert false);
+         ignore
+           (Ldlp_sigproto.Sscop.on_receive a (Ldlp_sigproto.Sscop.make_ack b))))
+
+let test_reassembly =
+  let header =
+    {
+      Ldlp_packet.Ipv4.ihl = 5;
+      tos = 0;
+      total_length = 0;
+      ident = 1;
+      dont_fragment = false;
+      more_fragments = false;
+      fragment_offset = 0;
+      ttl = 64;
+      protocol = Ldlp_packet.Ipv4.proto_udp;
+      src = Ldlp_packet.Addr.Ipv4.of_string "10.0.0.1";
+      dst = Ldlp_packet.Addr.Ipv4.of_string "10.0.0.2";
+    }
+  in
+  let payload = Bytes.create 4000 in
+  let frags = Ldlp_packet.Reasm.fragment ~mtu:576 ~header ~payload in
+  Test.make ~name:"ip:fragment+reassemble-4KB"
+    (Staged.stage (fun () ->
+         let r = Ldlp_packet.Reasm.create () in
+         List.iter
+           (fun (h, p) -> ignore (Ldlp_packet.Reasm.input r ~now:0.0 h p))
+           frags))
+
+(* Scheduler overhead: the same 4-layer passthrough stack, per message. *)
+let sched_bench discipline name =
+  let layers =
+    List.init 4 (fun i -> Ldlp_core.Layer.passthrough (Printf.sprintf "L%d" i))
+  in
+  let sched = Ldlp_core.Sched.create ~discipline ~layers () in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         for _ = 1 to 16 do
+           Ldlp_core.Sched.inject sched (Ldlp_core.Msg.make ~size:552 ())
+         done;
+         Ldlp_core.Sched.run sched))
+
+let test_sched_conventional =
+  sched_bench Ldlp_core.Sched.Conventional "sched:conventional-16msgs"
+
+let test_sched_ldlp =
+  sched_bench
+    (Ldlp_core.Sched.Ldlp Ldlp_core.Batch.paper_default)
+    "sched:ldlp-16msgs"
+
+let tests =
+  Test.make_grouped ~name:"ldlp"
+    [
+      test_table1;
+      test_table3;
+      test_fig1;
+      test_fig5_conv;
+      test_fig5_ldlp;
+      test_fig7;
+      test_fig8;
+      test_cksum_simple;
+      test_cksum_unrolled;
+      test_cksum_chain;
+      test_mbuf_cycle;
+      test_sigmsg_codec;
+      test_switch_lifecycle;
+      test_dns_server;
+      test_sscop_roundtrip;
+      test_reassembly;
+      test_sched_conventional;
+      test_sched_ldlp;
+    ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | _ -> nan
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with Some r -> r | None -> nan
+        in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  Printf.printf "\nMicrobenchmarks (monotonic clock, OLS on run count)\n";
+  Printf.printf "%-40s %14s %8s\n" "benchmark" "time/run" "r^2";
+  Printf.printf "%s\n" (String.make 64 '-');
+  List.iter
+    (fun (name, ns, r2) ->
+      Printf.printf "%-40s %12s/run %8.4f\n" name
+        (Ldlp_sim.Table.fmt_si (ns *. 1e-9) ^ "s")
+        r2)
+    rows
+
+let () =
+  let bench_only = Array.exists (( = ) "--bench-only") Sys.argv in
+  let repro_only = Array.exists (( = ) "--repro-only") Sys.argv in
+  if not bench_only then reproduce ();
+  if not repro_only then run_benchmarks ()

@@ -1,0 +1,252 @@
+(* CLI for regenerating every table and figure of the paper at chosen
+   fidelity.  `ldlp_repro all` prints everything at quick fidelity;
+   `ldlp_repro fig6 --full` runs the paper's 100 layouts x 1 second. *)
+
+open Cmdliner
+
+let params ~full ~runs ~seconds =
+  let base = if full then Ldlp_model.Params.paper else Ldlp_model.Params.quick in
+  let base =
+    match runs with None -> base | Some r -> { base with Ldlp_model.Params.runs = r }
+  in
+  match seconds with
+  | None -> base
+  | Some s -> { base with Ldlp_model.Params.seconds = s }
+
+let full_t =
+  let doc = "Paper fidelity: 100 random layouts, 1 simulated second per run." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let runs_t =
+  let doc = "Override the number of random-layout runs to average." in
+  Arg.(value & opt (some int) None & info [ "runs" ] ~doc)
+
+let seconds_t =
+  let doc = "Override the simulated seconds per run." in
+  Arg.(value & opt (some float) None & info [ "seconds" ] ~doc)
+
+let seed_t =
+  let doc = "PRNG seed." in
+  Arg.(value & opt int 1996 & info [ "seed" ] ~doc)
+
+let out s = print_string s; print_newline ()
+
+let run_table1 seed = out (Ldlp_report.Report.table1 (Ldlp_model.Figures.table1 ~seed ()))
+
+let run_table3 seed = out (Ldlp_report.Report.table3 (Ldlp_model.Figures.table3 ~seed ()))
+
+let run_fig1 seed =
+  let phases, funcs = Ldlp_model.Figures.figure1 ~seed () in
+  out (Ldlp_report.Report.figure1 phases funcs)
+
+let run_fig5 params seed =
+  out (Ldlp_report.Report.fig5 (Ldlp_model.Figures.rate_sweep ~params ~seed ()))
+
+let run_fig6 params seed =
+  out (Ldlp_report.Report.fig6 (Ldlp_model.Figures.rate_sweep ~params ~seed ()))
+
+let run_fig56 params seed =
+  let points = Ldlp_model.Figures.rate_sweep ~params ~seed () in
+  out (Ldlp_report.Report.fig5 points);
+  out (Ldlp_report.Report.fig6 points)
+
+let run_fig7 params seed =
+  out (Ldlp_report.Report.fig7 (Ldlp_model.Figures.clock_sweep ~params ~seed ()))
+
+let run_fig8 () = out (Ldlp_report.Report.fig8 (Ldlp_model.Figures.fig8 ()))
+
+let run_blocking () =
+  let p = Ldlp_model.Params.paper in
+  let stack =
+    {
+      Ldlp_core.Blocking.layer_code_bytes =
+        List.init p.Ldlp_model.Params.layers (fun _ ->
+            p.Ldlp_model.Params.layer_code_bytes);
+      layer_data_bytes =
+        List.init p.Ldlp_model.Params.layers (fun _ ->
+            p.Ldlp_model.Params.layer_data_bytes);
+      msg_bytes = p.Ldlp_model.Params.msg_bytes;
+      cycles_per_msg =
+        p.Ldlp_model.Params.layers
+        * Ldlp_model.Params.cycles_per_layer p
+            ~msg_bytes:p.Ldlp_model.Params.msg_bytes;
+    }
+  in
+  out
+    (Ldlp_report.Report.blocking
+       (Ldlp_core.Blocking.recommend Ldlp_core.Blocking.paper_machine stack))
+
+let run_ablations params seed =
+  out (Ldlp_report.Report.ablation_batch (Ldlp_model.Figures.ablation_batch ~params ~seed ()));
+  out
+    (Ldlp_report.Report.ablation_density
+       (Ldlp_model.Figures.ablation_density ~params ~seed ()));
+  out
+    (Ldlp_report.Report.ablation_linesize
+       (Ldlp_model.Figures.ablation_linesize ~params ~seed ()));
+  out (Ldlp_report.Report.ablation_dilution (Ldlp_model.Figures.ablation_dilution ()));
+  out (Ldlp_report.Report.ablation_relayout (Ldlp_model.Figures.ablation_relayout ()));
+  out
+    (Ldlp_report.Report.ablation_associativity
+       (Ldlp_model.Figures.ablation_associativity ~params ~seed ()));
+  out
+    (Ldlp_report.Report.ablation_prefetch
+       (Ldlp_model.Figures.ablation_prefetch ~params ~seed ()));
+  out
+    (Ldlp_report.Report.ablation_unified
+       (Ldlp_model.Figures.ablation_unified ~params ~seed ()));
+  out
+    (Ldlp_report.Report.ablation_layout
+       (Ldlp_model.Figures.ablation_layout ~params ~seed ()))
+
+let run_tcpstack seed =
+  out
+    (Ldlp_report.Report.extension_tcp_stack
+       (Ldlp_model.Figures.extension_tcp_stack ~seed ()))
+
+let run_granularity seed =
+  out
+    (Ldlp_report.Report.ablation_granularity
+       (Ldlp_model.Figures.ablation_granularity ~seed ()))
+
+let run_txside params seed =
+  out
+    (Ldlp_report.Report.extension_txside
+       (Ldlp_model.Figures.extension_txside ~params ~seed ()))
+
+let run_ilp params seed =
+  out
+    (Ldlp_report.Report.comparison_ilp
+       (Ldlp_model.Figures.comparison_ilp ~params ~seed ()))
+
+let run_goal seed =
+  out (Ldlp_report.Report.extension_goal (Ldlp_model.Figures.extension_goal ~seed ()))
+
+let run_selfsim seed seconds path =
+  let rng = Ldlp_sim.Rng.create ~seed in
+  let source =
+    Ldlp_traffic.Source.limit_time (Ldlp_traffic.Onoff.source ~rng ()) seconds
+  in
+  let packets = Ldlp_traffic.Source.to_list source in
+  (match path with
+  | Some p ->
+    Ldlp_traffic.Tracefile.save p packets;
+    Printf.printf "wrote %d packets to %s\n" (List.length packets) p
+  | None -> ());
+  let rate = float_of_int (List.length packets) /. seconds in
+  let h = Ldlp_traffic.Hurst.of_packets ~bin:0.05 ~horizon:seconds packets in
+  Printf.printf
+    "self-similar trace: %d packets over %.0f s (%.0f pkt/s), Hurst ~ %.2f\n"
+    (List.length packets) seconds rate h;
+  (* Poisson reference at the same rate. *)
+  let rng = Ldlp_sim.Rng.create ~seed:(seed + 1) in
+  let poisson =
+    Ldlp_traffic.Source.to_list
+      (Ldlp_traffic.Source.limit_time
+         (Ldlp_traffic.Poisson.source ~rng ~rate ())
+         seconds)
+  in
+  Printf.printf "poisson reference at the same rate: Hurst ~ %.2f\n"
+    (Ldlp_traffic.Hurst.of_packets ~bin:0.05 ~horizon:seconds poisson)
+
+let run_hurst path =
+  let packets = Ldlp_traffic.Tracefile.load path in
+  match packets with
+  | [] -> print_endline "empty trace"
+  | first :: _ ->
+    let last = List.nth packets (List.length packets - 1) in
+    let horizon = last.Ldlp_traffic.Source.at -. first.Ldlp_traffic.Source.at in
+    let shifted =
+      List.map
+        (fun p ->
+          { p with Ldlp_traffic.Source.at = p.Ldlp_traffic.Source.at -. first.Ldlp_traffic.Source.at })
+        packets
+    in
+    Printf.printf "%d packets over %.1f s: Hurst ~ %.2f\n" (List.length packets)
+      horizon
+      (Ldlp_traffic.Hurst.of_packets ~bin:(horizon /. 1024.0) ~horizon shifted)
+
+let run_all params seed =
+  run_table1 42;
+  run_table3 42;
+  run_fig1 42;
+  run_fig56 params seed;
+  run_fig7 params seed;
+  run_fig8 ();
+  run_blocking ();
+  run_ablations params seed;
+  run_txside params seed;
+  run_ilp params seed;
+  run_goal seed;
+  run_granularity seed;
+  run_tcpstack seed
+
+let with_params f =
+  Term.(
+    const (fun full runs seconds seed ->
+        f (params ~full ~runs ~seconds) seed)
+    $ full_t $ runs_t $ seconds_t $ seed_t)
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let cmds =
+  [
+    cmd "table1" "Working-set breakdown of the TCP receive path (Table 1)."
+      Term.(const run_table1 $ seed_t);
+    cmd "table3" "Cache-line-size sensitivity (Table 3)."
+      Term.(const run_table3 $ seed_t);
+    cmd "fig1" "Per-phase / per-function working-set map (Figure 1)."
+      Term.(const run_fig1 $ seed_t);
+    cmd "fig5" "Cache misses per message vs arrival rate (Figure 5)."
+      (with_params run_fig5);
+    cmd "fig6" "Latency vs arrival rate (Figure 6)." (with_params run_fig6);
+    cmd "fig7" "Latency vs CPU clock, self-similar traffic (Figure 7)."
+      (with_params run_fig7);
+    cmd "fig8" "Checksum cache-effects study (Figure 8)."
+      Term.(const run_fig8 $ const ());
+    cmd "blocking" "Analytic blocking-factor recommendation (Section 3.2)."
+      Term.(const run_blocking $ const ());
+    cmd "ablations" "Batch-policy, code-density, line-size and dilution ablations."
+      (with_params run_ablations);
+    cmd "txside" "Transmit-side LDLP extension experiment."
+      (with_params run_txside);
+    cmd "ilp" "Conventional vs ILP vs LDLP comparison (Figures 2/3)."
+      (with_params run_ilp);
+    cmd "granularity" "Layer-granularity / grouping ablation (Section 6)."
+      Term.(const run_granularity $ seed_t);
+    cmd "tcpstack" "LDLP on the real Table 1 TCP/IP footprints (Section 6)."
+      Term.(const run_tcpstack $ seed_t);
+    cmd "goal" "Section 1 signalling performance goal check."
+      Term.(const run_goal $ seed_t);
+    cmd "all" "Everything." (with_params run_all);
+    Cmd.v
+      (Cmd.info "selfsim"
+         ~doc:
+           "Generate a self-similar Ethernet-like trace (the Bellcore \
+            substitute), report its Hurst estimate, optionally save it.")
+      Term.(
+        const (fun seed seconds path -> run_selfsim seed seconds path)
+        $ seed_t
+        $ Arg.(value & opt float 120.0 & info [ "duration" ] ~doc:"Seconds of trace.")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "o"; "output" ] ~doc:"Trace file to write."));
+    Cmd.v
+      (Cmd.info "hurst" ~doc:"Estimate the Hurst parameter of a saved trace.")
+      Term.(
+        const run_hurst
+        $ Arg.(
+            required
+            & pos 0 (some string) None
+            & info [] ~docv:"TRACE" ~doc:"Trace file (\"time size\" lines)."));
+  ]
+
+let () =
+  let info =
+    Cmd.info "ldlp_repro" ~version:"1.0.0"
+      ~doc:
+        "Reproduce the tables and figures of 'Speeding up Protocols for \
+         Small Messages' (SIGCOMM '96)."
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/dns_server.ml: Array Dnshost Dnsmsg Format Ldlp_buf Ldlp_core Ldlp_dnslite Ldlp_packet List Name Printf Server Sys Unix

@@ -1,0 +1,1 @@
+examples/network_sim.ml: Array Float Ie Ldlp_netsim Ldlp_nic Ldlp_sigproto Ldlp_sim List Option Printf Result Sscop_conn Sys Uni

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format Ldlp_buf Ldlp_core Ldlp_sim List Printf

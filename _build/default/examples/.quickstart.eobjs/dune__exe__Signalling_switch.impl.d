@@ -1,0 +1,1 @@
+examples/signalling_switch.ml: Array Ie Layers Ldlp_buf Ldlp_core Ldlp_sigproto List Printf Sigmsg Sscop Switch Sys Unix

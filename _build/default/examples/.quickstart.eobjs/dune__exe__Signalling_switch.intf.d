@@ -1,0 +1,1 @@
+examples/signalling_switch.mli:

@@ -1,0 +1,1 @@
+examples/tcp_server.ml: Array Bytes Host Ldlp_buf Ldlp_core Ldlp_packet Ldlp_tcpmini List Pcb Printf Sockbuf Sys Tcp_input Unix

@@ -1,0 +1,1 @@
+examples/tcp_server.mli:

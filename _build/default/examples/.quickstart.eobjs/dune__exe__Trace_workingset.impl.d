@@ -1,0 +1,1 @@
+examples/trace_workingset.ml: Ldlp_cache Ldlp_report Ldlp_trace Printf

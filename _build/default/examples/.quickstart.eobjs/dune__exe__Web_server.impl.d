@@ -1,0 +1,1 @@
+examples/web_server.ml: Array Bytes Format Int32 Ldlp_buf Ldlp_core Ldlp_packet List Printf String Sys Unix

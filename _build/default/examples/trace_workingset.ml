@@ -1,0 +1,60 @@
+(* Working-set analysis of the TCP receive-and-acknowledge path.
+
+     dune exec examples/trace_workingset.exe
+
+   Synthesises the reference trace of one NetBSD TCP receive+ACK iteration
+   (calibrated to the per-function map the paper publishes as Figure 1)
+   and reruns the paper's Section 2 analysis: the Table 1 working-set
+   breakdown, the Figure 1 phase summary, the Table 3 line-size sweep and
+   the Section 5.4 dilution estimate — then replays the trace against a
+   simulated 8 KB cache to show the per-packet miss bill the paper's whole
+   argument rests on. *)
+
+let () =
+  let s = Ldlp_trace.Synth.generate () in
+  let trace = s.Ldlp_trace.Synth.trace in
+
+  print_endline (Ldlp_report.Report.table1 (Ldlp_trace.Analyze.table1 trace));
+  print_endline
+    (Ldlp_report.Report.figure1
+       (Ldlp_trace.Analyze.phases trace)
+       (Ldlp_trace.Analyze.functions trace));
+  print_endline
+    (Ldlp_report.Report.table3 (Ldlp_trace.Analyze.line_size_sweep trace));
+  print_endline
+    (Ldlp_report.Report.ablation_dilution (Ldlp_trace.Analyze.dilution trace));
+
+  (* Replay the trace through an 8 KB direct-mapped cache pair, twice: the
+     second packet finds whatever the first left behind — almost
+     nothing, which is the paper's point. *)
+  let memsys = Ldlp_cache.Memsys.create () in
+  let replay () =
+    Ldlp_trace.Tracebuf.iter trace (fun e ->
+        match e.Ldlp_trace.Event.kind with
+        | Ldlp_trace.Event.Code ->
+          Ldlp_cache.Memsys.fetch_code memsys ~addr:e.Ldlp_trace.Event.addr
+            ~len:e.Ldlp_trace.Event.len
+        | Ldlp_trace.Event.Load ->
+          Ldlp_cache.Memsys.read_data memsys ~addr:e.Ldlp_trace.Event.addr
+            ~len:e.Ldlp_trace.Event.len
+        | Ldlp_trace.Event.Store ->
+          Ldlp_cache.Memsys.write_data memsys ~addr:e.Ldlp_trace.Event.addr
+            ~len:e.Ldlp_trace.Event.len);
+    Ldlp_cache.Memsys.take_counters memsys
+  in
+  let first = replay () in
+  let second = replay () in
+  let show tag (c : Ldlp_cache.Memsys.counters) =
+    Printf.printf
+      "%-14s I-misses %5d  D-misses %4d  stall cycles %6d (%.0f us at 100 MHz)\n"
+      tag c.Ldlp_cache.Memsys.icache_misses c.Ldlp_cache.Memsys.dcache_misses
+      c.Ldlp_cache.Memsys.stall_cycles
+      (float_of_int c.Ldlp_cache.Memsys.stall_cycles /. 100.0)
+  in
+  Printf.printf "Replaying the trace against 8 KB I/D caches:\n";
+  show "cold caches" first;
+  show "second packet" second;
+  Printf.printf
+    "\nEven on the second packet nearly the whole working set misses again:\n\
+     the path's ~36 KB of code+data cannot stay resident in 8 KB caches.\n\
+     That is why batching layers across messages (LDLP) pays.\n"

@@ -1,0 +1,1 @@
+lib/buf/mbuf.ml: Bytes Char Pool Printf

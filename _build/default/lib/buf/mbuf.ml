@@ -1,0 +1,275 @@
+type t = {
+  mutable data : bytes;
+  mutable off : int;
+  mutable len : int;
+  mutable next : t option;
+  mutable cluster : bool;
+}
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let msize = 128
+
+let cluster_size = 2048
+
+(* Spare leading space reserved in a fresh small mbuf so protocol layers can
+   prepend headers without allocating (4.4BSD reserves max_linkhdr +
+   max_protohdr similarly). *)
+let lead_space = 64
+
+let get pool =
+  {
+    data = Pool.alloc_small pool;
+    off = lead_space;
+    len = 0;
+    next = None;
+    cluster = false;
+  }
+
+let get_cluster pool =
+  {
+    data = Pool.alloc_cluster pool;
+    off = 0;
+    len = 0;
+    next = None;
+    cluster = true;
+  }
+
+let release pool m =
+  if m.cluster then Pool.release_cluster pool m.data
+  else Pool.release_small pool m.data
+
+let free pool m =
+  let rec go = function
+    | None -> ()
+    | Some m ->
+      let next = m.next in
+      m.next <- None;
+      release pool m;
+      go next
+  in
+  go (Some m)
+
+let capacity m = Bytes.length m.data
+
+let trailing_space m = capacity m - m.off - m.len
+
+let length m =
+  let rec go acc = function
+    | None -> acc
+    | Some m -> go (acc + m.len) m.next
+  in
+  go 0 (Some m)
+
+let nsegs m =
+  let rec go acc = function None -> acc | Some m -> go (acc + 1) m.next in
+  go 0 (Some m)
+
+let iter_segments m f =
+  let rec go = function
+    | None -> ()
+    | Some m ->
+      if m.len > 0 then f m.data m.off m.len;
+      go m.next
+  in
+  go (Some m)
+
+let last m =
+  let rec go m = match m.next with None -> m | Some n -> go n in
+  go m
+
+let append_bytes pool m b =
+  let total = Bytes.length b in
+  let pos = ref 0 in
+  let tail = ref (last m) in
+  while !pos < total do
+    let space = trailing_space !tail in
+    if space > 0 then begin
+      let n = min space (total - !pos) in
+      Bytes.blit b !pos !tail.data (!tail.off + !tail.len) n;
+      !tail.len <- !tail.len + n;
+      pos := !pos + n
+    end
+    else begin
+      let fresh =
+        if total - !pos > msize then get_cluster pool
+        else begin
+          let f = get pool in
+          (* A continuation mbuf never needs leading space. *)
+          f.off <- 0;
+          f
+        end
+      in
+      !tail.next <- Some fresh;
+      tail := fresh
+    end
+  done
+
+let of_bytes pool ?(leading = lead_space) b =
+  if leading < 0 || leading > msize then invalid "of_bytes: bad leading %d" leading;
+  let head = get pool in
+  head.off <- leading;
+  append_bytes pool head b;
+  head
+
+let of_string pool ?leading s = of_bytes pool ?leading (Bytes.of_string s)
+
+let to_bytes m =
+  let out = Bytes.create (length m) in
+  let pos = ref 0 in
+  iter_segments m (fun data off len ->
+      Bytes.blit data off out !pos len;
+      pos := !pos + len);
+  out
+
+let get_byte m pos =
+  if pos < 0 then invalid "get_byte: negative offset %d" pos;
+  let rec go pos = function
+    | None -> invalid "get_byte: offset beyond end"
+    | Some m ->
+      if pos < m.len then Char.code (Bytes.get m.data (m.off + pos))
+      else go (pos - m.len) m.next
+  in
+  go pos (Some m)
+
+let prepend m n =
+  if n < 0 then invalid "prepend: negative length %d" n;
+  if m.off >= n then begin
+    m.off <- m.off - n;
+    m.len <- m.len + n;
+    m
+  end
+  else invalid "prepend: no leading space for %d bytes (have %d)" n m.off
+
+let adj m n =
+  if n >= 0 then begin
+    (* Trim from front. *)
+    let rec go n = function
+      | None -> if n > 0 then invalid "adj: trim %d beyond length" n
+      | Some m ->
+        let take = min n m.len in
+        m.off <- m.off + take;
+        m.len <- m.len - take;
+        if n - take > 0 then go (n - take) m.next
+    in
+    go n (Some m)
+  end
+  else begin
+    (* Trim from back. *)
+    let n = -n in
+    let total = length m in
+    if n > total then invalid "adj: trim %d beyond length %d" n total;
+    let keep = total - n in
+    let rec go remaining = function
+      | None -> ()
+      | Some m ->
+        if remaining >= m.len then go (remaining - m.len) m.next
+        else begin
+          m.len <- remaining;
+          (* Everything after this segment is logically empty. *)
+          let rec zero = function
+            | None -> ()
+            | Some m ->
+              m.len <- 0;
+              zero m.next
+          in
+          zero m.next
+        end
+    in
+    go keep (Some m)
+  end
+
+let blit_to_bytes m ~pos ~(dst : bytes) ~dst_off ~len =
+  if pos < 0 || len < 0 then invalid "blit_to_bytes: bad range";
+  let rec go pos dst_off len = function
+    | None -> if len > 0 then invalid "blit_to_bytes: range beyond end"
+    | Some m ->
+      if pos >= m.len then go (pos - m.len) dst_off len m.next
+      else begin
+        let n = min len (m.len - pos) in
+        Bytes.blit m.data (m.off + pos) dst dst_off n;
+        if len - n > 0 then go 0 (dst_off + n) (len - n) m.next
+      end
+  in
+  go pos dst_off len (Some m)
+
+let copy_out m ~pos ~len =
+  let out = Bytes.create len in
+  blit_to_bytes m ~pos ~dst:out ~dst_off:0 ~len;
+  out
+
+let copy_into m ~pos ~(src : bytes) ~src_off ~len =
+  if pos < 0 || len < 0 then invalid "copy_into: bad range";
+  let rec go pos src_off len = function
+    | None -> if len > 0 then invalid "copy_into: range beyond end"
+    | Some m ->
+      if pos >= m.len then go (pos - m.len) src_off len m.next
+      else begin
+        let n = min len (m.len - pos) in
+        Bytes.blit src src_off m.data (m.off + pos) n;
+        if len - n > 0 then go 0 (src_off + n) (len - n) m.next
+      end
+  in
+  go pos src_off len (Some m)
+
+let pullup pool m n =
+  if n < 0 || n > msize then invalid "pullup: %d out of range" n;
+  if n > length m then invalid "pullup: %d beyond length %d" n (length m);
+  if m.len >= n then m
+  else begin
+    let head = get pool in
+    head.off <- 0;
+    blit_to_bytes m ~pos:0 ~dst:head.data ~dst_off:0 ~len:n;
+    head.len <- n;
+    (* Drop the consumed prefix from the old chain and free empty leaders. *)
+    adj m n;
+    let rec skip_empty = function
+      | Some seg when seg.len = 0 ->
+        let next = seg.next in
+        seg.next <- None;
+        release pool seg;
+        skip_empty next
+      | rest -> rest
+    in
+    head.next <- skip_empty (Some m);
+    head
+  end
+
+let split pool m n =
+  let total = length m in
+  if n < 0 || n > total then invalid "split: %d out of range (length %d)" n total;
+  let back_len = total - n in
+  let back =
+    if back_len = 0 then begin
+      let b = get pool in
+      b
+    end
+    else begin
+      let data = copy_out m ~pos:n ~len:back_len in
+      of_bytes pool data
+    end
+  in
+  (* Truncate the front chain in place and free now-empty trailing mbufs. *)
+  adj m (-back_len);
+  let rec drop_empty_tail m =
+    match m.next with
+    | None -> ()
+    | Some seg when length seg = 0 ->
+      m.next <- None;
+      free pool seg
+    | Some seg -> drop_empty_tail seg
+  in
+  if n > 0 then drop_empty_tail m;
+  (m, back)
+
+let concat a b =
+  (last a).next <- Some b;
+  a
+
+(* Re-expose wrappers matching the interface's labelled signature. *)
+let copy_into m ~pos src ~src_off ~len = copy_into m ~pos ~src ~src_off ~len
+
+let blit_to_bytes m ~pos dst ~dst_off ~len =
+  blit_to_bytes m ~pos ~dst ~dst_off ~len

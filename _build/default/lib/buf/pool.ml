@@ -1,0 +1,95 @@
+let small_size = 128
+
+let cluster_size = 2048
+
+type stats = {
+  small_allocs : int;
+  cluster_allocs : int;
+  small_frees : int;
+  cluster_frees : int;
+  small_in_use : int;
+  cluster_in_use : int;
+  peak_small : int;
+  peak_cluster : int;
+}
+
+type t = {
+  max_free : int;
+  small_free : bytes Stack.t;
+  cluster_free : bytes Stack.t;
+  mutable s : stats;
+}
+
+let create ?(max_free = 4096) () =
+  {
+    max_free;
+    small_free = Stack.create ();
+    cluster_free = Stack.create ();
+    s =
+      {
+        small_allocs = 0;
+        cluster_allocs = 0;
+        small_frees = 0;
+        cluster_frees = 0;
+        small_in_use = 0;
+        cluster_in_use = 0;
+        peak_small = 0;
+        peak_cluster = 0;
+      };
+  }
+
+let alloc_small t =
+  let b =
+    if Stack.is_empty t.small_free then Bytes.create small_size
+    else Stack.pop t.small_free
+  in
+  let in_use = t.s.small_in_use + 1 in
+  t.s <-
+    {
+      t.s with
+      small_allocs = t.s.small_allocs + 1;
+      small_in_use = in_use;
+      peak_small = max t.s.peak_small in_use;
+    };
+  b
+
+let alloc_cluster t =
+  let b =
+    if Stack.is_empty t.cluster_free then Bytes.create cluster_size
+    else Stack.pop t.cluster_free
+  in
+  let in_use = t.s.cluster_in_use + 1 in
+  t.s <-
+    {
+      t.s with
+      cluster_allocs = t.s.cluster_allocs + 1;
+      cluster_in_use = in_use;
+      peak_cluster = max t.s.peak_cluster in_use;
+    };
+  b
+
+let release_small t b =
+  if Bytes.length b <> small_size then
+    invalid_arg "Pool.release_small: wrong buffer size";
+  if Stack.length t.small_free < t.max_free then Stack.push b t.small_free;
+  t.s <-
+    { t.s with small_frees = t.s.small_frees + 1; small_in_use = t.s.small_in_use - 1 }
+
+let release_cluster t b =
+  if Bytes.length b <> cluster_size then
+    invalid_arg "Pool.release_cluster: wrong buffer size";
+  if Stack.length t.cluster_free < t.max_free then Stack.push b t.cluster_free;
+  t.s <-
+    {
+      t.s with
+      cluster_frees = t.s.cluster_frees + 1;
+      cluster_in_use = t.s.cluster_in_use - 1;
+    }
+
+let stats t = t.s
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "small: %d alloc / %d free / %d live (peak %d); cluster: %d alloc / %d free / %d live (peak %d)"
+    s.small_allocs s.small_frees s.small_in_use s.peak_small s.cluster_allocs
+    s.cluster_frees s.cluster_in_use s.peak_cluster

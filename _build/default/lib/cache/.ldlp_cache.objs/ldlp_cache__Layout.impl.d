@@ -1,0 +1,1 @@
+lib/cache/layout.ml: Ldlp_sim

@@ -1,0 +1,1 @@
+lib/cache/layout.mli: Ldlp_sim

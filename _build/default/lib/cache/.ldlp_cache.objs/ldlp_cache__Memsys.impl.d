@@ -1,0 +1,1 @@
+lib/cache/memsys.ml: Cache Config

@@ -1,0 +1,1 @@
+lib/cache/memsys.mli: Cache Config

@@ -1,0 +1,1 @@
+lib/cache/working_set.mli:

@@ -1,0 +1,111 @@
+(* Tags are stored per way as line numbers (-1 = invalid).  For the
+   direct-mapped case (the paper's machine) the hot path is a single array
+   compare-and-store.  For set-associative caches each set keeps its ways in
+   LRU order: way 0 is most recently used; eviction takes the last way. *)
+
+type t = {
+  cfg : Config.t;
+  set_shift : int; (* log2 line_bytes, to go from addr to line *)
+  set_mask : int; (* sets - 1 *)
+  ways : int;
+  tags : int array; (* sets * ways, row-major, LRU-ordered within a set *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create cfg =
+  let sets = Config.sets cfg in
+  {
+    cfg;
+    set_shift = log2 cfg.Config.line_bytes;
+    set_mask = sets - 1;
+    ways = cfg.Config.associativity;
+    tags = Array.make (sets * cfg.Config.associativity) (-1);
+    hits = 0;
+    misses = 0;
+  }
+
+let config t = t.cfg
+
+let access_line t line =
+  let set = line land t.set_mask in
+  if t.ways = 1 then begin
+    if t.tags.(set) = line then begin
+      t.hits <- t.hits + 1;
+      true
+    end
+    else begin
+      t.tags.(set) <- line;
+      t.misses <- t.misses + 1;
+      false
+    end
+  end
+  else begin
+    let base = set * t.ways in
+    let rec find i =
+      if i >= t.ways then -1
+      else if t.tags.(base + i) = line then i
+      else find (i + 1)
+    in
+    match find 0 with
+    | 0 ->
+      t.hits <- t.hits + 1;
+      true
+    | -1 ->
+      (* Miss: shift everything down, install at MRU position. *)
+      for j = t.ways - 1 downto 1 do
+        t.tags.(base + j) <- t.tags.(base + j - 1)
+      done;
+      t.tags.(base) <- line;
+      t.misses <- t.misses + 1;
+      false
+    | i ->
+      (* Hit in way [i]: move to MRU position. *)
+      for j = i downto 1 do
+        t.tags.(base + j) <- t.tags.(base + j - 1)
+      done;
+      t.tags.(base) <- line;
+      t.hits <- t.hits + 1;
+      true
+  end
+
+let access t addr = access_line t (addr asr t.set_shift)
+
+let touch_range t ~addr ~len =
+  if len <= 0 then 0
+  else begin
+    let first = addr asr t.set_shift in
+    let last = (addr + len - 1) asr t.set_shift in
+    let misses = ref 0 in
+    for line = first to last do
+      if not (access_line t line) then incr misses
+    done;
+    !misses
+  end
+
+let resident t addr =
+  let line = addr asr t.set_shift in
+  let set = line land t.set_mask in
+  let base = set * t.ways in
+  let rec find i =
+    if i >= t.ways then false
+    else t.tags.(base + i) = line || find (i + 1)
+  in
+  find 0
+
+let flush t = Array.fill t.tags 0 (Array.length t.tags) (-1)
+
+let occupancy t =
+  Array.fold_left (fun acc tag -> if tag >= 0 then acc + 1 else acc) 0 t.tags
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0

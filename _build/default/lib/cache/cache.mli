@@ -1,0 +1,38 @@
+(** A single cache (instruction or data) simulated at line granularity.
+
+    Supports direct-mapped and N-way set-associative organisations with LRU
+    replacement.  Addresses are plain [int] byte addresses in an arbitrary
+    flat address space; only [addr / line_bytes] matters. *)
+
+type t
+
+val create : Config.t -> t
+
+val config : t -> Config.t
+
+val access : t -> int -> bool
+(** [access c addr] simulates one reference to the line containing byte
+    [addr]; returns [true] on a hit, installing the line on a miss. *)
+
+val access_line : t -> int -> bool
+(** Like {!access} but the argument is already a line number.  This is the
+    hot path of the protocol-stack simulator. *)
+
+val touch_range : t -> addr:int -> len:int -> int
+(** Reference every line in a byte range; returns the number of misses. *)
+
+val resident : t -> int -> bool
+(** Whether the line containing byte [addr] is currently cached (no state
+    change). *)
+
+val flush : t -> unit
+(** Invalidate all lines (cold cache). *)
+
+val occupancy : t -> int
+(** Number of valid lines currently held. *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val reset_counters : t -> unit

@@ -1,0 +1,97 @@
+type counters = {
+  icache_misses : int;
+  dcache_misses : int;
+  write_misses : int;
+  exec_cycles : int;
+  stall_cycles : int;
+}
+
+type t = {
+  icache : Cache.t;
+  dcache : Cache.t;
+  prefetch_discount : float;
+  mutable clock_hz : float;
+  mutable c : counters;
+}
+
+let zero =
+  {
+    icache_misses = 0;
+    dcache_misses = 0;
+    write_misses = 0;
+    exec_cycles = 0;
+    stall_cycles = 0;
+  }
+
+let create ?(icache = Config.paper_default) ?(dcache = Config.paper_default)
+    ?(unified = false) ?(prefetch_discount = 1.0) ?(clock_hz = 100e6) () =
+  if clock_hz <= 0.0 then invalid_arg "Memsys.create: clock must be positive";
+  if prefetch_discount < 0.0 || prefetch_discount > 1.0 then
+    invalid_arg "Memsys.create: prefetch_discount must be in [0, 1]";
+  let i = Cache.create icache in
+  let d = if unified then i else Cache.create dcache in
+  { icache = i; dcache = d; prefetch_discount; clock_hz; c = zero }
+
+let clock_hz t = t.clock_hz
+
+let set_clock_hz t hz =
+  if hz <= 0.0 then invalid_arg "Memsys.set_clock_hz: clock must be positive";
+  t.clock_hz <- hz
+
+let icache t = t.icache
+
+let dcache t = t.dcache
+
+let fetch_code t ~addr ~len =
+  let m = Cache.touch_range t.icache ~addr ~len in
+  if m > 0 then begin
+    let penalty = (Cache.config t.icache).Config.miss_penalty in
+    (* Sequential prefetch hides part of every miss after the first in a
+       straight-line fetch run. *)
+    let stall =
+      float_of_int penalty
+      *. (1.0 +. (t.prefetch_discount *. float_of_int (m - 1)))
+    in
+    t.c <-
+      {
+        t.c with
+        icache_misses = t.c.icache_misses + m;
+        stall_cycles = t.c.stall_cycles + int_of_float stall;
+      }
+  end
+
+let read_data t ~addr ~len =
+  let m = Cache.touch_range t.dcache ~addr ~len in
+  if m > 0 then
+    t.c <-
+      {
+        t.c with
+        dcache_misses = t.c.dcache_misses + m;
+        stall_cycles =
+          t.c.stall_cycles + (m * (Cache.config t.dcache).Config.miss_penalty);
+      }
+
+let write_data t ~addr ~len =
+  let m = Cache.touch_range t.dcache ~addr ~len in
+  if m > 0 then t.c <- { t.c with write_misses = t.c.write_misses + m }
+
+let execute t cycles =
+  if cycles < 0 then invalid_arg "Memsys.execute: negative cycles";
+  t.c <- { t.c with exec_cycles = t.c.exec_cycles + cycles }
+
+let cycles t = t.c.exec_cycles + t.c.stall_cycles
+
+let seconds t = float_of_int (cycles t) /. t.clock_hz
+
+let seconds_of_cycles t n = float_of_int n /. t.clock_hz
+
+let counters t = t.c
+
+let take_counters t =
+  let c = t.c in
+  t.c <- zero;
+  c
+
+let cold t =
+  Cache.flush t.icache;
+  Cache.flush t.dcache

@@ -1,0 +1,1 @@
+lib/core/blocking.ml: Format List

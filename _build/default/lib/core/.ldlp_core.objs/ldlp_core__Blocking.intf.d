@@ -1,0 +1,1 @@
+lib/core/blocking.mli: Format

@@ -1,0 +1,1 @@
+lib/core/graphsched.ml: Batch Hashtbl Layer List Msg Queue Sched

@@ -1,0 +1,1 @@
+lib/core/graphsched.mli: Layer Msg Sched

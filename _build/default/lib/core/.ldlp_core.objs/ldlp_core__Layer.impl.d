@@ -1,0 +1,1 @@
+lib/core/layer.ml: Msg

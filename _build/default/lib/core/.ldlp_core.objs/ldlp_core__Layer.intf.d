@@ -1,0 +1,1 @@
+lib/core/layer.mli: Msg

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Float Hashtbl Ldlp_buf Ldlp_sim List Msg Option Sched

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Layer Ldlp_buf Ldlp_sim Msg Sched

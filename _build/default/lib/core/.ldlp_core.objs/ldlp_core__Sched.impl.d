@@ -1,0 +1,1 @@
+lib/core/sched.ml: Array Batch Layer List Msg Queue

@@ -1,0 +1,1 @@
+lib/core/txsched.ml: Array Batch Layer List Msg Queue Sched

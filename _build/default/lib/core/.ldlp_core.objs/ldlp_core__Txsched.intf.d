@@ -1,0 +1,1 @@
+lib/core/txsched.mli: Layer Msg Sched

@@ -1,0 +1,62 @@
+(** Analytic blocking-factor estimation, after Lam/Rothberg/Wolf.
+
+    Section 3.2 notes that "the optimal blocking factor is hard to
+    estimate" and points at Lam et al.'s cache-blocking analysis.  This
+    module provides the protocol-stack analogue: given the machine's cache
+    geometry and the stack's per-layer footprints, estimate per-message
+    cache misses under conventional and blocked scheduling, the batch size
+    that fits the data cache, and whether the protocol is a
+    "large-message" or "small-message" protocol in the sense of Figure 4. *)
+
+type machine = {
+  icache_bytes : int;
+  dcache_bytes : int;
+  line_bytes : int;
+  miss_penalty : int;  (** Cycles per read miss. *)
+  clock_hz : float;
+}
+
+val paper_machine : machine
+(** The Section 4 machine: 8 KB/8 KB, 32 B lines, 20 cycles, 100 MHz. *)
+
+type stack = {
+  layer_code_bytes : int list;
+  layer_data_bytes : int list;
+  msg_bytes : int;
+  cycles_per_msg : int;  (** Execution cycles per message, whole stack. *)
+}
+
+type recommendation = {
+  message_class : [ `Large_message | `Small_message ];
+      (** Figure 4's distinction: messages bigger than the per-message code
+          working set are "large". *)
+  batch : int;  (** Recommended blocking factor (>= 1). *)
+  conv_misses_per_msg : float;  (** Estimated, conventional discipline. *)
+  ldlp_misses_per_msg : float;  (** Estimated at the recommended batch. *)
+  conv_cycles_per_msg : float;
+  ldlp_cycles_per_msg : float;
+  speedup : float;  (** conv_cycles / ldlp_cycles at saturation. *)
+  max_rate_conv : float;  (** Messages/second at saturation. *)
+  max_rate_ldlp : float;
+}
+
+val misses_per_msg : machine -> stack -> batch:int -> float
+(** Estimated total (I+D) misses per message when processing in blocks of
+    [batch] messages: layer code and layer data are fetched once per batch;
+    message bytes are fetched once, plus again per layer for the portion of
+    a batch that exceeds the data cache. *)
+
+val recommend : machine -> stack -> recommendation
+
+val pp_recommendation : Format.formatter -> recommendation -> unit
+
+val group_layers : machine -> int list -> int list list
+(** The paper's closing advice (Section 6): "write layers as independent
+    units, measure their working sets, and then decide how to group them
+    to maximize locality."  [group_layers m code_sizes] partitions
+    consecutive layers greedily into the fewest groups whose combined code
+    fits the I-cache, so each group can be scheduled as one LDLP unit:
+    within a group the cache holds everything (crossing costs nothing);
+    across groups, blocked scheduling amortises the refills.  A single
+    layer larger than the cache gets its own group.  Returns the group
+    sizes' member lists (e.g. [[6144; 1024]; [6144]]). *)

@@ -1,0 +1,198 @@
+type stats = {
+  injected : int;
+  delivered : int;
+  consumed : int;
+  sent_down : int;
+  misrouted : int;
+  batches : int;
+  max_batch : int;
+  total_batched : int;
+  per_layer : (string * int) list;
+}
+
+type 'a node = {
+  layer : 'a Layer.t;
+  parents : string list;
+  depth : int;  (* fewest layers remaining to the top; top = 0 *)
+  queue : 'a Msg.t Queue.t;
+  mutable handled : int;
+  mutable is_root : bool;  (* nobody delivers into it from below *)
+}
+
+type 'a t = {
+  discipline : Sched.discipline;
+  nodes : (string, 'a node) Hashtbl.t;
+  mutable order : string list;  (* registration order, for determinism *)
+  up : 'a Msg.t -> unit;
+  down : 'a Msg.t -> unit;
+  on_handled : 'a Layer.t -> 'a Msg.t -> unit;
+  mutable injected : int;
+  mutable delivered : int;
+  mutable consumed : int;
+  mutable sent_down : int;
+  mutable misrouted : int;
+  mutable batches : int;
+  mutable max_batch : int;
+  mutable total_batched : int;
+}
+
+let create ~discipline ?(up = fun _ -> ()) ?(down = fun _ -> ())
+    ?(on_handled = fun _ _ -> ()) () =
+  {
+    discipline;
+    nodes = Hashtbl.create 16;
+    order = [];
+    up;
+    down;
+    on_handled;
+    injected = 0;
+    delivered = 0;
+    consumed = 0;
+    sent_down = 0;
+    misrouted = 0;
+    batches = 0;
+    max_batch = 0;
+    total_batched = 0;
+  }
+
+let find t name =
+  match Hashtbl.find_opt t.nodes name with
+  | Some n -> n
+  | None -> invalid_arg ("Graphsched: unknown layer " ^ name)
+
+let add_layer t ?(above = []) layer =
+  let name = layer.Layer.name in
+  if Hashtbl.mem t.nodes name then
+    invalid_arg ("Graphsched.add_layer: duplicate layer " ^ name);
+  let parent_nodes = List.map (find t) above in
+  let depth =
+    match parent_nodes with
+    | [] -> 0
+    | ps -> 1 + List.fold_left (fun acc p -> min acc p.depth) max_int ps
+  in
+  List.iter (fun p -> p.is_root <- false) parent_nodes;
+  Hashtbl.replace t.nodes name
+    {
+      layer;
+      parents = above;
+      depth;
+      queue = Queue.create ();
+      handled = 0;
+      is_root = true;
+    };
+  t.order <- t.order @ [ name ]
+
+let roots t =
+  List.filter (fun name -> (find t name).is_root) t.order
+
+let inject t ~into msg =
+  t.injected <- t.injected + 1;
+  Queue.push msg (find t into).queue
+
+let backlog t ~into = Queue.length (find t into).queue
+
+let pending t =
+  Hashtbl.fold (fun _ n acc -> acc + Queue.length n.queue) t.nodes 0
+
+(* Route one upward delivery from [node]; [recurse] processes immediately
+   (conventional), otherwise the parent's queue receives it. *)
+let rec route t node target m ~recurse =
+  match target with
+  | `Up -> (
+    match node.parents with
+    | [] ->
+      t.delivered <- t.delivered + 1;
+      t.up m
+    | [ parent ] -> forward t (find t parent) m ~recurse
+    | _ :: _ :: _ ->
+      (* Ambiguous fan-out: the handler must name its target. *)
+      t.misrouted <- t.misrouted + 1)
+  | `To name ->
+    if List.mem name node.parents then forward t (find t name) m ~recurse
+    else t.misrouted <- t.misrouted + 1
+
+and forward t parent m ~recurse =
+  if recurse then handle t parent m ~recurse else Queue.push m parent.queue
+
+and handle t node msg ~recurse =
+  t.on_handled node.layer msg;
+  node.handled <- node.handled + 1;
+  List.iter
+    (fun action ->
+      match action with
+      | Layer.Consume -> t.consumed <- t.consumed + 1
+      | Layer.Send_down m ->
+        t.sent_down <- t.sent_down + 1;
+        t.down m
+      | Layer.Deliver_up m -> route t node `Up m ~recurse
+      | Layer.Deliver_to (name, m) -> route t node (`To name) m ~recurse)
+    (node.layer.Layer.handle msg)
+
+let record_batch t n =
+  t.batches <- t.batches + 1;
+  t.max_batch <- max t.max_batch n;
+  t.total_batched <- t.total_batched + n
+
+(* Non-empty node with the smallest depth (closest to completion); ties go
+   to registration order. *)
+let next_ready t =
+  List.fold_left
+    (fun best name ->
+      let n = find t name in
+      if Queue.is_empty n.queue then best
+      else
+        match best with
+        | Some b when b.depth <= n.depth -> best
+        | _ -> Some n)
+    None t.order
+
+let step_conventional t =
+  match next_ready t with
+  | None -> false
+  | Some node ->
+    record_batch t 1;
+    handle t node (Queue.pop node.queue) ~recurse:true;
+    true
+
+let step_ldlp t policy =
+  match next_ready t with
+  | None -> false
+  | Some node when node.is_root ->
+    (* Entry point: yield after a D-cache-sized batch. *)
+    let sizes =
+      Queue.fold (fun acc m -> m.Msg.size :: acc) [] node.queue |> List.rev
+    in
+    let n = Batch.limit policy ~sizes in
+    record_batch t n;
+    for _ = 1 to n do
+      handle t node (Queue.pop node.queue) ~recurse:false
+    done;
+    true
+  | Some node ->
+    while not (Queue.is_empty node.queue) do
+      handle t node (Queue.pop node.queue) ~recurse:false
+    done;
+    true
+
+let step t =
+  match t.discipline with
+  | Sched.Conventional -> step_conventional t
+  | Sched.Ldlp policy -> step_ldlp t policy
+
+let run t =
+  while step t do
+    ()
+  done
+
+let stats t =
+  {
+    injected = t.injected;
+    delivered = t.delivered;
+    consumed = t.consumed;
+    sent_down = t.sent_down;
+    misrouted = t.misrouted;
+    batches = t.batches;
+    max_batch = t.max_batch;
+    total_batched = t.total_batched;
+    per_layer = List.map (fun name -> (name, (find t name).handled)) t.order;
+  }

@@ -1,0 +1,62 @@
+(** LDLP scheduling over a protocol {e graph}.
+
+    Section 3.2 of the paper describes the general case the linear
+    {!Sched} cannot express: "it invokes all layers that can be directly
+    above it ({e there can be more than one}) to process the messages in
+    their queues" — i.e. demultiplexing stacks, like IP fanning out to
+    TCP, UDP and ICMP, each possibly fanning out further.
+
+    A graph is built from named layers and [above] edges.  Scheduling
+    follows the same locality rule as the chain: every layer has a queue;
+    a quantum runs the queued layer {e furthest from the roots} to
+    completion (its code is closest to leaving the cache pipeline), and
+    root layers — the packet entry points — yield after a D-cache-bounded
+    batch.  Handlers in a fan-out position route with
+    {!Layer.Deliver_to}; [Deliver_up] remains valid where a layer has
+    exactly one parent. *)
+
+type 'a t
+
+type stats = {
+  injected : int;
+  delivered : int;  (** Reached the sink above a top (parentless) layer. *)
+  consumed : int;
+  sent_down : int;
+  misrouted : int;  (** [Deliver_to] along a non-existent edge (dropped). *)
+  batches : int;
+  max_batch : int;
+  total_batched : int;
+  per_layer : (string * int) list;
+}
+
+val create :
+  discipline:Sched.discipline ->
+  ?up:('a Msg.t -> unit) ->
+  ?down:('a Msg.t -> unit) ->
+  ?on_handled:('a Layer.t -> 'a Msg.t -> unit) ->
+  unit ->
+  'a t
+
+val add_layer : 'a t -> ?above:string list -> 'a Layer.t -> unit
+(** Register a layer; [above] names the layers directly above it, which
+    must already be registered (build the graph top-down).  Duplicate
+    names and unknown parents raise [Invalid_argument].  A layer with no
+    [above] is a top layer: its [Deliver_up] goes to the [up] sink.  A
+    layer with several parents must route upward with
+    {!Layer.Deliver_to}. *)
+
+val roots : 'a t -> string list
+(** Layers nobody lists as a parent — the packet entry points. *)
+
+val inject : 'a t -> into:string -> 'a Msg.t -> unit
+(** Message arrival at a named entry layer. *)
+
+val backlog : 'a t -> into:string -> int
+
+val pending : 'a t -> int
+
+val step : 'a t -> bool
+
+val run : 'a t -> unit
+
+val stats : 'a t -> stats

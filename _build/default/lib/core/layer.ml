@@ -1,0 +1,34 @@
+type 'a action =
+  | Deliver_up of 'a Msg.t
+  | Deliver_to of string * 'a Msg.t
+  | Send_down of 'a Msg.t
+  | Consume
+
+type footprint = {
+  code_bytes : int;
+  data_bytes : int;
+  cycles_per_msg : int;
+  cycles_per_byte : float;
+}
+
+let footprint ?(code_bytes = 6144) ?(data_bytes = 256) ?(cycles_per_msg = 1652)
+    ?(cycles_per_byte = 0.5) () =
+  if code_bytes < 0 || data_bytes < 0 || cycles_per_msg < 0 then
+    invalid_arg "Layer.footprint: negative size";
+  if cycles_per_byte < 0.0 then
+    invalid_arg "Layer.footprint: negative per-byte cost";
+  { code_bytes; data_bytes; cycles_per_msg; cycles_per_byte }
+
+type 'a t = {
+  name : string;
+  fp : footprint;
+  handle : 'a Msg.t -> 'a action list;
+  handle_tx : 'a Msg.t -> 'a action list;
+}
+
+let default_tx msg = [ Send_down msg ]
+
+let v ~name ?(fp = footprint ()) ?(tx = default_tx) handle =
+  { name; fp; handle; handle_tx = tx }
+
+let passthrough name = v ~name (fun msg -> [ Deliver_up msg ])

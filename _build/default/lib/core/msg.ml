@@ -1,0 +1,15 @@
+type 'a t = {
+  id : int;
+  arrival : float;
+  flow : int;
+  size : int;
+  payload : 'a;
+}
+
+let next_id = ref 0
+
+let make ?(flow = 0) ?(arrival = 0.0) ?(size = 0) payload =
+  incr next_id;
+  { id = !next_id; arrival; flow; size; payload }
+
+let with_payload t payload ~size = { t with payload; size }

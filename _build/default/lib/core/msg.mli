@@ -1,0 +1,23 @@
+(** Messages flowing through an LDLP stack.
+
+    A message wraps an arbitrary payload (typically an {!Ldlp_buf.Mbuf}
+    chain, but the engine is polymorphic) with the bookkeeping the scheduler
+    needs: an identity, arrival time, byte size (for data-cache-fit batch
+    policies) and a flow label (for per-flow ordering guarantees). *)
+
+type 'a t = {
+  id : int;
+  arrival : float;  (** Seconds, in whatever clock the runtime uses. *)
+  flow : int;  (** Flow/VC identifier; the scheduler preserves per-flow
+                   FIFO order. *)
+  size : int;  (** Payload bytes, used by [Batch.Dcache_fit]. *)
+  payload : 'a;
+}
+
+val make : ?flow:int -> ?arrival:float -> ?size:int -> 'a -> 'a t
+(** Fresh message with a unique id.  [size] defaults to 0 ([Dcache_fit]
+    then counts only per-message overhead); [flow] defaults to 0. *)
+
+val with_payload : 'a t -> 'b -> size:int -> 'b t
+(** Same identity/arrival/flow, new payload — for layers that transform
+    messages (decapsulation, reassembly). *)

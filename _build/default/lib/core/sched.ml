@@ -1,0 +1,165 @@
+type discipline = Conventional | Ldlp of Batch.policy
+
+type stats = {
+  injected : int;
+  delivered : int;
+  consumed : int;
+  sent_down : int;
+  misrouted : int;
+  batches : int;
+  max_batch : int;
+  total_batched : int;
+  per_layer : (string * int) list;
+}
+
+type 'a t = {
+  discipline : discipline;
+  layers : 'a Layer.t array;
+  queues : 'a Msg.t Queue.t array;  (* queues.(i) feeds layers.(i) *)
+  up : 'a Msg.t -> unit;
+  down : 'a Msg.t -> unit;
+  on_handled : int -> 'a Layer.t -> 'a Msg.t -> unit;
+  handled : int array;
+  mutable injected : int;
+  mutable delivered : int;
+  mutable consumed : int;
+  mutable sent_down : int;
+  mutable misrouted : int;
+  mutable batches : int;
+  mutable max_batch : int;
+  mutable total_batched : int;
+}
+
+let create ~discipline ~layers ?(up = fun _ -> ()) ?(down = fun _ -> ())
+    ?(on_handled = fun _ _ _ -> ()) () =
+  if layers = [] then invalid_arg "Sched.create: empty stack";
+  let layers = Array.of_list layers in
+  {
+    discipline;
+    layers;
+    queues = Array.init (Array.length layers) (fun _ -> Queue.create ());
+    up;
+    down;
+    on_handled;
+    handled = Array.make (Array.length layers) 0;
+    injected = 0;
+    delivered = 0;
+    consumed = 0;
+    sent_down = 0;
+    misrouted = 0;
+    batches = 0;
+    max_batch = 0;
+    total_batched = 0;
+  }
+
+let inject t msg =
+  t.injected <- t.injected + 1;
+  Queue.push msg t.queues.(0)
+
+let pending t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
+
+let backlog t = Queue.length t.queues.(0)
+
+let top t = Array.length t.layers - 1
+
+(* Run one message through layer [i]'s handler and dispatch its actions.
+   [enqueue_up] decides whether an upward delivery is queued (LDLP) or
+   processed immediately by recursion (conventional). *)
+let rec handle_at t i msg ~enqueue_up =
+  t.on_handled i t.layers.(i) msg;
+  t.handled.(i) <- t.handled.(i) + 1;
+  let actions = t.layers.(i).Layer.handle msg in
+  List.iter
+    (fun action ->
+      match action with
+      | Layer.Consume -> t.consumed <- t.consumed + 1
+      | Layer.Send_down m ->
+        t.sent_down <- t.sent_down + 1;
+        t.down m
+      | Layer.Deliver_up m ->
+        if i = top t then begin
+          t.delivered <- t.delivered + 1;
+          t.up m
+        end
+        else if enqueue_up then Queue.push m t.queues.(i + 1)
+        else handle_at t (i + 1) m ~enqueue_up
+      | Layer.Deliver_to (name, m) ->
+        (* In a linear chain, a named delivery is only valid when it
+           names the next layer up. *)
+        if i < top t && t.layers.(i + 1).Layer.name = name then
+          if enqueue_up then Queue.push m t.queues.(i + 1)
+          else handle_at t (i + 1) m ~enqueue_up
+        else t.misrouted <- t.misrouted + 1)
+    actions
+
+let record_batch t n =
+  t.batches <- t.batches + 1;
+  t.max_batch <- max t.max_batch n;
+  t.total_batched <- t.total_batched + n
+
+let step_conventional t =
+  match Queue.take_opt t.queues.(0) with
+  | None -> false
+  | Some msg ->
+    record_batch t 1;
+    handle_at t 0 msg ~enqueue_up:false;
+    true
+
+(* Highest non-empty queue index, or -1. *)
+let highest_ready t =
+  let rec go i =
+    if i < 0 then -1 else if Queue.is_empty t.queues.(i) then go (i - 1) else i
+  in
+  go (top t)
+
+let step_ldlp t policy =
+  match highest_ready t with
+  | -1 -> false
+  | 0 ->
+    (* Bottom layer: yield after one D-cache-sized batch so message data is
+       still resident when the upper layers run. *)
+    let sizes =
+      Queue.fold (fun acc m -> m.Msg.size :: acc) [] t.queues.(0) |> List.rev
+    in
+    let n = Batch.limit policy ~sizes in
+    record_batch t n;
+    for _ = 1 to n do
+      handle_at t 0 (Queue.pop t.queues.(0)) ~enqueue_up:true
+    done;
+    true
+  | i ->
+    (* Run to completion: apply this layer to every message it has queued
+       before anything else runs. *)
+    while not (Queue.is_empty t.queues.(i)) do
+      handle_at t i (Queue.pop t.queues.(i)) ~enqueue_up:true
+    done;
+    true
+
+let step t =
+  match t.discipline with
+  | Conventional -> step_conventional t
+  | Ldlp policy -> step_ldlp t policy
+
+let run t =
+  while step t do
+    ()
+  done
+
+let stats t =
+  {
+    injected = t.injected;
+    delivered = t.delivered;
+    consumed = t.consumed;
+    sent_down = t.sent_down;
+    misrouted = t.misrouted;
+    batches = t.batches;
+    max_batch = t.max_batch;
+    total_batched = t.total_batched;
+    per_layer =
+      Array.to_list
+        (Array.mapi (fun i l -> (l.Layer.name, t.handled.(i))) t.layers);
+  }
+
+let layer_names t =
+  Array.to_list (Array.map (fun l -> l.Layer.name) t.layers)

@@ -1,0 +1,145 @@
+type stats = {
+  submitted : int;
+  transmitted : int;
+  consumed : int;
+  looped_up : int;
+  batches : int;
+  max_batch : int;
+  total_batched : int;
+  per_layer : (string * int) list;
+}
+
+type 'a t = {
+  discipline : Sched.discipline;
+  layers : 'a Layer.t array;
+  queues : 'a Msg.t Queue.t array;  (* queues.(i) feeds layers.(i).handle_tx *)
+  wire : 'a Msg.t -> unit;
+  up : 'a Msg.t -> unit;
+  on_handled : int -> 'a Layer.t -> 'a Msg.t -> unit;
+  handled : int array;
+  mutable submitted : int;
+  mutable transmitted : int;
+  mutable consumed : int;
+  mutable looped_up : int;
+  mutable batches : int;
+  mutable max_batch : int;
+  mutable total_batched : int;
+}
+
+let create ~discipline ~layers ?(wire = fun _ -> ()) ?(up = fun _ -> ())
+    ?(on_handled = fun _ _ _ -> ()) () =
+  if layers = [] then invalid_arg "Txsched.create: empty stack";
+  let layers = Array.of_list layers in
+  {
+    discipline;
+    layers;
+    queues = Array.init (Array.length layers) (fun _ -> Queue.create ());
+    wire;
+    up;
+    on_handled;
+    handled = Array.make (Array.length layers) 0;
+    submitted = 0;
+    transmitted = 0;
+    consumed = 0;
+    looped_up = 0;
+    batches = 0;
+    max_batch = 0;
+    total_batched = 0;
+  }
+
+let top t = Array.length t.layers - 1
+
+let submit t msg =
+  t.submitted <- t.submitted + 1;
+  Queue.push msg t.queues.(top t)
+
+let pending t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
+
+let backlog t = Queue.length t.queues.(top t)
+
+let rec handle_at t i msg ~enqueue_down =
+  t.on_handled i t.layers.(i) msg;
+  t.handled.(i) <- t.handled.(i) + 1;
+  let actions = t.layers.(i).Layer.handle_tx msg in
+  List.iter
+    (fun action ->
+      match action with
+      | Layer.Consume -> t.consumed <- t.consumed + 1
+      | Layer.Deliver_up m | Layer.Deliver_to (_, m) ->
+        t.looped_up <- t.looped_up + 1;
+        t.up m
+      | Layer.Send_down m ->
+        if i = 0 then begin
+          t.transmitted <- t.transmitted + 1;
+          t.wire m
+        end
+        else if enqueue_down then Queue.push m t.queues.(i - 1)
+        else handle_at t (i - 1) m ~enqueue_down)
+    actions
+
+let record_batch t n =
+  t.batches <- t.batches + 1;
+  t.max_batch <- max t.max_batch n;
+  t.total_batched <- t.total_batched + n
+
+let step_conventional t =
+  match Queue.take_opt t.queues.(top t) with
+  | None -> false
+  | Some msg ->
+    record_batch t 1;
+    handle_at t (top t) msg ~enqueue_down:false;
+    true
+
+(* Lowest non-empty queue: the one closest to the wire. *)
+let lowest_ready t =
+  let n = Array.length t.queues in
+  let rec go i =
+    if i >= n then -1 else if Queue.is_empty t.queues.(i) then go (i + 1) else i
+  in
+  go 0
+
+let step_ldlp t policy =
+  match lowest_ready t with
+  | -1 -> false
+  | i when i = top t ->
+    (* Submission point: yield after a D-cache-sized batch, like the
+       receive side's bottom layer. *)
+    let sizes =
+      Queue.fold (fun acc m -> m.Msg.size :: acc) [] t.queues.(i) |> List.rev
+    in
+    let n = Batch.limit policy ~sizes in
+    record_batch t n;
+    for _ = 1 to n do
+      handle_at t i (Queue.pop t.queues.(i)) ~enqueue_down:true
+    done;
+    true
+  | i ->
+    while not (Queue.is_empty t.queues.(i)) do
+      handle_at t i (Queue.pop t.queues.(i)) ~enqueue_down:true
+    done;
+    true
+
+let step t =
+  match t.discipline with
+  | Sched.Conventional -> step_conventional t
+  | Sched.Ldlp policy -> step_ldlp t policy
+
+let run t =
+  while step t do
+    ()
+  done
+
+let stats t =
+  {
+    submitted = t.submitted;
+    transmitted = t.transmitted;
+    consumed = t.consumed;
+    looped_up = t.looped_up;
+    batches = t.batches;
+    max_batch = t.max_batch;
+    total_batched = t.total_batched;
+    per_layer =
+      Array.to_list
+        (Array.mapi (fun i l -> (l.Layer.name, t.handled.(i))) t.layers);
+  }

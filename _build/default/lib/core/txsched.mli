@@ -1,0 +1,56 @@
+(** Transmit-side layer scheduling.
+
+    The paper evaluates receive-side LDLP and notes (Section 1) that "the
+    techniques presented are also applicable to transmit-side processing,
+    but we have not evaluated their performance".  This module is that
+    evaluation's missing engine: the mirror image of {!Sched} for messages
+    travelling {e down} a stack.
+
+    Applications submit at the top; each layer's [handle_tx] encapsulates
+    and passes the message down; frames leave the stack at the bottom
+    through the wire sink.  Under LDLP, each layer again has a queue and a
+    scheduling quantum runs one layer over everything it has queued —
+    here the {e lowest} non-empty layer has the highest priority (it is
+    closest to putting frames on the wire), and the {e top} layer (the
+    submission point) yields after a D-cache-sized batch, symmetric to the
+    receive side's bottom layer. *)
+
+type stats = {
+  submitted : int;
+  transmitted : int;  (** Messages that reached the wire sink. *)
+  consumed : int;
+  looped_up : int;  (** [Deliver_up] actions routed to the up sink. *)
+  batches : int;
+  max_batch : int;
+  total_batched : int;
+  per_layer : (string * int) list;
+}
+
+type 'a t
+
+val create :
+  discipline:Sched.discipline ->
+  layers:'a Layer.t list ->
+  ?wire:('a Msg.t -> unit) ->
+  ?up:('a Msg.t -> unit) ->
+  ?on_handled:(int -> 'a Layer.t -> 'a Msg.t -> unit) ->
+  unit ->
+  'a t
+(** [layers] is bottom-first, exactly as for {!Sched.create}, so one stack
+    description serves both directions.  [wire] receives frames leaving
+    below layer 0; [up] receives any [Deliver_up] a transmit handler
+    produces (e.g. loopback). *)
+
+val submit : 'a t -> 'a Msg.t -> unit
+(** Hand a message to the top of the stack for transmission. *)
+
+val pending : 'a t -> int
+
+val backlog : 'a t -> int
+(** Messages waiting in the top (submission) queue. *)
+
+val step : 'a t -> bool
+
+val run : 'a t -> unit
+
+val stats : 'a t -> stats

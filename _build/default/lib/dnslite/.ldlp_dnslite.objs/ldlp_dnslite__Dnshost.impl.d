@@ -1,0 +1,1 @@
+lib/dnslite/dnshost.ml: Bytes Dnsmsg Ldlp_buf Ldlp_core Ldlp_packet Server

@@ -1,0 +1,1 @@
+lib/dnslite/dnsmsg.ml: Bytes Char Format Ldlp_packet List Name Option Result

@@ -1,0 +1,1 @@
+lib/dnslite/dnsmsg.mli: Format Ldlp_packet Name

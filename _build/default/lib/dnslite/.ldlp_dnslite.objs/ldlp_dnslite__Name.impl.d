@@ -1,0 +1,1 @@
+lib/dnslite/name.ml: Bytes Char Format List String

@@ -1,0 +1,1 @@
+lib/dnslite/name.mli: Format

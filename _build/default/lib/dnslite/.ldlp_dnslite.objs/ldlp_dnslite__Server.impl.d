@@ -1,0 +1,1 @@
+lib/dnslite/server.ml: Dnsmsg Hashtbl Ldlp_packet List Name Option String

@@ -1,0 +1,1 @@
+lib/dnslite/server.mli: Ldlp_packet Name

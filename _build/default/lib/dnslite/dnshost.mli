@@ -1,0 +1,51 @@
+(** The DNS-lite server as a four-layer receive stack
+    (ether / ip / udp / dns) under the LDLP engine — a second real
+    small-message protocol (alongside Q.93B signalling and TCP) for
+    exercising the scheduler. *)
+
+type t
+
+type item = {
+  mutable buf : Ldlp_buf.Mbuf.t;
+  mutable src_ip : Ldlp_packet.Addr.Ipv4.t;
+  mutable src_port : int;
+}
+
+type counters = {
+  frames_in : int;
+  not_for_us : int;  (** Wrong ethertype/address/protocol/port. *)
+  bad_udp : int;  (** Short datagrams or checksum failures. *)
+  replies : int;
+}
+
+val create :
+  pool:Ldlp_buf.Pool.t ->
+  mac:Ldlp_packet.Addr.Mac.t ->
+  ip:Ldlp_packet.Addr.Ipv4.t ->
+  ?port:int ->
+  server:Server.t ->
+  unit ->
+  t
+(** Default [port] 53. *)
+
+val layers : t -> item Ldlp_core.Layer.t list
+
+val wrap : t -> Ldlp_buf.Mbuf.t -> item
+
+val counters : t -> counters
+
+val server : t -> Server.t
+
+(** {1 Client helpers} *)
+
+val client_query :
+  t ->
+  src_ip:Ldlp_packet.Addr.Ipv4.t ->
+  src_port:int ->
+  Dnsmsg.t ->
+  Ldlp_buf.Mbuf.t
+(** A complete Ethernet+IP+UDP frame carrying the query. *)
+
+val parse_tx : t -> item -> (Dnsmsg.t * int) option
+(** Decode a transmitted reply frame: the DNS message and the destination
+    UDP port.  Frees the chain. *)

@@ -1,0 +1,185 @@
+type rcode = No_error | Format_error | Server_failure | Nxdomain | Not_implemented
+
+let rcode_to_int = function
+  | No_error -> 0
+  | Format_error -> 1
+  | Server_failure -> 2
+  | Nxdomain -> 3
+  | Not_implemented -> 4
+
+let rcode_of_int = function
+  | 0 -> Some No_error
+  | 1 -> Some Format_error
+  | 2 -> Some Server_failure
+  | 3 -> Some Nxdomain
+  | 4 -> Some Not_implemented
+  | _ -> None
+
+type question = { qname : Name.t; qtype : int; qclass : int }
+
+let qtype_a = 1
+
+let qclass_in = 1
+
+type answer = { name : Name.t; ttl : int32; addr : Ldlp_packet.Addr.Ipv4.t }
+
+type t = {
+  id : int;
+  response : bool;
+  recursion_desired : bool;
+  rcode : rcode;
+  questions : question list;
+  answers : answer list;
+}
+
+let query ~id qname =
+  if id < 0 || id > 0xFFFF then invalid_arg "Dnsmsg.query: bad id";
+  {
+    id;
+    response = false;
+    recursion_desired = true;
+    rcode = No_error;
+    questions = [ { qname; qtype = qtype_a; qclass = qclass_in } ];
+    answers = [];
+  }
+
+let response ?(answers = []) ~rcode q =
+  { q with response = true; rcode; answers }
+
+type error = [ `Too_short of int | `Bad_count of string | Name.error ]
+
+let pp_error ppf = function
+  | `Too_short n -> Format.fprintf ppf "message too short (%d bytes)" n
+  | `Bad_count what -> Format.fprintf ppf "unsupported %s count" what
+  | #Name.error as e -> Name.pp_error ppf e
+
+let header_bytes = 12
+
+let set16 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr (v land 0xFF))
+
+let get16 buf off =
+  (Char.code (Bytes.get buf off) lsl 8) lor Char.code (Bytes.get buf (off + 1))
+
+(* Answers name the first question via a compression pointer when they
+   match it (the overwhelmingly common case), else spell the name out. *)
+let answer_name_length ~question_name a =
+  match question_name with
+  | Some q when Name.equal q a.name -> 2
+  | _ -> Name.encoded_length a.name
+
+let encoded_length t =
+  let qlen =
+    List.fold_left
+      (fun acc q -> acc + Name.encoded_length q.qname + 4)
+      0 t.questions
+  in
+  let question_name =
+    match t.questions with [] -> None | q :: _ -> Some q.qname
+  in
+  let alen =
+    List.fold_left
+      (fun acc a -> acc + answer_name_length ~question_name a + 10 + 4)
+      0 t.answers
+  in
+  header_bytes + qlen + alen
+
+let encode t =
+  let buf = Bytes.create (encoded_length t) in
+  set16 buf 0 t.id;
+  let flags =
+    (if t.response then 0x8000 else 0)
+    lor (if t.recursion_desired then 0x0100 else 0)
+    lor rcode_to_int t.rcode
+  in
+  set16 buf 2 flags;
+  set16 buf 4 (List.length t.questions);
+  set16 buf 6 (List.length t.answers);
+  set16 buf 8 0;
+  set16 buf 10 0;
+  let off = ref header_bytes in
+  let first_question_off = ref None in
+  List.iter
+    (fun q ->
+      if !first_question_off = None then first_question_off := Some !off;
+      let o = Name.encode q.qname buf !off in
+      set16 buf o q.qtype;
+      set16 buf (o + 2) q.qclass;
+      off := o + 4)
+    t.questions;
+  let question_name =
+    match t.questions with [] -> None | q :: _ -> Some q.qname
+  in
+  List.iter
+    (fun a ->
+      (match (question_name, !first_question_off) with
+      | Some qn, Some qoff when Name.equal qn a.name ->
+        (* Compression pointer to the question's name. *)
+        Bytes.set buf !off (Char.chr (0xC0 lor ((qoff lsr 8) land 0x3F)));
+        Bytes.set buf (!off + 1) (Char.chr (qoff land 0xFF));
+        off := !off + 2
+      | _ -> off := Name.encode a.name buf !off);
+      set16 buf !off qtype_a;
+      set16 buf (!off + 2) qclass_in;
+      Bytes.set_int32_be buf (!off + 4) a.ttl;
+      set16 buf (!off + 8) 4;
+      Ldlp_packet.Addr.Ipv4.write a.addr buf (!off + 10);
+      off := !off + 14)
+    t.answers;
+  buf
+
+let decode buf =
+  let len = Bytes.length buf in
+  if len < header_bytes then Error (`Too_short len)
+  else begin
+    let id = get16 buf 0 in
+    let flags = get16 buf 2 in
+    let qd = get16 buf 4 and an = get16 buf 6 in
+    let rcode =
+      Option.value ~default:Not_implemented (rcode_of_int (flags land 0xF))
+    in
+    let ( let* ) = Result.bind in
+    let rec questions acc off = function
+      | 0 -> Ok (List.rev acc, off)
+      | n ->
+        let* qname, off = (Name.decode buf off :> (Name.t * int, error) result) in
+        if off + 4 > len then Error (`Too_short len)
+        else
+          questions
+            ({ qname; qtype = get16 buf off; qclass = get16 buf (off + 2) }
+            :: acc)
+            (off + 4) (n - 1)
+    in
+    let rec answers acc off = function
+      | 0 -> Ok (List.rev acc)
+      | n ->
+        let* name, off = (Name.decode buf off :> (Name.t * int, error) result) in
+        if off + 10 > len then Error (`Too_short len)
+        else begin
+          let rdlength = get16 buf (off + 8) in
+          let ttl = Bytes.get_int32_be buf (off + 4) in
+          let typ = get16 buf off in
+          if off + 10 + rdlength > len then Error (`Too_short len)
+          else if typ = qtype_a && rdlength = 4 then
+            answers
+              ({ name; ttl; addr = Ldlp_packet.Addr.Ipv4.of_bytes buf (off + 10) }
+              :: acc)
+              (off + 10 + rdlength) (n - 1)
+          else
+            (* Skip non-A records. *)
+            answers acc (off + 10 + rdlength) (n - 1)
+        end
+    in
+    let* qs, off = questions [] header_bytes qd in
+    let* ans = answers [] off an in
+    Ok
+      {
+        id;
+        response = flags land 0x8000 <> 0;
+        recursion_desired = flags land 0x0100 <> 0;
+        rcode;
+        questions = qs;
+        answers = ans;
+      }
+  end

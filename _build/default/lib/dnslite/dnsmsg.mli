@@ -1,0 +1,51 @@
+(** DNS message codec (RFC 1035, reduced to A-record queries/responses —
+    the classic hundred-byte small-message exchange the paper's
+    introduction points at). *)
+
+type rcode = No_error | Format_error | Server_failure | Nxdomain | Not_implemented
+
+val rcode_to_int : rcode -> int
+
+val rcode_of_int : int -> rcode option
+
+type question = { qname : Name.t; qtype : int; qclass : int }
+
+val qtype_a : int
+(** 1. *)
+
+val qclass_in : int
+(** 1. *)
+
+type answer = {
+  name : Name.t;
+  ttl : int32;
+  addr : Ldlp_packet.Addr.Ipv4.t;  (** A records only. *)
+}
+
+type t = {
+  id : int;
+  response : bool;  (** The QR bit. *)
+  recursion_desired : bool;
+  rcode : rcode;
+  questions : question list;
+  answers : answer list;
+}
+
+val query : id:int -> Name.t -> t
+(** A standard recursive A/IN query. *)
+
+val response : ?answers:answer list -> rcode:rcode -> t -> t
+(** Build the response to a query: same id and question, QR set. *)
+
+type error =
+  [ `Too_short of int | `Bad_count of string | Name.error ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val encoded_length : t -> int
+
+val encode : t -> bytes
+(** Answers referencing the first question's name use a compression
+    pointer, as real servers do. *)
+
+val decode : bytes -> (t, error) result

@@ -1,0 +1,72 @@
+type t = string list
+
+let of_string s =
+  let labels = String.split_on_char '.' s in
+  List.iter
+    (fun l ->
+      if l = "" then invalid_arg "Name.of_string: empty label";
+      if String.length l > 63 then invalid_arg "Name.of_string: label too long")
+    labels;
+  labels
+
+let to_string t = String.concat "." t
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y -> String.lowercase_ascii x = String.lowercase_ascii y)
+       a b
+
+let encoded_length t =
+  List.fold_left (fun acc l -> acc + 1 + String.length l) 1 t
+
+let encode t buf off =
+  let off =
+    List.fold_left
+      (fun off label ->
+        let n = String.length label in
+        Bytes.set buf off (Char.chr n);
+        Bytes.blit_string label 0 buf (off + 1) n;
+        off + 1 + n)
+      off t
+  in
+  Bytes.set buf off '\000';
+  off + 1
+
+type error = [ `Truncated | `Bad_label of int | `Pointer_loop ]
+
+let pp_error ppf = function
+  | `Truncated -> Format.fprintf ppf "truncated name"
+  | `Bad_label n -> Format.fprintf ppf "bad label byte 0x%02x" n
+  | `Pointer_loop -> Format.fprintf ppf "compression pointer loop"
+
+let decode buf off =
+  let len = Bytes.length buf in
+  (* [next] is the offset to resume at after the name as read from [off];
+     set when the first compression pointer is followed. *)
+  let rec go acc off ~next ~jumps =
+    if jumps > 32 then Error `Pointer_loop
+    else if off >= len then Error `Truncated
+    else begin
+      let b = Char.code (Bytes.get buf off) in
+      if b = 0 then
+        Ok (List.rev acc, match next with Some n -> n | None -> off + 1)
+      else if b land 0xC0 = 0xC0 then begin
+        if off + 1 >= len then Error `Truncated
+        else begin
+          let target =
+            ((b land 0x3F) lsl 8) lor Char.code (Bytes.get buf (off + 1))
+          in
+          let next = match next with Some n -> Some n | None -> Some (off + 2) in
+          go acc target ~next ~jumps:(jumps + 1)
+        end
+      end
+      else if b land 0xC0 <> 0 then Error (`Bad_label b)
+      else if off + 1 + b > len then Error `Truncated
+      else begin
+        let label = Bytes.sub_string buf (off + 1) b in
+        go (label :: acc) (off + 1 + b) ~next ~jumps
+      end
+    end
+  in
+  go [] off ~next:None ~jumps:0

@@ -1,0 +1,30 @@
+(** Domain names on the wire: length-prefixed labels with RFC 1035
+    compression-pointer support on decode. *)
+
+type t = string list
+(** Labels, most specific first (["www"; "example"; "com"]). *)
+
+val of_string : string -> t
+(** Split on dots; raises [Invalid_argument] on empty labels or labels
+    over 63 bytes. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+(** Case-insensitive, per RFC 1035. *)
+
+val encoded_length : t -> int
+
+val encode : t -> bytes -> int -> int
+(** [encode name buf off] writes labels + terminator; returns the offset
+    past them. *)
+
+type error = [ `Truncated | `Bad_label of int | `Pointer_loop ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val decode : bytes -> int -> (t * int, error) result
+(** [decode buf off] reads a (possibly compressed) name; returns the name
+    and the offset just past its encoding {e at [off]} (a compression
+    pointer consumes 2 bytes regardless of the target's length).
+    Pointer chains are cycle-checked. *)

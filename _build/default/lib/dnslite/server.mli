@@ -1,0 +1,27 @@
+(** An authoritative DNS-lite server: a zone of A records and a pure
+    query-to-response function. *)
+
+type t
+
+type stats = {
+  queries : int;
+  answered : int;
+  nxdomain : int;
+  refused : int;  (** Responses/unsupported opcodes thrown back. *)
+  malformed : int;
+}
+
+val create : zone:(string * string) list -> unit -> t
+(** [zone] maps names to dotted-quad addresses; a name may appear several
+    times (multiple A records). *)
+
+val add_record : t -> name:string -> addr:string -> unit
+
+val handle : t -> bytes -> bytes option
+(** Process one wire-format message: a well-formed A/IN query yields a
+    response (answers or NXDOMAIN); responses and garbage yield [None]
+    (counted). *)
+
+val lookup : t -> Name.t -> Ldlp_packet.Addr.Ipv4.t list
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/model/cksum_study.ml: Ldlp_cache Ldlp_packet List

@@ -1,0 +1,1 @@
+lib/model/cksum_study.mli:

@@ -1,0 +1,1 @@
+lib/model/figures.ml: Cksum_study Ldlp_cache Ldlp_core Ldlp_trace Ldlp_traffic List Params Simrun

@@ -1,0 +1,1 @@
+lib/model/figures.mli: Cksum_study Ldlp_core Ldlp_trace Ldlp_traffic Params Simrun

@@ -1,0 +1,1 @@
+lib/model/simrun.ml: Array Float Ldlp_cache Ldlp_core Ldlp_sim Ldlp_traffic List Option Params Printf

@@ -1,0 +1,1 @@
+lib/model/simrun.mli: Ldlp_sim Ldlp_traffic Params

@@ -1,0 +1,378 @@
+type rate_point = {
+  rate : float;
+  conv : Simrun.result;
+  ldlp : Simrun.result;
+}
+
+let default_rates =
+  List.init 20 (fun i -> float_of_int ((i + 1) * 500))
+
+let poisson_source params rate rng =
+  Ldlp_traffic.Source.limit_time
+    (Ldlp_traffic.Poisson.source ~rng ~rate
+       ~size:params.Params.msg_bytes ())
+    params.Params.seconds
+
+let rate_sweep ?(params = Params.quick) ?(seed = 1996) ?(rates = default_rates)
+    () =
+  List.map
+    (fun rate ->
+      let make_source = poisson_source params rate in
+      let run discipline =
+        Simrun.run_avg ~params ~discipline ~seed ~make_source ()
+      in
+      { rate; conv = run Simrun.Conventional; ldlp = run Simrun.Ldlp })
+    rates
+
+type clock_point = {
+  clock_mhz : float;
+  cv : Simrun.result;
+  ld : Simrun.result;
+}
+
+let default_clocks_mhz = [ 10.; 15.; 20.; 25.; 30.; 40.; 50.; 60.; 70.; 80. ]
+
+let clock_sweep ?(params = Params.quick) ?(seed = 1996)
+    ?(clocks_mhz = default_clocks_mhz) ?(onoff = Ldlp_traffic.Onoff.default) ()
+    =
+  List.map
+    (fun clock_mhz ->
+      let make_source rng =
+        Ldlp_traffic.Source.limit_time
+          (Ldlp_traffic.Onoff.source ~rng ~config:onoff ())
+          params.Params.seconds
+      in
+      let run discipline =
+        Simrun.run_avg ~params ~discipline ~seed ~make_source
+          ~clock_hz:(clock_mhz *. 1e6) ()
+      in
+      { clock_mhz; cv = run Simrun.Conventional; ld = run Simrun.Ldlp })
+    clocks_mhz
+
+let fig8 ?step () = Cksum_study.series ?step ()
+
+let table1 ?(seed = 42) () =
+  let s = Ldlp_trace.Synth.generate ~seed () in
+  Ldlp_trace.Analyze.table1 s.Ldlp_trace.Synth.trace
+
+let table3 ?(seed = 42) () =
+  let s = Ldlp_trace.Synth.generate ~seed () in
+  Ldlp_trace.Analyze.line_size_sweep s.Ldlp_trace.Synth.trace
+
+let figure1 ?(seed = 42) () =
+  let s = Ldlp_trace.Synth.generate ~seed () in
+  ( Ldlp_trace.Analyze.phases s.Ldlp_trace.Synth.trace,
+    Ldlp_trace.Analyze.functions s.Ldlp_trace.Synth.trace )
+
+type batch_point = {
+  policy : Ldlp_core.Batch.policy;
+  at_rate : float;
+  r : Simrun.result;
+}
+
+let ablation_batch ?(params = Params.quick) ?(seed = 1996) ?(rate = 8000.0) ()
+    =
+  let policies =
+    [
+      Ldlp_core.Batch.Fixed 1;
+      Ldlp_core.Batch.Fixed 2;
+      Ldlp_core.Batch.Fixed 4;
+      Ldlp_core.Batch.Fixed 8;
+      Ldlp_core.Batch.Fixed 16;
+      Ldlp_core.Batch.Fixed 32;
+      params.Params.batch;
+      Ldlp_core.Batch.All;
+    ]
+  in
+  List.map
+    (fun policy ->
+      let params = { params with Params.batch = policy } in
+      let make_source = poisson_source params rate in
+      {
+        policy;
+        at_rate = rate;
+        r =
+          Simrun.run_avg ~params ~discipline:Simrun.Ldlp ~seed ~make_source ();
+      })
+    policies
+
+type density_point = {
+  code_scale : float;
+  dc : Simrun.result;
+  dl : Simrun.result;
+}
+
+let ablation_density ?(params = Params.quick) ?(seed = 1996) ?(rate = 6000.0)
+    () =
+  List.map
+    (fun code_scale ->
+      let params = Params.scale_code params code_scale in
+      let make_source = poisson_source params rate in
+      let run discipline =
+        Simrun.run_avg ~params ~discipline ~seed ~make_source ()
+      in
+      { code_scale; dc = run Simrun.Conventional; dl = run Simrun.Ldlp })
+    [ 0.45; 0.6; 0.8; 1.0 ]
+
+type linesize_point = {
+  line_bytes : int;
+  lc : Simrun.result;
+  ll : Simrun.result;
+}
+
+let ablation_linesize ?(params = Params.quick) ?(seed = 1996) ?(rate = 6000.0)
+    () =
+  List.map
+    (fun line_bytes ->
+      let cache =
+        Ldlp_cache.Config.v ~size_bytes:8192 ~line_bytes ~miss_penalty:20 ()
+      in
+      let params = { params with Params.icache = cache; dcache = cache } in
+      let make_source = poisson_source params rate in
+      let run discipline =
+        Simrun.run_avg ~params ~discipline ~seed ~make_source ()
+      in
+      { line_bytes; lc = run Simrun.Conventional; ll = run Simrun.Ldlp })
+    [ 16; 32; 64; 128 ]
+
+let ablation_dilution ?(seed = 42) () =
+  let s = Ldlp_trace.Synth.generate ~seed () in
+  Ldlp_trace.Analyze.dilution s.Ldlp_trace.Synth.trace
+
+let ablation_relayout ?(seed = 42) () =
+  let s = Ldlp_trace.Synth.generate ~seed () in
+  Ldlp_trace.Relayout.miss_comparison s.Ldlp_trace.Synth.trace
+
+type assoc_point = { ways : int; ac : Simrun.result; al : Simrun.result }
+
+let run_pair params seed rate =
+  let make_source = poisson_source params rate in
+  let run discipline = Simrun.run_avg ~params ~discipline ~seed ~make_source () in
+  (run Simrun.Conventional, run Simrun.Ldlp)
+
+let ablation_associativity ?(params = Params.quick) ?(seed = 1996)
+    ?(rate = 6000.0) () =
+  List.map
+    (fun ways ->
+      let cache =
+        Ldlp_cache.Config.v ~size_bytes:8192 ~line_bytes:32 ~associativity:ways
+          ~miss_penalty:20 ()
+      in
+      let params = { params with Params.icache = cache; dcache = cache } in
+      let ac, al = run_pair params seed rate in
+      { ways; ac; al })
+    [ 1; 2; 4 ]
+
+type prefetch_point = { discount : float; pc : Simrun.result; pl : Simrun.result }
+
+let ablation_prefetch ?(params = Params.quick) ?(seed = 1996) ?(rate = 6000.0)
+    () =
+  List.map
+    (fun discount ->
+      let params = { params with Params.prefetch_discount = discount } in
+      let pc, pl = run_pair params seed rate in
+      { discount; pc; pl })
+    [ 1.0; 0.5; 0.25 ]
+
+type machine_point = { label : string; mc : Simrun.result; ml : Simrun.result }
+
+let ablation_unified ?(params = Params.quick) ?(seed = 1996) ?(rate = 6000.0)
+    () =
+  let split =
+    let mc, ml = run_pair params seed rate in
+    { label = "split 8K+8K"; mc; ml }
+  in
+  let unified =
+    let cache =
+      Ldlp_cache.Config.v ~size_bytes:16384 ~line_bytes:32 ~miss_penalty:20 ()
+    in
+    let params =
+      { params with Params.icache = cache; dcache = cache; unified_cache = true }
+    in
+    let mc, ml = run_pair params seed rate in
+    { label = "unified 16K"; mc; ml }
+  in
+  [ split; unified ]
+
+let ablation_layout ?(params = Params.quick) ?(seed = 1996) ?(rate = 6000.0) ()
+    =
+  let random =
+    let mc, ml = run_pair params seed rate in
+    { label = "random placement"; mc; ml }
+  in
+  let packed =
+    let params = { params with Params.packed_layout = true; runs = 1 } in
+    let mc, ml = run_pair params seed rate in
+    { label = "dense (Cord-like)"; mc; ml }
+  in
+  [ random; packed ]
+
+type ilp_point = {
+  irate : float;
+  i_conv : Simrun.result;
+  i_ilp : Simrun.result;
+  i_ldlp : Simrun.result;
+}
+
+let comparison_ilp ?(params = Params.quick) ?(seed = 1996)
+    ?(rates = [ 2000.0; 6000.0; 9000.0 ]) () =
+  List.map
+    (fun irate ->
+      let make_source = poisson_source params irate in
+      let run discipline =
+        Simrun.run_avg ~params ~discipline ~seed ~make_source ()
+      in
+      {
+        irate;
+        i_conv = run Simrun.Conventional;
+        i_ilp = run Simrun.Ilp;
+        i_ldlp = run Simrun.Ldlp;
+      })
+    rates
+
+type goal_check = {
+  offered : float;
+  g_conv : Simrun.result;
+  g_ldlp : Simrun.result;
+  g_ldlp_backoff : Simrun.result;
+      (** The LDLP stack at 80% of the goal rate, where latency is
+          meaningful. *)
+}
+
+let extension_goal ?(seed = 1996) ?(runs = 5) () =
+  (* A signalling stack: link + SSCOP + Q.93B + call control.  Per-layer
+     working sets average ~5 KB of code; messages are ~120 bytes; each
+     layer spends ~1200 cycles per message.  20 000 msg/s = the paper's
+     10 000 setup/teardown pairs/s. *)
+  let params =
+    {
+      Params.paper with
+      Params.layers = 4;
+      layer_code_bytes = 4864;
+      layer_data_bytes = 512;
+      base_cycles_per_layer = 1140;
+      cycles_per_byte = 0.5;
+      msg_bytes = 120;
+      runs;
+      seconds = 0.5;
+    }
+  in
+  let offered = 20000.0 in
+  let run rate discipline =
+    Simrun.run_avg ~params ~discipline ~seed
+      ~make_source:(poisson_source params rate) ()
+  in
+  {
+    offered;
+    g_conv = run offered Simrun.Conventional;
+    g_ldlp = run offered Simrun.Ldlp;
+    g_ldlp_backoff = run (0.8 *. offered) Simrun.Ldlp;
+  }
+
+type tcp_stack_point = {
+  t_rate : float;
+  tc : Simrun.result;
+  tl : Simrun.result;
+}
+
+(* Seven layers from Table 1's categories (code bytes, data bytes = RO +
+   mutable, cycles proportional to code out of ~8260 total): the real
+   4.4BSD TCP/IP receive path's footprints. *)
+let table1_profile =
+  let rows =
+    [
+      (* code, ro+mut *)
+      (4480, 864 + 672);  (* device/ethernet *)
+      (2784, 480 + 128);  (* ip *)
+      (3168, 448 + 160);  (* tcp *)
+      (5536 + 608, 544 + 448 + 32 + 160);  (* socket *)
+      (1184 + 2208, 256 + 64 + 1280 + 640);  (* kernel entry + process *)
+      (5472, 544 + 736);  (* buffer mgmt *)
+      (1632 + 3232, 192 + 512 + 448 + 128);  (* common + copy/cksum *)
+    ]
+  in
+  let total_code = List.fold_left (fun a (c, _) -> a + c) 0 rows in
+  List.map
+    (fun (code, data) -> (code, data, 6880 * code / total_code))
+    rows
+
+let extension_tcp_stack ?(seed = 1996) ?(rates = [ 1000.0; 3000.0; 6000.0; 9000.0 ])
+    ?(runs = 5) () =
+  let params =
+    {
+      Params.paper with
+      Params.profile = Some table1_profile;
+      layers = List.length table1_profile;
+      runs;
+      seconds = 0.3;
+    }
+  in
+  List.map
+    (fun t_rate ->
+      let make_source = poisson_source params t_rate in
+      let run discipline =
+        Simrun.run_avg ~params ~discipline ~seed ~make_source ()
+      in
+      { t_rate; tc = run Simrun.Conventional; tl = run Simrun.Ldlp })
+    rates
+
+type granularity_point = {
+  nlayers : int;
+  layer_kb : float;
+  gc : Simrun.result;
+  gl : Simrun.result;
+}
+
+let ablation_granularity ?(seed = 1996) ?(rate = 8000.0) ?(runs = 5) () =
+  (* The paper's stack, re-partitioned at constant totals: 30720 B code,
+     1280 B layer data, 8260 execution cycles per 552-byte message. *)
+  List.map
+    (fun nlayers ->
+      let params =
+        {
+          Params.paper with
+          Params.layers = nlayers;
+          layer_code_bytes = 30720 / nlayers;
+          layer_data_bytes = 1280 / nlayers;
+          base_cycles_per_layer = 6880 / nlayers;
+          cycles_per_byte = 2.5 /. float_of_int nlayers;
+          runs;
+          seconds = 0.3;
+        }
+      in
+      let make_source = poisson_source params rate in
+      let run discipline =
+        Simrun.run_avg ~params ~discipline ~seed ~make_source ()
+      in
+      {
+        nlayers;
+        layer_kb = 30720.0 /. float_of_int nlayers /. 1024.0;
+        gc = run Simrun.Conventional;
+        gl = run Simrun.Ldlp;
+      })
+    [ 10; 5; 2; 1 ]
+
+type txside_point = {
+  tx_rate : float;
+  rx_conv : Simrun.result;
+  rx_ldlp : Simrun.result;
+  tx_conv : Simrun.result;
+  tx_ldlp : Simrun.result;
+}
+
+let extension_txside ?(params = Params.quick) ?(seed = 1996)
+    ?(rates = [ 2000.0; 6000.0; 9000.0 ]) () =
+  List.map
+    (fun rate ->
+      let make_source = poisson_source params rate in
+      let run direction discipline =
+        Simrun.run_avg ~direction ~params ~discipline ~seed ~make_source ()
+      in
+      {
+        tx_rate = rate;
+        rx_conv = run `Receive Simrun.Conventional;
+        rx_ldlp = run `Receive Simrun.Ldlp;
+        tx_conv = run `Transmit Simrun.Conventional;
+        tx_ldlp = run `Transmit Simrun.Ldlp;
+      })
+    rates

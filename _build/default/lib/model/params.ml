@@ -1,0 +1,59 @@
+type t = {
+  layers : int;
+  layer_code_bytes : int;
+  layer_data_bytes : int;
+  base_cycles_per_layer : int;
+  cycles_per_byte : float;
+  msg_bytes : int;
+  icache : Ldlp_cache.Config.t;
+  dcache : Ldlp_cache.Config.t;
+  clock_hz : float;
+  buffer_cap : int;
+  batch : Ldlp_core.Batch.policy;
+  ldlp_queue_cycles : int;
+  unified_cache : bool;
+  prefetch_discount : float;
+  packed_layout : bool;
+  profile : (int * int * int) list option;
+  runs : int;
+  seconds : float;
+}
+
+let paper =
+  {
+    layers = 5;
+    layer_code_bytes = 6144;
+    layer_data_bytes = 256;
+    (* 1652 total cycles for a 552-byte message, of which the 0.5
+       cycles/byte data loop is 276. *)
+    base_cycles_per_layer = 1652 - 276;
+    cycles_per_byte = 0.5;
+    msg_bytes = 552;
+    icache = Ldlp_cache.Config.paper_default;
+    dcache = Ldlp_cache.Config.paper_default;
+    clock_hz = 100e6;
+    buffer_cap = 500;
+    batch =
+      Ldlp_core.Batch.Dcache_fit { cache_bytes = 8192; per_msg_overhead = 32 };
+    ldlp_queue_cycles = 40;
+    unified_cache = false;
+    prefetch_discount = 1.0;
+    packed_layout = false;
+    profile = None;
+    runs = 100;
+    seconds = 1.0;
+  }
+
+let quick = { paper with runs = 5; seconds = 0.3 }
+
+let cycles_per_layer t ~msg_bytes =
+  t.base_cycles_per_layer
+  + int_of_float (t.cycles_per_byte *. float_of_int msg_bytes)
+
+let scale_code t factor =
+  if factor <= 0.0 then invalid_arg "Params.scale_code: bad factor";
+  {
+    t with
+    layer_code_bytes =
+      int_of_float (float_of_int t.layer_code_bytes *. factor);
+  }

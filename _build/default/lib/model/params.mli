@@ -1,0 +1,60 @@
+(** Parameters of the paper's Section 4 synthetic benchmark.
+
+    The paper's values ({!paper}): a five-layer stack, each layer with 6 KB
+    of code and 256 B of data in its working set, executing 1652 cycles of
+    instruction processing per 552-byte message (a 40-instruction data loop
+    at 0.5 cycles/byte accounts for 276 of them); 8 KB direct-mapped
+    instruction and data caches with 32-byte lines and a 20-cycle read-miss
+    stall; a 100 MHz clock; input buffering limited to 500 packets; LDLP
+    batches bounded by what fits in the data cache.  Results are averaged
+    over runs with different random placements in memory. *)
+
+type t = {
+  layers : int;
+  layer_code_bytes : int;
+  layer_data_bytes : int;
+  base_cycles_per_layer : int;
+      (** Execution cycles per layer excluding the data loop. *)
+  cycles_per_byte : float;
+  msg_bytes : int;  (** Fixed message size for Poisson runs. *)
+  icache : Ldlp_cache.Config.t;
+  dcache : Ldlp_cache.Config.t;
+  clock_hz : float;
+  buffer_cap : int;
+  batch : Ldlp_core.Batch.policy;
+  ldlp_queue_cycles : int;
+      (** Enqueue+dequeue overhead LDLP pays per message per layer
+          boundary ("on the order of 40 instructions", Section 3.2). *)
+  unified_cache : bool;
+      (** Share one cache between instructions and data (Figure 4 caption
+          ablation); the icache config describes it. *)
+  prefetch_discount : float;
+      (** Sequential I-fetch prefetch factor, 1.0 = none (Section 4's
+          second-level-cache prefetch remark). *)
+  packed_layout : bool;
+      (** Place all code/data regions contiguously instead of randomly — an
+          idealised Cord-style dense layout with no inter-layer conflicts
+          (Section 5.4). *)
+  profile : (int * int * int) list option;
+      (** Heterogeneous stack: per-layer (code bytes, data bytes, base
+          cycles), overriding the uniform fields above (and [layers]).
+          Used to model real stacks like the Table 1 TCP/IP footprints. *)
+  runs : int;  (** Random layouts to average over (paper: 100). *)
+  seconds : float;  (** Simulated seconds per run (paper: 1.0). *)
+}
+
+val paper : t
+(** Paper parameters, with [runs = 100] and [seconds = 1.0]. *)
+
+val quick : t
+(** Paper parameters at reduced fidelity ([runs = 5], [seconds = 0.3]) for
+    the default benchmark harness; same expected shapes, more variance. *)
+
+val cycles_per_layer : t -> msg_bytes:int -> int
+(** Total execution cycles one layer spends on one message:
+    [base + cycles_per_byte * msg_bytes] (1652 for the paper's 552-byte
+    message). *)
+
+val scale_code : t -> float -> t
+(** Multiply the per-layer code size (the Section 5.2 CISC-code-density
+    ablation). *)

@@ -1,0 +1,281 @@
+module Cache = Ldlp_cache
+module Core = Ldlp_core
+
+type discipline = Conventional | Ilp | Ldlp
+
+let discipline_name = function
+  | Conventional -> "conventional"
+  | Ilp -> "ilp"
+  | Ldlp -> "ldlp"
+
+type result = {
+  discipline : discipline;
+  offered : int;
+  processed : int;
+  dropped : int;
+  mean_latency : float;
+  p50_latency : float;
+  p99_latency : float;
+  imisses_per_msg : float;
+  dmisses_per_msg : float;
+  mean_batch : float;
+  max_batch : int;
+  throughput : float;
+}
+
+(* Payloads are just the simulated buffer address of the message data. *)
+type payload = int
+
+let sched_discipline (params : Params.t) = function
+  | Conventional | Ilp -> Core.Sched.Conventional
+  | Ldlp -> Core.Sched.Ldlp params.Params.batch
+
+type accum = {
+  hist : Ldlp_sim.Hist.t;
+  mutable offered : int;
+  mutable processed : int;
+  mutable dropped : int;
+  mutable imisses : int;
+  mutable dmisses : int;
+  mutable batches : int;
+  mutable total_batched : int;
+  mutable max_batch : int;
+  mutable sim_seconds : float;
+}
+
+let fresh_accum () =
+  {
+    hist = Ldlp_sim.Hist.create ();
+    offered = 0;
+    processed = 0;
+    dropped = 0;
+    imisses = 0;
+    dmisses = 0;
+    batches = 0;
+    total_batched = 0;
+    max_batch = 0;
+    sim_seconds = 0.0;
+  }
+
+(* Both directions drive the same loop through this interface: the
+   receive side wraps {!Core.Sched}, the transmit side {!Core.Txsched}. *)
+type 'a driver = {
+  d_inject : 'a Core.Msg.t -> unit;
+  d_pending : unit -> int;
+  d_backlog : unit -> int;
+  d_step : unit -> bool;
+  d_batch_stats : unit -> int * int * int;  (* batches, total, max *)
+}
+
+let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
+    ~source ?clock_hz acc =
+  let open Params in
+  let clock_hz = Option.value ~default:params.clock_hz clock_hz in
+  let memsys =
+    Cache.Memsys.create ~icache:params.icache ~dcache:params.dcache
+      ~unified:params.unified_cache ~prefetch_discount:params.prefetch_discount
+      ~clock_hz ()
+  in
+  let line_bytes = params.icache.Cache.Config.line_bytes in
+  let layout =
+    if params.packed_layout then
+      Cache.Layout.sequential ~line_bytes ()
+    else Cache.Layout.random ~rng ~line_bytes ()
+  in
+  (* Per-layer footprints: uniform from the scalar fields, or the explicit
+     heterogeneous profile. *)
+  let spec =
+    match params.profile with
+    | Some profile -> Array.of_list profile
+    | None ->
+      Array.make params.layers
+        (params.layer_code_bytes, params.layer_data_bytes,
+         params.base_cycles_per_layer)
+  in
+  let nlayers = Array.length spec in
+  let code_regions =
+    Array.map (fun (code, _, _) -> Cache.Layout.alloc layout code) spec
+  in
+  let data_regions =
+    Array.map (fun (_, data, _) -> Cache.Layout.alloc layout (max 32 data)) spec
+  in
+  (* Message buffers recycle through a pool of slots, like mbuf clusters. *)
+  let slots =
+    Array.init params.buffer_cap (fun _ ->
+        (Cache.Layout.alloc layout 2048).Cache.Layout.base)
+  in
+  let next_slot = ref 0 in
+  let top = nlayers - 1 in
+  let charge i (msg : payload Core.Msg.t) =
+    let code_bytes, data_bytes, base_cycles = spec.(i) in
+    let cr = code_regions.(i) and dr = data_regions.(i) in
+    Cache.Memsys.fetch_code memsys ~addr:cr.Cache.Layout.base ~len:code_bytes;
+    Cache.Memsys.read_data memsys ~addr:dr.Cache.Layout.base ~len:data_bytes;
+    (* ILP integrates the data loops: the message is loaded once, at the
+       bottom layer, rather than reloaded by every layer. *)
+    let touch_msg = match discipline with Ilp -> i = 0 | _ -> true in
+    if touch_msg && msg.Core.Msg.size > 0 then
+      Cache.Memsys.read_data memsys ~addr:msg.Core.Msg.payload
+        ~len:msg.Core.Msg.size;
+    Cache.Memsys.execute memsys
+      (base_cycles
+      + int_of_float (params.cycles_per_byte *. float_of_int msg.Core.Msg.size));
+    if discipline = Ldlp then
+      Cache.Memsys.execute memsys params.ldlp_queue_cycles
+  in
+  let now = ref 0.0 in
+  let completed = ref [] in
+  let layers =
+    List.init nlayers (fun i ->
+        let code_bytes, data_bytes, base_cycles = spec.(i) in
+        Core.Layer.v ~name:(Printf.sprintf "L%d" (i + 1))
+          ~fp:
+            (Core.Layer.footprint ~code_bytes ~data_bytes
+               ~cycles_per_msg:base_cycles
+               ~cycles_per_byte:params.cycles_per_byte ())
+          (fun msg -> [ Core.Layer.Deliver_up msg ]))
+  in
+  let driver =
+    match direction with
+    | `Receive ->
+      let sched =
+        Core.Sched.create
+          ~discipline:(sched_discipline params discipline)
+          ~layers
+          ~up:(fun msg -> completed := msg :: !completed)
+          ~on_handled:(fun i _ msg -> charge i msg)
+          ()
+      in
+      {
+        d_inject = Core.Sched.inject sched;
+        d_pending = (fun () -> Core.Sched.pending sched);
+        d_backlog = (fun () -> Core.Sched.backlog sched);
+        d_step = (fun () -> Core.Sched.step sched);
+        d_batch_stats =
+          (fun () ->
+            let st = Core.Sched.stats sched in
+            ( st.Core.Sched.batches,
+              st.Core.Sched.total_batched,
+              st.Core.Sched.max_batch ));
+      }
+    | `Transmit ->
+      (* Messages enter at the top (application sends) and complete when
+         they reach the wire below the bottom layer; I-cache charging per
+         layer is identical — the mirror image of the receive path. *)
+      let tx =
+        Core.Txsched.create
+          ~discipline:(sched_discipline params discipline)
+          ~layers
+          ~wire:(fun msg -> completed := msg :: !completed)
+          ~on_handled:(fun i _ msg -> charge i msg)
+          ()
+      in
+      {
+        d_inject = Core.Txsched.submit tx;
+        d_pending = (fun () -> Core.Txsched.pending tx);
+        d_backlog = (fun () -> Core.Txsched.backlog tx);
+        d_step = (fun () -> Core.Txsched.step tx);
+        d_batch_stats =
+          (fun () ->
+            let st = Core.Txsched.stats tx in
+            ( st.Core.Txsched.batches,
+              st.Core.Txsched.total_batched,
+              st.Core.Txsched.max_batch ));
+      }
+  in
+  ignore top;
+  let arrivals = ref (Ldlp_traffic.Source.peek source) in
+  let pull () =
+    ignore (Ldlp_traffic.Source.pull source);
+    arrivals := Ldlp_traffic.Source.peek source
+  in
+  let inject_due () =
+    let continue = ref true in
+    while !continue do
+      match !arrivals with
+      | Some p when p.Ldlp_traffic.Source.at <= !now ->
+        acc.offered <- acc.offered + 1;
+        if driver.d_backlog () >= params.buffer_cap then
+          acc.dropped <- acc.dropped + 1
+        else begin
+          let slot = slots.(!next_slot) in
+          next_slot := (!next_slot + 1) mod Array.length slots;
+          driver.d_inject
+            (Core.Msg.make ~arrival:p.Ldlp_traffic.Source.at
+               ~size:p.Ldlp_traffic.Source.size slot)
+        end;
+        pull ()
+      | _ -> continue := false
+    done
+  in
+  let finished () = !arrivals = None && driver.d_pending () = 0 in
+  while not (finished ()) do
+    inject_due ();
+    if driver.d_pending () = 0 then begin
+      match !arrivals with
+      | None -> ()
+      | Some p -> now := Float.max !now p.Ldlp_traffic.Source.at
+    end
+    else begin
+      let c0 = Cache.Memsys.cycles memsys in
+      completed := [];
+      ignore (driver.d_step ());
+      let dc = Cache.Memsys.cycles memsys - c0 in
+      now := !now +. Cache.Memsys.seconds_of_cycles memsys dc;
+      List.iter
+        (fun (m : payload Core.Msg.t) ->
+          acc.processed <- acc.processed + 1;
+          Ldlp_sim.Hist.add acc.hist (Float.max 0.0 (!now -. m.Core.Msg.arrival)))
+        !completed
+    end
+  done;
+  let counters = Cache.Memsys.counters memsys in
+  acc.imisses <- acc.imisses + counters.Cache.Memsys.icache_misses;
+  acc.dmisses <-
+    acc.dmisses + counters.Cache.Memsys.dcache_misses
+    + counters.Cache.Memsys.write_misses;
+  let batches, total_batched, max_batch = driver.d_batch_stats () in
+  acc.batches <- acc.batches + batches;
+  acc.total_batched <- acc.total_batched + total_batched;
+  acc.max_batch <- max acc.max_batch max_batch;
+  acc.sim_seconds <- acc.sim_seconds +. !now
+
+let result_of ~discipline acc =
+  let fper n =
+    if acc.processed = 0 then 0.0
+    else float_of_int n /. float_of_int acc.processed
+  in
+  {
+    discipline;
+    offered = acc.offered;
+    processed = acc.processed;
+    dropped = acc.dropped;
+    mean_latency = Ldlp_sim.Hist.mean acc.hist;
+    p50_latency = Ldlp_sim.Hist.median acc.hist;
+    p99_latency = Ldlp_sim.Hist.percentile acc.hist 0.99;
+    imisses_per_msg = fper acc.imisses;
+    dmisses_per_msg = fper acc.dmisses;
+    mean_batch =
+      (if acc.batches = 0 then 0.0
+       else float_of_int acc.total_batched /. float_of_int acc.batches);
+    max_batch = acc.max_batch;
+    throughput =
+      (if acc.sim_seconds > 0.0 then
+         float_of_int acc.processed /. acc.sim_seconds
+       else 0.0);
+  }
+
+let run_once ?direction ~params ~discipline ~rng ~source ?clock_hz () =
+  let acc = fresh_accum () in
+  run_into ?direction ~params ~discipline ~rng ~source ?clock_hz acc;
+  result_of ~discipline acc
+
+let run_avg ?direction ~params ~discipline ~seed ~make_source ?clock_hz () =
+  let master = Ldlp_sim.Rng.create ~seed in
+  let acc = fresh_accum () in
+  for _ = 1 to params.Params.runs do
+    let rng = Ldlp_sim.Rng.split master in
+    let source = make_source (Ldlp_sim.Rng.split master) in
+    run_into ?direction ~params ~discipline ~rng ~source ?clock_hz acc
+  done;
+  result_of ~discipline acc

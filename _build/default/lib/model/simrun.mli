@@ -1,0 +1,60 @@
+(** Cycle-accurate simulation of the synthetic five-layer stack under the
+    three scheduling disciplines of Figures 2/3.
+
+    The simulator drives the real {!Ldlp_core.Sched} scheduler; each layer's
+    handler charges the {!Ldlp_cache.Memsys} for its code fetch, its private
+    data, and the message bytes, and virtual time is the accumulated cycle
+    count divided by the clock.  The arrival process and the processor race
+    exactly as in the paper's on-line algorithm: when the stack finishes a
+    quantum it takes everything that has arrived in the meantime. *)
+
+type discipline = Conventional | Ilp | Ldlp
+(** [Ilp] is conventional scheduling with the per-layer data loops
+    integrated: message bytes are touched once per message instead of once
+    per layer (Figure 2, middle column). *)
+
+val discipline_name : discipline -> string
+
+type result = {
+  discipline : discipline;
+  offered : int;
+  processed : int;
+  dropped : int;
+  mean_latency : float;
+  p50_latency : float;
+  p99_latency : float;
+  imisses_per_msg : float;
+  dmisses_per_msg : float;
+  mean_batch : float;
+  max_batch : int;
+  throughput : float;  (** Processed messages per simulated second. *)
+}
+
+val run_once :
+  ?direction:[ `Receive | `Transmit ] ->
+  params:Params.t ->
+  discipline:discipline ->
+  rng:Ldlp_sim.Rng.t ->
+  source:Ldlp_traffic.Source.t ->
+  ?clock_hz:float ->
+  unit ->
+  result
+(** One run: one random code/data/buffer placement drawn from [rng], one
+    arrival stream.  [clock_hz] overrides the params clock (Figure 7).
+    [direction] selects receive-side scheduling (the paper's evaluation,
+    default) or transmit-side (the mirror experiment the paper mentions
+    but does not evaluate): messages then enter at the top layer and
+    complete on reaching the wire. *)
+
+val run_avg :
+  ?direction:[ `Receive | `Transmit ] ->
+  params:Params.t ->
+  discipline:discipline ->
+  seed:int ->
+  make_source:(Ldlp_sim.Rng.t -> Ldlp_traffic.Source.t) ->
+  ?clock_hz:float ->
+  unit ->
+  result
+(** Average of [params.runs] runs, each with an independent layout and
+    arrival stream — the paper's "100 runs, each with a different random
+    placement in memory". *)

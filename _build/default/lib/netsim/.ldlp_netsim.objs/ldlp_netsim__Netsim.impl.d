@@ -1,0 +1,1 @@
+lib/netsim/netsim.ml: Ldlp_nic Ldlp_sim List

@@ -1,0 +1,1 @@
+lib/netsim/netsim.mli: Ldlp_nic Ldlp_sim

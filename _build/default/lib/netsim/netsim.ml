@@ -1,0 +1,107 @@
+module Nic = Ldlp_nic.Nic
+module Engine = Ldlp_sim.Engine
+
+type 'a link = { peer : 'a node; latency : float; loss : float; rng : Ldlp_sim.Rng.t }
+
+and 'a node = {
+  name : string;
+  nic : 'a Nic.t;
+  irq_latency : float;
+  holdoff : float;
+  service : 'a Nic.t -> unit;
+  mutable link : 'a link option;
+  mutable service_scheduled : bool;
+}
+
+type 'a t = { engine : Engine.t; mutable nodes : 'a node list }
+
+let create () = { engine = Engine.create (); nodes = [] }
+
+let engine t = t.engine
+
+let add_node t ~name ?(nic = Nic.create ()) ?(irq_latency = 5e-6)
+    ?(holdoff = 1e-4) ~service () =
+  let node =
+    {
+      name;
+      nic;
+      irq_latency;
+      holdoff;
+      service;
+      link = None;
+      service_scheduled = false;
+    }
+  in
+  t.nodes <- node :: t.nodes;
+  node
+
+let nic n = n.nic
+
+let name n = n.name
+
+let connect _t a b ~latency ?(loss = 0.0) ?(seed = 1996) () =
+  if latency < 0.0 then invalid_arg "Netsim.connect: negative latency";
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Netsim.connect: loss out of [0,1)";
+  if a.link <> None then invalid_arg ("Netsim.connect: " ^ a.name ^ " already linked");
+  if b.link <> None then invalid_arg ("Netsim.connect: " ^ b.name ^ " already linked");
+  let rng = Ldlp_sim.Rng.create ~seed in
+  a.link <- Some { peer = b; latency; loss; rng };
+  b.link <- Some { peer = a; latency; loss; rng }
+
+(* Propagate a node's transmit ring over its link, then run any interrupt
+   service this triggers at the receiving end. *)
+let rec pump t node =
+  let frames = Nic.wire_take_all node.nic in
+  match (frames, node.link) with
+  | [], _ -> ()
+  | frames, None ->
+    (* Unconnected transmissions vanish into the void (counted by the
+       NIC's tx_frames already). *)
+    ignore frames
+  | frames, Some { peer; latency; loss; rng } ->
+    List.iter
+      (fun frame ->
+        if loss = 0.0 || not (Ldlp_sim.Rng.bool rng loss) then
+          Engine.after t.engine latency (fun () ->
+              ignore (Nic.deliver peer.nic frame);
+              maybe_schedule t peer))
+      frames
+
+and maybe_schedule t node =
+  let run_after delay =
+    node.service_scheduled <- true;
+    Engine.after t.engine delay (fun () ->
+        node.service_scheduled <- false;
+        node.service node.nic;
+        pump t node;
+        (* The service may have left frames unserviced (coalescing) or new
+           interrupts may have been raised meanwhile. *)
+        maybe_schedule t node)
+  in
+  if not node.service_scheduled then
+    if Nic.irq_pending node.nic then run_after node.irq_latency
+    else if Nic.rx_available node.nic > 0 then
+      (* Below the coalescing threshold: the holdoff timer picks it up. *)
+      run_after node.holdoff
+
+let pump = pump
+
+let inject t node ?at frame =
+  let deliver () =
+    ignore (Nic.deliver node.nic frame);
+    maybe_schedule t node
+  in
+  match at with
+  | None ->
+    (* Schedule rather than act immediately so injection order and
+       engine-event order stay consistent. *)
+    Engine.after t.engine 0.0 deliver
+  | Some time -> Engine.at t.engine time deliver
+
+let kick t node =
+  Engine.after t.engine 0.0 (fun () ->
+      node.service node.nic;
+      pump t node;
+      maybe_schedule t node)
+
+let run ?until t = Engine.run ?until t.engine

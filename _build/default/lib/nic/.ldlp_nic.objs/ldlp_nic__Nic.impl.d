@@ -1,0 +1,1 @@
+lib/nic/nic.ml: Ldlp_core List Ring

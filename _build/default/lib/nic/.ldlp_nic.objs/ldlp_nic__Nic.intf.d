@@ -1,0 +1,1 @@
+lib/nic/nic.mli: Ldlp_core

@@ -1,0 +1,90 @@
+type irq_mode = Per_frame | Coalesced of int
+
+type stats = {
+  rx_frames : int;
+  rx_drops : int;
+  tx_frames : int;
+  tx_drops : int;
+  interrupts : int;
+}
+
+type 'a t = {
+  rx : 'a Ring.t;
+  tx : 'a Ring.t;
+  irq : irq_mode;
+  mutable since_irq : int;  (* frames received since the last interrupt *)
+  mutable pending : bool;
+  mutable s : stats;
+}
+
+let create ?(rx_slots = 64) ?(tx_slots = 64) ?(irq = Per_frame) () =
+  (match irq with
+  | Coalesced n when n <= 0 -> invalid_arg "Nic.create: coalescing must be positive"
+  | _ -> ());
+  {
+    rx = Ring.create ~slots:rx_slots;
+    tx = Ring.create ~slots:tx_slots;
+    irq;
+    since_irq = 0;
+    pending = false;
+    s = { rx_frames = 0; rx_drops = 0; tx_frames = 0; tx_drops = 0; interrupts = 0 };
+  }
+
+let raise_irq t =
+  if not t.pending then begin
+    t.pending <- true;
+    t.s <- { t.s with interrupts = t.s.interrupts + 1 }
+  end;
+  t.since_irq <- 0
+
+let deliver t frame =
+  if Ring.push t.rx frame then begin
+    t.s <- { t.s with rx_frames = t.s.rx_frames + 1 };
+    t.since_irq <- t.since_irq + 1;
+    (match t.irq with
+    | Per_frame -> raise_irq t
+    | Coalesced n -> if t.since_irq >= n || Ring.is_full t.rx then raise_irq t);
+    true
+  end
+  else begin
+    t.s <- { t.s with rx_drops = t.s.rx_drops + 1 };
+    false
+  end
+
+let wire_take t =
+  let v = Ring.pop t.tx in
+  if v <> None then t.s <- { t.s with tx_frames = t.s.tx_frames + 1 };
+  v
+
+let wire_take_all t =
+  let frames = Ring.pop_all t.tx in
+  t.s <- { t.s with tx_frames = t.s.tx_frames + List.length frames };
+  frames
+
+let irq_pending t = t.pending
+
+let ack_irq t =
+  t.pending <- false;
+  t.since_irq <- 0
+
+let rx_available t = Ring.length t.rx
+
+let take_all t =
+  ack_irq t;
+  Ring.pop_all t.rx
+
+let take t = Ring.pop t.rx
+
+let transmit t frame =
+  if Ring.push t.tx frame then true
+  else begin
+    t.s <- { t.s with tx_drops = t.s.tx_drops + 1 };
+    false
+  end
+
+let stats t = t.s
+
+let service_into t sched ~wrap =
+  let frames = take_all t in
+  List.iter (fun f -> Ldlp_core.Sched.inject sched (wrap f)) frames;
+  List.length frames

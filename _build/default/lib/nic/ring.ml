@@ -1,0 +1,47 @@
+(* Classic power-of-two-free circular buffer over an array; head is the
+   next slot to pop, [len] the number of occupied slots. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mutable head : int;
+  mutable len : int;
+}
+
+let create ~slots =
+  if slots <= 0 then invalid_arg "Ring.create: slots must be positive";
+  { slots = Array.make slots None; head = 0; len = 0 }
+
+let capacity t = Array.length t.slots
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let is_full t = t.len = capacity t
+
+let push t v =
+  if is_full t then false
+  else begin
+    let tail = (t.head + t.len) mod capacity t in
+    t.slots.(tail) <- Some v;
+    t.len <- t.len + 1;
+    true
+  end
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let v = t.slots.(t.head) in
+    t.slots.(t.head) <- None;
+    t.head <- (t.head + 1) mod capacity t;
+    t.len <- t.len - 1;
+    v
+  end
+
+let pop_all t =
+  let rec go acc =
+    match pop t with None -> List.rev acc | Some v -> go (v :: acc)
+  in
+  go []
+
+let peek t = if t.len = 0 then None else t.slots.(t.head)

@@ -1,0 +1,29 @@
+(** Bounded descriptor ring — the buffer structure network adaptors use
+    for received and transmitted frames.  Fixed capacity, FIFO order,
+    refusal (not blocking) when full: exactly the behaviour the paper
+    assumes when it says "when messages arrive, they are buffered in the
+    adaptor hardware". *)
+
+type 'a t
+
+val create : slots:int -> 'a t
+(** [slots] must be positive. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [false] when the ring is full (the caller counts the drop). *)
+
+val pop : 'a t -> 'a option
+
+val pop_all : 'a t -> 'a list
+(** Drain everything currently in the ring, in FIFO order — the paper's
+    on-line LDLP intake: "it takes all available messages". *)
+
+val peek : 'a t -> 'a option

@@ -1,0 +1,1 @@
+lib/packet/addr.ml: Bytes Char Int32 List Printf String

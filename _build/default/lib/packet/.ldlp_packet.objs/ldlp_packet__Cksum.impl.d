@@ -1,0 +1,1 @@
+lib/packet/cksum.ml: Bytes Char Ldlp_buf

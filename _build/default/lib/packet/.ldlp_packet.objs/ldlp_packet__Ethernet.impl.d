@@ -1,0 +1,1 @@
+lib/packet/ethernet.ml: Addr Bytes Char Format Ldlp_buf

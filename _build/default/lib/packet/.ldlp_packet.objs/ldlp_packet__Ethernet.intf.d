@@ -1,0 +1,1 @@
+lib/packet/ethernet.mli: Addr Format Ldlp_buf

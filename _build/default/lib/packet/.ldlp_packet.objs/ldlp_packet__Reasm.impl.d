@@ -1,0 +1,1 @@
+lib/packet/reasm.ml: Addr Bytes Hashtbl Ipv4 List Option

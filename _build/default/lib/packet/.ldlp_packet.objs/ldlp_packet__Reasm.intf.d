@@ -1,0 +1,1 @@
+lib/packet/reasm.mli: Ipv4

@@ -1,0 +1,1 @@
+lib/packet/tcp.ml: Bytes Char Cksum Format Int32 Ipv4 Ldlp_buf

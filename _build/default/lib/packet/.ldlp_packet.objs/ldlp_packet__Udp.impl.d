@@ -1,0 +1,1 @@
+lib/packet/udp.ml: Bytes Char Cksum Format Ipv4

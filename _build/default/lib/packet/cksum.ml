@@ -1,0 +1,83 @@
+let code_bytes_simple = 288
+
+let code_bytes_unrolled = 992
+
+let check_range buf off len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Cksum: range out of bounds"
+
+let fold16 sum =
+  let s = ref sum in
+  while !s > 0xFFFF do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  !s
+
+let byte buf i = Char.code (Bytes.unsafe_get buf i)
+
+let partial buf off len =
+  check_range buf off len;
+  let sum = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum := !sum + (byte buf !i lsl 8) + byte buf (!i + 1);
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (byte buf !i lsl 8);
+  !sum
+
+let finish sum = lnot (fold16 sum) land 0xFFFF
+
+let simple buf off len = finish (partial buf off len)
+
+(* The "elaborate" routine: 16 network-order words (32 bytes) per iteration,
+   then an 8-byte loop, then the tail — structurally like 4.4BSD in_cksum,
+   whose unrolling is exactly what inflates its code footprint. *)
+let unrolled_partial buf off len =
+  check_range buf off len;
+  let sum = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  let word k = (byte buf k lsl 8) + byte buf (k + 1) in
+  while stop - !i >= 32 do
+    let k = !i in
+    sum :=
+      !sum + word k + word (k + 2) + word (k + 4) + word (k + 6)
+      + word (k + 8) + word (k + 10) + word (k + 12) + word (k + 14)
+      + word (k + 16) + word (k + 18) + word (k + 20) + word (k + 22)
+      + word (k + 24) + word (k + 26) + word (k + 28) + word (k + 30);
+    i := !i + 32
+  done;
+  while stop - !i >= 8 do
+    let k = !i in
+    sum := !sum + word k + word (k + 2) + word (k + 4) + word (k + 6);
+    i := !i + 8
+  done;
+  while !i + 1 < stop do
+    sum := !sum + word !i;
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (byte buf !i lsl 8);
+  !sum
+
+let unrolled buf off len = finish (unrolled_partial buf off len)
+
+let swap16 v = ((v land 0xFF) lsl 8) lor (v lsr 8)
+
+(* Chain checksum: ones-complement sums commute with byte swapping, so a
+   segment starting at an odd payload offset is summed normally and its
+   folded contribution swapped — the classic 4.4BSD trick for odd-length
+   mbufs. *)
+let chain_with seg_partial m =
+  let acc = ref 0 and odd = ref false in
+  Ldlp_buf.Mbuf.iter_segments m (fun data off len ->
+      let part = fold16 (seg_partial data off len) in
+      let part = if !odd then swap16 part else part in
+      acc := !acc + part;
+      if len land 1 = 1 then odd := not !odd);
+  finish !acc
+
+let simple_chain m = chain_with partial m
+
+let unrolled_chain m = chain_with unrolled_partial m

@@ -1,0 +1,47 @@
+type header = { dst : Addr.Mac.t; src : Addr.Mac.t; ethertype : int }
+
+let header_bytes = 14
+
+let ethertype_ipv4 = 0x0800
+
+let ethertype_arp = 0x0806
+
+type error = [ `Too_short of int | `Bad_field of string ]
+
+let pp_error ppf = function
+  | `Too_short n -> Format.fprintf ppf "frame too short (%d bytes)" n
+  | `Bad_field f -> Format.fprintf ppf "bad field: %s" f
+
+let parse buf off len =
+  if len < header_bytes then Error (`Too_short len)
+  else
+    let dst = Addr.Mac.of_bytes buf off in
+    let src = Addr.Mac.of_bytes buf (off + 6) in
+    let ethertype = Char.code (Bytes.get buf (off + 12)) lsl 8
+                    lor Char.code (Bytes.get buf (off + 13)) in
+    Ok ({ dst; src; ethertype }, off + header_bytes)
+
+let build h buf off =
+  Addr.Mac.write h.dst buf off;
+  Addr.Mac.write h.src buf (off + 6);
+  Bytes.set buf (off + 12) (Char.chr (h.ethertype lsr 8));
+  Bytes.set buf (off + 13) (Char.chr (h.ethertype land 0xFF))
+
+let strip m =
+  let len = Ldlp_buf.Mbuf.length m in
+  if len < header_bytes then Error (`Too_short len)
+  else begin
+    let hdr = Ldlp_buf.Mbuf.copy_out m ~pos:0 ~len:header_bytes in
+    match parse hdr 0 header_bytes with
+    | Ok (h, _) ->
+      Ldlp_buf.Mbuf.adj m header_bytes;
+      Ok h
+    | Error _ as e -> e
+  end
+
+let encapsulate m h =
+  let m = Ldlp_buf.Mbuf.prepend m header_bytes in
+  let hdr = Bytes.create header_bytes in
+  build h hdr 0;
+  Ldlp_buf.Mbuf.copy_into m ~pos:0 hdr ~src_off:0 ~len:header_bytes;
+  m

@@ -1,0 +1,33 @@
+(** Ethernet II framing. *)
+
+type header = {
+  dst : Addr.Mac.t;
+  src : Addr.Mac.t;
+  ethertype : int;  (** 16-bit, e.g. {!ethertype_ipv4}. *)
+}
+
+val header_bytes : int
+(** 14. *)
+
+val ethertype_ipv4 : int
+(** 0x0800. *)
+
+val ethertype_arp : int
+(** 0x0806. *)
+
+type error = [ `Too_short of int | `Bad_field of string ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : bytes -> int -> int -> (header * int, error) result
+(** [parse buf off len] reads a header at [off]; on success returns the
+    header and the offset of the payload. *)
+
+val build : header -> bytes -> int -> unit
+(** Write a header at an offset (caller supplies room). *)
+
+val strip : Ldlp_buf.Mbuf.t -> (header, error) result
+(** Parse the header at the front of the chain and trim it off. *)
+
+val encapsulate : Ldlp_buf.Mbuf.t -> header -> Ldlp_buf.Mbuf.t
+(** Prepend a header to the chain (uses the mbuf's leading space). *)

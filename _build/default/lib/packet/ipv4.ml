@@ -1,0 +1,131 @@
+type header = {
+  ihl : int;
+  tos : int;
+  total_length : int;
+  ident : int;
+  dont_fragment : bool;
+  more_fragments : bool;
+  fragment_offset : int;
+  ttl : int;
+  protocol : int;
+  src : Addr.Ipv4.t;
+  dst : Addr.Ipv4.t;
+}
+
+let header_bytes = 20
+
+let proto_icmp = 1
+
+let proto_tcp = 6
+
+let proto_udp = 17
+
+type error =
+  [ `Too_short of int
+  | `Bad_version of int
+  | `Bad_checksum
+  | `Bad_field of string ]
+
+let pp_error ppf = function
+  | `Too_short n -> Format.fprintf ppf "datagram too short (%d bytes)" n
+  | `Bad_version v -> Format.fprintf ppf "bad IP version %d" v
+  | `Bad_checksum -> Format.fprintf ppf "bad header checksum"
+  | `Bad_field f -> Format.fprintf ppf "bad field: %s" f
+
+let get16 buf off =
+  (Char.code (Bytes.get buf off) lsl 8) lor Char.code (Bytes.get buf (off + 1))
+
+let set16 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr (v land 0xFF))
+
+let parse ?(verify_checksum = true) buf off len =
+  if len < header_bytes then Error (`Too_short len)
+  else begin
+    let b0 = Char.code (Bytes.get buf off) in
+    let version = b0 lsr 4 and ihl = b0 land 0xF in
+    if version <> 4 then Error (`Bad_version version)
+    else if ihl < 5 then Error (`Bad_field "ihl < 5")
+    else if len < ihl * 4 then Error (`Too_short len)
+    else begin
+      let total_length = get16 buf (off + 2) in
+      if total_length < ihl * 4 then Error (`Bad_field "total_length < header")
+      else if verify_checksum && Cksum.simple buf off (ihl * 4) <> 0 then
+        Error `Bad_checksum
+      else begin
+        let frag = get16 buf (off + 6) in
+        Ok
+          ( {
+              ihl;
+              tos = Char.code (Bytes.get buf (off + 1));
+              total_length;
+              ident = get16 buf (off + 4);
+              dont_fragment = frag land 0x4000 <> 0;
+              more_fragments = frag land 0x2000 <> 0;
+              fragment_offset = frag land 0x1FFF;
+              ttl = Char.code (Bytes.get buf (off + 8));
+              protocol = Char.code (Bytes.get buf (off + 9));
+              src = Addr.Ipv4.of_bytes buf (off + 12);
+              dst = Addr.Ipv4.of_bytes buf (off + 16);
+            },
+            off + (ihl * 4) )
+      end
+    end
+  end
+
+let build h buf off =
+  Bytes.set buf off (Char.chr ((4 lsl 4) lor 5));
+  Bytes.set buf (off + 1) (Char.chr (h.tos land 0xFF));
+  set16 buf (off + 2) h.total_length;
+  set16 buf (off + 4) h.ident;
+  let frag =
+    (if h.dont_fragment then 0x4000 else 0)
+    lor (if h.more_fragments then 0x2000 else 0)
+    lor (h.fragment_offset land 0x1FFF)
+  in
+  set16 buf (off + 6) frag;
+  Bytes.set buf (off + 8) (Char.chr (h.ttl land 0xFF));
+  Bytes.set buf (off + 9) (Char.chr (h.protocol land 0xFF));
+  set16 buf (off + 10) 0;
+  Addr.Ipv4.write h.src buf (off + 12);
+  Addr.Ipv4.write h.dst buf (off + 16);
+  set16 buf (off + 10) (Cksum.simple buf off header_bytes)
+
+let is_fragment h = h.more_fragments || h.fragment_offset > 0
+
+let strip ?verify_checksum m =
+  let len = Ldlp_buf.Mbuf.length m in
+  if len < header_bytes then Error (`Too_short len)
+  else begin
+    let hdr_max = min len 60 in
+    let hdr = Ldlp_buf.Mbuf.copy_out m ~pos:0 ~len:hdr_max in
+    match parse ?verify_checksum hdr 0 hdr_max with
+    | Error _ as e -> e
+    | Ok (h, _) ->
+      if h.total_length > len then Error (`Too_short len)
+      else begin
+        (* Drop link padding, then the header itself. *)
+        if len > h.total_length then
+          Ldlp_buf.Mbuf.adj m (-(len - h.total_length));
+        Ldlp_buf.Mbuf.adj m (h.ihl * 4);
+        Ok h
+      end
+  end
+
+let encapsulate m h =
+  let payload = Ldlp_buf.Mbuf.length m in
+  let h = { h with ihl = 5; total_length = payload + header_bytes } in
+  let m = Ldlp_buf.Mbuf.prepend m header_bytes in
+  let hdr = Bytes.create header_bytes in
+  build h hdr 0;
+  Ldlp_buf.Mbuf.copy_into m ~pos:0 hdr ~src_off:0 ~len:header_bytes;
+  m
+
+let pseudo_header_sum ~src ~dst ~protocol ~len =
+  let b = Bytes.create 12 in
+  Addr.Ipv4.write src b 0;
+  Addr.Ipv4.write dst b 4;
+  Bytes.set b 8 '\000';
+  Bytes.set b 9 (Char.chr (protocol land 0xFF));
+  set16 b 10 len;
+  Cksum.partial b 0 12

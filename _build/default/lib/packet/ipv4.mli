@@ -1,0 +1,53 @@
+(** IPv4 header parsing and construction (RFC 791), without options
+    processing beyond length accounting. *)
+
+type header = {
+  ihl : int;  (** Header length in 32-bit words (5 when no options). *)
+  tos : int;
+  total_length : int;
+  ident : int;
+  dont_fragment : bool;
+  more_fragments : bool;
+  fragment_offset : int;  (** In 8-byte units. *)
+  ttl : int;
+  protocol : int;
+  src : Addr.Ipv4.t;
+  dst : Addr.Ipv4.t;
+}
+
+val header_bytes : int
+(** Minimum header size, 20. *)
+
+val proto_icmp : int
+
+val proto_tcp : int
+
+val proto_udp : int
+
+type error =
+  [ `Too_short of int
+  | `Bad_version of int
+  | `Bad_checksum
+  | `Bad_field of string ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : ?verify_checksum:bool -> bytes -> int -> int -> (header * int, error) result
+(** [parse buf off len] validates version, header length, total length and
+    (by default) the header checksum; returns the header and payload
+    offset. *)
+
+val build : header -> bytes -> int -> unit
+(** Write a 20-byte header (options unsupported) with a correct checksum. *)
+
+val is_fragment : header -> bool
+
+val strip : ?verify_checksum:bool -> Ldlp_buf.Mbuf.t -> (header, error) result
+(** Parse at the front of a chain, trim the header, and also trim any
+    link-layer padding beyond [total_length]. *)
+
+val encapsulate : Ldlp_buf.Mbuf.t -> header -> Ldlp_buf.Mbuf.t
+(** Prepend a header; [total_length] is recomputed from the chain. *)
+
+val pseudo_header_sum : src:Addr.Ipv4.t -> dst:Addr.Ipv4.t -> protocol:int -> len:int -> int
+(** Partial checksum of the TCP/UDP pseudo-header. *)

@@ -1,0 +1,45 @@
+(** IPv4 fragmentation and reassembly.
+
+    The paper's traced fast path is taken when a datagram "is addressed to
+    the host and is not a fragment"; this module is the slow path that
+    check guards: splitting a datagram into MTU-sized fragments, and a
+    reassembly queue keyed by (source, destination, protocol, ident) that
+    accepts fragments in any order and produces the restored payload.
+
+    Incomplete reassemblies are discarded after a timeout, as RFC 791
+    requires — the caller supplies timestamps, keeping the module clock-
+    free like the rest of the stack. *)
+
+val fragment :
+  mtu:int -> header:Ipv4.header -> payload:bytes -> (Ipv4.header * bytes) list
+(** Split [payload] into fragments whose IP payload fits [mtu] bytes (the
+    fragment data length is rounded down to a multiple of 8 as the
+    fragment-offset field requires).  A payload that already fits yields
+    one element with offset 0 and MF clear.  Raises [Invalid_argument] if
+    [mtu] cannot carry at least 8 payload bytes, or if the header has
+    [dont_fragment] set and the payload doesn't fit. *)
+
+type t
+(** A reassembly queue. *)
+
+val create : ?timeout:float -> ?max_datagrams:int -> unit -> t
+(** Default [timeout] 30 s, at most 64 concurrent reassemblies (the
+    oldest is evicted beyond that). *)
+
+type result =
+  | Complete of Ipv4.header * bytes
+      (** All fragments arrived; the header is the first fragment's with
+          offset/MF cleared and [total_length] restored. *)
+  | Pending  (** Stored; more fragments needed. *)
+  | Rejected of string  (** Overlapping/inconsistent/oversized fragment. *)
+
+val input : t -> now:float -> Ipv4.header -> bytes -> result
+(** Offer one fragment (header plus its payload bytes).  A datagram with
+    offset 0 and MF clear completes immediately. *)
+
+val pending : t -> int
+(** Reassemblies in progress. *)
+
+val expire : t -> now:float -> int
+(** Drop reassemblies older than the timeout; returns how many died.
+    [input] calls this implicitly. *)

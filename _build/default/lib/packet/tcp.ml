@@ -1,0 +1,99 @@
+type header = {
+  src_port : int;
+  dst_port : int;
+  seq : int32;
+  ack : int32;
+  data_offset : int;
+  flags : int;
+  window : int;
+  urgent : int;
+}
+
+let header_bytes = 20
+
+let flag_fin = 0x01
+
+let flag_syn = 0x02
+
+let flag_rst = 0x04
+
+let flag_psh = 0x08
+
+let flag_ack = 0x10
+
+let flag_urg = 0x20
+
+let has_flag h f = h.flags land f <> 0
+
+type error = [ `Too_short of int | `Bad_checksum | `Bad_field of string ]
+
+let pp_error ppf = function
+  | `Too_short n -> Format.fprintf ppf "segment too short (%d bytes)" n
+  | `Bad_checksum -> Format.fprintf ppf "bad TCP checksum"
+  | `Bad_field f -> Format.fprintf ppf "bad field: %s" f
+
+let get16 buf off =
+  (Char.code (Bytes.get buf off) lsl 8) lor Char.code (Bytes.get buf (off + 1))
+
+let set16 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr (v land 0xFF))
+
+let parse buf off len =
+  if len < header_bytes then Error (`Too_short len)
+  else begin
+    let data_offset = Char.code (Bytes.get buf (off + 12)) lsr 4 in
+    if data_offset < 5 then Error (`Bad_field "data_offset < 5")
+    else if len < data_offset * 4 then Error (`Too_short len)
+    else
+      Ok
+        ( {
+            src_port = get16 buf off;
+            dst_port = get16 buf (off + 2);
+            seq = Bytes.get_int32_be buf (off + 4);
+            ack = Bytes.get_int32_be buf (off + 8);
+            data_offset;
+            flags = Char.code (Bytes.get buf (off + 13)) land 0x3F;
+            window = get16 buf (off + 14);
+            urgent = get16 buf (off + 18);
+          },
+          off + (data_offset * 4) )
+  end
+
+let build h buf off =
+  set16 buf off h.src_port;
+  set16 buf (off + 2) h.dst_port;
+  Bytes.set_int32_be buf (off + 4) h.seq;
+  Bytes.set_int32_be buf (off + 8) h.ack;
+  Bytes.set buf (off + 12) (Char.chr ((h.data_offset land 0xF) lsl 4));
+  Bytes.set buf (off + 13) (Char.chr (h.flags land 0x3F));
+  set16 buf (off + 14) h.window;
+  set16 buf (off + 16) 0;
+  set16 buf (off + 18) h.urgent
+
+let checksum ~src ~dst buf off len =
+  let pseudo = Ipv4.pseudo_header_sum ~src ~dst ~protocol:Ipv4.proto_tcp ~len in
+  Cksum.finish (pseudo + Cksum.partial buf off len)
+
+let verify_checksum ~src ~dst m =
+  let len = Ldlp_buf.Mbuf.length m in
+  let pseudo = Ipv4.pseudo_header_sum ~src ~dst ~protocol:Ipv4.proto_tcp ~len in
+  (* finish(pseudo + segment) must be zero; compute via a flat copy of the
+     pseudo-header plus the chain sum. *)
+  let seg = Cksum.simple_chain m in
+  (* simple_chain already complements; undo to combine raw sums. *)
+  let seg_raw = lnot seg land 0xFFFF in
+  Cksum.finish (pseudo + seg_raw) = 0
+
+let store_checksum ~src ~dst buf off len =
+  set16 buf (off + 16) 0;
+  let c = checksum ~src ~dst buf off len in
+  set16 buf (off + 16) c
+
+let seq_diff a b = Int32.to_int (Int32.sub a b)
+
+let seq_lt a b = seq_diff a b < 0
+
+let seq_leq a b = seq_diff a b <= 0
+
+let seq_add a n = Int32.add a (Int32.of_int n)

@@ -1,0 +1,1 @@
+lib/report/report.ml: Float Format Ldlp_core Ldlp_model Ldlp_sim Ldlp_trace List Printf String

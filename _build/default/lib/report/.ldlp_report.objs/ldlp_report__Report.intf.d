@@ -1,0 +1,1 @@
+lib/report/report.mli: Ldlp_core Ldlp_model Ldlp_trace

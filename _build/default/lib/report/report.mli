@@ -1,0 +1,61 @@
+(** Text rendering of every reproduced table and figure, with the paper's
+    published values alongside for direct comparison.  Used by both the
+    CLI ([bin/ldlp_repro]) and the benchmark harness. *)
+
+val table1 : Ldlp_trace.Analyze.table1 -> string
+(** Working-set breakdown vs the paper's Table 1 targets. *)
+
+val table3 : Ldlp_trace.Analyze.sweep_row list -> string
+(** Line-size sensitivity vs the paper's Table 3 percentages. *)
+
+val figure1 :
+  Ldlp_trace.Analyze.phase_summary list ->
+  Ldlp_trace.Analyze.func_touch list ->
+  string
+(** Per-phase working-set summary and the per-function map. *)
+
+val fig5 : Ldlp_model.Figures.rate_point list -> string
+(** Cache misses per message vs arrival rate (table + ASCII chart). *)
+
+val fig6 : Ldlp_model.Figures.rate_point list -> string
+(** Latency vs arrival rate. *)
+
+val fig7 : Ldlp_model.Figures.clock_point list -> string
+(** Latency vs CPU clock under self-similar traffic. *)
+
+val fig8 : Ldlp_model.Cksum_study.point list -> string
+(** Checksum cycles vs message size, warm/cold x simple/elaborate. *)
+
+val ablation_batch : Ldlp_model.Figures.batch_point list -> string
+
+val ablation_density : Ldlp_model.Figures.density_point list -> string
+
+val ablation_linesize : Ldlp_model.Figures.linesize_point list -> string
+
+val ablation_dilution : Ldlp_trace.Analyze.dilution -> string
+
+val ablation_relayout : Ldlp_trace.Relayout.comparison -> string
+
+val ablation_associativity : Ldlp_model.Figures.assoc_point list -> string
+
+val ablation_prefetch : Ldlp_model.Figures.prefetch_point list -> string
+
+val ablation_unified : Ldlp_model.Figures.machine_point list -> string
+
+val ablation_layout : Ldlp_model.Figures.machine_point list -> string
+
+val extension_txside : Ldlp_model.Figures.txside_point list -> string
+(** The transmit-side mirror experiment (deferred by the paper). *)
+
+val ablation_granularity : Ldlp_model.Figures.granularity_point list -> string
+
+val extension_tcp_stack : Ldlp_model.Figures.tcp_stack_point list -> string
+
+val comparison_ilp : Ldlp_model.Figures.ilp_point list -> string
+(** Conventional vs ILP vs LDLP (Figures 2/3's three loop structures). *)
+
+val extension_goal : Ldlp_model.Figures.goal_check -> string
+(** The Section 1 signalling performance goal, checked. *)
+
+val blocking : Ldlp_core.Blocking.recommendation -> string
+(** The analytic Section 3.2 estimate for the paper's synthetic stack. *)

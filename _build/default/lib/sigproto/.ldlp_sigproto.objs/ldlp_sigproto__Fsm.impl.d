@@ -1,0 +1,1 @@
+lib/sigproto/fsm.ml: Printf Sigmsg

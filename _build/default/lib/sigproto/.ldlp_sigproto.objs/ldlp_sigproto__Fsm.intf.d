@@ -1,0 +1,1 @@
+lib/sigproto/fsm.mli: Sigmsg

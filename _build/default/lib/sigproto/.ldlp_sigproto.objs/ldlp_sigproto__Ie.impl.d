@@ -1,0 +1,1 @@
+lib/sigproto/ie.ml: Bytes Char Format List String

@@ -1,0 +1,1 @@
+lib/sigproto/ie.mli: Format

@@ -1,0 +1,1 @@
+lib/sigproto/layers.ml: Bytes Char Hashtbl Ldlp_buf Ldlp_core List Sigmsg Sscop Switch

@@ -1,0 +1,1 @@
+lib/sigproto/layers.mli: Ldlp_buf Ldlp_core Sigmsg Sscop Switch

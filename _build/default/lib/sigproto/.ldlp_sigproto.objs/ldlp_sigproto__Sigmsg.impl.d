@@ -1,0 +1,1 @@
+lib/sigproto/sigmsg.ml: Bytes Char Format Ie

@@ -1,0 +1,1 @@
+lib/sigproto/sigmsg.mli: Format Ie

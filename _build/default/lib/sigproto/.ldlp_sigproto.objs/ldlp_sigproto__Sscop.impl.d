@@ -1,0 +1,1 @@
+lib/sigproto/sscop.ml: Bytes Char List Printf Queue Seq

@@ -1,0 +1,1 @@
+lib/sigproto/sscop.mli:

@@ -1,0 +1,1 @@
+lib/sigproto/sscop_conn.ml: Bytes List Sscop

@@ -1,0 +1,1 @@
+lib/sigproto/switch.ml: Fsm Hashtbl Ie List Option Sigmsg String

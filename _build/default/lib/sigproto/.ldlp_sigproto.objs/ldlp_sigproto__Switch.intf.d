@@ -1,0 +1,1 @@
+lib/sigproto/switch.mli: Sigmsg

@@ -1,0 +1,1 @@
+lib/sigproto/uni.ml: Float Fsm Hashtbl Ie List Option Sigmsg Sscop_conn

@@ -1,0 +1,1 @@
+lib/sigproto/uni.mli: Fsm Ie Sscop_conn

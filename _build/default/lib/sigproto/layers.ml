@@ -1,0 +1,118 @@
+module Core = Ldlp_core
+module Mbuf = Ldlp_buf.Mbuf
+
+type body =
+  | Raw of Mbuf.t
+  | Sdu of int * bytes
+  | Signalling of int * bytes
+  | Decoded of int * Sigmsg.t
+
+type item = body
+
+let frame ~pool ~port payload =
+  if port < 0 || port > 0xFF then invalid_arg "Layers.frame: bad port";
+  let b = Bytes.create (1 + Bytes.length payload) in
+  Bytes.set b 0 (Char.chr port);
+  Bytes.blit payload 0 b 1 (Bytes.length payload);
+  Mbuf.of_bytes pool b
+
+let encode_tx ~sscop_for ~port msg =
+  let sscop : Sscop.t = sscop_for port in
+  (port, Sscop.send sscop (Sigmsg.encode msg))
+
+type stack = {
+  layers : item Core.Layer.t list;
+  sscop_for : int -> Sscop.t;
+  switch : Switch.t;
+}
+
+(* Footprints: rough code sizes of each layer's OCaml implementation, for
+   the blocking analysis.  What matters is that together they exceed a
+   small primary I-cache, as signalling stacks do. *)
+let fp_link = Core.Layer.footprint ~code_bytes:1500 ~data_bytes:128 ()
+
+let fp_sscop = Core.Layer.footprint ~code_bytes:4000 ~data_bytes:512 ()
+
+let fp_q93b = Core.Layer.footprint ~code_bytes:5000 ~data_bytes:256 ()
+
+let fp_call = Core.Layer.footprint ~code_bytes:9000 ~data_bytes:2048 ()
+
+let remake msg body = Core.Msg.with_payload msg body
+
+let size_of_body = function
+  | Raw m -> Mbuf.length m
+  | Sdu (_, b) | Signalling (_, b) -> Bytes.length b
+  | Decoded (_, m) -> Sigmsg.encoded_length m
+
+let stack ~pool ~switch ?(acks = true) () =
+  let sscops : (int, Sscop.t) Hashtbl.t = Hashtbl.create 8 in
+  let sscop_for port =
+    match Hashtbl.find_opt sscops port with
+    | Some s -> s
+    | None ->
+      let s = Sscop.create () in
+      Hashtbl.add sscops port s;
+      s
+  in
+  let deliver msg body =
+    [ Core.Layer.Deliver_up (remake msg body ~size:(size_of_body body)) ]
+  in
+  let link =
+    Core.Layer.v ~name:"link" ~fp:fp_link (fun msg ->
+        match msg.Core.Msg.payload with
+        | Raw m when Mbuf.length m >= 1 ->
+          let port = Mbuf.get_byte m 0 in
+          Mbuf.adj m 1;
+          let sdu = Mbuf.to_bytes m in
+          Mbuf.free pool m;
+          deliver msg (Sdu (port, sdu))
+        | Raw m ->
+          Mbuf.free pool m;
+          [ Core.Layer.Consume ]
+        | body -> deliver msg body)
+  in
+  let sscop_layer =
+    Core.Layer.v ~name:"sscop" ~fp:fp_sscop (fun msg ->
+        match msg.Core.Msg.payload with
+        | Sdu (port, frame_bytes) -> (
+          let s = sscop_for port in
+          match Sscop.on_receive s frame_bytes with
+          | Sscop.Deliver payload ->
+            let up = deliver msg (Signalling (port, payload)) in
+            if acks then
+              up
+              @ [
+                  Core.Layer.Send_down
+                    (remake msg (Sdu (port, Sscop.make_ack s)) ~size:4);
+                ]
+            else up
+          | Sscop.Ack_processed _ | Sscop.Out_of_order _ | Sscop.Malformed _ ->
+            [ Core.Layer.Consume ])
+        | body -> deliver msg body)
+  in
+  let q93b =
+    Core.Layer.v ~name:"q93b" ~fp:fp_q93b (fun msg ->
+        match msg.Core.Msg.payload with
+        | Signalling (port, bytes) -> (
+          match Sigmsg.decode bytes with
+          | Ok m -> deliver msg (Decoded (port, m))
+          | Error _ -> [ Core.Layer.Consume ])
+        | body -> deliver msg body)
+  in
+  let call =
+    Core.Layer.v ~name:"call" ~fp:fp_call (fun msg ->
+        match msg.Core.Msg.payload with
+        | Decoded (port, m) ->
+          let replies = Switch.handle switch ~port m in
+          let downs =
+            List.map
+              (fun (out_port, reply) ->
+                let port, bytes = encode_tx ~sscop_for ~port:out_port reply in
+                Core.Layer.Send_down
+                  (remake msg (Sdu (port, bytes)) ~size:(Bytes.length bytes)))
+              replies
+          in
+          Core.Layer.Deliver_up msg :: downs
+        | _ -> [ Core.Layer.Consume ])
+  in
+  { layers = [ link; sscop_layer; q93b; call ]; sscop_for; switch }

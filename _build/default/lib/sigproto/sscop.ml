@@ -1,0 +1,87 @@
+type t = {
+  mutable vt_s : int;  (* next sequence number to send *)
+  mutable vr_r : int;  (* next expected receive sequence number *)
+  buffer : (int * bytes) Queue.t;  (* unacked, oldest first *)
+}
+
+let header_bytes = 4
+
+let seq_mask = 0xFFFFFF
+
+let create () = { vt_s = 0; vr_r = 0; buffer = Queue.create () }
+
+type received =
+  | Deliver of bytes
+  | Out_of_order of int
+  | Ack_processed of int
+  | Malformed of string
+
+let frame_internal tag seq payload =
+  let n = Bytes.length payload in
+  let b = Bytes.create (header_bytes + n) in
+  Bytes.set b 0 tag;
+  Bytes.set b 1 (Char.chr ((seq lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((seq lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (seq land 0xFF));
+  Bytes.blit payload 0 b header_bytes n;
+  b
+
+let send t payload =
+  let seq = t.vt_s in
+  t.vt_s <- (t.vt_s + 1) land seq_mask;
+  Queue.push (seq, Bytes.copy payload) t.buffer;
+  frame_internal 'D' seq payload
+
+let on_receive t buf =
+  if Bytes.length buf < header_bytes then
+    Malformed
+      (Printf.sprintf "frame too short (%d bytes)" (Bytes.length buf))
+  else begin
+    let tag = Bytes.get buf 0 in
+    let b i = Char.code (Bytes.get buf i) in
+    let seq = (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    match tag with
+    | 'D' ->
+      if seq = t.vr_r then begin
+        t.vr_r <- (t.vr_r + 1) land seq_mask;
+        Deliver (Bytes.sub buf header_bytes (Bytes.length buf - header_bytes))
+      end
+      else Out_of_order seq
+    | 'A' ->
+      (* Cumulative ack: everything below [seq] is confirmed. *)
+      let rec drop () =
+        match Queue.peek_opt t.buffer with
+        | Some (s, _) when s < seq ->
+          ignore (Queue.pop t.buffer);
+          drop ()
+        | _ -> ()
+      in
+      drop ();
+      Ack_processed seq
+    | c -> Malformed (Printf.sprintf "unknown frame tag %C" c)
+  end
+
+let make_ack t = frame_internal 'A' t.vr_r Bytes.empty
+
+let next_send_seq t = t.vt_s
+
+let next_expected_seq t = t.vr_r
+
+let unacked t = List.of_seq (Queue.to_seq t.buffer)
+
+let retransmit t =
+  List.of_seq (Seq.map (fun (seq, payload) -> frame_internal 'D' seq payload) (Queue.to_seq t.buffer))
+
+let frame ~tag ~seq payload = frame_internal tag seq payload
+
+let parse buf =
+  if Bytes.length buf < header_bytes then
+    Error (Printf.sprintf "frame too short (%d bytes)" (Bytes.length buf))
+  else begin
+    let b i = Char.code (Bytes.get buf i) in
+    let seq = (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    Ok
+      ( Bytes.get buf 0,
+        seq,
+        Bytes.sub buf header_bytes (Bytes.length buf - header_bytes) )
+  end

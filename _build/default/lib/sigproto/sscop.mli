@@ -1,0 +1,51 @@
+(** SSCOP-lite: the reliable-transfer layer under Q.93B signalling.
+
+    A deliberately small subset of SSCOP (Q.2110): sequenced data frames
+    with cumulative acknowledgments and sender-side retransmission
+    buffering.  It exists because the paper's motivating workload — ATM
+    signalling — is a multi-layer stack (SAAL = SSCOP + coordination under
+    Q.93B), and LDLP's benefit grows with the number of layers crossed per
+    message.
+
+    Frame layout: 1 tag byte ('D' sequenced data, 'A' cumulative ack),
+    3-byte big-endian sequence number, payload (data frames only). *)
+
+type t
+
+val create : unit -> t
+
+val header_bytes : int
+(** 4. *)
+
+type received =
+  | Deliver of bytes  (** In-order data; payload for the upper layer. *)
+  | Out_of_order of int  (** Unexpected sequence number (frame dropped). *)
+  | Ack_processed of int  (** Cumulative ack up to (excluding) this seq. *)
+  | Malformed of string
+
+val send : t -> bytes -> bytes
+(** Wrap a payload as the next sequenced-data frame; a copy is retained
+    for retransmission until acknowledged. *)
+
+val on_receive : t -> bytes -> received
+(** Process an incoming frame (data or ack). *)
+
+val make_ack : t -> bytes
+(** Cumulative acknowledgment for everything delivered so far. *)
+
+val next_send_seq : t -> int
+
+val next_expected_seq : t -> int
+
+val unacked : t -> (int * bytes) list
+(** Retransmission buffer, oldest first. *)
+
+val retransmit : t -> bytes list
+(** Frames to resend (everything unacknowledged, re-encoded). *)
+
+(** {1 Raw framing} (shared with the connection-managed layer) *)
+
+val frame : tag:char -> seq:int -> bytes -> bytes
+
+val parse : bytes -> (char * int * bytes, string) result
+(** Split any SSCOP frame into (tag, sequence number, payload). *)

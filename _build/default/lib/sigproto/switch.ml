@@ -1,0 +1,249 @@
+type leg = Up | Down
+
+type call = {
+  in_port : int;
+  in_ref : int;
+  out_port : int;
+  out_ref : int;
+  mutable up_state : Fsm.state;  (* terminating role toward the caller *)
+  mutable down_state : Fsm.state;  (* originating role toward the callee *)
+  mutable vpi_vci : (int * int) option;
+  mutable counted_connect : bool;
+}
+
+type stats = {
+  setups_routed : int;
+  calls_connected : int;
+  calls_released : int;
+  rejected : int;
+  protocol_errors : int;
+}
+
+type t = {
+  routes : (string * int) list;
+  local_port : int;
+  max_calls : int;
+  auto_answer : bool;
+  (* Both legs are keyed by (port, call_ref) as seen on the wire. *)
+  legs : (int * int, call * leg) Hashtbl.t;
+  mutable next_out_ref : int;
+  mutable next_vci : int;
+  mutable s : stats;
+}
+
+let create ?(max_calls = 65536) ?(auto_answer = false) ~routes ~local_port ()
+    =
+  {
+    routes;
+    local_port;
+    max_calls;
+    auto_answer;
+    legs = Hashtbl.create 256;
+    next_out_ref = 1;
+    next_vci = 32;
+    s =
+      {
+        setups_routed = 0;
+        calls_connected = 0;
+        calls_released = 0;
+        rejected = 0;
+        protocol_errors = 0;
+      };
+  }
+
+let active_calls t = Hashtbl.length t.legs / 2
+
+let stats t = t.s
+
+let route t address =
+  List.find_map
+    (fun (prefix, port) ->
+      if String.length address >= String.length prefix
+         && String.sub address 0 (String.length prefix) = prefix
+      then Some port
+      else None)
+    t.routes
+  |> Option.value ~default:t.local_port
+
+let alloc_out_ref t =
+  let r = t.next_out_ref in
+  t.next_out_ref <- (t.next_out_ref + 1) land 0x7FFFFF;
+  if t.next_out_ref = 0 then t.next_out_ref <- 1;
+  r
+
+let alloc_vci t =
+  let v = t.next_vci in
+  t.next_vci <- if t.next_vci >= 0xFFFF then 32 else t.next_vci + 1;
+  v
+
+(* Translate one leg's FSM actions into wire messages and cross-leg API
+   events, recursing across legs until quiescent. *)
+let rec apply t call leg actions out =
+  List.iter
+    (fun action ->
+      match action with
+      | Fsm.Send typ ->
+        let port, call_ref, from_originator =
+          match leg with
+          | Up -> (call.in_port, call.in_ref, false)
+          | Down -> (call.out_port, call.out_ref, true)
+        in
+        let ies =
+          match (typ, call.vpi_vci) with
+          | Sigmsg.Connect, Some (vpi, vci) -> [ Ie.vpc_vci ~vpi ~vci ]
+          | _ -> []
+        in
+        out := (port, Sigmsg.v ~from_originator ~call_ref typ ies) :: !out
+      | Fsm.Notify_connected -> (
+        match leg with
+        | Down ->
+          (* The callee answered: accept the upstream half-call. *)
+          step t call Up Fsm.Api_accept out
+        | Up ->
+          (* Upstream half-call fully connected (CONNECT_ACK received);
+             the connect counter below handles accounting. *)
+          ())
+      | Fsm.Notify_released -> (
+        let other = match leg with Up -> Down | Down -> Up in
+        let other_state =
+          match other with Up -> call.up_state | Down -> call.down_state
+        in
+        if not (Fsm.is_terminal other_state) then
+          match other with
+          | Down when t.auto_answer && call.out_port = t.local_port ->
+            (* The switch itself is the callee: no downstream handshake. *)
+            call.down_state <- Fsm.Null
+          | _ -> step t call other Fsm.Api_release out)
+      | Fsm.Notify_setup -> ())
+    actions
+
+and step t call leg event out =
+  let state =
+    match leg with Up -> call.up_state | Down -> call.down_state
+  in
+  match Fsm.step state event with
+  | Fsm.Protocol_error _ ->
+    t.s <- { t.s with protocol_errors = t.s.protocol_errors + 1 };
+    let port, call_ref, from_originator =
+      match leg with
+      | Up -> (call.in_port, call.in_ref, false)
+      | Down -> (call.out_port, call.out_ref, true)
+    in
+    out := (port, Sigmsg.v ~from_originator ~call_ref Sigmsg.Status []) :: !out
+  | Fsm.Ok_next (state', actions) ->
+    (match leg with
+    | Up -> call.up_state <- state'
+    | Down -> call.down_state <- state');
+    apply t call leg actions out;
+    if
+      (not call.counted_connect)
+      && call.up_state = Fsm.Active && call.down_state = Fsm.Active
+    then begin
+      call.counted_connect <- true;
+      t.s <- { t.s with calls_connected = t.s.calls_connected + 1 }
+    end
+
+let forward_setup t ~port (m : Sigmsg.t) out =
+  match Ie.find Ie.id_called_party m.Sigmsg.ies with
+  | None ->
+    t.s <- { t.s with rejected = t.s.rejected + 1 };
+    out :=
+      ( port,
+        Sigmsg.v ~from_originator:false ~call_ref:m.Sigmsg.call_ref
+          Sigmsg.Release_complete [ Ie.cause 96 (* mandatory IE missing *) ] )
+      :: !out
+  | Some called ->
+    let out_port = route t called.Ie.data in
+    if active_calls t >= t.max_calls then begin
+      t.s <- { t.s with rejected = t.s.rejected + 1 };
+      out :=
+        ( port,
+          Sigmsg.v ~from_originator:false ~call_ref:m.Sigmsg.call_ref
+            Sigmsg.Release_complete [ Ie.cause 47 (* resource unavailable *) ] )
+        :: !out
+    end
+    else begin
+      let call =
+        {
+          in_port = port;
+          in_ref = m.Sigmsg.call_ref;
+          out_port;
+          out_ref = alloc_out_ref t;
+          up_state = Fsm.Null;
+          down_state = Fsm.Null;
+          vpi_vci = Some (0, alloc_vci t);
+          counted_connect = false;
+        }
+      in
+      Hashtbl.replace t.legs (call.in_port, call.in_ref) (call, Up);
+      Hashtbl.replace t.legs (call.out_port, call.out_ref) (call, Down);
+      t.s <- { t.s with setups_routed = t.s.setups_routed + 1 };
+      (* Upstream: behave as the terminating side of the caller's SETUP. *)
+      step t call Up (Fsm.Recv Sigmsg.Setup) out;
+      if t.auto_answer && out_port = t.local_port then begin
+        (* Locally terminated and auto-answered: the virtual callee is
+           already off-hook; offer the call upstream immediately. *)
+        call.down_state <- Fsm.Active;
+        step t call Up Fsm.Api_accept out
+      end
+      else
+        (* Downstream: originate toward the callee.  Rewrite the SETUP
+           with the original IEs plus the allocated VPI/VCI. *)
+        step t call Down Fsm.Api_setup out;
+      (* [step Down Api_setup] queued a bare SETUP; replace its IEs. *)
+      out :=
+        List.map
+          (fun (p, (sm : Sigmsg.t)) ->
+            if p = call.out_port && sm.Sigmsg.call_ref = call.out_ref
+               && sm.Sigmsg.typ = Sigmsg.Setup
+            then
+              ( p,
+                {
+                  sm with
+                  Sigmsg.ies =
+                    m.Sigmsg.ies
+                    @
+                    match call.vpi_vci with
+                    | Some (vpi, vci) -> [ Ie.vpc_vci ~vpi ~vci ]
+                    | None -> [];
+                } )
+            else (p, sm))
+          !out
+    end
+
+let cleanup t call =
+  if Fsm.is_terminal call.up_state && Fsm.is_terminal call.down_state then begin
+    Hashtbl.remove t.legs (call.in_port, call.in_ref);
+    Hashtbl.remove t.legs (call.out_port, call.out_ref);
+    t.s <- { t.s with calls_released = t.s.calls_released + 1 }
+  end
+
+let handle t ~port (m : Sigmsg.t) =
+  let out = ref [] in
+  (match Hashtbl.find_opt t.legs (port, m.Sigmsg.call_ref) with
+  | None -> (
+    match m.Sigmsg.typ with
+    | Sigmsg.Setup -> forward_setup t ~port m out
+    | Sigmsg.Release_complete | Sigmsg.Status ->
+      (* Late or stray completions are ignored, per Q.93B custom. *)
+      ()
+    | _ ->
+      t.s <- { t.s with protocol_errors = t.s.protocol_errors + 1 };
+      out :=
+        ( port,
+          Sigmsg.v ~from_originator:false ~call_ref:m.Sigmsg.call_ref
+            Sigmsg.Release_complete [ Ie.cause 81 (* invalid call ref *) ] )
+        :: !out)
+  | Some (call, leg) ->
+    step t call leg (Fsm.Recv m.Sigmsg.typ) out;
+    cleanup t call);
+  List.rev !out
+
+let vci_of_call t ~call_ref =
+  Hashtbl.fold
+    (fun _ (call, leg) acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if leg = Up && call.in_ref = call_ref then call.vpi_vci else None)
+    t.legs None

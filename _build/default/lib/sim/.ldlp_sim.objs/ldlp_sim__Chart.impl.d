@@ -1,0 +1,1 @@
+lib/sim/chart.ml: Array Buffer Char Float List Printf String Table

@@ -1,0 +1,62 @@
+type series = { label : string; points : (float * float) list }
+
+let glyph i s =
+  if String.length s.label > 0 then s.label.[0]
+  else Char.chr (Char.code 'a' + (i mod 26))
+
+let plot ?(width = 64) ?(height = 16) ?(logy = false) ?(x_label = "x")
+    ?(y_label = "y") series =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then "(no data)\n"
+  else begin
+    let xs = List.map fst all_points in
+    let tr_y y = if logy then log10 (Float.max y 1e-12) else y in
+    let ys = List.map (fun (_, y) -> tr_y y) all_points in
+    let xmin = List.fold_left Float.min infinity xs in
+    let xmax = List.fold_left Float.max neg_infinity xs in
+    let ymin = List.fold_left Float.min infinity ys in
+    let ymax = List.fold_left Float.max neg_infinity ys in
+    let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+    let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    let place c x y =
+      let col =
+        int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1))
+      in
+      let row =
+        height - 1
+        - int_of_float ((tr_y y -. ymin) /. yspan *. float_of_int (height - 1))
+      in
+      if col >= 0 && col < width && row >= 0 && row < height then
+        grid.(row).(col) <- c
+    in
+    List.iteri
+      (fun i s ->
+        let c = glyph i s in
+        List.iter (fun (x, y) -> place c x y) s.points)
+      series;
+    let buf = Buffer.create 1024 in
+    let untr v = if logy then 10.0 ** v else v in
+    Buffer.add_string buf
+      (Printf.sprintf "%s (top=%s bottom=%s%s)\n" y_label
+         (Table.fmt_si (untr ymax))
+         (Table.fmt_si (untr ymin))
+         (if logy then ", log scale" else ""));
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "  |";
+        Buffer.add_string buf (String.init width (fun i -> row.(i)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "   %s: %s .. %s   " x_label (Table.fmt_si xmin)
+         (Table.fmt_si xmax));
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf
+          (Printf.sprintf "[%c]=%s " (glyph i s) s.label))
+      series;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end

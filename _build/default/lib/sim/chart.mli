@@ -1,0 +1,17 @@
+(** Minimal ASCII line charts so the bench harness can show the *shape* of
+    each paper figure (who wins, where the crossover falls) directly in the
+    terminal, alongside the exact TSV series. *)
+
+type series = { label : string; points : (float * float) list }
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  ?logy:bool ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** Render series on one canvas.  Each series is drawn with a distinct
+    character (its label's first letter, falling back to [*]).  With [logy],
+    the y-axis is log10-scaled (non-positive values are clamped). *)

@@ -1,0 +1,43 @@
+type t = {
+  queue : (unit -> unit) Heap.t;
+  mutable now : float;
+  mutable stopped : bool;
+}
+
+let create () = { queue = Heap.create (); now = 0.0; stopped = false }
+
+let now t = t.now
+
+let at t time f =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.at: time %g is before now %g" time t.now);
+  Heap.push t.queue time f
+
+let after t dt f = at t (t.now +. dt) f
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.now <- time;
+    f ();
+    true
+
+let run ?until t =
+  t.stopped <- false;
+  let continue = ref true in
+  while !continue && not t.stopped do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some (time, _) -> (
+      match until with
+      | Some limit when time > limit ->
+        t.now <- limit;
+        continue := false
+      | _ -> ignore (step t))
+  done
+
+let pending t = Heap.size t.queue
+
+let stop t = t.stopped <- true

@@ -1,0 +1,100 @@
+(* Array-based binary min-heap.  A monotonically increasing sequence number
+   breaks priority ties so that equal-time events pop in insertion order;
+   without it, heap sift order would depend on internal layout and make
+   simulation runs sensitive to unrelated code changes. *)
+
+type 'a entry = { key : float; seq : int; v : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 64) () =
+  { data = [||]; len = 0; next_seq = capacity * 0 }
+
+let size h = h.len
+
+let is_empty h = h.len = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h e =
+  let cap = Array.length h.data in
+  if h.len >= cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let nd = Array.make ncap e in
+    Array.blit h.data 0 nd 0 h.len;
+    h.data <- nd
+  end
+
+let push h key v =
+  let e = { key; seq = h.next_seq; v } in
+  h.next_seq <- h.next_seq + 1;
+  grow h e;
+  h.data.(h.len) <- e;
+  h.len <- h.len + 1;
+  (* sift up *)
+  let i = ref (h.len - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    less e h.data.(p)
+  do
+    let p = (!i - 1) / 2 in
+    h.data.(!i) <- h.data.(p);
+    i := p
+  done;
+  h.data.(!i) <- e
+
+let sift_down h =
+  let e = h.data.(0) in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.len && less h.data.(l) (if !smallest = !i then e else h.data.(!smallest))
+    then smallest := l;
+    if r < h.len && less h.data.(r) (if !smallest = !i then e else h.data.(!smallest))
+    then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      h.data.(!i) <- h.data.(!smallest);
+      i := !smallest
+    end
+  done;
+  h.data.(!i) <- e
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h
+    end;
+    Some (top.key, top.v)
+  end
+
+let peek h = if h.len = 0 then None else Some (h.data.(0).key, h.data.(0).v)
+
+let clear h =
+  h.len <- 0;
+  h.data <- [||]
+
+let to_sorted_list h =
+  let copy =
+    {
+      data = Array.sub h.data 0 (max h.len (min 1 h.len));
+      len = h.len;
+      next_seq = h.next_seq;
+    }
+  in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some kv -> drain (kv :: acc)
+  in
+  drain []

@@ -1,0 +1,27 @@
+(** Binary min-heap keyed by [float] priorities.
+
+    Used as the event queue of the discrete-event {!Engine}: the smallest key
+    (earliest timestamp) is popped first.  Ties are broken by insertion order
+    (FIFO), which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty heap.  [capacity] pre-sizes the backing array. *)
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts [v] with priority [key]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key binding, FIFO among equal keys. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Non-destructive ascending dump (for tests and debugging). *)

@@ -1,0 +1,86 @@
+(* xoshiro256++ (Blackman & Vigna) with splitmix64 seeding.  All state is
+   int64; OCaml's boxed int64 arithmetic is fast enough for simulation use
+   (tens of millions of draws per second). *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let int64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let st = ref (int64 t) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let mask53 = 0x1FFFFFFFFFFFFFL
+
+let unit_float t =
+  Int64.to_float (Int64.logand (int64 t) mask53) /. 9007199254740992.0
+
+let float t bound = unit_float t *. bound
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: bias is < 2^-40 for bounds < 2^23. *)
+  Int64.to_int (Int64.rem (Int64.logand (int64 t) Int64.max_int) (Int64.of_int bound))
+
+let bool t p = unit_float t < p
+
+let exponential t ~mean =
+  let u = 1.0 -. unit_float t in
+  -.mean *. log u
+
+let pareto t ~shape ~scale =
+  let u = 1.0 -. unit_float t in
+  scale /. (u ** (1.0 /. shape))
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p out of (0,1]";
+  if p = 1.0 then 1
+  else
+    let u = 1.0 -. unit_float t in
+    1 + int_of_float (log u /. log (1.0 -. p))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

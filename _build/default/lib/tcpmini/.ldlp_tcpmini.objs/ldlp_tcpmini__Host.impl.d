@@ -1,0 +1,1 @@
+lib/tcpmini/host.ml: Bytes Ldlp_buf Ldlp_core Ldlp_packet List Option Pcb Sockbuf Tcp_input Tcp_output

@@ -1,0 +1,1 @@
+lib/tcpmini/host.mli: Ldlp_buf Ldlp_core Ldlp_packet Pcb

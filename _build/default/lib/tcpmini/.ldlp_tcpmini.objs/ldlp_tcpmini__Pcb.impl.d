@@ -1,0 +1,1 @@
+lib/tcpmini/pcb.ml: Hashtbl Ldlp_packet Printf Sockbuf

@@ -1,0 +1,1 @@
+lib/tcpmini/pcb.mli: Ldlp_packet Sockbuf

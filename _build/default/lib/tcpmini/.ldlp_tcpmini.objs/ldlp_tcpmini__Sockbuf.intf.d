@@ -1,0 +1,1 @@
+lib/tcpmini/sockbuf.mli:

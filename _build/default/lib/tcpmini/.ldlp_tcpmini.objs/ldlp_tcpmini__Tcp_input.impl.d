@@ -1,0 +1,1 @@
+lib/tcpmini/tcp_input.ml: Bytes Int32 Ldlp_buf Ldlp_packet Pcb Sockbuf

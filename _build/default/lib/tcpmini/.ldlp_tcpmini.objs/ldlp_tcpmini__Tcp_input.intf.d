@@ -1,0 +1,1 @@
+lib/tcpmini/tcp_input.mli: Ldlp_buf Ldlp_packet Pcb

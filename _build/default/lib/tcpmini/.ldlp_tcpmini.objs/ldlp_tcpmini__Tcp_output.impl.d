@@ -1,0 +1,1 @@
+lib/tcpmini/tcp_output.ml: Bytes Ldlp_packet

@@ -1,0 +1,1 @@
+lib/tcpmini/tcp_output.mli: Ldlp_packet

@@ -1,0 +1,245 @@
+module Pkt = Ldlp_packet
+module Mbuf = Ldlp_buf.Mbuf
+module Core = Ldlp_core
+
+type counters = {
+  frames_in : int;
+  non_ip : int;
+  non_tcp : int;
+  bad_ip : int;
+  delivered_bytes : int;
+}
+
+type item = { mutable buf : Mbuf.t; mutable src_ip : Pkt.Addr.Ipv4.t }
+
+type t = {
+  pool : Ldlp_buf.Pool.t;
+  mac : Pkt.Addr.Mac.t;
+  my_ip : Pkt.Addr.Ipv4.t;
+  gateway_mac : Pkt.Addr.Mac.t;
+  pcbs : Pcb.table;
+  reasm : Pkt.Reasm.t option;
+  mutable c : counters;
+  mutable ident : int;
+}
+
+let create ~pool ~mac ~ip ?(gateway_mac = Pkt.Addr.Mac.broadcast)
+    ?(reassemble = false) () =
+  {
+    pool;
+    mac;
+    my_ip = ip;
+    gateway_mac;
+    pcbs = Pcb.create_table ();
+    reasm = (if reassemble then Some (Pkt.Reasm.create ()) else None);
+    c = { frames_in = 0; non_ip = 0; non_tcp = 0; bad_ip = 0; delivered_bytes = 0 };
+    ident = 0;
+  }
+
+let wrap t m = { buf = m; src_ip = t.my_ip }
+
+let listen t ~port = Pcb.listen t.pcbs ~port ()
+
+let table t = t.pcbs
+
+let ip t = t.my_ip
+
+let counters t = t.c
+
+let build_frame t ~dst_ip segment =
+  let m = Mbuf.of_bytes t.pool segment in
+  t.ident <- (t.ident + 1) land 0xFFFF;
+  let m =
+    Pkt.Ipv4.encapsulate m
+      {
+        Pkt.Ipv4.ihl = 5;
+        tos = 0;
+        total_length = 0;
+        ident = t.ident;
+        dont_fragment = true;
+        more_fragments = false;
+        fragment_offset = 0;
+        ttl = 64;
+        protocol = Pkt.Ipv4.proto_tcp;
+        src = t.my_ip;
+        dst = dst_ip;
+      }
+  in
+  Pkt.Ethernet.encapsulate m
+    {
+      Pkt.Ethernet.dst = t.gateway_mac;
+      src = t.mac;
+      ethertype = Pkt.Ethernet.ethertype_ipv4;
+    }
+
+let reply_frame t (r : Tcp_input.reply) =
+  let segment =
+    Tcp_output.build ~src:t.my_ip ~dst:r.Tcp_input.dst
+      ~src_port:r.Tcp_input.src_port ~dst_port:r.Tcp_input.dst_port
+      ~seq:r.Tcp_input.seq ~ack:r.Tcp_input.ack ~flags:r.Tcp_input.flags
+      ~window:r.Tcp_input.window ()
+  in
+  build_frame t ~dst_ip:r.Tcp_input.dst segment
+
+let layers t =
+  let consume_bad m =
+    Mbuf.free t.pool m;
+    [ Core.Layer.Consume ]
+  in
+  let ether =
+    Core.Layer.v ~name:"ether"
+      ~fp:(Core.Layer.footprint ~code_bytes:4480 ~data_bytes:864 ())
+      (fun msg ->
+        t.c <- { t.c with frames_in = t.c.frames_in + 1 };
+        let m = msg.Core.Msg.payload.buf in
+        match Pkt.Ethernet.strip m with
+        | Ok h
+          when h.Pkt.Ethernet.ethertype = Pkt.Ethernet.ethertype_ipv4
+               && (Pkt.Addr.Mac.equal h.Pkt.Ethernet.dst t.mac
+                  || Pkt.Addr.Mac.is_broadcast h.Pkt.Ethernet.dst) ->
+          [ Core.Layer.Deliver_up msg ]
+        | Ok _ | Error _ ->
+          t.c <- { t.c with non_ip = t.c.non_ip + 1 };
+          consume_bad m)
+  in
+  let ip_layer =
+    Core.Layer.v ~name:"ip"
+      ~fp:(Core.Layer.footprint ~code_bytes:2784 ~data_bytes:480 ())
+      (fun msg ->
+        let m = msg.Core.Msg.payload.buf in
+        match Pkt.Ipv4.strip m with
+        | Ok h
+          when h.Pkt.Ipv4.protocol = Pkt.Ipv4.proto_tcp
+               && (not (Pkt.Ipv4.is_fragment h))
+               && Pkt.Addr.Ipv4.equal h.Pkt.Ipv4.dst t.my_ip ->
+          msg.Core.Msg.payload.src_ip <- h.Pkt.Ipv4.src;
+          [ Core.Layer.Deliver_up msg ]
+        | Ok h
+          when Pkt.Ipv4.is_fragment h
+               && h.Pkt.Ipv4.protocol = Pkt.Ipv4.proto_tcp
+               && Pkt.Addr.Ipv4.equal h.Pkt.Ipv4.dst t.my_ip
+               && t.reasm <> None -> (
+          (* Slow path: feed the reassembly queue; a completed datagram
+             continues up as a fresh contiguous chain. *)
+          let payload = Mbuf.to_bytes m in
+          Mbuf.free t.pool m;
+          match
+            Pkt.Reasm.input (Option.get t.reasm)
+              ~now:msg.Core.Msg.arrival h payload
+          with
+          | Pkt.Reasm.Complete (h, datagram) ->
+            msg.Core.Msg.payload.buf <- Mbuf.of_bytes t.pool datagram;
+            msg.Core.Msg.payload.src_ip <- h.Pkt.Ipv4.src;
+            [ Core.Layer.Deliver_up msg ]
+          | Pkt.Reasm.Pending -> [ Core.Layer.Consume ]
+          | Pkt.Reasm.Rejected _ ->
+            t.c <- { t.c with bad_ip = t.c.bad_ip + 1 };
+            [ Core.Layer.Consume ])
+        | Ok h when h.Pkt.Ipv4.protocol <> Pkt.Ipv4.proto_tcp ->
+          t.c <- { t.c with non_tcp = t.c.non_tcp + 1 };
+          consume_bad m
+        | Ok _ | Error _ ->
+          t.c <- { t.c with bad_ip = t.c.bad_ip + 1 };
+          consume_bad m)
+  in
+  let tcp =
+    Core.Layer.v ~name:"tcp"
+      ~fp:(Core.Layer.footprint ~code_bytes:5536 ~data_bytes:544 ())
+      (fun msg ->
+        let m = msg.Core.Msg.payload.buf in
+        let o =
+          Tcp_input.segment_arrived t.pcbs ~my_ip:t.my_ip
+            ~src_ip:msg.Core.Msg.payload.src_ip ~pool:t.pool m
+        in
+        t.c <- { t.c with delivered_bytes = t.c.delivered_bytes + o.Tcp_input.delivered };
+        let downs =
+          List.map
+            (fun r ->
+              let frame = reply_frame t r in
+              Core.Layer.Send_down
+                (Core.Msg.with_payload msg
+                   { buf = frame; src_ip = t.my_ip }
+                   ~size:(Mbuf.length frame)))
+            o.Tcp_input.replies
+        in
+        Core.Layer.Consume :: downs)
+  in
+  [ ether; ip_layer; tcp ]
+
+let connect t ~dst:(dst_ip, dst_port) ~src_port =
+  let pcb =
+    Pcb.insert_active t.pcbs ~local_port:src_port ~remote:(dst_ip, dst_port) ()
+  in
+  pcb.Pcb.snd_nxt <- Tcp_input.initial_send_seq;
+  let segment =
+    Tcp_output.build ~src:t.my_ip ~dst:dst_ip ~src_port ~dst_port
+      ~seq:pcb.Pcb.snd_nxt ~ack:0l ~flags:Pkt.Tcp.flag_syn
+      ~window:(Sockbuf.space pcb.Pcb.sockbuf) ()
+  in
+  pcb.Pcb.snd_nxt <- Pkt.Tcp.seq_add pcb.Pcb.snd_nxt 1;
+  (pcb, build_frame t ~dst_ip segment)
+
+let send t (pcb : Pcb.t) payload =
+  match (pcb.Pcb.state, pcb.Pcb.remote) with
+  | (Pcb.Established | Pcb.Close_wait), Some (rip, rport) ->
+    let segment =
+      Tcp_output.build ~src:t.my_ip ~dst:rip ~src_port:pcb.Pcb.local_port
+        ~dst_port:rport ~seq:pcb.Pcb.snd_nxt ~ack:pcb.Pcb.rcv_nxt
+        ~flags:(Pkt.Tcp.flag_ack lor Pkt.Tcp.flag_psh)
+        ~window:(Sockbuf.space pcb.Pcb.sockbuf)
+        ~payload ()
+    in
+    pcb.Pcb.snd_nxt <- Pkt.Tcp.seq_add pcb.Pcb.snd_nxt (Bytes.length payload);
+    Some (build_frame t ~dst_ip:rip segment)
+  | _ -> None
+
+let client_frame t ~src_ip ~src_port ~dst_port ~seq ~ack ~flags
+    ?(payload = Bytes.empty) () =
+  let segment =
+    Tcp_output.build ~src:src_ip ~dst:t.my_ip ~src_port ~dst_port ~seq ~ack
+      ~flags ~window:8760 ~payload ()
+  in
+  let m = Mbuf.of_bytes t.pool segment in
+  let m =
+    Pkt.Ipv4.encapsulate m
+      {
+        Pkt.Ipv4.ihl = 5;
+        tos = 0;
+        total_length = 0;
+        ident = 0;
+        dont_fragment = true;
+        more_fragments = false;
+        fragment_offset = 0;
+        ttl = 64;
+        protocol = Pkt.Ipv4.proto_tcp;
+        src = src_ip;
+        dst = t.my_ip;
+      }
+  in
+  Pkt.Ethernet.encapsulate m
+    {
+      Pkt.Ethernet.dst = t.mac;
+      src = Pkt.Addr.Mac.of_string "02:00:00:00:00:aa";
+      ethertype = Pkt.Ethernet.ethertype_ipv4;
+    }
+
+let parse_tx t item =
+  let m = item.buf in
+  let result =
+    match Pkt.Ethernet.strip m with
+    | Error _ -> None
+    | Ok _ -> (
+      match Pkt.Ipv4.strip ~verify_checksum:true m with
+      | Error _ -> None
+      | Ok _ -> (
+        let len = Mbuf.length m in
+        let hdr = Mbuf.copy_out m ~pos:0 ~len:(min len Pkt.Tcp.header_bytes) in
+        match Pkt.Tcp.parse hdr 0 (Bytes.length hdr) with
+        | Error _ -> None
+        | Ok (h, _) ->
+          let data_off = min len (h.Pkt.Tcp.data_offset * 4) in
+          let payload = Mbuf.copy_out m ~pos:data_off ~len:(len - data_off) in
+          Some (h, payload)))
+  in
+  Mbuf.free t.pool m;
+  result

@@ -1,0 +1,88 @@
+(** A miniature TCP/IP host: the full receive-and-acknowledge stack of the
+    paper's Section 2 (Ethernet input, IP input, TCP input with socket
+    buffers, and the ACK transmit path), packaged as {!Ldlp_core} layers so
+    it can run under conventional or LDLP scheduling unchanged.
+
+    The host consumes raw Ethernet frames (as mbuf chains) and produces
+    raw Ethernet frames (ACKs, SYN-ACKs, RSTs) through the stack's
+    downward sink. *)
+
+type t
+
+type item = { mutable buf : Ldlp_buf.Mbuf.t; mutable src_ip : Ldlp_packet.Addr.Ipv4.t }
+(** What flows through the stack: the frame (headers stripped as it
+    climbs) plus the IP source recorded by the IP layer for TCP's
+    pseudo-header.  Per-message state must live in the payload — a blocked
+    (LDLP) schedule runs a whole batch through one layer before the next
+    layer sees any of it, so side-channels through the stack object would
+    be overwritten. *)
+
+val create :
+  pool:Ldlp_buf.Pool.t ->
+  mac:Ldlp_packet.Addr.Mac.t ->
+  ip:Ldlp_packet.Addr.Ipv4.t ->
+  ?gateway_mac:Ldlp_packet.Addr.Mac.t ->
+  ?reassemble:bool ->
+  unit ->
+  t
+(** [gateway_mac] is the destination of every transmitted frame (no ARP;
+    default the broadcast address).  With [reassemble] (default false —
+    the paper's traced fast path drops fragments), the IP layer runs the
+    {!Ldlp_packet.Reasm} slow path, using message arrival times as the
+    reassembly clock. *)
+
+val listen : t -> port:int -> Pcb.t
+(** Open a listening socket; incoming connections clone it. *)
+
+val layers : t -> item Ldlp_core.Layer.t list
+(** The stack, bottom-first: ether, ip, tcp.  Feed frames with
+    [Sched.inject] (wrap them with {!wrap}); transmitted frames appear at
+    the scheduler's [down] sink as complete Ethernet frames. *)
+
+val wrap : t -> Ldlp_buf.Mbuf.t -> item
+
+val table : t -> Pcb.table
+
+val ip : t -> Ldlp_packet.Addr.Ipv4.t
+
+type counters = {
+  frames_in : int;
+  non_ip : int;
+  non_tcp : int;
+  bad_ip : int;
+  delivered_bytes : int;
+}
+
+val counters : t -> counters
+
+val connect :
+  t -> dst:Ldlp_packet.Addr.Ipv4.t * int -> src_port:int -> Pcb.t * Ldlp_buf.Mbuf.t
+(** Active open: create a [Syn_sent] PCB and the SYN frame to transmit.
+    The connection completes when the peer's SYN-ACK arrives through the
+    receive stack. *)
+
+val send : t -> Pcb.t -> bytes -> Ldlp_buf.Mbuf.t option
+(** Application send: build a data segment (with PSH|ACK) on an
+    established connection, advancing [snd_nxt].  Returns the complete
+    Ethernet frame to transmit, or [None] if the connection cannot send
+    (listening/closed). *)
+
+(** {1 Client-side helpers (for tests, examples and benchmarks)} *)
+
+val client_frame :
+  t ->
+  src_ip:Ldlp_packet.Addr.Ipv4.t ->
+  src_port:int ->
+  dst_port:int ->
+  seq:int32 ->
+  ack:int32 ->
+  flags:int ->
+  ?payload:bytes ->
+  unit ->
+  Ldlp_buf.Mbuf.t
+(** A complete, checksummed Ethernet+IP+TCP frame addressed to this host. *)
+
+val parse_tx :
+  t -> item -> (Ldlp_packet.Tcp.header * bytes) option
+(** Decode a frame the host transmitted (for driving handshakes in
+    tests); frees the chain. *)

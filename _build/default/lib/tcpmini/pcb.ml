@@ -1,0 +1,121 @@
+module Ipv4 = Ldlp_packet.Addr.Ipv4
+
+type state = Listen | Syn_sent | Syn_received | Established | Close_wait | Closed
+
+let state_name = function
+  | Listen -> "listen"
+  | Syn_sent -> "syn-sent"
+  | Syn_received -> "syn-received"
+  | Established -> "established"
+  | Close_wait -> "close-wait"
+  | Closed -> "closed"
+
+type t = {
+  local_port : int;
+  mutable remote : (Ipv4.t * int) option;
+  mutable state : state;
+  mutable irs : int32;
+  mutable rcv_nxt : int32;
+  mutable snd_nxt : int32;
+  mutable delayed_ack : int;
+  sockbuf : Sockbuf.t;
+}
+
+type key = int * int32 * int (* local port, remote ip, remote port *)
+
+type stats = {
+  lookups : int;
+  cache_hits : int;
+  allocated : int;
+  freed : int;
+}
+
+type table = {
+  conns : (key, t) Hashtbl.t;
+  listeners : (int, t) Hashtbl.t;
+  mutable cache : (key * t) option;  (* the paper's single-entry PCB cache *)
+  mutable s : stats;
+}
+
+let create_table () =
+  {
+    conns = Hashtbl.create 64;
+    listeners = Hashtbl.create 8;
+    cache = None;
+    s = { lookups = 0; cache_hits = 0; allocated = 0; freed = 0 };
+  }
+
+let fresh ~local_port ~state ?(hiwat = 16384) () =
+  {
+    local_port;
+    remote = None;
+    state;
+    irs = 0l;
+    rcv_nxt = 0l;
+    snd_nxt = 1l;
+    delayed_ack = 0;
+    sockbuf = Sockbuf.create ~hiwat ();
+  }
+
+let listen table ~port ?hiwat () =
+  if Hashtbl.mem table.listeners port then
+    invalid_arg (Printf.sprintf "Pcb.listen: port %d already bound" port);
+  let pcb = fresh ~local_port:port ~state:Listen ?hiwat () in
+  Hashtbl.replace table.listeners port pcb;
+  table.s <- { table.s with allocated = table.s.allocated + 1 };
+  pcb
+
+let key ~local_port ~remote:(rip, rport) = (local_port, Ipv4.to_int32 rip, rport)
+
+let lookup table ~local_port ~remote =
+  table.s <- { table.s with lookups = table.s.lookups + 1 };
+  let k = key ~local_port ~remote in
+  match table.cache with
+  | Some (ck, pcb) when ck = k ->
+    table.s <- { table.s with cache_hits = table.s.cache_hits + 1 };
+    Some pcb
+  | _ -> (
+    match Hashtbl.find_opt table.conns k with
+    | Some pcb ->
+      table.cache <- Some (k, pcb);
+      Some pcb
+    | None -> Hashtbl.find_opt table.listeners local_port)
+
+let insert_connection table ~listener ~remote =
+  let pcb =
+    fresh ~local_port:listener.local_port ~state:Syn_received
+      ~hiwat:(Sockbuf.hiwat listener.sockbuf) ()
+  in
+  pcb.remote <- Some remote;
+  let k = key ~local_port:listener.local_port ~remote in
+  Hashtbl.replace table.conns k pcb;
+  table.cache <- Some (k, pcb);
+  table.s <- { table.s with allocated = table.s.allocated + 1 };
+  pcb
+
+let insert_active table ~local_port ~remote ?(hiwat = 16384) () =
+  let k = key ~local_port ~remote in
+  if Hashtbl.mem table.conns k then
+    invalid_arg "Pcb.insert_active: connection exists";
+  let pcb = fresh ~local_port ~state:Syn_sent ~hiwat () in
+  pcb.remote <- Some remote;
+  Hashtbl.replace table.conns k pcb;
+  table.cache <- Some (k, pcb);
+  table.s <- { table.s with allocated = table.s.allocated + 1 };
+  pcb
+
+let drop table pcb =
+  match pcb.remote with
+  | None -> ()
+  | Some remote ->
+    let k = key ~local_port:pcb.local_port ~remote in
+    Hashtbl.remove table.conns k;
+    (match table.cache with
+    | Some (ck, _) when ck = k -> table.cache <- None
+    | _ -> ());
+    pcb.state <- Closed;
+    table.s <- { table.s with freed = table.s.freed + 1 }
+
+let connections table = Hashtbl.length table.conns
+
+let stats table = table.s

@@ -1,0 +1,73 @@
+(** Protocol control blocks and their lookup table.
+
+    The paper's traced path notes "the single-entry PCB cache hits" on its
+    fast path; this table reproduces that structure: a hash table of
+    connections keyed by the (local port, remote address, remote port)
+    tuple, fronted by a one-entry cache of the last connection that
+    received a segment.  Statistics expose the cache hit rate so the
+    fast-path behaviour is observable. *)
+
+type state =
+  | Listen
+  | Syn_sent  (** Active open: SYN transmitted, awaiting SYN-ACK. *)
+  | Syn_received
+  | Established
+  | Close_wait  (** Peer sent FIN; we still may deliver buffered data. *)
+  | Closed
+
+val state_name : state -> string
+
+type t = {
+  local_port : int;
+  mutable remote : (Ldlp_packet.Addr.Ipv4.t * int) option;
+      (** None while listening. *)
+  mutable state : state;
+  mutable irs : int32;  (** Initial receive sequence number. *)
+  mutable rcv_nxt : int32;
+  mutable snd_nxt : int32;
+  mutable delayed_ack : int;
+      (** Segments received since the last ACK was sent; 4.4BSD acks every
+          second data segment. *)
+  sockbuf : Sockbuf.t;
+}
+
+type table
+
+type stats = {
+  lookups : int;
+  cache_hits : int;
+  allocated : int;
+  freed : int;
+}
+
+val create_table : unit -> table
+
+val listen : table -> port:int -> ?hiwat:int -> unit -> t
+(** Install a listening PCB; raises [Invalid_argument] if the port is
+    taken. *)
+
+val lookup :
+  table -> local_port:int -> remote:Ldlp_packet.Addr.Ipv4.t * int -> t option
+(** Connection lookup with the one-entry cache: an exact match first (from
+    cache, then table), else a listener on [local_port]. *)
+
+val insert_connection :
+  table -> listener:t -> remote:Ldlp_packet.Addr.Ipv4.t * int -> t
+(** Clone a listener into a connected PCB for [remote]. *)
+
+val insert_active :
+  table ->
+  local_port:int ->
+  remote:Ldlp_packet.Addr.Ipv4.t * int ->
+  ?hiwat:int ->
+  unit ->
+  t
+(** Active open: a [Syn_sent] PCB for an outgoing connection.  Raises
+    [Invalid_argument] if the (port, remote) pair is taken. *)
+
+val drop : table -> t -> unit
+(** Remove a connected PCB (RST or full close). *)
+
+val connections : table -> int
+
+val stats : table -> stats

@@ -1,0 +1,49 @@
+type t = {
+  hiwat : int;
+  chunks : bytes Queue.t;
+  mutable len : int;
+  mutable wakeups : int;
+  mutable read_off : int;  (* consumed prefix of the front chunk *)
+}
+
+let create ?(hiwat = 16384) () =
+  if hiwat <= 0 then invalid_arg "Sockbuf.create: hiwat must be positive";
+  { hiwat; chunks = Queue.create (); len = 0; wakeups = 0; read_off = 0 }
+
+let hiwat t = t.hiwat
+
+let length t = t.len
+
+let space t = max 0 (t.hiwat - t.len)
+
+let append t data =
+  let accept = min (Bytes.length data) (space t) in
+  if accept > 0 then begin
+    if t.len = 0 then t.wakeups <- t.wakeups + 1;
+    Queue.push (Bytes.sub data 0 accept) t.chunks;
+    t.len <- t.len + accept
+  end;
+  accept
+
+let read t n =
+  let n = min n t.len in
+  let out = Bytes.create n in
+  let pos = ref 0 in
+  while !pos < n do
+    let front = Queue.peek t.chunks in
+    let avail = Bytes.length front - t.read_off in
+    let take = min avail (n - !pos) in
+    Bytes.blit front t.read_off out !pos take;
+    pos := !pos + take;
+    t.read_off <- t.read_off + take;
+    if t.read_off = Bytes.length front then begin
+      ignore (Queue.pop t.chunks);
+      t.read_off <- 0
+    end
+  done;
+  t.len <- t.len - n;
+  out
+
+let read_all t = read t t.len
+
+let wakeups t = t.wakeups

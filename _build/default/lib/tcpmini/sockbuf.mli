@@ -1,0 +1,33 @@
+(** Socket receive buffer — the [sbappend]/[soreceive] pair of the paper's
+    Table 2 path, reduced to its data plane.
+
+    Bytes appended by the protocol accumulate until the application reads
+    them; a high-water mark bounds occupancy and determines the window the
+    protocol advertises. *)
+
+type t
+
+val create : ?hiwat:int -> unit -> t
+(** Default high-water mark 16384 bytes. *)
+
+val hiwat : t -> int
+
+val length : t -> int
+(** Unread bytes. *)
+
+val space : t -> int
+(** Room left before the high-water mark (never negative). *)
+
+val append : t -> bytes -> int
+(** [append sb data] appends as much of [data] as fits; returns the number
+    of bytes accepted. *)
+
+val read : t -> int -> bytes
+(** [read sb n] removes and returns up to [n] bytes (the [soreceive]
+    copyout). *)
+
+val read_all : t -> bytes
+
+val wakeups : t -> int
+(** How many times an append made data available to a sleeping reader
+    (transitions from empty to non-empty — the [sowakeup] count). *)

@@ -1,0 +1,246 @@
+module Tcp = Ldlp_packet.Tcp
+module Mbuf = Ldlp_buf.Mbuf
+
+type reply = {
+  dst : Ldlp_packet.Addr.Ipv4.t;
+  src_port : int;
+  dst_port : int;
+  seq : int32;
+  ack : int32;
+  flags : int;
+  window : int;
+}
+
+type drop_reason = [ `Bad_checksum | `Parse_failed | `No_pcb | `Bad_state ]
+
+type outcome = {
+  pcb : Pcb.t option;
+  delivered : int;
+  replies : reply list;
+  fastpath : bool;
+  dropped : drop_reason option;
+}
+
+type stats = { fastpath_hits : int; slowpath : int; acks_sent : int; drops : int }
+
+let counters = ref { fastpath_hits = 0; slowpath = 0; acks_sent = 0; drops = 0 }
+
+let stats () = !counters
+
+let reset_stats () =
+  counters := { fastpath_hits = 0; slowpath = 0; acks_sent = 0; drops = 0 }
+
+let initial_send_seq = 1000l
+
+let drop ?pcb reason =
+  counters := { !counters with drops = !counters.drops + 1 };
+  { pcb; delivered = 0; replies = []; fastpath = false; dropped = Some reason }
+
+let reply_of ~src_ip (h : Tcp.header) (pcb : Pcb.t) ~flags =
+  counters := { !counters with acks_sent = !counters.acks_sent + 1 };
+  {
+    dst = src_ip;
+    src_port = pcb.Pcb.local_port;
+    dst_port = h.Tcp.src_port;
+    seq = pcb.Pcb.snd_nxt;
+    ack = pcb.Pcb.rcv_nxt;
+    flags;
+    window = Sockbuf.space pcb.Pcb.sockbuf;
+  }
+
+(* RST in answer to a segment for which no connection exists (RFC 793's
+   reset generation for the CLOSED state). *)
+let rst_for ~src_ip (h : Tcp.header) ~dst_port ~payload_len =
+  if Tcp.has_flag h Tcp.flag_rst then []
+  else if Tcp.has_flag h Tcp.flag_ack then
+    [
+      {
+        dst = src_ip;
+        src_port = dst_port;
+        dst_port = h.Tcp.src_port;
+        seq = h.Tcp.ack;
+        ack = 0l;
+        flags = Tcp.flag_rst;
+        window = 0;
+      };
+    ]
+  else
+    [
+      {
+        dst = src_ip;
+        src_port = dst_port;
+        dst_port = h.Tcp.src_port;
+        seq = 0l;
+        ack = Tcp.seq_add h.Tcp.seq (payload_len + if Tcp.has_flag h Tcp.flag_syn then 1 else 0);
+        flags = Tcp.flag_rst lor Tcp.flag_ack;
+        window = 0;
+      };
+    ]
+
+let established_input table ~src_ip pcb (h : Tcp.header) payload =
+  let len = Bytes.length payload in
+  if Tcp.has_flag h Tcp.flag_rst then begin
+    Pcb.drop table pcb;
+    { pcb = Some pcb; delivered = 0; replies = []; fastpath = false; dropped = None }
+  end
+  else if
+    (* Header prediction (the 4.4BSD fast path the paper's trace hits):
+       established state, nothing but ACK/PSH set, exactly the expected
+       sequence number, data present, room in the buffer. *)
+    pcb.Pcb.state = Pcb.Established
+    && h.Tcp.flags land lnot (Tcp.flag_ack lor Tcp.flag_psh) = 0
+    && Int32.equal h.Tcp.seq pcb.Pcb.rcv_nxt
+    && len > 0
+    && Sockbuf.space pcb.Pcb.sockbuf >= len
+  then begin
+    counters := { !counters with fastpath_hits = !counters.fastpath_hits + 1 };
+    let accepted = Sockbuf.append pcb.Pcb.sockbuf payload in
+    pcb.Pcb.rcv_nxt <- Tcp.seq_add pcb.Pcb.rcv_nxt accepted;
+    pcb.Pcb.delayed_ack <- pcb.Pcb.delayed_ack + 1;
+    let replies =
+      if pcb.Pcb.delayed_ack >= 2 then begin
+        pcb.Pcb.delayed_ack <- 0;
+        [ reply_of ~src_ip h pcb ~flags:Tcp.flag_ack ]
+      end
+      else []
+    in
+    { pcb = Some pcb; delivered = accepted; replies; fastpath = true; dropped = None }
+  end
+  else begin
+    counters := { !counters with slowpath = !counters.slowpath + 1 };
+    (* Slow path: in-order FIN, out-of-order data, window probes... *)
+    let in_order = Int32.equal h.Tcp.seq pcb.Pcb.rcv_nxt in
+    let delivered =
+      if in_order && len > 0 && pcb.Pcb.state = Pcb.Established then begin
+        let accepted = Sockbuf.append pcb.Pcb.sockbuf payload in
+        pcb.Pcb.rcv_nxt <- Tcp.seq_add pcb.Pcb.rcv_nxt accepted;
+        accepted
+      end
+      else 0
+    in
+    let fin_processed =
+      in_order && Tcp.has_flag h Tcp.flag_fin
+      && pcb.Pcb.state = Pcb.Established
+      && delivered = len
+    in
+    if fin_processed then begin
+      pcb.Pcb.rcv_nxt <- Tcp.seq_add pcb.Pcb.rcv_nxt 1;
+      pcb.Pcb.state <- Pcb.Close_wait
+    end;
+    (* The slow path always acknowledges immediately: duplicate and
+       out-of-order segments trigger the classic dup-ACK. *)
+    pcb.Pcb.delayed_ack <- 0;
+    {
+      pcb = Some pcb;
+      delivered;
+      replies = [ reply_of ~src_ip h pcb ~flags:Tcp.flag_ack ];
+      fastpath = false;
+      dropped = None;
+    }
+  end
+
+let segment_arrived table ~my_ip ~src_ip ~pool m =
+  if not (Tcp.verify_checksum ~src:src_ip ~dst:my_ip m) then begin
+    Mbuf.free pool m;
+    drop `Bad_checksum
+  end
+  else begin
+    let m = Mbuf.pullup pool m (min (Mbuf.length m) Tcp.header_bytes) in
+    let hdr_len = min (Mbuf.length m) Tcp.header_bytes in
+    let hdr = Mbuf.copy_out m ~pos:0 ~len:hdr_len in
+    match Tcp.parse hdr 0 hdr_len with
+    | Error _ ->
+      Mbuf.free pool m;
+      drop `Parse_failed
+    | Ok (h, _) ->
+      Mbuf.adj m (min (Mbuf.length m) (h.Tcp.data_offset * 4));
+      let payload = Mbuf.to_bytes m in
+      Mbuf.free pool m;
+      let remote = (src_ip, h.Tcp.src_port) in
+      (match Pcb.lookup table ~local_port:h.Tcp.dst_port ~remote with
+      | None ->
+        let o = drop `No_pcb in
+        {
+          o with
+          replies =
+            rst_for ~src_ip h ~dst_port:h.Tcp.dst_port
+              ~payload_len:(Bytes.length payload);
+        }
+      | Some pcb -> (
+        match pcb.Pcb.state with
+        | Pcb.Listen ->
+          if Tcp.has_flag h Tcp.flag_syn && not (Tcp.has_flag h Tcp.flag_ack)
+          then begin
+            counters := { !counters with slowpath = !counters.slowpath + 1 };
+            let conn = Pcb.insert_connection table ~listener:pcb ~remote in
+            conn.Pcb.irs <- h.Tcp.seq;
+            conn.Pcb.rcv_nxt <- Tcp.seq_add h.Tcp.seq 1;
+            conn.Pcb.snd_nxt <- initial_send_seq;
+            let reply =
+              reply_of ~src_ip h conn ~flags:(Tcp.flag_syn lor Tcp.flag_ack)
+            in
+            conn.Pcb.snd_nxt <- Tcp.seq_add conn.Pcb.snd_nxt 1;
+            {
+              pcb = Some conn;
+              delivered = 0;
+              replies = [ reply ];
+              fastpath = false;
+              dropped = None;
+            }
+          end
+          else begin
+            let o = drop ~pcb `Bad_state in
+            {
+              o with
+              replies =
+                rst_for ~src_ip h ~dst_port:h.Tcp.dst_port
+                  ~payload_len:(Bytes.length payload);
+            }
+          end
+        | Pcb.Syn_received ->
+          counters := { !counters with slowpath = !counters.slowpath + 1 };
+          if Tcp.has_flag h Tcp.flag_rst then begin
+            Pcb.drop table pcb;
+            { pcb = Some pcb; delivered = 0; replies = []; fastpath = false; dropped = None }
+          end
+          else if
+            Tcp.has_flag h Tcp.flag_ack
+            && Int32.equal h.Tcp.ack pcb.Pcb.snd_nxt
+          then begin
+            pcb.Pcb.state <- Pcb.Established;
+            (* The handshake ACK may carry data; reprocess it through the
+               established path. *)
+            if Bytes.length payload > 0 then
+              established_input table ~src_ip pcb h payload
+            else
+              { pcb = Some pcb; delivered = 0; replies = []; fastpath = false; dropped = None }
+          end
+          else drop ~pcb `Bad_state
+        | Pcb.Syn_sent ->
+          counters := { !counters with slowpath = !counters.slowpath + 1 };
+          if Tcp.has_flag h Tcp.flag_rst then begin
+            Pcb.drop table pcb;
+            { pcb = Some pcb; delivered = 0; replies = []; fastpath = false; dropped = None }
+          end
+          else if
+            Tcp.has_flag h Tcp.flag_syn
+            && Tcp.has_flag h Tcp.flag_ack
+            && Int32.equal h.Tcp.ack pcb.Pcb.snd_nxt
+          then begin
+            (* Active open completes: record the server's ISN and ack it. *)
+            pcb.Pcb.irs <- h.Tcp.seq;
+            pcb.Pcb.rcv_nxt <- Tcp.seq_add h.Tcp.seq 1;
+            pcb.Pcb.state <- Pcb.Established;
+            {
+              pcb = Some pcb;
+              delivered = 0;
+              replies = [ reply_of ~src_ip h pcb ~flags:Tcp.flag_ack ];
+              fastpath = false;
+              dropped = None;
+            }
+          end
+          else drop ~pcb `Bad_state
+        | Pcb.Established | Pcb.Close_wait ->
+          established_input table ~src_ip pcb h payload
+        | Pcb.Closed -> drop ~pcb `Bad_state))
+  end

@@ -1,0 +1,17 @@
+(** TCP segment construction (the [tcp_output] half of the paper's traced
+    path, reduced to what the receive side needs: ACKs, SYN-ACKs, RSTs and
+    small data segments). *)
+
+val build :
+  src:Ldlp_packet.Addr.Ipv4.t ->
+  dst:Ldlp_packet.Addr.Ipv4.t ->
+  src_port:int ->
+  dst_port:int ->
+  seq:int32 ->
+  ack:int32 ->
+  flags:int ->
+  window:int ->
+  ?payload:bytes ->
+  unit ->
+  bytes
+(** A complete TCP segment (header + payload) with a correct checksum. *)

@@ -1,0 +1,1 @@
+lib/trace/analyze.ml: Event Funcmap Hashtbl Ldlp_cache List Tracebuf

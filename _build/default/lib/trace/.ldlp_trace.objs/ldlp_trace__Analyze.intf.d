@@ -1,0 +1,1 @@
+lib/trace/analyze.mli: Event Funcmap Tracebuf

@@ -1,0 +1,1 @@
+lib/trace/funcmap.ml: List

@@ -1,0 +1,1 @@
+lib/trace/relayout.ml: Array Event Ldlp_cache List Tracebuf

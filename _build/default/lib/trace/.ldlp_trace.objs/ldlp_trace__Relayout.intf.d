@@ -1,0 +1,1 @@
+lib/trace/relayout.mli: Ldlp_cache Tracebuf

@@ -1,0 +1,1 @@
+lib/trace/synth.ml: Array Event Float Funcmap Ldlp_cache Ldlp_sim List Tracebuf

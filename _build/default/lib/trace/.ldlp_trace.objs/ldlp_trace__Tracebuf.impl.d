@@ -1,0 +1,1 @@
+lib/trace/tracebuf.ml: Array Event

@@ -1,0 +1,149 @@
+type category =
+  | Device
+  | Ip
+  | Tcp
+  | Socket_low
+  | Socket_high
+  | Kernel_entry
+  | Process_ctl
+  | Buffer_mgmt
+  | Common
+  | Copy_cksum
+
+let categories =
+  [
+    Device;
+    Ip;
+    Tcp;
+    Socket_low;
+    Socket_high;
+    Kernel_entry;
+    Process_ctl;
+    Buffer_mgmt;
+    Common;
+    Copy_cksum;
+  ]
+
+let category_name = function
+  | Device -> "Device/Ethernet"
+  | Ip -> "IP"
+  | Tcp -> "TCP"
+  | Socket_low -> "Socket low"
+  | Socket_high -> "Socket high"
+  | Kernel_entry -> "Kernel entry/exit"
+  | Process_ctl -> "Process control"
+  | Buffer_mgmt -> "Buffer mgmt"
+  | Common -> "Common"
+  | Copy_cksum -> "Copy, checksum"
+
+type func = {
+  name : string;
+  size : int;
+  category : category;
+  weight : float * float * float;
+}
+
+(* Function sizes transcribed from Figure 1.  Weights are (entry, packet
+   interrupt, exit) activity from Table 2's phase narrative: the receive
+   interrupt runs the driver, IP and TCP input, and socket append; the exit
+   phase runs soreceive, the copy to user space, and the ACK transmit path. *)
+let functions =
+  [
+    (* Lance Ethernet driver and link layer *)
+    { name = "leintr"; size = 3264; category = Device; weight = (0., 1., 0.) };
+    { name = "lestart"; size = 1824; category = Device; weight = (0., 0.2, 0.8) };
+    { name = "lewritereg"; size = 216; category = Device; weight = (0., 0.6, 0.4) };
+    { name = "asic_intr"; size = 392; category = Device; weight = (0., 1., 0.) };
+    { name = "tc_3000_500_iointr"; size = 848; category = Device; weight = (0., 1., 0.) };
+    { name = "copyfrombuf_gap2"; size = 240; category = Device; weight = (0., 1., 0.) };
+    { name = "copyfrombuf_gap16"; size = 208; category = Device; weight = (0., 1., 0.) };
+    { name = "copytobuf_gap2"; size = 256; category = Device; weight = (0., 0., 1.) };
+    { name = "copytobuf_gap16"; size = 208; category = Device; weight = (0., 0., 1.) };
+    { name = "zerobuf_gap16"; size = 184; category = Device; weight = (0., 0.5, 0.5) };
+    { name = "ether_input"; size = 2728; category = Device; weight = (0., 1., 0.) };
+    { name = "ether_output"; size = 3632; category = Device; weight = (0., 0., 1.) };
+    { name = "netintr"; size = 344; category = Device; weight = (0., 1., 0.) };
+    { name = "do_sir"; size = 200; category = Device; weight = (0., 1., 0.) };
+    (* IP *)
+    { name = "ipintr"; size = 2648; category = Ip; weight = (0., 1., 0.) };
+    { name = "ip_output"; size = 5120; category = Ip; weight = (0., 0., 1.) };
+    { name = "arpresolve"; size = 944; category = Ip; weight = (0., 0., 1.) };
+    { name = "in_broadcast"; size = 288; category = Ip; weight = (0., 0., 1.) };
+    (* TCP *)
+    { name = "tcp_input"; size = 11872; category = Tcp; weight = (0., 1., 0.) };
+    { name = "tcp_output"; size = 4872; category = Tcp; weight = (0., 0., 1.) };
+    { name = "tcp_usrreq"; size = 2352; category = Tcp; weight = (0., 0., 1.) };
+    (* Socket buffer layer *)
+    { name = "soreceive"; size = 5536; category = Socket_low; weight = (0.25, 0., 1.) };
+    { name = "sbappend"; size = 160; category = Socket_low; weight = (0., 1., 0.) };
+    { name = "sbcompress"; size = 704; category = Socket_low; weight = (0., 1., 0.) };
+    { name = "sbwait"; size = 160; category = Socket_low; weight = (1., 0., 0.) };
+    { name = "sowakeup"; size = 360; category = Socket_low; weight = (0., 1., 0.) };
+    { name = "selwakeup"; size = 456; category = Socket_low; weight = (0., 1., 0.) };
+    (* File descriptor layer *)
+    { name = "read"; size = 312; category = Socket_high; weight = (1., 0., 0.5) };
+    { name = "soo_read"; size = 80; category = Socket_high; weight = (1., 0., 0.5) };
+    { name = "uiomove"; size = 424; category = Socket_high; weight = (0., 0., 1.) };
+    (* Kernel entry/exit *)
+    { name = "syscall"; size = 1176; category = Kernel_entry; weight = (0.7, 0., 0.7) };
+    { name = "trap"; size = 2008; category = Kernel_entry; weight = (0.5, 0., 0.5) };
+    { name = "XentInt"; size = 208; category = Kernel_entry; weight = (0., 1., 0.) };
+    { name = "XentSys"; size = 148; category = Kernel_entry; weight = (1., 0., 1.) };
+    { name = "rei"; size = 320; category = Kernel_entry; weight = (0.5, 0.5, 0.5) };
+    { name = "interrupt"; size = 184; category = Kernel_entry; weight = (0., 1., 0.) };
+    { name = "pal_swpipl"; size = 8; category = Kernel_entry; weight = (0.3, 1., 0.3) };
+    (* Process control *)
+    { name = "tsleep"; size = 1096; category = Process_ctl; weight = (0.6, 0., 0.6) };
+    { name = "mi_switch"; size = 520; category = Process_ctl; weight = (0.6, 0., 0.6) };
+    { name = "cpu_switch"; size = 460; category = Process_ctl; weight = (0.6, 0., 0.6) };
+    { name = "wakeup"; size = 488; category = Process_ctl; weight = (0., 1., 0.) };
+    { name = "setrunqueue"; size = 176; category = Process_ctl; weight = (0., 1., 0.) };
+    { name = "idle"; size = 68; category = Process_ctl; weight = (0., 1., 0.) };
+    { name = "spl0"; size = 136; category = Process_ctl; weight = (0.4, 0.8, 0.4) };
+    (* Buffer management *)
+    { name = "malloc"; size = 1608; category = Buffer_mgmt; weight = (0., 0.8, 0.5) };
+    { name = "free"; size = 856; category = Buffer_mgmt; weight = (0., 0.4, 0.9) };
+    { name = "m_adj"; size = 376; category = Buffer_mgmt; weight = (0., 0., 1.) };
+    (* mbuf get/put and socket-buffer space accounting inlined throughout
+       4.4BSD; unlabeled in Figure 1 but present in the Table 1 totals. *)
+    { name = "mbuf_unlabeled"; size = 3200; category = Buffer_mgmt; weight = (0., 0.6, 0.6) };
+    (* Common support *)
+    { name = "microtime"; size = 288; category = Common; weight = (0., 1., 0.5) };
+    { name = "ntohl"; size = 64; category = Common; weight = (0., 1., 0.) };
+    { name = "ntohs"; size = 32; category = Common; weight = (0., 1., 0.) };
+    { name = "bzero"; size = 184; category = Common; weight = (0., 0.5, 0.8) };
+    { name = "common_unlabeled"; size = 1600; category = Common; weight = (0., 0.7, 0.7) };
+    (* Copy and checksum *)
+    { name = "in_cksum"; size = 1104; category = Copy_cksum; weight = (0., 1., 0.3) };
+    { name = "bcopy"; size = 620; category = Copy_cksum; weight = (0., 0.3, 1.) };
+    { name = "copyout"; size = 132; category = Copy_cksum; weight = (0., 0., 1.) };
+    { name = "copy_unlabeled"; size = 1600; category = Copy_cksum; weight = (0., 0.3, 1.) };
+  ]
+
+type target = { code : int; ro : int; mut : int }
+
+(* Table 1 rows (bytes at 32-byte-line granularity). *)
+let target = function
+  | Device -> { code = 4480; ro = 864; mut = 672 }
+  | Ip -> { code = 2784; ro = 480; mut = 128 }
+  | Tcp -> { code = 3168; ro = 448; mut = 160 }
+  | Socket_low -> { code = 5536; ro = 544; mut = 448 }
+  | Socket_high -> { code = 608; ro = 32; mut = 160 }
+  | Kernel_entry -> { code = 1184; ro = 256; mut = 64 }
+  | Process_ctl -> { code = 2208; ro = 1280; mut = 640 }
+  | Buffer_mgmt -> { code = 5472; ro = 544; mut = 736 }
+  | Common -> { code = 1632; ro = 192; mut = 512 }
+  | Copy_cksum -> { code = 3232; ro = 448; mut = 128 }
+
+let sum f = List.fold_left (fun acc c -> acc + f (target c)) 0 categories
+
+let total_code = sum (fun t -> t.code)
+
+let total_ro = sum (fun t -> t.ro)
+
+let total_mut = sum (fun t -> t.mut)
+
+let category_size c =
+  List.fold_left
+    (fun acc f -> if f.category = c then acc + f.size else acc)
+    0 functions

@@ -1,0 +1,340 @@
+type func_layout = {
+  func : Funcmap.func;
+  region : Ldlp_cache.Layout.region;
+  runs : (int * int) list;
+  touched : int;
+}
+
+type data_item = {
+  d_addr : int;
+  d_len : int;
+  d_cat : Funcmap.category;
+  d_phase : Event.phase;
+  d_store : bool;
+}
+
+type t = {
+  trace : Tracebuf.t;
+  funcs : func_layout list;
+  packets : int;
+}
+
+let line_bytes = 32
+
+let line_of addr = addr / line_bytes
+
+(* Generate touched runs inside [base, base+limit) covering exactly
+   [quota_lines] distinct cache lines.  Gaps between runs model skipped
+   basic blocks (error handling, unused protocol options); their size is
+   proportional to the slack between the quota and the remaining room so
+   that dense functions come out nearly contiguous and sparse ones
+   scattered. *)
+let gen_cover rng ~base ~limit ~quota_lines ~draw_run ~gap_cap =
+  if quota_lines <= 0 then ([], 0)
+  else begin
+    let region_last = line_of (base + limit - 1) in
+    let runs = ref [] in
+    let touched = ref 0 in
+    let covered = ref 0 in
+    let last_line = ref (line_of base - 1) in
+    let cursor = ref base in
+    let exhausted = ref false in
+    while !covered < quota_lines && not !exhausted do
+      let rem = quota_lines - !covered in
+      let remaining = region_last - !last_line in
+      if remaining <= 0 then exhausted := true
+      else begin
+        let slack = remaining - rem in
+        if slack <= 0 then begin
+          (* Contiguous exact fill of the remaining quota. *)
+          let start = (!last_line + 1) * line_bytes in
+          let len = min (rem * line_bytes) (base + limit - start) in
+          if len <= 0 then exhausted := true
+          else begin
+            runs := (start, len) :: !runs;
+            touched := !touched + len;
+            covered := !covered + line_of (start + len - 1) - line_of start + 1;
+            last_line := line_of (start + len - 1);
+            cursor := start + len
+          end
+        end
+        else begin
+          (* Keep one line of slack in reserve so line-straddling runs can
+             never drive the remaining room below the quota. *)
+          let gap = Ldlp_sim.Rng.int rng (min gap_cap (max 1 ((slack - 1) * 16))) in
+          let start = !cursor + gap in
+          let len = draw_run rng in
+          (* Truncate a run that would overshoot the quota to end exactly at
+             the quota'th new line. *)
+          let first_new = max (line_of start) (!last_line + 1) in
+          let final = line_of (start + len - 1) in
+          let final = min final (first_new + rem - 1) in
+          let len = min len (((final + 1) * line_bytes) - start) in
+          let len = min len (base + limit - start) in
+          if len <= 0 then cursor := start
+          else begin
+            runs := (start, len) :: !runs;
+            touched := !touched + len;
+            let final = line_of (start + len - 1) in
+            if final >= first_new then
+              covered := !covered + (final - first_new + 1);
+            last_line := max !last_line final;
+            cursor := start + len
+          end
+        end
+      end
+    done;
+    (List.rev !runs, !touched)
+  end
+
+let draw_code_run rng =
+  if Ldlp_sim.Rng.bool rng 0.55 then 64 + Ldlp_sim.Rng.int rng 97
+  else 16 + Ldlp_sim.Rng.int rng 33
+
+let draw_ro_run rng = 8 + Ldlp_sim.Rng.int rng 17
+
+let draw_mut_run rng = 8 + Ldlp_sim.Rng.int rng 9
+
+(* Distribute a category's touched-line budget across its functions,
+   proportionally to size, capped by each function's own line count, with
+   every function getting at least one line. *)
+let quotas budget_lines funcs =
+  let cap f = (f.Funcmap.size + line_bytes - 1) / line_bytes in
+  let total_size = List.fold_left (fun a f -> a + f.Funcmap.size) 0 funcs in
+  let shares =
+    List.map
+      (fun f ->
+        let s = budget_lines * f.Funcmap.size / total_size in
+        (f, min (cap f) (max 1 s)))
+      funcs
+  in
+  (* Adjust to hit the budget exactly. *)
+  let arr = Array.of_list shares in
+  let sum () = Array.fold_left (fun a (_, s) -> a + s) 0 arr in
+  let adjust delta pickable =
+    let progress = ref true in
+    while sum () <> budget_lines && !progress do
+      progress := false;
+      Array.iteri
+        (fun i (f, s) ->
+          if sum () <> budget_lines && pickable f s then begin
+            arr.(i) <- (f, s + delta);
+            progress := true
+          end)
+        arr
+    done
+  in
+  if sum () < budget_lines then adjust 1 (fun f s -> s < cap f);
+  if sum () > budget_lines then adjust (-1) (fun _ s -> s > 1);
+  Array.to_list arr
+
+(* Functions dominated by tight loops: their code is re-executed many times
+   per packet, which matters for Figure 1's reference counts. *)
+let loopy = function
+  | "in_cksum" | "bcopy" | "copyout" | "bzero" | "uiomove"
+  | "copyfrombuf_gap2" | "copyfrombuf_gap16" | "copytobuf_gap2"
+  | "copytobuf_gap16" | "zerobuf_gap16" ->
+    8
+  | _ -> 1
+
+let phase_weight f phase =
+  let e, i, x = f.Funcmap.weight in
+  match phase with
+  | Event.Entry -> e
+  | Event.Packet_intr -> i
+  | Event.Exit -> x
+
+(* Sub-runs of [runs] covering cumulative touched-byte positions
+   [from_b, from_b + len_b). *)
+let slice runs ~from_b ~len_b =
+  let stop = from_b + len_b in
+  let rec go pos acc = function
+    | [] -> List.rev acc
+    | (addr, len) :: rest ->
+      if pos >= stop then List.rev acc
+      else begin
+        let lo = max from_b pos and hi = min stop (pos + len) in
+        let acc = if hi > lo then (addr + (lo - pos), hi - lo) :: acc else acc in
+        go (pos + len) acc rest
+      end
+  in
+  if len_b <= 0 then [] else go 0 [] runs
+
+(* Per-phase byte windows over a function's touched bytes.  Each phase with
+   weight w gets a window of w * touched bytes; windows are laid
+   consecutively (with wraparound) so that across the phases in which the
+   function runs, every touched byte is referenced at least once — a
+   function executing in two phases runs different parts in each (e.g.
+   syscall entry vs syscall return).  Weights summing below 1 are scaled up
+   so the union still covers the whole function. *)
+let phase_windows f touched =
+  let e, i, x = f.Funcmap.weight in
+  let total = e +. i +. x in
+  if total <= 0.0 || touched = 0 then []
+  else begin
+    let scale = if total < 1.0 then 1.0 /. total else 1.0 in
+    let cursor = ref 0.0 in
+    List.filter_map
+      (fun (phase, w) ->
+        if w <= 0.0 then None
+        else begin
+          let w = Float.min 1.0 (w *. scale) in
+          let start = Float.rem !cursor 1.0 in
+          cursor := !cursor +. w;
+          let from_b = int_of_float (start *. float_of_int touched) in
+          let len_b =
+            min touched (int_of_float (ceil (w *. float_of_int touched)) + 1)
+          in
+          let head_len = min len_b (touched - from_b) in
+          let wrap_len = len_b - head_len in
+          if wrap_len > 0 && from_b > 0 then
+            Some [ (phase, from_b, head_len); (phase, 0, min wrap_len from_b) ]
+          else Some [ (phase, from_b, head_len) ]
+        end)
+      [ (Event.Entry, e); (Event.Packet_intr, i); (Event.Exit, x) ]
+    |> List.concat
+  end
+
+let category_phase_weights cat =
+  let funcs = List.filter (fun f -> f.Funcmap.category = cat) Funcmap.functions in
+  let total phase =
+    List.fold_left
+      (fun a f -> a +. (float_of_int f.Funcmap.size *. phase_weight f phase))
+      0.0 funcs
+  in
+  let e = total Event.Entry
+  and i = total Event.Packet_intr
+  and x = total Event.Exit in
+  let s = e +. i +. x in
+  if s <= 0.0 then (0.0, 1.0, 0.0) else (e /. s, i /. s, x /. s)
+
+let pick_phase rng (e, i, _x) =
+  let u = Ldlp_sim.Rng.unit_float rng in
+  if u < e then Event.Entry else if u < e +. i then Event.Packet_intr else Event.Exit
+
+let generate ?(seed = 42) ?(packets = 1) () =
+  let rng = Ldlp_sim.Rng.create ~seed in
+  let layout =
+    Ldlp_cache.Layout.sequential ~line_bytes ~gap_bytes:line_bytes ()
+  in
+  (* Code: lay out and cover each function. *)
+  let funcs =
+    List.concat_map
+      (fun cat ->
+        let fs =
+          List.filter (fun f -> f.Funcmap.category = cat) Funcmap.functions
+        in
+        let budget = (Funcmap.target cat).Funcmap.code / line_bytes in
+        List.map
+          (fun (f, quota) ->
+            let region = Ldlp_cache.Layout.alloc layout f.Funcmap.size in
+            let runs, touched =
+              gen_cover rng ~base:region.Ldlp_cache.Layout.base
+                ~limit:region.Ldlp_cache.Layout.len ~quota_lines:quota
+                ~draw_run:draw_code_run ~gap_cap:256
+            in
+            { func = f; region; runs; touched })
+          (quotas budget fs))
+      Funcmap.categories
+  in
+  (* Data: one read-only and one mutable region per category, sparse items. *)
+  let data_items =
+    List.concat_map
+      (fun cat ->
+        let t = Funcmap.target cat in
+        let weights = category_phase_weights cat in
+        let items ~target ~draw ~gap_cap ~store =
+          let quota = target / line_bytes in
+          if quota = 0 then []
+          else begin
+            let region = Ldlp_cache.Layout.alloc layout (target * 6) in
+            let runs, _ =
+              gen_cover rng ~base:region.Ldlp_cache.Layout.base
+                ~limit:region.Ldlp_cache.Layout.len ~quota_lines:quota
+                ~draw_run:draw ~gap_cap
+            in
+            List.map
+              (fun (addr, len) ->
+                {
+                  d_addr = addr;
+                  d_len = len;
+                  d_cat = cat;
+                  d_phase = pick_phase rng weights;
+                  d_store = store;
+                })
+              runs
+          end
+        in
+        items ~target:t.Funcmap.ro ~draw:draw_ro_run ~gap_cap:96 ~store:false
+        @ items ~target:t.Funcmap.mut ~draw:draw_mut_run ~gap_cap:96 ~store:true)
+      Funcmap.categories
+  in
+  (* Emit the trace: per packet, the three phases of Table 2. *)
+  let trace = Tracebuf.create () in
+  let windows =
+    List.map (fun fl -> (fl, phase_windows fl.func fl.touched)) funcs
+  in
+  let emit_code phase =
+    List.iter
+      (fun (fl, wins) ->
+        List.iter
+          (fun (p, from_b, len_b) ->
+            if p = phase then begin
+              let part = slice fl.runs ~from_b ~len_b in
+              let reps = loopy fl.func.Funcmap.name in
+              for _ = 1 to reps do
+                List.iter
+                  (fun (addr, len) ->
+                    Tracebuf.add trace
+                      {
+                        Event.kind = Event.Code;
+                        phase;
+                        category = fl.func.Funcmap.category;
+                        addr;
+                        len;
+                        fn = fl.func.Funcmap.name;
+                      })
+                  part
+              done
+            end)
+          wins)
+      windows
+  in
+  let emit_data phase =
+    List.iter
+      (fun d ->
+        if d.d_phase = phase then begin
+          (* Mutable data is usually read before written. *)
+          if d.d_store && Ldlp_sim.Rng.bool rng 0.5 then
+            Tracebuf.add trace
+              {
+                Event.kind = Event.Load;
+                phase;
+                category = d.d_cat;
+                addr = d.d_addr;
+                len = d.d_len;
+                fn = "";
+              };
+          Tracebuf.add trace
+            {
+              Event.kind = (if d.d_store then Event.Store else Event.Load);
+              phase;
+              category = d.d_cat;
+              addr = d.d_addr;
+              len = d.d_len;
+              fn = "";
+            }
+        end)
+      data_items
+  in
+  for _ = 1 to packets do
+    List.iter
+      (fun phase ->
+        emit_code phase;
+        emit_data phase)
+      Event.phases
+  done;
+  { trace; funcs; packets }
+
+let total_touched_code t =
+  List.fold_left (fun a fl -> a + fl.touched) 0 t.funcs

@@ -1,0 +1,35 @@
+(** Synthetic reference-trace generator for the NetBSD TCP
+    receive-and-acknowledge path.
+
+    This is the substitution for the paper's in-kernel Alpha tracing
+    apparatus (Section 2.2): we cannot trace a 1995 NetBSD/Alpha kernel, but
+    the paper publishes the complete per-function working-set map (Figure 1)
+    and per-category touched-line totals (Table 1).  [generate] synthesises
+    a reference trace with exactly those touched-line totals at 32-byte
+    granularity, with basic-block-structured code references (runs of
+    touched bytes separated by skipped error-handling blocks) and sparse
+    read-only/mutable data items, so that re-analysing the trace at other
+    line sizes reproduces the sensitivities of Table 3.
+
+    The trace follows Table 2's three phases per packet: the blocking read
+    call, the device interrupt that runs the input side of the stack, and
+    the process wakeup that copies data out and transmits the ACK. *)
+
+type func_layout = {
+  func : Funcmap.func;
+  region : Ldlp_cache.Layout.region;
+  runs : (int * int) list;  (** Touched (addr, len) code runs, ascending. *)
+  touched : int;  (** Total touched code bytes of this function. *)
+}
+
+type t = {
+  trace : Tracebuf.t;
+  funcs : func_layout list;
+  packets : int;
+}
+
+val generate : ?seed:int -> ?packets:int -> unit -> t
+(** Default 1 packet (one receive-and-ACK iteration), seed 42. *)
+
+val total_touched_code : t -> int
+(** Sum of per-function touched code bytes. *)

@@ -1,0 +1,17 @@
+(** Growable buffer of trace events, in reference order. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val add : t -> Event.t -> unit
+
+val length : t -> int
+
+val get : t -> int -> Event.t
+
+val iter : t -> (Event.t -> unit) -> unit
+
+val fold : t -> init:'a -> f:('a -> Event.t -> 'a) -> 'a
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/traffic/hurst.ml: Array Float List Source

@@ -1,0 +1,1 @@
+lib/traffic/onoff.ml: Ldlp_sim Sizes Source

@@ -1,0 +1,1 @@
+lib/traffic/poisson.ml: Ldlp_sim Source

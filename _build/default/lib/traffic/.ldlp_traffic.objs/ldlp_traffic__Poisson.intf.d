@@ -1,0 +1,1 @@
+lib/traffic/poisson.mli: Ldlp_sim Source

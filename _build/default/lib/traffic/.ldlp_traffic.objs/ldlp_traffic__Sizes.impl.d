@@ -1,0 +1,1 @@
+lib/traffic/sizes.ml: Float Ldlp_sim List

@@ -1,0 +1,1 @@
+lib/traffic/sizes.mli: Ldlp_sim

@@ -1,0 +1,1 @@
+lib/traffic/tracefile.ml: Fun List Printf Source String

@@ -1,0 +1,1 @@
+lib/traffic/tracefile.mli: Source

@@ -1,0 +1,17 @@
+(** Poisson arrival process — the paper's Figure 5/6 traffic source:
+    exponential inter-arrivals at a given rate, 552-byte messages ("a common
+    packet size in IP internetworks"). *)
+
+val paper_message_size : int
+(** 552. *)
+
+val source :
+  rng:Ldlp_sim.Rng.t ->
+  rate:float ->
+  ?size:int ->
+  ?size_of:(Ldlp_sim.Rng.t -> int) ->
+  unit ->
+  Source.t
+(** Infinite Poisson stream at [rate] messages/second starting after time 0.
+    Sizes are fixed at [size] (default {!paper_message_size}) unless a
+    [size_of] sampler is given. *)

@@ -1,0 +1,37 @@
+type dist = (float * int) list
+
+(* Approximation of the 1989 Bellcore Ethernet packet-size mix reported by
+   Leland et al.: dominated by small packets with a secondary mass at the
+   MTU.  Exact proportions are not critical to Figure 7 — what matters is
+   that most packets are small relative to the protocol working set. *)
+let ethernet_mix =
+  [
+    (0.40, 64);
+    (0.15, 128);
+    (0.12, 256);
+    (0.13, 552);
+    (0.08, 1072);
+    (0.12, 1518);
+  ]
+
+let constant size = [ (1.0, size) ]
+
+let validate dist =
+  let total = List.fold_left (fun acc (p, _) -> acc +. p) 0.0 dist in
+  if Float.abs (total -. 1.0) > 1e-6 then
+    invalid_arg "Sizes.validate: probabilities must sum to 1";
+  List.iter
+    (fun (p, s) ->
+      if p < 0.0 then invalid_arg "Sizes.validate: negative probability";
+      if s <= 0 then invalid_arg "Sizes.validate: non-positive size")
+    dist
+
+let sample rng dist =
+  let u = Ldlp_sim.Rng.unit_float rng in
+  let rec pick acc = function
+    | [] -> snd (List.nth dist (List.length dist - 1))
+    | (p, s) :: rest -> if u < acc +. p then s else pick (acc +. p) rest
+  in
+  pick 0.0 dist
+
+let mean dist = List.fold_left (fun acc (p, s) -> acc +. (p *. float_of_int s)) 0.0 dist

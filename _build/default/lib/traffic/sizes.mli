@@ -1,0 +1,21 @@
+(** Packet-size distributions.
+
+    {!ethernet_mix} approximates the bimodal size distribution of the
+    Bellcore Ethernet traces used for the paper's Figure 7: a large share of
+    minimum-size packets (acknowledgements, control), a cluster of mid-size
+    packets, and a mass at the link MTU. *)
+
+type dist = (float * int) list
+(** [(probability, size)] pairs; probabilities sum to 1. *)
+
+val ethernet_mix : dist
+
+val constant : int -> dist
+
+val sample : Ldlp_sim.Rng.t -> dist -> int
+
+val mean : dist -> float
+
+val validate : dist -> unit
+(** Raises [Invalid_argument] if probabilities don't sum to ~1 or a size is
+    non-positive. *)

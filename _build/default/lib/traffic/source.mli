@@ -1,0 +1,42 @@
+(** Traffic sources: streams of [(arrival_time, size_bytes)] packets.
+
+    All generators are pull-based and deterministic given an {!Ldlp_sim.Rng}
+    stream, so experiments replay exactly. *)
+
+type packet = { at : float; size : int }
+
+type t
+(** A packet stream; arrival times are non-decreasing. *)
+
+val make : (unit -> packet option) -> t
+(** Wrap a pull function.  The function must return monotonically
+    non-decreasing times and [None] forever once exhausted. *)
+
+val pull : t -> packet option
+
+val peek : t -> packet option
+(** Next packet without consuming it. *)
+
+val of_list : packet list -> t
+(** A replayable list source (must be time-sorted; raises otherwise). *)
+
+val to_list : ?limit:int -> t -> packet list
+(** Drain up to [limit] packets (default 1_000_000, to bound accidents). *)
+
+val limit_time : t -> float -> t
+(** Truncate the stream at a time horizon (exclusive). *)
+
+val limit_count : t -> int -> t
+
+val map_size : t -> (int -> int) -> t
+
+val merge : t -> t -> t
+(** Interleave two streams in time order. *)
+
+val scale_time : t -> float -> t
+(** Multiply all arrival times by a factor (slow down / speed up load). *)
+
+val mean_rate : packet list -> float
+(** Packets per second over the list's time span; 0 for fewer than 2. *)
+
+val mean_size : packet list -> float

@@ -1,0 +1,33 @@
+let to_channel oc packets =
+  List.iter
+    (fun p -> Printf.fprintf oc "%.9f %d\n" p.Source.at p.Source.size)
+    packets
+
+let of_channel ic =
+  let rec go acc lineno =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go acc (lineno + 1)
+      else begin
+        match String.split_on_char ' ' line with
+        | [ t; s ] -> (
+          match (float_of_string_opt t, int_of_string_opt s) with
+          | Some at, Some size when size > 0 ->
+            go ({ Source.at; size } :: acc) (lineno + 1)
+          | _ -> failwith (Printf.sprintf "Tracefile: bad line %d: %s" lineno line))
+        | _ -> failwith (Printf.sprintf "Tracefile: bad line %d: %s" lineno line)
+      end
+  in
+  go [] 1
+
+let save path packets =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> to_channel oc packets)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)

@@ -1,0 +1,1 @@
+test/test_buf.ml: Alcotest Bytes Char Ldlp_buf Mbuf Pool QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache Config Gen Int Layout Ldlp_cache Ldlp_sim List Memsys QCheck QCheck_alcotest Set Working_set

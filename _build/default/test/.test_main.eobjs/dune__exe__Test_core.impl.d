@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Batch Blocking Bytes Gen Hashtbl Layer Ldlp_buf Ldlp_core Ldlp_sim List Msg Printf QCheck QCheck_alcotest Runtime Sched Txsched

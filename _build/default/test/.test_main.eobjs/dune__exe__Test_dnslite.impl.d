@@ -1,0 +1,1 @@
+test/test_dnslite.ml: Alcotest Bytes Char Dnshost Dnsmsg Ldlp_buf Ldlp_core Ldlp_dnslite Ldlp_packet List Name QCheck QCheck_alcotest Server String

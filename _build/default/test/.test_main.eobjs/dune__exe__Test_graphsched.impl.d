@@ -1,0 +1,1 @@
+test/test_graphsched.ml: Alcotest Array Batch Gen Graphsched Layer Ldlp_core List Msg QCheck QCheck_alcotest Sched

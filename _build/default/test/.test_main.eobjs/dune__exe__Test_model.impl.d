@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Cksum_study Figures Float Ldlp_core Ldlp_model Ldlp_traffic List Params Printf Simrun

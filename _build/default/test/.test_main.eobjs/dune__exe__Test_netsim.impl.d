@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Bytes Ldlp_buf Ldlp_core Ldlp_netsim Ldlp_nic Ldlp_packet Ldlp_sim Ldlp_tcpmini List Netsim Printf

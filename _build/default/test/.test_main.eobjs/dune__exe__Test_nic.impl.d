@@ -1,0 +1,1 @@
+test/test_nic.ml: Alcotest Ldlp_core Ldlp_nic List Nic QCheck QCheck_alcotest Ring

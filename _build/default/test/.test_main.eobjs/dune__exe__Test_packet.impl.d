@@ -1,0 +1,1 @@
+test/test_packet.ml: Addr Alcotest Bytes Char Cksum Ethernet Int32 Ipv4 Ldlp_buf Ldlp_packet List Printf QCheck QCheck_alcotest Reasm String Tcp Udp

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Ldlp_core Ldlp_model Ldlp_report String

@@ -1,0 +1,1 @@
+test/test_sigproto.ml: Alcotest Array Bytes Fsm Gen Ie Layers Ldlp_buf Ldlp_core Ldlp_sigproto Ldlp_sim List Option Printf QCheck QCheck_alcotest Result Sigmsg Sscop Sscop_conn Switch

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Chart Engine Float Heap Hist Ldlp_sim List Option QCheck QCheck_alcotest Rng Stats String Table

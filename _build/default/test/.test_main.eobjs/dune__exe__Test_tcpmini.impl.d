@@ -1,0 +1,1 @@
+test/test_tcpmini.ml: Addr Alcotest Bytes Char Ethernet Gen Host Int32 Ipv4 Ldlp_buf Ldlp_core Ldlp_packet Ldlp_tcpmini List Pcb Printf QCheck QCheck_alcotest Reasm Sockbuf String Tcp_input

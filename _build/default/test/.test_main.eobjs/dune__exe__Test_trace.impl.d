@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Analyze Event Funcmap Lazy Ldlp_cache Ldlp_trace List Printf QCheck QCheck_alcotest Relayout Synth Tracebuf

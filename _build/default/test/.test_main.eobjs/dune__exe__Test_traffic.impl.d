@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Filename Float Fun Hurst Ldlp_sim Ldlp_traffic List Onoff Poisson Printf QCheck QCheck_alcotest Sizes Source Sys Tracefile

@@ -1,0 +1,1 @@
+test/test_uni.ml: Alcotest Fsm Ie Ldlp_sigproto List Option Result Uni

@@ -1,0 +1,184 @@
+(* Tests for the protocol-graph scheduler: the Section 3.2 general case
+   where a layer has several layers directly above it (IP demultiplexing
+   to TCP/UDP/ICMP). *)
+
+open Ldlp_core
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+(* A classic internet graph:
+
+        sockets
+        /     \
+      tcp     udp     icmp
+        \      |      /
+             ip
+             |
+           ether
+
+   Payloads are (proto, id) pairs; the ip layer demultiplexes on proto. *)
+let build ~discipline =
+  let g = Graphsched.create ~discipline () in
+  let log = ref [] in
+  let seen name msg = log := (name, snd msg.Msg.payload) :: !log in
+  let consume name =
+    Layer.v ~name (fun m ->
+        seen name m;
+        [ Layer.Consume ])
+  in
+  let pass name ?above:_ targets =
+    Layer.v ~name (fun m ->
+        seen name m;
+        match targets with
+        | `Up -> [ Layer.Deliver_up m ]
+        | `Demux f -> [ Layer.Deliver_to (f m, m) ])
+  in
+  Graphsched.add_layer g (consume "sockets");
+  Graphsched.add_layer g ~above:[ "sockets" ] (pass "tcp" `Up);
+  Graphsched.add_layer g ~above:[ "sockets" ] (pass "udp" `Up);
+  Graphsched.add_layer g (consume "icmp");
+  Graphsched.add_layer g
+    ~above:[ "tcp"; "udp"; "icmp" ]
+    (pass "ip" (`Demux (fun m -> fst m.Msg.payload)));
+  Graphsched.add_layer g ~above:[ "ip" ] (pass "ether" `Up);
+  (g, log)
+
+let msg proto id = Msg.make ~size:100 (proto, id)
+
+let test_graph_shape () =
+  let g, _ = build ~discipline:Sched.Conventional in
+  Alcotest.(check (list string)) "roots" [ "ether" ] (Graphsched.roots g)
+
+let test_demux_routes () =
+  let g, log = build ~discipline:Sched.Conventional in
+  Graphsched.inject g ~into:"ether" (msg "tcp" 1);
+  Graphsched.inject g ~into:"ether" (msg "udp" 2);
+  Graphsched.inject g ~into:"ether" (msg "icmp" 3);
+  Graphsched.run g;
+  let path id =
+    List.rev (List.filter_map (fun (l, i) -> if i = id then Some l else None) !log)
+  in
+  Alcotest.(check (list string)) "tcp path" [ "ether"; "ip"; "tcp"; "sockets" ] (path 1);
+  Alcotest.(check (list string)) "udp path" [ "ether"; "ip"; "udp"; "sockets" ] (path 2);
+  Alcotest.(check (list string)) "icmp path" [ "ether"; "ip"; "icmp" ] (path 3);
+  let s = Graphsched.stats g in
+  checki "all consumed" 3 s.Graphsched.consumed;
+  checki "no misroutes" 0 s.Graphsched.misrouted
+
+let test_ldlp_blocked_over_graph () =
+  let g, log = build ~discipline:(Sched.Ldlp Batch.All) in
+  (* Two messages per branch, injected interleaved. *)
+  List.iter
+    (Graphsched.inject g ~into:"ether")
+    [ msg "tcp" 1; msg "udp" 2; msg "tcp" 3; msg "udp" 4 ];
+  Graphsched.run g;
+  (* Layer-major order: ether handles all four, then ip all four, then the
+     branch layers each handle their pair. *)
+  let order = List.rev_map fst !log in
+  let prefix = [ "ether"; "ether"; "ether"; "ether"; "ip"; "ip"; "ip"; "ip" ] in
+  let rec take n = function
+    | [] -> []
+    | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+  in
+  Alcotest.(check (list string)) "blocked prefix" prefix (take 8 order);
+  let s = Graphsched.stats g in
+  checki "4 consumed" 4 s.Graphsched.consumed
+
+let test_priority_branch_closest_to_top_first () =
+  (* Once ether's batch is enqueued at ip and processed, tcp and udp
+     queues (depth 1) must drain before ether (depth 2) takes another
+     batch. *)
+  let g, log = build ~discipline:(Sched.Ldlp (Batch.Fixed 2)) in
+  List.iter
+    (Graphsched.inject g ~into:"ether")
+    [ msg "tcp" 1; msg "udp" 2; msg "tcp" 3; msg "udp" 4 ];
+  Graphsched.run g;
+  let order = List.rev_map fst !log in
+  (* First quantum: ether x2; then ip x2, branches, sockets — and only
+     then ether again. *)
+  let first_8 =
+    let rec take n = function
+      | [] -> []
+      | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+    in
+    take 8 order
+  in
+  check "second ether batch comes after upper layers drained" true
+    (match first_8 with
+    | "ether" :: "ether" :: rest ->
+      (* No further "ether" until everything enqueued upward is done. *)
+      let upper, _later = List.partition (fun l -> l <> "ether") rest in
+      List.length upper >= 5
+    | _ -> false)
+
+let test_ambiguous_deliver_up_misroutes () =
+  let g = Graphsched.create ~discipline:Sched.Conventional () in
+  Graphsched.add_layer g (Layer.passthrough "a");
+  Graphsched.add_layer g (Layer.passthrough "b");
+  (* "fan" has two parents and wrongly uses Deliver_up. *)
+  Graphsched.add_layer g ~above:[ "a"; "b" ] (Layer.passthrough "fan");
+  Graphsched.inject g ~into:"fan" (Msg.make ());
+  Graphsched.run g;
+  let s = Graphsched.stats g in
+  checki "misrouted" 1 s.Graphsched.misrouted;
+  checki "not delivered" 0 s.Graphsched.delivered
+
+let test_deliver_to_non_edge_misroutes () =
+  let g = Graphsched.create ~discipline:Sched.Conventional () in
+  Graphsched.add_layer g (Layer.passthrough "top");
+  Graphsched.add_layer g ~above:[ "top" ]
+    (Layer.v ~name:"bottom" (fun m -> [ Layer.Deliver_to ("nowhere", m) ]));
+  Graphsched.inject g ~into:"bottom" (Msg.make ());
+  Graphsched.run g;
+  checki "misrouted" 1 (Graphsched.stats g).Graphsched.misrouted
+
+let test_duplicate_and_unknown_layers_rejected () =
+  let g = Graphsched.create ~discipline:Sched.Conventional () in
+  Graphsched.add_layer g (Layer.passthrough "x");
+  check "duplicate rejected" true
+    (try
+       Graphsched.add_layer g (Layer.passthrough "x");
+       false
+     with Invalid_argument _ -> true);
+  check "unknown parent rejected" true
+    (try
+       Graphsched.add_layer g ~above:[ "ghost" ] (Layer.passthrough "y");
+       false
+     with Invalid_argument _ -> true)
+
+let prop_graph_conservation =
+  QCheck.Test.make ~name:"graph delivers every message exactly once" ~count:100
+    QCheck.(pair (list_of_size Gen.(0 -- 40) (int_bound 2)) bool)
+    (fun (protos, ldlp) ->
+      let discipline =
+        if ldlp then Sched.Ldlp Batch.paper_default else Sched.Conventional
+      in
+      let g, _ = build ~discipline in
+      let expected_consumed = List.length protos in
+      List.iteri
+        (fun i p ->
+          let proto = [| "tcp"; "udp"; "icmp" |].(p) in
+          Graphsched.inject g ~into:"ether" (msg proto i))
+        protos;
+      Graphsched.run g;
+      let s = Graphsched.stats g in
+      s.Graphsched.consumed = expected_consumed
+      && s.Graphsched.misrouted = 0
+      && Graphsched.pending g = 0)
+
+let suite =
+  [
+    Alcotest.test_case "graph shape" `Quick test_graph_shape;
+    Alcotest.test_case "demux routes" `Quick test_demux_routes;
+    Alcotest.test_case "ldlp blocked over graph" `Quick test_ldlp_blocked_over_graph;
+    Alcotest.test_case "branch priority" `Quick
+      test_priority_branch_closest_to_top_first;
+    Alcotest.test_case "ambiguous deliver_up" `Quick
+      test_ambiguous_deliver_up_misroutes;
+    Alcotest.test_case "deliver_to non-edge" `Quick test_deliver_to_non_edge_misroutes;
+    Alcotest.test_case "duplicate/unknown layers" `Quick
+      test_duplicate_and_unknown_layers_rejected;
+    QCheck_alcotest.to_alcotest prop_graph_conservation;
+  ]

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "ldlp"
+    [
+      ("sim", Test_sim.suite);
+      ("cache", Test_cache.suite);
+      ("buf", Test_buf.suite);
+      ("packet", Test_packet.suite);
+      ("traffic", Test_traffic.suite);
+      ("trace", Test_trace.suite);
+      ("core", Test_core.suite);
+      ("graphsched", Test_graphsched.suite);
+      ("nic", Test_nic.suite);
+      ("tcpmini", Test_tcpmini.suite);
+      ("sigproto", Test_sigproto.suite);
+      ("uni", Test_uni.suite);
+      ("dnslite", Test_dnslite.suite);
+      ("model", Test_model.suite);
+      ("netsim", Test_netsim.suite);
+      ("report", Test_report.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,141 @@
+(* Tests for the simulated network adaptor: descriptor rings, drops,
+   interrupt coalescing, and the driver glue into the LDLP scheduler. *)
+
+open Ldlp_nic
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+(* ---------- Ring ---------- *)
+
+let test_ring_fifo () =
+  let r = Ring.create ~slots:4 in
+  check "empty" true (Ring.is_empty r);
+  check "push 1" true (Ring.push r 1);
+  check "push 2" true (Ring.push r 2);
+  Alcotest.(check (option int)) "peek" (Some 1) (Ring.peek r);
+  Alcotest.(check (option int)) "pop" (Some 1) (Ring.pop r);
+  Alcotest.(check (option int)) "pop" (Some 2) (Ring.pop r);
+  check "drained" true (Ring.pop r = None)
+
+let test_ring_full () =
+  let r = Ring.create ~slots:2 in
+  check "1" true (Ring.push r 1);
+  check "2" true (Ring.push r 2);
+  check "full refuses" false (Ring.push r 3);
+  check "is_full" true (Ring.is_full r);
+  ignore (Ring.pop r);
+  check "room again" true (Ring.push r 3);
+  Alcotest.(check (list int)) "order preserved" [ 2; 3 ] (Ring.pop_all r)
+
+let test_ring_wraparound () =
+  let r = Ring.create ~slots:3 in
+  for round = 0 to 9 do
+    check "push a" true (Ring.push r (round * 2));
+    check "push b" true (Ring.push r ((round * 2) + 1));
+    Alcotest.(check (option int)) "pop a" (Some (round * 2)) (Ring.pop r);
+    Alcotest.(check (option int)) "pop b" (Some ((round * 2) + 1)) (Ring.pop r)
+  done;
+  check "empty at end" true (Ring.is_empty r)
+
+let prop_ring_fifo =
+  QCheck.Test.make ~name:"ring preserves order of accepted pushes" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let r = Ring.create ~slots:16 in
+      let accepted = List.filter (fun x -> Ring.push r x) xs in
+      Ring.pop_all r = accepted)
+
+(* ---------- Nic ---------- *)
+
+let test_nic_rx_and_drops () =
+  let nic = Nic.create ~rx_slots:3 () in
+  check "a" true (Nic.deliver nic "a");
+  check "b" true (Nic.deliver nic "b");
+  check "c" true (Nic.deliver nic "c");
+  check "d dropped" false (Nic.deliver nic "d");
+  let s = Nic.stats nic in
+  checki "frames" 3 s.Nic.rx_frames;
+  checki "drops" 1 s.Nic.rx_drops;
+  Alcotest.(check (list string)) "take all" [ "a"; "b"; "c" ] (Nic.take_all nic);
+  checki "ring empty" 0 (Nic.rx_available nic)
+
+let test_nic_irq_per_frame () =
+  let nic = Nic.create () in
+  check "no irq initially" false (Nic.irq_pending nic);
+  ignore (Nic.deliver nic ());
+  check "irq raised" true (Nic.irq_pending nic);
+  ignore (Nic.deliver nic ());
+  let s = Nic.stats nic in
+  (* Second delivery while pending does not double-count interrupts. *)
+  checki "one interrupt outstanding" 1 s.Nic.interrupts;
+  ignore (Nic.take_all nic);
+  check "acked by service" false (Nic.irq_pending nic);
+  ignore (Nic.deliver nic ());
+  checki "new interrupt" 2 (Nic.stats nic).Nic.interrupts
+
+let test_nic_irq_coalesced () =
+  let nic = Nic.create ~irq:(Nic.Coalesced 4) () in
+  for _ = 1 to 3 do
+    ignore (Nic.deliver nic ())
+  done;
+  check "below threshold" false (Nic.irq_pending nic);
+  ignore (Nic.deliver nic ());
+  check "fires at threshold" true (Nic.irq_pending nic);
+  checki "one interrupt for four frames" 1 (Nic.stats nic).Nic.interrupts
+
+let test_nic_coalesced_full_ring_fires () =
+  let nic = Nic.create ~rx_slots:2 ~irq:(Nic.Coalesced 100) () in
+  ignore (Nic.deliver nic ());
+  ignore (Nic.deliver nic ());
+  check "full ring forces irq" true (Nic.irq_pending nic)
+
+let test_nic_tx () =
+  let nic = Nic.create ~tx_slots:2 () in
+  check "tx 1" true (Nic.transmit nic "x");
+  check "tx 2" true (Nic.transmit nic "y");
+  check "tx full" false (Nic.transmit nic "z");
+  Alcotest.(check (list string)) "wire drains" [ "x"; "y" ] (Nic.wire_take_all nic);
+  let s = Nic.stats nic in
+  checki "tx frames" 2 s.Nic.tx_frames;
+  checki "tx drops" 1 s.Nic.tx_drops
+
+let test_nic_service_into_sched () =
+  let nic = Nic.create ~irq:(Nic.Coalesced 8) () in
+  for i = 1 to 10 do
+    ignore (Nic.deliver nic i)
+  done;
+  let delivered = ref [] in
+  let sched =
+    Ldlp_core.Sched.create
+      ~discipline:(Ldlp_core.Sched.Ldlp Ldlp_core.Batch.paper_default)
+      ~layers:[ Ldlp_core.Layer.passthrough "l1"; Ldlp_core.Layer.passthrough "l2" ]
+      ~up:(fun m -> delivered := m.Ldlp_core.Msg.payload :: !delivered)
+      ()
+  in
+  let moved =
+    Nic.service_into nic sched ~wrap:(fun i -> Ldlp_core.Msg.make ~size:64 i)
+  in
+  checki "all frames moved" 10 moved;
+  Ldlp_core.Sched.run sched;
+  Alcotest.(check (list int))
+    "delivered in order" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.rev !delivered);
+  (* The batch the scheduler saw came from the ring occupancy. *)
+  let st = Ldlp_core.Sched.stats sched in
+  check "batched" true (st.Ldlp_core.Sched.max_batch >= 8)
+
+let suite =
+  [
+    Alcotest.test_case "ring fifo" `Quick test_ring_fifo;
+    Alcotest.test_case "ring full" `Quick test_ring_full;
+    Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+    QCheck_alcotest.to_alcotest prop_ring_fifo;
+    Alcotest.test_case "nic rx/drops" `Quick test_nic_rx_and_drops;
+    Alcotest.test_case "nic irq per-frame" `Quick test_nic_irq_per_frame;
+    Alcotest.test_case "nic irq coalesced" `Quick test_nic_irq_coalesced;
+    Alcotest.test_case "nic coalesced full ring" `Quick test_nic_coalesced_full_ring_fires;
+    Alcotest.test_case "nic tx" `Quick test_nic_tx;
+    Alcotest.test_case "nic service into sched" `Quick test_nic_service_into_sched;
+  ]

@@ -1,0 +1,101 @@
+(* Tests for the report renderers: every table/figure printer must embed
+   the paper-comparison anchors and render without raising on real
+   generator output. *)
+
+let check = Alcotest.(check bool)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let tiny =
+  { Ldlp_model.Params.quick with Ldlp_model.Params.runs = 1; seconds = 0.05 }
+
+let test_table1_render () =
+  let s = Ldlp_report.Report.table1 (Ldlp_model.Figures.table1 ()) in
+  check "title" true (contains s "Table 1");
+  check "paper column" true (contains s "(paper)");
+  check "exact total" true (contains s "30304");
+  check "category row" true (contains s "Socket low")
+
+let test_table3_render () =
+  let s = Ldlp_report.Report.table3 (Ldlp_model.Figures.table3 ()) in
+  check "title" true (contains s "Table 3");
+  check "paper value" true (contains s "-41%");
+  check "na marker" true (contains s "N/A")
+
+let test_figure1_render () =
+  let phases, funcs = Ldlp_model.Figures.figure1 () in
+  let s = Ldlp_report.Report.figure1 phases funcs in
+  check "phases" true (contains s "pkt intr");
+  check "functions" true (contains s "tcp_input")
+
+let test_fig8_render () =
+  let s = Ldlp_report.Report.fig8 (Ldlp_model.Figures.fig8 ()) in
+  check "crossover line" true (contains s "cold crossover");
+  check "paper anchors" true (contains s "426 vs 176")
+
+let test_fig56_render () =
+  let points =
+    Ldlp_model.Figures.rate_sweep ~params:tiny ~seed:3 ~rates:[ 2000.0; 8000.0 ] ()
+  in
+  let f5 = Ldlp_report.Report.fig5 points in
+  let f6 = Ldlp_report.Report.fig6 points in
+  check "fig5 title" true (contains f5 "Figure 5");
+  check "fig5 chart legend" true (contains f5 "[C]=Conv-I");
+  check "fig6 title" true (contains f6 "Figure 6");
+  check "fig6 latency units" true (contains f6 "s")
+
+let test_fig7_render () =
+  let points =
+    Ldlp_model.Figures.clock_sweep ~params:tiny ~seed:3 ~clocks_mhz:[ 30.0 ] ()
+  in
+  let s = Ldlp_report.Report.fig7 points in
+  check "fig7 title" true (contains s "Figure 7");
+  check "clock column" true (contains s "30")
+
+let test_blocking_render () =
+  let stack =
+    {
+      Ldlp_core.Blocking.layer_code_bytes = [ 6144; 6144; 6144; 6144; 6144 ];
+      layer_data_bytes = [ 256; 256; 256; 256; 256 ];
+      msg_bytes = 552;
+      cycles_per_msg = 5 * 1652;
+    }
+  in
+  let s =
+    Ldlp_report.Report.blocking
+      (Ldlp_core.Blocking.recommend Ldlp_core.Blocking.paper_machine stack)
+  in
+  check "classifies" true (contains s "small-message");
+  check "batch" true (contains s "batch: 14")
+
+let test_ablation_renders () =
+  let batch =
+    Ldlp_report.Report.ablation_batch
+      (Ldlp_model.Figures.ablation_batch ~params:tiny ~seed:3 ())
+  in
+  check "batch policies listed" true (contains batch "dcache-fit");
+  let dilution =
+    Ldlp_report.Report.ablation_dilution (Ldlp_model.Figures.ablation_dilution ())
+  in
+  check "dilution paper anchor" true (contains dilution "~25%");
+  let tx =
+    Ldlp_report.Report.extension_txside
+      (Ldlp_model.Figures.extension_txside ~params:tiny ~seed:3
+         ~rates:[ 8000.0 ] ())
+  in
+  check "txside title" true (contains tx "transmit-side")
+
+let suite =
+  [
+    Alcotest.test_case "table1 render" `Quick test_table1_render;
+    Alcotest.test_case "table3 render" `Quick test_table3_render;
+    Alcotest.test_case "figure1 render" `Quick test_figure1_render;
+    Alcotest.test_case "fig8 render" `Quick test_fig8_render;
+    Alcotest.test_case "fig5/6 render" `Slow test_fig56_render;
+    Alcotest.test_case "fig7 render" `Slow test_fig7_render;
+    Alcotest.test_case "blocking render" `Quick test_blocking_render;
+    Alcotest.test_case "ablation renders" `Slow test_ablation_renders;
+  ]

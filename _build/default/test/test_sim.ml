@@ -1,0 +1,315 @@
+(* Tests for the discrete-event substrate: heap, RNG, statistics,
+   histograms, engine, table/chart rendering. *)
+
+open Ldlp_sim
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let checkf msg a b = Alcotest.(check (float 1e-9)) msg a b
+
+(* ---------- Heap ---------- *)
+
+let test_heap_basic () =
+  let h = Heap.create () in
+  check "fresh heap empty" true (Heap.is_empty h);
+  Heap.push h 3.0 "c";
+  Heap.push h 1.0 "a";
+  Heap.push h 2.0 "b";
+  checki "size" 3 (Heap.size h);
+  Alcotest.(check (option (pair (float 0.0) string)))
+    "peek min" (Some (1.0, "a")) (Heap.peek h);
+  Alcotest.(check (option (pair (float 0.0) string)))
+    "pop min" (Some (1.0, "a")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string)))
+    "pop next" (Some (2.0, "b")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string)))
+    "pop last" (Some (3.0, "c")) (Heap.pop h);
+  check "empty after drain" true (Heap.pop h = None)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h 1.0 v) [ 1; 2; 3; 4; 5 ];
+  let order = List.init 5 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list int)) "ties pop in insertion order" [ 1; 2; 3; 4; 5 ] order
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h 1.0 ();
+  Heap.clear h;
+  check "cleared" true (Heap.is_empty h)
+
+let test_heap_to_sorted_list () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k (int_of_float k)) [ 5.; 1.; 4.; 2.; 3. ];
+  let keys = List.map fst (Heap.to_sorted_list h) in
+  Alcotest.(check (list (float 0.0))) "sorted" [ 1.; 2.; 3.; 4.; 5. ] keys;
+  checki "non-destructive" 5 (Heap.size h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h k k) keys;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (k, _) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check "same stream" true (Rng.int64 a = Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  check "different seeds differ" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_int_range () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    check "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_unit_float_range () =
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to 10_000 do
+    let v = Rng.unit_float rng in
+    check "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:5 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:2.5
+  done;
+  let m = !sum /. float_of_int n in
+  check "mean within 3%" true (Float.abs (m -. 2.5) < 0.075)
+
+let test_rng_pareto_scale () =
+  let rng = Rng.create ~seed:6 in
+  for _ = 1 to 1000 do
+    check "pareto >= scale" true (Rng.pareto rng ~shape:1.2 ~scale:3.0 >= 3.0)
+  done
+
+let test_rng_geometric () =
+  let rng = Rng.create ~seed:8 in
+  for _ = 1 to 1000 do
+    check "geometric >= 1" true (Rng.geometric rng ~p:0.3 >= 1)
+  done;
+  checki "p=1 is always 1" 1 (Rng.geometric rng ~p:1.0)
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:9 in
+  let c1 = Rng.split parent in
+  let c2 = Rng.split parent in
+  check "children differ" true (Rng.int64 c1 <> Rng.int64 c2)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:10 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ---------- Stats ---------- *)
+
+let test_stats_known () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  checki "count" 8 (Stats.count s);
+  checkf "mean" 5.0 (Stats.mean s);
+  checkf "min" 2.0 (Stats.min s);
+  checkf "max" 9.0 (Stats.max s);
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stats.variance s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  checkf "empty mean" 0.0 (Stats.mean s);
+  checkf "empty variance" 0.0 (Stats.variance s)
+
+let prop_stats_merge =
+  QCheck.Test.make ~name:"stats merge equals combined stream" ~count:200
+    QCheck.(pair (list (float_bound_inclusive 100.0)) (list (float_bound_inclusive 100.0)))
+    (fun (xs, ys) ->
+      let a = Stats.create () and b = Stats.create () and c = Stats.create () in
+      List.iter (Stats.add a) xs;
+      List.iter (Stats.add b) ys;
+      List.iter (Stats.add c) (xs @ ys);
+      let m = Stats.merge a b in
+      Stats.count m = Stats.count c
+      && Float.abs (Stats.mean m -. Stats.mean c) < 1e-6
+      && Float.abs (Stats.variance m -. Stats.variance c) < 1e-6)
+
+(* ---------- Hist ---------- *)
+
+let test_hist_percentiles () =
+  let h = Hist.create () in
+  for i = 1 to 1000 do
+    Hist.add h (float_of_int i *. 1e-4)
+  done;
+  checki "count" 1000 (Hist.count h);
+  let p50 = Hist.median h in
+  check "median near 0.05 (log-bucket tolerance)" true
+    (p50 > 0.04 && p50 < 0.065);
+  let p99 = Hist.percentile h 0.99 in
+  check "p99 near 0.099" true (p99 > 0.08 && p99 <= 0.1);
+  check "p100 bounded by max" true (Hist.percentile h 1.0 <= Hist.max h +. 1e-12)
+
+let test_hist_empty () =
+  let h = Hist.create () in
+  checkf "empty percentile" 0.0 (Hist.percentile h 0.5);
+  checki "empty count" 0 (Hist.count h)
+
+let test_hist_merge () =
+  let a = Hist.create () and b = Hist.create () in
+  List.iter (Hist.add a) [ 0.001; 0.002 ];
+  List.iter (Hist.add b) [ 0.003; 0.004 ];
+  Hist.merge_into ~dst:a b;
+  checki "merged count" 4 (Hist.count a);
+  checkf "merged mean" 0.0025 (Hist.mean a)
+
+let test_hist_clamps () =
+  let h = Hist.create ~lo:1e-6 ~hi:1.0 () in
+  Hist.add h 1e-12;
+  Hist.add h 100.0;
+  checki "clamped samples counted" 2 (Hist.count h)
+
+(* ---------- Engine ---------- *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.at e 2.0 (fun () -> log := 2 :: !log);
+  Engine.at e 1.0 (fun () -> log := 1 :: !log);
+  Engine.at e 3.0 (fun () -> log := 3 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  checkf "clock at last event" 3.0 (Engine.now e)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.at e 1.0 (fun () -> incr fired);
+  Engine.at e 5.0 (fun () -> incr fired);
+  Engine.run ~until:2.0 e;
+  checki "only early event" 1 !fired;
+  checkf "clock at horizon" 2.0 (Engine.now e);
+  checki "late event pending" 1 (Engine.pending e)
+
+let test_engine_schedule_during_run () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.at e 1.0 (fun () ->
+      log := "first" :: !log;
+      Engine.after e 1.0 (fun () -> log := "second" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "chained" [ "first"; "second" ] (List.rev !log)
+
+let test_engine_past_raises () =
+  let e = Engine.create () in
+  Engine.at e 1.0 (fun () -> ());
+  Engine.run e;
+  Alcotest.check_raises "scheduling in the past"
+    (Invalid_argument "Engine.at: time 0.5 is before now 1") (fun () ->
+      Engine.at e 0.5 (fun () -> ()))
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.at e 1.0 (fun () ->
+      incr fired;
+      Engine.stop e);
+  Engine.at e 2.0 (fun () -> incr fired);
+  Engine.run e;
+  checki "stopped after first" 1 !fired
+
+(* ---------- Table / Chart ---------- *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_table_render' () =
+  let s = Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  check "contains 333" true (contains s "333");
+  check "contains header" true (contains s "bb")
+
+let test_table_tsv () =
+  let s = Table.tsv ~header:[ "x"; "y" ] [ [ "1"; "2" ] ] in
+  Alcotest.(check string) "tsv" "x\ty\n1\t2\n" s
+
+let test_fmt_si () =
+  Alcotest.(check string) "micro" "250u" (Table.fmt_si 250e-6);
+  Alcotest.(check string) "kilo" "1.5k" (Table.fmt_si 1500.0);
+  Alcotest.(check string) "milli" "10m" (Table.fmt_si 0.01)
+
+let test_fmt_pct () =
+  Alcotest.(check string) "positive" "+17%" (Table.fmt_pct 0.17);
+  Alcotest.(check string) "negative" "-41%" (Table.fmt_pct (-0.41));
+  Alcotest.(check string) "zero" "0%" (Table.fmt_pct 0.0)
+
+let test_chart_plot () =
+  let s =
+    Chart.plot
+      [ { Chart.label = "A"; points = [ (0.0, 1.0); (1.0, 2.0) ] } ]
+  in
+  check "chart nonempty" true (String.length s > 0);
+  check "legend present" true (contains s "[A]=A")
+
+let test_chart_logy () =
+  let s =
+    Chart.plot ~logy:true
+      [ { Chart.label = "L"; points = [ (0.0, 1e-4); (1.0, 10.0) ] } ]
+  in
+  check "log scale noted" true (contains s "log scale")
+
+let test_chart_empty () =
+  Alcotest.(check string) "no data" "(no data)\n" (Chart.plot [])
+
+let suite =
+  [
+    Alcotest.test_case "heap basic" `Quick test_heap_basic;
+    Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap clear" `Quick test_heap_clear;
+    Alcotest.test_case "heap to_sorted_list" `Quick test_heap_to_sorted_list;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+    Alcotest.test_case "rng int range" `Quick test_rng_int_range;
+    Alcotest.test_case "rng float range" `Quick test_rng_unit_float_range;
+    Alcotest.test_case "rng exponential mean" `Quick test_rng_exponential_mean;
+    Alcotest.test_case "rng pareto scale" `Quick test_rng_pareto_scale;
+    Alcotest.test_case "rng geometric" `Quick test_rng_geometric;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "stats known values" `Quick test_stats_known;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    QCheck_alcotest.to_alcotest prop_stats_merge;
+    Alcotest.test_case "hist percentiles" `Quick test_hist_percentiles;
+    Alcotest.test_case "hist empty" `Quick test_hist_empty;
+    Alcotest.test_case "hist merge" `Quick test_hist_merge;
+    Alcotest.test_case "hist clamps" `Quick test_hist_clamps;
+    Alcotest.test_case "engine order" `Quick test_engine_order;
+    Alcotest.test_case "engine until" `Quick test_engine_until;
+    Alcotest.test_case "engine chained" `Quick test_engine_schedule_during_run;
+    Alcotest.test_case "engine past raises" `Quick test_engine_past_raises;
+    Alcotest.test_case "engine stop" `Quick test_engine_stop;
+    Alcotest.test_case "table render" `Quick test_table_render';
+    Alcotest.test_case "table tsv" `Quick test_table_tsv;
+    Alcotest.test_case "fmt si" `Quick test_fmt_si;
+    Alcotest.test_case "fmt pct" `Quick test_fmt_pct;
+    Alcotest.test_case "chart plot" `Quick test_chart_plot;
+    Alcotest.test_case "chart logy" `Quick test_chart_logy;
+    Alcotest.test_case "chart empty" `Quick test_chart_empty;
+  ]

@@ -1,0 +1,473 @@
+(* Tests for the miniature TCP/IP host: socket buffers, the PCB table and
+   its single-entry cache, the TCP input state machine (handshake, header
+   prediction, delayed ACK, FIN, RST), and the assembled stack under both
+   scheduling disciplines. *)
+
+open Ldlp_tcpmini
+module Tcp = Ldlp_packet.Tcp
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let checks = Alcotest.(check string)
+
+(* ---------- Sockbuf ---------- *)
+
+let test_sockbuf_basic () =
+  let sb = Sockbuf.create ~hiwat:10 () in
+  checki "empty" 0 (Sockbuf.length sb);
+  checki "space" 10 (Sockbuf.space sb);
+  checki "append accepts" 5 (Sockbuf.append sb (Bytes.of_string "hello"));
+  checki "length" 5 (Sockbuf.length sb);
+  checks "read" "hel" (Bytes.to_string (Sockbuf.read sb 3));
+  checki "length after read" 2 (Sockbuf.length sb);
+  checks "read rest" "lo" (Bytes.to_string (Sockbuf.read_all sb))
+
+let test_sockbuf_hiwat () =
+  let sb = Sockbuf.create ~hiwat:8 () in
+  checki "partial accept" 8 (Sockbuf.append sb (Bytes.of_string "0123456789"));
+  checki "full" 0 (Sockbuf.space sb);
+  checki "rejects when full" 0 (Sockbuf.append sb (Bytes.of_string "x"));
+  ignore (Sockbuf.read sb 4);
+  checki "space recovered" 4 (Sockbuf.space sb)
+
+let test_sockbuf_wakeups () =
+  let sb = Sockbuf.create () in
+  ignore (Sockbuf.append sb (Bytes.of_string "a"));
+  ignore (Sockbuf.append sb (Bytes.of_string "b"));
+  checki "one wakeup while non-empty" 1 (Sockbuf.wakeups sb);
+  ignore (Sockbuf.read_all sb);
+  ignore (Sockbuf.append sb (Bytes.of_string "c"));
+  checki "wakeup after drain" 2 (Sockbuf.wakeups sb)
+
+let prop_sockbuf_fifo =
+  QCheck.Test.make ~name:"sockbuf preserves byte order" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 10) (QCheck.string_of_size Gen.(0 -- 50)))
+    (fun chunks ->
+      let sb = Sockbuf.create ~hiwat:100000 () in
+      List.iter (fun c -> ignore (Sockbuf.append sb (Bytes.of_string c))) chunks;
+      Bytes.to_string (Sockbuf.read_all sb) = String.concat "" chunks)
+
+(* ---------- Pcb ---------- *)
+
+let ipa = Ldlp_packet.Addr.Ipv4.of_string
+
+let test_pcb_listen_and_lookup () =
+  let t = Pcb.create_table () in
+  let l = Pcb.listen t ~port:80 () in
+  check "listener state" true (l.Pcb.state = Pcb.Listen);
+  (match Pcb.lookup t ~local_port:80 ~remote:(ipa "10.0.0.9", 1234) with
+  | Some pcb -> check "falls back to listener" true (pcb == l)
+  | None -> Alcotest.fail "lookup");
+  check "no listener on other port" true
+    (Pcb.lookup t ~local_port:81 ~remote:(ipa "10.0.0.9", 1234) = None)
+
+let test_pcb_double_listen_rejected () =
+  let t = Pcb.create_table () in
+  ignore (Pcb.listen t ~port:80 ());
+  check "double bind raises" true
+    (try
+       ignore (Pcb.listen t ~port:80 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_pcb_cache_hits () =
+  let t = Pcb.create_table () in
+  let l = Pcb.listen t ~port:80 () in
+  let remote = (ipa "10.0.0.9", 1234) in
+  let conn = Pcb.insert_connection t ~listener:l ~remote in
+  (* First lookup after insert hits the cache (insert primes it). *)
+  (match Pcb.lookup t ~local_port:80 ~remote with
+  | Some pcb -> check "found connection" true (pcb == conn)
+  | None -> Alcotest.fail "lookup");
+  let s = Pcb.stats t in
+  checki "cache hit recorded" 1 s.Pcb.cache_hits;
+  (* A different remote misses the cache but hits the listener. *)
+  ignore (Pcb.lookup t ~local_port:80 ~remote:(ipa "10.0.0.8", 99));
+  let s = Pcb.stats t in
+  checki "still one cache hit" 1 s.Pcb.cache_hits;
+  checki "two lookups" 2 s.Pcb.lookups
+
+let test_pcb_drop () =
+  let t = Pcb.create_table () in
+  let l = Pcb.listen t ~port:80 () in
+  let remote = (ipa "10.0.0.9", 1234) in
+  let conn = Pcb.insert_connection t ~listener:l ~remote in
+  checki "one connection" 1 (Pcb.connections t);
+  Pcb.drop t conn;
+  checki "removed" 0 (Pcb.connections t);
+  check "closed" true (conn.Pcb.state = Pcb.Closed);
+  (* Lookup now falls back to the listener, not a stale cache entry. *)
+  match Pcb.lookup t ~local_port:80 ~remote with
+  | Some pcb -> check "listener again" true (pcb == l)
+  | None -> Alcotest.fail "lookup after drop"
+
+(* ---------- Host / tcp_input end-to-end ---------- *)
+
+let client_ip = ipa "10.1.0.2"
+
+let make_host () =
+  let pool = Ldlp_buf.Pool.create () in
+  let host =
+    Host.create ~pool
+      ~mac:(Ldlp_packet.Addr.Mac.of_string "02:00:00:00:00:01")
+      ~ip:(ipa "10.1.0.1") ()
+  in
+  (pool, host)
+
+(* Run a list of client frames through the host's stack; returns the
+   host's transmissions, parsed. *)
+let run_frames ?(discipline = Ldlp_core.Sched.Conventional) host frames =
+  let tx = ref [] in
+  let sched =
+    Ldlp_core.Sched.create ~discipline ~layers:(Host.layers host)
+      ~down:(fun m ->
+        match Host.parse_tx host m.Ldlp_core.Msg.payload with
+        | Some r -> tx := r :: !tx
+        | None -> Alcotest.fail "host transmitted an unparseable frame")
+      ()
+  in
+  List.iter
+    (fun f ->
+      Ldlp_core.Sched.inject sched
+        (Ldlp_core.Msg.make ~size:(Ldlp_buf.Mbuf.length f) (Host.wrap host f)))
+    frames;
+  Ldlp_core.Sched.run sched;
+  List.rev !tx
+
+let handshake host ~src_port =
+  let syn =
+    Host.client_frame host ~src_ip:client_ip ~src_port ~dst_port:80 ~seq:100l
+      ~ack:0l ~flags:Tcp.flag_syn ()
+  in
+  match run_frames host [ syn ] with
+  | [ (h, _) ] ->
+    check "syn-ack" true (Tcp.has_flag h Tcp.flag_syn && Tcp.has_flag h Tcp.flag_ack);
+    check "acks isn+1" true (Int32.equal h.Tcp.ack 101l);
+    (* Complete with the handshake ACK. *)
+    let ack =
+      Host.client_frame host ~src_ip:client_ip ~src_port ~dst_port:80
+        ~seq:101l
+        ~ack:(Tcp.seq_add h.Tcp.seq 1)
+        ~flags:Tcp.flag_ack ()
+    in
+    checki "no reply to bare ack" 0 (List.length (run_frames host [ ack ]));
+    h.Tcp.seq
+  | l -> Alcotest.failf "expected 1 syn-ack, got %d replies" (List.length l)
+
+let data_frame host ~src_port ~seq payload =
+  Host.client_frame host ~src_ip:client_ip ~src_port ~dst_port:80 ~seq ~ack:0l
+    ~flags:(Tcp.flag_ack lor Tcp.flag_psh)
+    ~payload:(Bytes.of_string payload) ()
+
+let test_handshake () =
+  let _, host = make_host () in
+  let _listener = Host.listen host ~port:80 in
+  ignore (handshake host ~src_port:4000);
+  checki "one connection" 1 (Pcb.connections (Host.table host))
+
+let test_data_delivery_and_delayed_ack () =
+  Tcp_input.reset_stats ();
+  let _, host = make_host () in
+  ignore (Host.listen host ~port:80);
+  ignore (handshake host ~src_port:4000);
+  let seg1 = data_frame host ~src_port:4000 ~seq:101l "hello " in
+  let seg2 = data_frame host ~src_port:4000 ~seq:107l "world!" in
+  let replies = run_frames host [ seg1; seg2 ] in
+  (* 4.4BSD acks every second data segment: exactly one ACK for two. *)
+  checki "one delayed ack for two segments" 1 (List.length replies);
+  (match replies with
+  | [ (h, _) ] ->
+    check "cumulative" true (Int32.equal h.Tcp.ack (Int32.of_int (101 + 12)))
+  | _ -> ());
+  (* Data is in the socket buffer of the connection. *)
+  (match
+     Pcb.lookup (Host.table host) ~local_port:80 ~remote:(client_ip, 4000)
+   with
+  | Some pcb ->
+    checks "payload" "hello world!" (Bytes.to_string (Sockbuf.read_all pcb.Pcb.sockbuf))
+  | None -> Alcotest.fail "no pcb");
+  let s = Tcp_input.stats () in
+  checki "both took the fast path" 2 s.Tcp_input.fastpath_hits
+
+let test_out_of_order_dup_ack () =
+  let _, host = make_host () in
+  ignore (Host.listen host ~port:80);
+  ignore (handshake host ~src_port:4001);
+  (* Skip ahead: segment at seq 200 when 101 is expected. *)
+  let ooo = data_frame host ~src_port:4001 ~seq:200l "xxxx" in
+  (match run_frames host [ ooo ] with
+  | [ (h, _) ] -> check "dup-ack at rcv_nxt" true (Int32.equal h.Tcp.ack 101l)
+  | l -> Alcotest.failf "expected dup-ack, got %d" (List.length l));
+  (* Nothing delivered. *)
+  match
+    Pcb.lookup (Host.table host) ~local_port:80 ~remote:(client_ip, 4001)
+  with
+  | Some pcb -> checki "no data" 0 (Sockbuf.length pcb.Pcb.sockbuf)
+  | None -> Alcotest.fail "no pcb"
+
+let test_fin_moves_to_close_wait () =
+  let _, host = make_host () in
+  ignore (Host.listen host ~port:80);
+  ignore (handshake host ~src_port:4002);
+  let fin =
+    Host.client_frame host ~src_ip:client_ip ~src_port:4002 ~dst_port:80
+      ~seq:101l ~ack:0l ~flags:(Tcp.flag_fin lor Tcp.flag_ack) ()
+  in
+  (match run_frames host [ fin ] with
+  | [ (h, _) ] -> check "fin acked" true (Int32.equal h.Tcp.ack 102l)
+  | l -> Alcotest.failf "expected fin-ack, got %d" (List.length l));
+  match
+    Pcb.lookup (Host.table host) ~local_port:80 ~remote:(client_ip, 4002)
+  with
+  | Some pcb -> check "close-wait" true (pcb.Pcb.state = Pcb.Close_wait)
+  | None -> Alcotest.fail "no pcb"
+
+let test_rst_tears_down () =
+  let _, host = make_host () in
+  ignore (Host.listen host ~port:80);
+  ignore (handshake host ~src_port:4003);
+  checki "connected" 1 (Pcb.connections (Host.table host));
+  let rst =
+    Host.client_frame host ~src_ip:client_ip ~src_port:4003 ~dst_port:80
+      ~seq:101l ~ack:0l ~flags:Tcp.flag_rst ()
+  in
+  checki "no reply to rst" 0 (List.length (run_frames host [ rst ]));
+  checki "torn down" 0 (Pcb.connections (Host.table host))
+
+let test_no_listener_rst () =
+  let _, host = make_host () in
+  let seg = data_frame host ~src_port:4004 ~seq:1l "to-nowhere" in
+  match run_frames host [ seg ] with
+  | [ (h, _) ] -> check "rst" true (Tcp.has_flag h Tcp.flag_rst)
+  | l -> Alcotest.failf "expected RST, got %d replies" (List.length l)
+
+let test_corrupt_checksum_dropped () =
+  let _, host = make_host () in
+  ignore (Host.listen host ~port:80);
+  ignore (handshake host ~src_port:4005);
+  let seg = data_frame host ~src_port:4005 ~seq:101l "valid-data" in
+  (* Corrupt a payload byte after checksumming. *)
+  let len = Ldlp_buf.Mbuf.length seg in
+  Ldlp_buf.Mbuf.copy_into seg ~pos:(len - 1) (Bytes.of_string "X") ~src_off:0 ~len:1;
+  checki "silently dropped" 0 (List.length (run_frames host [ seg ]));
+  match
+    Pcb.lookup (Host.table host) ~local_port:80 ~remote:(client_ip, 4005)
+  with
+  | Some pcb -> checki "nothing delivered" 0 (Sockbuf.length pcb.Pcb.sockbuf)
+  | None -> Alcotest.fail "no pcb"
+
+let test_window_respected () =
+  let pool, host = make_host () in
+  ignore pool;
+  ignore (Pcb.listen (Host.table host) ~port:81 ~hiwat:8 ());
+  let syn =
+    Host.client_frame host ~src_ip:client_ip ~src_port:4006 ~dst_port:81
+      ~seq:100l ~ack:0l ~flags:Tcp.flag_syn ()
+  in
+  (match run_frames host [ syn ] with
+  | [ (h, _) ] ->
+    checki "advertised window = hiwat" 8 h.Tcp.window;
+    let ack =
+      Host.client_frame host ~src_ip:client_ip ~src_port:4006 ~dst_port:81
+        ~seq:101l ~ack:(Tcp.seq_add h.Tcp.seq 1) ~flags:Tcp.flag_ack ()
+    in
+    ignore (run_frames host [ ack ])
+  | _ -> Alcotest.fail "no syn-ack");
+  (* 12 bytes into an 8-byte window: slow path, partial accept. *)
+  let seg =
+    Host.client_frame host ~src_ip:client_ip ~src_port:4006 ~dst_port:81
+      ~seq:101l ~ack:0l ~flags:Tcp.flag_ack
+      ~payload:(Bytes.of_string "0123456789ab") ()
+  in
+  (match run_frames host [ seg ] with
+  | [ (h, _) ] ->
+    check "acks only accepted bytes" true (Int32.equal h.Tcp.ack 109l);
+    checki "window closed" 0 h.Tcp.window
+  | l -> Alcotest.failf "expected ack, got %d" (List.length l));
+  match
+    Pcb.lookup (Host.table host) ~local_port:81 ~remote:(client_ip, 4006)
+  with
+  | Some pcb ->
+    checks "prefix kept" "01234567" (Bytes.to_string (Sockbuf.read_all pcb.Pcb.sockbuf))
+  | None -> Alcotest.fail "no pcb"
+
+let test_ldlp_equals_conventional () =
+  let run discipline =
+    let _, host = make_host () in
+    ignore (Host.listen host ~port:80);
+    ignore (handshake host ~src_port:5000);
+    let chunks = List.init 16 (fun i -> Printf.sprintf "part%02d." i) in
+    let _, frames =
+      List.fold_left
+        (fun (seq, acc) c ->
+          ( Tcp.seq_add seq (String.length c),
+            data_frame host ~src_port:5000 ~seq c :: acc ))
+        (101l, []) chunks
+    in
+    let replies = run_frames ~discipline host (List.rev frames) in
+    let data =
+      match
+        Pcb.lookup (Host.table host) ~local_port:80 ~remote:(client_ip, 5000)
+      with
+      | Some pcb -> Bytes.to_string (Sockbuf.read_all pcb.Pcb.sockbuf)
+      | None -> ""
+    in
+    (data, List.length replies)
+  in
+  let d1, r1 = run Ldlp_core.Sched.Conventional in
+  let d2, r2 = run (Ldlp_core.Sched.Ldlp Ldlp_core.Batch.paper_default) in
+  checks "same delivery" d1 d2;
+  checki "same ack count" r1 r2;
+  checki "acks for every 2nd segment" 8 r1
+
+let test_pcb_cache_effective_on_stream () =
+  let _, host = make_host () in
+  ignore (Host.listen host ~port:80);
+  ignore (handshake host ~src_port:6000);
+  let table_stats_before = Pcb.stats (Host.table host) in
+  let frames =
+    List.mapi
+      (fun i c -> data_frame host ~src_port:6000 ~seq:(Tcp.seq_add 101l (8 * i)) c)
+      (List.init 50 (fun i -> Printf.sprintf "chunk%03d" i))
+  in
+  ignore (run_frames host frames);
+  let s = Pcb.stats (Host.table host) in
+  (* A single-connection stream hits the one-entry cache every time. *)
+  checki "all lookups cached"
+    (s.Pcb.lookups - table_stats_before.Pcb.lookups)
+    (s.Pcb.cache_hits - table_stats_before.Pcb.cache_hits)
+
+let prop_stream_reassembly =
+  QCheck.Test.make ~name:"any in-order segmentation delivers the exact stream"
+    ~count:50
+    QCheck.(list_of_size Gen.(1 -- 12) (QCheck.string_of_size Gen.(1 -- 64)))
+    (fun chunks ->
+      let _, host = make_host () in
+      ignore (Host.listen host ~port:80);
+      ignore (handshake host ~src_port:7000);
+      let _, frames =
+        List.fold_left
+          (fun (seq, acc) c ->
+            ( Tcp.seq_add seq (String.length c),
+              data_frame host ~src_port:7000 ~seq c :: acc ))
+          (101l, []) chunks
+      in
+      ignore (run_frames host (List.rev frames));
+      match
+        Pcb.lookup (Host.table host) ~local_port:80 ~remote:(client_ip, 7000)
+      with
+      | Some pcb ->
+        Bytes.to_string (Sockbuf.read_all pcb.Pcb.sockbuf) = String.concat "" chunks
+      | None -> false)
+
+(* ---------- fragmented input (IP reassembly slow path) ---------- *)
+
+let fragmented_frames host ~src_port ~seq payload =
+  (* Build the TCP segment, then hand-fragment it across 3 IP fragments. *)
+  let open Ldlp_packet in
+  let segment =
+    Ldlp_tcpmini.Tcp_output.build ~src:client_ip ~dst:(Host.ip host)
+      ~src_port ~dst_port:80 ~seq ~ack:0l
+      ~flags:(Tcp.flag_ack lor Tcp.flag_psh) ~window:8760
+      ~payload:(Bytes.of_string payload) ()
+  in
+  let header =
+    {
+      Ipv4.ihl = 5;
+      tos = 0;
+      total_length = 0;
+      ident = 0x7777;
+      dont_fragment = false;
+      more_fragments = false;
+      fragment_offset = 0;
+      ttl = 64;
+      protocol = Ipv4.proto_tcp;
+      src = client_ip;
+      dst = Host.ip host;
+    }
+  in
+  let pool = Ldlp_buf.Pool.create () in
+  List.map
+    (fun (h, frag_payload) ->
+      let buf = Bytes.create (Ipv4.header_bytes + Bytes.length frag_payload) in
+      Ipv4.build h buf 0;
+      Bytes.blit frag_payload 0 buf Ipv4.header_bytes (Bytes.length frag_payload);
+      let m = Ldlp_buf.Mbuf.of_bytes pool buf in
+      Ethernet.encapsulate m
+        {
+          Ethernet.dst = Addr.Mac.of_string "02:00:00:00:00:01";
+          src = Addr.Mac.of_string "02:00:00:00:00:aa";
+          ethertype = Ethernet.ethertype_ipv4;
+        })
+    (Reasm.fragment ~mtu:64 ~header ~payload:segment)
+
+let test_fragmented_segment_reassembled () =
+  let pool = Ldlp_buf.Pool.create () in
+  let host =
+    Host.create ~pool
+      ~mac:(Ldlp_packet.Addr.Mac.of_string "02:00:00:00:00:01")
+      ~ip:(ipa "10.1.0.1") ~reassemble:true ()
+  in
+  ignore (Host.listen host ~port:80);
+  ignore (handshake host ~src_port:8000);
+  let payload = String.init 150 (fun i -> Char.chr (65 + (i mod 26))) in
+  let frags = fragmented_frames host ~src_port:8000 ~seq:101l payload in
+  check "actually fragmented" true (List.length frags > 1);
+  ignore (run_frames host frags);
+  match
+    Pcb.lookup (Host.table host) ~local_port:80 ~remote:(client_ip, 8000)
+  with
+  | Some pcb ->
+    checks "reassembled and delivered" payload
+      (Bytes.to_string (Sockbuf.read_all pcb.Pcb.sockbuf))
+  | None -> Alcotest.fail "no pcb"
+
+let test_fragments_dropped_without_reassembly () =
+  let pool = Ldlp_buf.Pool.create () in
+  let host =
+    Host.create ~pool
+      ~mac:(Ldlp_packet.Addr.Mac.of_string "02:00:00:00:00:01")
+      ~ip:(ipa "10.1.0.1") ()
+  in
+  ignore (Host.listen host ~port:80);
+  ignore (handshake host ~src_port:8001);
+  let payload = String.make 150 'z' in
+  let frags = fragmented_frames host ~src_port:8001 ~seq:101l payload in
+  check "actually fragmented" true (List.length frags > 1);
+  ignore (run_frames host frags);
+  let c = Host.counters host in
+  check "fragments counted as bad" true (c.Host.bad_ip >= List.length frags);
+  match
+    Pcb.lookup (Host.table host) ~local_port:80 ~remote:(client_ip, 8001)
+  with
+  | Some pcb -> checki "nothing delivered" 0 (Sockbuf.length pcb.Pcb.sockbuf)
+  | None -> Alcotest.fail "no pcb"
+
+let suite =
+  [
+    Alcotest.test_case "sockbuf basic" `Quick test_sockbuf_basic;
+    Alcotest.test_case "sockbuf hiwat" `Quick test_sockbuf_hiwat;
+    Alcotest.test_case "sockbuf wakeups" `Quick test_sockbuf_wakeups;
+    QCheck_alcotest.to_alcotest prop_sockbuf_fifo;
+    Alcotest.test_case "pcb listen/lookup" `Quick test_pcb_listen_and_lookup;
+    Alcotest.test_case "pcb double listen" `Quick test_pcb_double_listen_rejected;
+    Alcotest.test_case "pcb cache hits" `Quick test_pcb_cache_hits;
+    Alcotest.test_case "pcb drop" `Quick test_pcb_drop;
+    Alcotest.test_case "handshake" `Quick test_handshake;
+    Alcotest.test_case "data + delayed ack" `Quick test_data_delivery_and_delayed_ack;
+    Alcotest.test_case "out of order dup-ack" `Quick test_out_of_order_dup_ack;
+    Alcotest.test_case "fin -> close-wait" `Quick test_fin_moves_to_close_wait;
+    Alcotest.test_case "rst teardown" `Quick test_rst_tears_down;
+    Alcotest.test_case "no listener -> rst" `Quick test_no_listener_rst;
+    Alcotest.test_case "bad checksum dropped" `Quick test_corrupt_checksum_dropped;
+    Alcotest.test_case "window respected" `Quick test_window_respected;
+    Alcotest.test_case "ldlp = conventional" `Quick test_ldlp_equals_conventional;
+    Alcotest.test_case "pcb cache on stream" `Quick test_pcb_cache_effective_on_stream;
+    QCheck_alcotest.to_alcotest prop_stream_reassembly;
+    Alcotest.test_case "fragmented segment reassembled" `Quick
+      test_fragmented_segment_reassembled;
+    Alcotest.test_case "fragments dropped without reassembly" `Quick
+      test_fragments_dropped_without_reassembly;
+  ]

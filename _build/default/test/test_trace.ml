@@ -1,0 +1,283 @@
+(* Tests for the synthetic TCP/IP trace generator and working-set analyser:
+   these are the acceptance tests for the Table 1 / Table 3 / Figure 1
+   reproduction. *)
+
+open Ldlp_trace
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+(* ---------- Funcmap invariants ---------- *)
+
+let test_funcmap_totals () =
+  checki "code total" 30304 Funcmap.total_code;
+  checki "ro total" 5088 Funcmap.total_ro;
+  checki "mut total" 3648 Funcmap.total_mut
+
+let test_funcmap_targets_are_line_multiples () =
+  List.iter
+    (fun c ->
+      let t = Funcmap.target c in
+      checki "code % 32" 0 (t.Funcmap.code mod 32);
+      checki "ro % 32" 0 (t.Funcmap.ro mod 32);
+      checki "mut % 32" 0 (t.Funcmap.mut mod 32))
+    Funcmap.categories
+
+let test_funcmap_capacity () =
+  (* Every category must have enough function bytes to reach its touched
+     target — otherwise the generator can't hit Table 1. *)
+  List.iter
+    (fun c ->
+      let t = Funcmap.target c in
+      check
+        (Printf.sprintf "capacity of %s" (Funcmap.category_name c))
+        true
+        (Funcmap.category_size c >= t.Funcmap.code))
+    Funcmap.categories
+
+let test_funcmap_sizes_from_figure1 () =
+  (* Spot-check transcribed sizes against the published Figure 1. *)
+  let size name =
+    (List.find (fun f -> f.Funcmap.name = name) Funcmap.functions).Funcmap.size
+  in
+  checki "tcp_input" 11872 (size "tcp_input");
+  checki "soreceive" 5536 (size "soreceive");
+  checki "in_cksum" 1104 (size "in_cksum");
+  checki "leintr" 3264 (size "leintr");
+  checki "ip_output" 5120 (size "ip_output");
+  checki "pal_swpipl" 8 (size "pal_swpipl")
+
+(* ---------- Synth + Analyze: Table 1 ---------- *)
+
+let synth = lazy (Synth.generate ())
+
+let table1 = lazy (Analyze.table1 (Lazy.force synth).Synth.trace)
+
+let test_table1_exact_per_category () =
+  let t = Lazy.force table1 in
+  List.iter
+    (fun (r : Analyze.row) ->
+      let tgt = Funcmap.target r.Analyze.category in
+      let name = Funcmap.category_name r.Analyze.category in
+      checki (name ^ " code") tgt.Funcmap.code r.Analyze.code_bytes;
+      checki (name ^ " ro") tgt.Funcmap.ro r.Analyze.ro_bytes;
+      checki (name ^ " mut") tgt.Funcmap.mut r.Analyze.mut_bytes)
+    t.Analyze.rows
+
+let test_table1_totals () =
+  let t = Lazy.force table1 in
+  checki "total code = paper rows" Funcmap.total_code t.Analyze.total.Analyze.code_bytes;
+  checki "total ro" Funcmap.total_ro t.Analyze.total.Analyze.ro_bytes;
+  checki "total mut" Funcmap.total_mut t.Analyze.total.Analyze.mut_bytes
+
+let test_working_set_exceeds_8k_cache () =
+  (* The paper's headline: the working set is >4x an 8 KB cache. *)
+  let t = Lazy.force table1 in
+  let total =
+    t.Analyze.total.Analyze.code_bytes + t.Analyze.total.Analyze.ro_bytes
+  in
+  check "code+ro > 4 * 8KB" true (total > 4 * 8192)
+
+(* ---------- Table 3 shape ---------- *)
+
+let sweep = lazy (Analyze.line_size_sweep (Lazy.force synth).Synth.trace)
+
+let find_row ls =
+  List.find (fun r -> r.Analyze.line_size = ls) (Lazy.force sweep)
+
+let pct a b = 100.0 *. ((float_of_int a /. float_of_int b) -. 1.0)
+
+let test_table3_directions () =
+  let base = find_row 32 in
+  let r64 = find_row 64 and r16 = find_row 16 in
+  (* 64-byte lines: more bytes, fewer lines — and vice versa at 16. *)
+  check "64B code bytes up" true (r64.Analyze.code_line_bytes > base.Analyze.code_line_bytes);
+  check "64B code lines down" true (r64.Analyze.code_lines < base.Analyze.code_lines);
+  check "16B code bytes down" true (r16.Analyze.code_line_bytes < base.Analyze.code_line_bytes);
+  check "16B code lines up" true (r16.Analyze.code_lines > base.Analyze.code_lines)
+
+let test_table3_code_magnitudes () =
+  let base = find_row 32 in
+  let r64 = find_row 64 in
+  let b = pct r64.Analyze.code_line_bytes base.Analyze.code_line_bytes in
+  let l = pct r64.Analyze.code_lines base.Analyze.code_lines in
+  (* Paper: +17% bytes, -41% lines; allow a few points of slack. *)
+  check (Printf.sprintf "64B code bytes +%.0f%% ~ +17%%" b) true (b > 8.0 && b < 26.0);
+  check (Printf.sprintf "64B code lines %.0f%% ~ -41%%" l) true (l < -32.0 && l > -50.0)
+
+let test_table3_16b_magnitudes () =
+  let base = find_row 32 in
+  let r16 = find_row 16 in
+  let b = pct r16.Analyze.code_line_bytes base.Analyze.code_line_bytes in
+  let l = pct r16.Analyze.code_lines base.Analyze.code_lines in
+  (* Paper: -13% bytes, +73% lines. *)
+  check (Printf.sprintf "16B code bytes %.0f%% ~ -13%%" b) true (b < -5.0 && b > -22.0);
+  check (Printf.sprintf "16B code lines +%.0f%% ~ +73%%" l) true (l > 55.0 && l < 95.0)
+
+let test_table3_ro_sparser_than_code () =
+  (* Read-only data is sparser than code: its byte overhead grows faster
+     with line size (paper: +44% RO vs +17% code at 64 B). *)
+  let base = find_row 32 in
+  let r64 = find_row 64 in
+  let code = pct r64.Analyze.code_line_bytes base.Analyze.code_line_bytes in
+  let ro = pct r64.Analyze.ro_line_bytes base.Analyze.ro_line_bytes in
+  check "ro grows faster than code" true (ro > code)
+
+(* ---------- Figure 1 phases ---------- *)
+
+let test_phases_shape () =
+  let phases = Analyze.phases (Lazy.force synth).Synth.trace in
+  let get p =
+    List.find (fun (s : Analyze.phase_summary) -> s.Analyze.phase = p) phases
+  in
+  let entry = get Event.Entry
+  and intr = get Event.Packet_intr
+  and exit_ = get Event.Exit in
+  (* Figure 1: entry is small (3008 B), interrupt large (13664 B), exit
+     largest (18240 B). *)
+  check "entry smallest" true
+    (entry.Analyze.code_bytes < intr.Analyze.code_bytes
+    && entry.Analyze.code_bytes < exit_.Analyze.code_bytes);
+  check "exit largest" true (exit_.Analyze.code_bytes > intr.Analyze.code_bytes);
+  check "refs exceed bytes/4 in loopy phase" true
+    (intr.Analyze.code_refs > intr.Analyze.code_bytes / 4)
+
+let test_functions_cover_map () =
+  let funcs = Analyze.functions (Lazy.force synth).Synth.trace in
+  checki "every Figure 1 function appears" (List.length Funcmap.functions)
+    (List.length funcs);
+  (* tcp_input is the biggest function but only partially touched. *)
+  let touched name =
+    (List.find (fun f -> f.Analyze.fn = name) funcs).Analyze.bytes
+  in
+  check "tcp_input partially touched" true
+    (touched "tcp_input" < 11872 && touched "tcp_input" > 500)
+
+let test_touched_within_function_bounds () =
+  List.iter
+    (fun fl ->
+      check
+        (Printf.sprintf "%s runs within region" fl.Synth.func.Funcmap.name)
+        true
+        (List.for_all
+           (fun (addr, len) ->
+             addr >= fl.Synth.region.Ldlp_cache.Layout.base
+             && addr + len
+                <= fl.Synth.region.Ldlp_cache.Layout.base
+                   + fl.Synth.region.Ldlp_cache.Layout.len)
+           fl.Synth.runs))
+    (Lazy.force synth).Synth.funcs
+
+(* ---------- Stability properties ---------- *)
+
+let test_deterministic () =
+  let a = Synth.generate ~seed:123 () in
+  let b = Synth.generate ~seed:123 () in
+  checki "same event count" (Tracebuf.length a.Synth.trace)
+    (Tracebuf.length b.Synth.trace);
+  checki "same touched code" (Synth.total_touched_code a) (Synth.total_touched_code b)
+
+let test_multi_packet_same_working_set () =
+  let one = Analyze.table1 (Synth.generate ~seed:9 ~packets:1 ()).Synth.trace in
+  let three = Analyze.table1 (Synth.generate ~seed:9 ~packets:3 ()).Synth.trace in
+  checki "working set independent of packet count"
+    one.Analyze.total.Analyze.code_bytes three.Analyze.total.Analyze.code_bytes
+
+let prop_seeds_hit_table1 =
+  QCheck.Test.make ~name:"table 1 code total exact for any seed" ~count:10
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let s = Synth.generate ~seed () in
+      let t = Analyze.table1 s.Synth.trace in
+      t.Analyze.total.Analyze.code_bytes = Funcmap.total_code
+      && t.Analyze.total.Analyze.ro_bytes = Funcmap.total_ro
+      && t.Analyze.total.Analyze.mut_bytes = Funcmap.total_mut)
+
+(* ---------- Dilution (Section 5.4) ---------- *)
+
+let test_dilution () =
+  let d = Analyze.dilution (Lazy.force synth).Synth.trace in
+  (* Paper: ~25% of fetched instructions never execute. *)
+  check
+    (Printf.sprintf "dilution %.2f in [0.15, 0.35]" d.Analyze.dilution_fraction)
+    true
+    (d.Analyze.dilution_fraction > 0.15 && d.Analyze.dilution_fraction < 0.35);
+  check "dense layout needs fewer lines" true
+    (d.Analyze.dense_lines < d.Analyze.sparse_lines)
+
+let test_function_totals_consistent () =
+  let s = Lazy.force synth in
+  let funcs = Analyze.functions s.Synth.trace in
+  let total = List.fold_left (fun a f -> a + f.Analyze.bytes) 0 funcs in
+  checki "per-function bytes sum to generator total"
+    (Synth.total_touched_code s) total
+
+(* ---------- Relayout (Section 5.4) ---------- *)
+
+let test_relayout_preserves_volume () =
+  let s = Lazy.force synth in
+  let packed = Relayout.dense s.Synth.trace in
+  checki "same event count" (Tracebuf.length s.Synth.trace) (Tracebuf.length packed);
+  (* Touched byte volume is invariant under remapping. *)
+  let bytes trace =
+    let ws = Ldlp_cache.Working_set.create () in
+    Tracebuf.iter trace (fun e ->
+        if e.Event.kind = Event.Code then
+          Ldlp_cache.Working_set.touch ws ~addr:e.Event.addr ~len:e.Event.len);
+    Ldlp_cache.Working_set.touched_bytes ws
+  in
+  checki "same touched bytes" (bytes s.Synth.trace) (bytes packed)
+
+let test_relayout_packs () =
+  let s = Lazy.force synth in
+  let c = Relayout.miss_comparison s.Synth.trace in
+  check
+    (Printf.sprintf "line saving %.2f ~ 0.25 (paper 5.4)" c.Relayout.line_saving)
+    true
+    (c.Relayout.line_saving > 0.15 && c.Relayout.line_saving < 0.35);
+  check "fewer cold misses" true (c.Relayout.dense_imisses < c.Relayout.sparse_imisses);
+  check "dense lines = ceil(bytes/32)" true (c.Relayout.dense_lines <= c.Relayout.sparse_lines)
+
+let test_relayout_data_untouched () =
+  let s = Lazy.force synth in
+  let packed = Relayout.dense s.Synth.trace in
+  let data_addrs trace =
+    Tracebuf.fold trace ~init:[] ~f:(fun acc e ->
+        if e.Event.kind <> Event.Code then (e.Event.addr, e.Event.len) :: acc
+        else acc)
+  in
+  check "loads/stores unchanged" true
+    (data_addrs s.Synth.trace = data_addrs packed)
+
+let suite =
+  [
+    Alcotest.test_case "funcmap totals" `Quick test_funcmap_totals;
+    Alcotest.test_case "targets are line multiples" `Quick
+      test_funcmap_targets_are_line_multiples;
+    Alcotest.test_case "category capacity" `Quick test_funcmap_capacity;
+    Alcotest.test_case "figure 1 sizes" `Quick test_funcmap_sizes_from_figure1;
+    Alcotest.test_case "table 1 exact per category" `Quick
+      test_table1_exact_per_category;
+    Alcotest.test_case "table 1 totals" `Quick test_table1_totals;
+    Alcotest.test_case "working set >> cache" `Quick
+      test_working_set_exceeds_8k_cache;
+    Alcotest.test_case "table 3 directions" `Quick test_table3_directions;
+    Alcotest.test_case "table 3 code 64B" `Quick test_table3_code_magnitudes;
+    Alcotest.test_case "table 3 code 16B" `Quick test_table3_16b_magnitudes;
+    Alcotest.test_case "table 3 ro sparser" `Quick test_table3_ro_sparser_than_code;
+    Alcotest.test_case "figure 1 phases" `Quick test_phases_shape;
+    Alcotest.test_case "figure 1 functions" `Quick test_functions_cover_map;
+    Alcotest.test_case "runs within regions" `Quick
+      test_touched_within_function_bounds;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "multi-packet working set" `Quick
+      test_multi_packet_same_working_set;
+    QCheck_alcotest.to_alcotest prop_seeds_hit_table1;
+    Alcotest.test_case "dilution" `Quick test_dilution;
+    Alcotest.test_case "function totals consistent" `Quick
+      test_function_totals_consistent;
+    Alcotest.test_case "relayout volume" `Quick test_relayout_preserves_volume;
+    Alcotest.test_case "relayout packs" `Quick test_relayout_packs;
+    Alcotest.test_case "relayout data untouched" `Quick test_relayout_data_untouched;
+  ]

@@ -1,0 +1,231 @@
+(* Tests for traffic sources: Poisson, ON/OFF self-similar aggregate,
+   size distributions, trace files, Hurst estimation. *)
+
+open Ldlp_traffic
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let rng seed = Ldlp_sim.Rng.create ~seed
+
+(* ---------- Source combinators ---------- *)
+
+let pkts l = List.map (fun (at, size) -> { Source.at; size }) l
+
+let test_of_list_pull_peek () =
+  let s = Source.of_list (pkts [ (1.0, 10); (2.0, 20) ]) in
+  (match Source.peek s with
+  | Some p -> Alcotest.(check (float 0.0)) "peek at" 1.0 p.Source.at
+  | None -> Alcotest.fail "peek");
+  (match Source.pull s with
+  | Some p -> checki "pull size" 10 p.Source.size
+  | None -> Alcotest.fail "pull");
+  (match Source.pull s with
+  | Some p -> checki "second" 20 p.Source.size
+  | None -> Alcotest.fail "pull 2");
+  check "exhausted" true (Source.pull s = None)
+
+let test_of_list_unsorted_raises () =
+  check "unsorted raises" true
+    (try
+       ignore (Source.of_list (pkts [ (2.0, 1); (1.0, 1) ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_limit_time () =
+  let s = Source.of_list (pkts [ (0.5, 1); (1.5, 2); (2.5, 3) ]) in
+  let l = Source.to_list (Source.limit_time s 2.0) in
+  checki "two before horizon" 2 (List.length l)
+
+let test_limit_count () =
+  let s = Source.of_list (pkts [ (0.5, 1); (1.5, 2); (2.5, 3) ]) in
+  checki "count limit" 2 (List.length (Source.to_list (Source.limit_count s 2)))
+
+let test_map_size () =
+  let s = Source.of_list (pkts [ (0.5, 100) ]) in
+  match Source.to_list (Source.map_size s (fun n -> n * 2)) with
+  | [ p ] -> checki "doubled" 200 p.Source.size
+  | _ -> Alcotest.fail "map_size"
+
+let test_scale_time () =
+  let s = Source.of_list (pkts [ (1.0, 1) ]) in
+  match Source.to_list (Source.scale_time s 2.0) with
+  | [ p ] -> Alcotest.(check (float 1e-12)) "scaled" 2.0 p.Source.at
+  | _ -> Alcotest.fail "scale_time"
+
+let prop_merge_sorted =
+  QCheck.Test.make ~name:"merge of sorted streams is sorted" ~count:200
+    QCheck.(
+      pair
+        (list (float_bound_inclusive 100.0))
+        (list (float_bound_inclusive 100.0)))
+    (fun (xs, ys) ->
+      let mk l =
+        Source.of_list
+          (List.map (fun at -> { Source.at; size = 1 }) (List.sort compare l))
+      in
+      let merged = Source.to_list (Source.merge (mk xs) (mk ys)) in
+      let times = List.map (fun p -> p.Source.at) merged in
+      List.length merged = List.length xs + List.length ys
+      && times = List.sort compare times)
+
+(* ---------- Poisson ---------- *)
+
+let test_poisson_rate () =
+  let s = Poisson.source ~rng:(rng 1) ~rate:1000.0 () in
+  let l = Source.to_list (Source.limit_time s 10.0) in
+  let n = List.length l in
+  check "rate within 5%" true (n > 9500 && n < 10500);
+  check "sizes are 552" true (List.for_all (fun p -> p.Source.size = 552) l)
+
+let test_poisson_monotone () =
+  let s = Poisson.source ~rng:(rng 2) ~rate:100.0 () in
+  let l = Source.to_list (Source.limit_count s 1000) in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a.Source.at <= b.Source.at && mono rest
+    | _ -> true
+  in
+  check "monotone times" true (mono l)
+
+let test_poisson_custom_size () =
+  let s = Poisson.source ~rng:(rng 3) ~rate:100.0 ~size:64 () in
+  match Source.to_list (Source.limit_count s 1) with
+  | [ p ] -> checki "custom size" 64 p.Source.size
+  | _ -> Alcotest.fail "poisson"
+
+(* ---------- Sizes ---------- *)
+
+let test_sizes_validate () =
+  Sizes.validate Sizes.ethernet_mix;
+  Sizes.validate (Sizes.constant 552);
+  check "bad dist raises" true
+    (try
+       Sizes.validate [ (0.5, 100) ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_sizes_sample_support () =
+  let r = rng 4 in
+  let support = List.map snd Sizes.ethernet_mix in
+  for _ = 1 to 1000 do
+    check "in support" true (List.mem (Sizes.sample r Sizes.ethernet_mix) support)
+  done
+
+let test_sizes_mean () =
+  Alcotest.(check (float 1e-9)) "constant mean" 552.0 (Sizes.mean (Sizes.constant 552));
+  let m = Sizes.mean Sizes.ethernet_mix in
+  check "ethernet mix mean plausible" true (m > 200.0 && m < 600.0)
+
+(* ---------- ON/OFF ---------- *)
+
+let test_onoff_mean_rate () =
+  let cfg = Onoff.default in
+  let expect = Onoff.mean_rate cfg in
+  let s = Onoff.source ~rng:(rng 5) ~config:cfg () in
+  let l = Source.to_list (Source.limit_time s 50.0) in
+  let got = float_of_int (List.length l) /. 50.0 in
+  (* Heavy-tailed: generous tolerance. *)
+  check
+    (Printf.sprintf "mean rate %.0f within 50%% of %.0f" got expect)
+    true
+    (got > expect *. 0.5 && got < expect *. 1.5)
+
+let test_onoff_monotone () =
+  let s = Onoff.source ~rng:(rng 6) () in
+  let l = Source.to_list (Source.limit_count s 5000) in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a.Source.at <= b.Source.at && mono rest
+    | _ -> true
+  in
+  check "monotone" true (mono l)
+
+let test_onoff_validation () =
+  check "alpha <= 1 rejected" true
+    (try
+       ignore
+         (Onoff.source ~rng:(rng 7)
+            ~config:{ Onoff.default with Onoff.alpha_on = 0.9 }
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Hurst ---------- *)
+
+let test_hurst_distinguishes_selfsimilar () =
+  let horizon = 200.0 in
+  let poisson =
+    Source.to_list
+      (Source.limit_time (Poisson.source ~rng:(rng 8) ~rate:500.0 ()) horizon)
+  in
+  let onoff =
+    Source.to_list
+      (Source.limit_time (Onoff.source ~rng:(rng 9) ()) horizon)
+  in
+  let hp = Hurst.of_packets ~bin:0.05 ~horizon poisson in
+  let ho = Hurst.of_packets ~bin:0.05 ~horizon onoff in
+  check (Printf.sprintf "poisson H=%.2f < onoff H=%.2f" hp ho) true (hp < ho);
+  check "poisson near 0.5" true (hp < 0.65);
+  check "onoff clearly self-similar" true (ho > 0.65)
+
+let test_hurst_counts () =
+  let c =
+    Hurst.counts ~bin:1.0 ~horizon:3.0
+      (pkts [ (0.5, 1); (0.7, 1); (1.5, 1); (2.9, 1) ])
+  in
+  Alcotest.(check (array (float 0.0))) "bins" [| 2.0; 1.0; 1.0 |] c
+
+(* ---------- Tracefile ---------- *)
+
+let test_tracefile_roundtrip () =
+  let packets = pkts [ (0.001, 64); (0.5, 1518); (1.25, 552) ] in
+  let path = Filename.temp_file "ldlp" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Tracefile.save path packets;
+      let loaded = Tracefile.load path in
+      checki "count" 3 (List.length loaded);
+      List.iter2
+        (fun a b ->
+          check "time" true (Float.abs (a.Source.at -. b.Source.at) < 1e-9);
+          checki "size" a.Source.size b.Source.size)
+        packets loaded)
+
+let test_tracefile_bad_line () =
+  let path = Filename.temp_file "ldlp" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "0.5 not-a-number\n";
+      close_out oc;
+      check "bad line raises" true
+        (try
+           ignore (Tracefile.load path);
+           false
+         with Failure _ -> true))
+
+let suite =
+  [
+    Alcotest.test_case "of_list pull/peek" `Quick test_of_list_pull_peek;
+    Alcotest.test_case "of_list unsorted" `Quick test_of_list_unsorted_raises;
+    Alcotest.test_case "limit_time" `Quick test_limit_time;
+    Alcotest.test_case "limit_count" `Quick test_limit_count;
+    Alcotest.test_case "map_size" `Quick test_map_size;
+    Alcotest.test_case "scale_time" `Quick test_scale_time;
+    QCheck_alcotest.to_alcotest prop_merge_sorted;
+    Alcotest.test_case "poisson rate" `Quick test_poisson_rate;
+    Alcotest.test_case "poisson monotone" `Quick test_poisson_monotone;
+    Alcotest.test_case "poisson custom size" `Quick test_poisson_custom_size;
+    Alcotest.test_case "sizes validate" `Quick test_sizes_validate;
+    Alcotest.test_case "sizes support" `Quick test_sizes_sample_support;
+    Alcotest.test_case "sizes mean" `Quick test_sizes_mean;
+    Alcotest.test_case "onoff mean rate" `Slow test_onoff_mean_rate;
+    Alcotest.test_case "onoff monotone" `Quick test_onoff_monotone;
+    Alcotest.test_case "onoff validation" `Quick test_onoff_validation;
+    Alcotest.test_case "hurst self-similarity" `Slow test_hurst_distinguishes_selfsimilar;
+    Alcotest.test_case "hurst counts" `Quick test_hurst_counts;
+    Alcotest.test_case "tracefile roundtrip" `Quick test_tracefile_roundtrip;
+    Alcotest.test_case "tracefile bad line" `Quick test_tracefile_bad_line;
+  ]

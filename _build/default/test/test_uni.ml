@@ -1,0 +1,191 @@
+(* Tests for the UNI signalling endpoint: Q.93B call control over
+   assured-mode SSCOP, including the T303/T308 supervision timers.  Two
+   endpoints are wired back-to-back through a (possibly lossy) in-memory
+   link. *)
+
+open Ldlp_sigproto
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+(* Exchange frames between two endpoints until quiescent; returns all
+   events seen on each side.  [drop] decides per-frame loss. *)
+let splice ?(drop = fun _ -> false) ~now a b out_a =
+  let events_a = ref [] and events_b = ref [] in
+  let rec go dir (o : Uni.outcome) =
+    let src_events, dst =
+      match dir with `A2b -> (events_a, b) | `B2a -> (events_b, a)
+    in
+    src_events := !src_events @ o.Uni.events;
+    List.iter
+      (fun frame ->
+        if not (drop frame) then begin
+          let o' = Uni.on_wire dst ~now frame in
+          go (match dir with `A2b -> `B2a | `B2a -> `A2b) o'
+        end)
+      o.Uni.to_wire
+  in
+  go `A2b out_a;
+  (!events_a, !events_b)
+
+let linked () =
+  let a = Uni.create () and b = Uni.create () in
+  let ea, eb = splice ~now:0.0 a b (Uni.link_up a ~now:0.0) in
+  check "a link up" true (List.mem Uni.Link_up ea);
+  check "b link up" true (List.mem Uni.Link_up eb);
+  check "both ready" true (Uni.link_ready a && Uni.link_ready b);
+  (a, b)
+
+let test_link_establishment () = ignore (linked ())
+
+let test_call_setup_and_answer () =
+  let a, b = linked () in
+  let out = Result.get_ok (Uni.originate a ~now:0.1 ~call_ref:7 [ Ie.called_party "b" ]) in
+  let _, eb = splice ~now:0.1 a b out in
+  (match List.find_opt (function Uni.Call_offered _ -> true | _ -> false) eb with
+  | Some (Uni.Call_offered (7, ies)) ->
+    check "IEs carried" true (Ie.find Ie.id_called_party ies <> None)
+  | _ -> Alcotest.fail "no offer");
+  (* B answers. *)
+  let out_b = Result.get_ok (Uni.accept b ~now:0.2 ~call_ref:7) in
+  let eb2, ea2 = splice ~now:0.2 b a out_b in
+  check "a connected" true (List.mem (Uni.Call_connected 7) ea2);
+  check "b connected" true (List.mem (Uni.Call_connected 7) eb2);
+  check "a call active" true (Uni.call_state a ~call_ref:7 = Some Fsm.Active);
+  check "b call active" true (Uni.call_state b ~call_ref:7 = Some Fsm.Active)
+
+let connected_pair () =
+  let a, b = linked () in
+  let out = Result.get_ok (Uni.originate a ~now:0.1 ~call_ref:7 [ Ie.called_party "b" ]) in
+  ignore (splice ~now:0.1 a b out);
+  let out_b = Result.get_ok (Uni.accept b ~now:0.2 ~call_ref:7) in
+  ignore (splice ~now:0.2 b a out_b);
+  (a, b)
+
+let test_call_release () =
+  let a, b = connected_pair () in
+  let out = Result.get_ok (Uni.hangup a ~now:1.0 ~call_ref:7) in
+  let ea, eb = splice ~now:1.0 a b out in
+  check "a released" true (List.mem (Uni.Call_released 7) ea);
+  check "b released" true (List.mem (Uni.Call_released 7) eb);
+  checki "a table empty" 0 (Uni.active_calls a);
+  checki "b table empty" 0 (Uni.active_calls b)
+
+let test_originate_requires_link () =
+  let a = Uni.create () in
+  match Uni.originate a ~now:0.0 ~call_ref:1 [] with
+  | Error `Link_down -> ()
+  | _ -> Alcotest.fail "expected Link_down"
+
+let test_busy_call_ref () =
+  let a, b = linked () in
+  ignore b;
+  ignore (Result.get_ok (Uni.originate a ~now:0.0 ~call_ref:3 []));
+  match Uni.originate a ~now:0.0 ~call_ref:3 [] with
+  | Error `Busy_ref -> ()
+  | _ -> Alcotest.fail "expected Busy_ref"
+
+let test_t303_retransmits_then_fails () =
+  let a, b = linked () in
+  ignore b;
+  (* SETUP vanishes: drop everything A sends from now on. *)
+  let out = Result.get_ok (Uni.originate a ~now:0.0 ~call_ref:9 []) in
+  ignore out.Uni.to_wire;
+  (* First T303 expiry: SETUP retransmitted (also dropped). *)
+  let rec drive _now seen_retransmit =
+    match Uni.next_deadline a with
+    | None -> Alcotest.fail "deadline disappeared before failure"
+    | Some d ->
+      let o = Uni.tick a ~now:d in
+      if List.exists (function Uni.Call_failed (9, _) -> true | _ -> false)
+           o.Uni.events
+      then seen_retransmit
+      else
+        drive d (seen_retransmit || o.Uni.to_wire <> [])
+  in
+  let retransmitted = drive 0.0 false in
+  check "setup was retransmitted before giving up" true retransmitted;
+  checki "call cleared" 0 (Uni.active_calls a)
+
+let test_t303_cancelled_by_response () =
+  let a, b = connected_pair () in
+  ignore b;
+  (* Connected: no Q.93B supervision timer may remain on A's call.  (The
+     SSCOP layer may still hold a poll timer; advancing past T303 must not
+     fail the call.) *)
+  let rec advance _now n =
+    if n > 10 then ()
+    else
+      match Uni.next_deadline a with
+      | None -> ()
+      | Some d when d > 100.0 -> ()
+      | Some d ->
+        let o = Uni.tick a ~now:d in
+        check "no call failure after connect" true
+          (not
+             (List.exists
+                (function Uni.Call_failed _ -> true | _ -> false)
+                o.Uni.events));
+        advance d (n + 1)
+  in
+  advance 1.0 0;
+  check "still active" true (Uni.call_state a ~call_ref:7 = Some Fsm.Active)
+
+let test_sscop_recovers_lost_setup () =
+  (* Unlike raw Q.93B, the assured SSCOP link retransmits a lost SD frame
+     itself: drop the first copy, let the poll recover it, and the call
+     still completes without T303 firing. *)
+  let a, b = linked () in
+  let first = ref true in
+  let drop _ =
+    if !first then begin
+      first := false;
+      true
+    end
+    else false
+  in
+  let out = Result.get_ok (Uni.originate a ~now:0.0 ~call_ref:4 []) in
+  let _, eb = splice ~drop ~now:0.0 a b out in
+  check "not yet offered" true
+    (not (List.exists (function Uni.Call_offered _ -> true | _ -> false) eb));
+  (* SSCOP poll timer fires well before T303. *)
+  let d = Option.get (Uni.next_deadline a) in
+  check "sscop deadline before T303" true (d < 4.0);
+  let o = Uni.tick a ~now:d in
+  let _, eb2 = splice ~now:d a b o in
+  check "offered after recovery" true
+    (List.exists (function Uni.Call_offered (4, _) -> true | _ -> false) eb2)
+
+let test_link_down_reported () =
+  let a, b = linked () in
+  (* A stops hearing from B entirely while data is outstanding: after the
+     SSCOP retransmission budget, the link resets and is reported down. *)
+  ignore (Result.get_ok (Uni.originate a ~now:0.0 ~call_ref:2 []));
+  ignore b;
+  let rec starve _now n =
+    if n > 40 then Alcotest.fail "link never reset"
+    else
+      match Uni.next_deadline a with
+      | None -> Alcotest.fail "no deadline"
+      | Some d ->
+        let o = Uni.tick a ~now:d in
+        if List.exists (function Uni.Link_down _ -> true | _ -> false) o.Uni.events
+        then ()
+        else starve d (n + 1)
+  in
+  starve 0.0 0;
+  check "link down" false (Uni.link_ready a)
+
+let suite =
+  [
+    Alcotest.test_case "link establishment" `Quick test_link_establishment;
+    Alcotest.test_case "call setup/answer" `Quick test_call_setup_and_answer;
+    Alcotest.test_case "call release" `Quick test_call_release;
+    Alcotest.test_case "originate requires link" `Quick test_originate_requires_link;
+    Alcotest.test_case "busy call ref" `Quick test_busy_call_ref;
+    Alcotest.test_case "t303 retransmit then fail" `Quick test_t303_retransmits_then_fails;
+    Alcotest.test_case "t303 cancelled by answer" `Quick test_t303_cancelled_by_response;
+    Alcotest.test_case "sscop recovers lost setup" `Quick test_sscop_recovers_lost_setup;
+    Alcotest.test_case "link down on starvation" `Quick test_link_down_reported;
+  ]
