@@ -1,0 +1,27 @@
+# Local CI gate.  `make check` = build + formatting + tests + a 2-domain
+# determinism selftest of the parallel sweep engine.
+
+DOMAINS ?= 2
+
+.PHONY: all build test fmt selftest bench-sweeps check
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	dune build @fmt
+
+selftest: build
+	dune exec bin/ldlp_repro.exe -- selftest --domains $(DOMAINS)
+
+# Times every sweep at 1 domain and at N domains; writes BENCH_sweeps.json.
+bench-sweeps: build
+	dune exec bench/main.exe -- --sweeps
+
+check: build fmt test selftest
+	@echo "check OK"

@@ -109,6 +109,70 @@ let reproduce () =
        (Ldlp_model.Figures.extension_tcp_stack ~seed ~runs:3 ()))
 
 (* ------------------------------------------------------------------ *)
+(* Section 1b: sweep wall-clock benchmark -> BENCH_sweeps.json.        *)
+(* ------------------------------------------------------------------ *)
+
+(* Each sweep generator is timed end to end at [domains = 1] and at the
+   resolved parallel domain count, and both wall clocks land in
+   [BENCH_sweeps.json] so future PRs have a perf trajectory to compare
+   against.  The parallel run goes first so the sequential run cannot look
+   artificially good on a cold allocator. *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let sweep_timings () =
+  let domains = max 2 (Ldlp_par.Pool.available_domains ()) in
+  let time name f =
+    let par_pts, par_seconds = wall (fun () -> f ~domains) in
+    let seq_pts, seq_seconds = wall (fun () -> f ~domains:1) in
+    assert (par_pts = seq_pts);
+    {
+      Ldlp_report.Bench_json.name;
+      points = List.length seq_pts;
+      seq_seconds;
+      par_seconds;
+      domains;
+    }
+  in
+  [
+    time "rate_sweep" (fun ~domains ->
+        Ldlp_model.Figures.rate_sweep ~domains ~params:quick ~seed ());
+    time "clock_sweep" (fun ~domains ->
+        Ldlp_model.Figures.clock_sweep ~domains ~params:quick ~seed ());
+    time "ablation_batch" (fun ~domains ->
+        Ldlp_model.Figures.ablation_batch ~domains ~params:quick ~seed ());
+    time "comparison_ilp" (fun ~domains ->
+        Ldlp_model.Figures.comparison_ilp ~domains ~params:quick ~seed ());
+  ]
+
+let bench_sweeps ~out () =
+  let sweeps = sweep_timings () in
+  let json =
+    Ldlp_report.Bench_json.render
+      ~host_cores:(Domain.recommended_domain_count ())
+      ~sweeps
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "Sweep wall clock (parallel determinism-checked separately)\n";
+  Printf.printf "%-20s %6s %12s %12s %8s\n" "sweep" "points" "1 domain"
+    "N domains" "speedup";
+  List.iter
+    (fun s ->
+      Printf.printf "%-20s %6d %10.3f s %10.3f s %7.2fx (%d domains)\n"
+        s.Ldlp_report.Bench_json.name s.Ldlp_report.Bench_json.points
+        s.Ldlp_report.Bench_json.seq_seconds
+        s.Ldlp_report.Bench_json.par_seconds
+        (Ldlp_report.Bench_json.speedup s)
+        s.Ldlp_report.Bench_json.domains)
+    sweeps;
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* Section 2: Bechamel tests.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -350,5 +414,9 @@ let run_benchmarks () =
 let () =
   let bench_only = Array.exists (( = ) "--bench-only") Sys.argv in
   let repro_only = Array.exists (( = ) "--repro-only") Sys.argv in
-  if not bench_only then reproduce ();
-  if not repro_only then run_benchmarks ()
+  let sweeps_only = Array.exists (( = ) "--sweeps") Sys.argv in
+  if sweeps_only then bench_sweeps ~out:"BENCH_sweeps.json" ()
+  else begin
+    if not bench_only then reproduce ();
+    if not repro_only then run_benchmarks ()
+  end

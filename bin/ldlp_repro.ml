@@ -29,6 +29,23 @@ let seed_t =
   let doc = "PRNG seed." in
   Arg.(value & opt int 1996 & info [ "seed" ] ~doc)
 
+let domains_t =
+  let doc =
+    "Worker domains for sweep evaluation.  Defaults to $(b,LDLP_DOMAINS) if \
+     set, else the host's recommended domain count.  1 forces the \
+     sequential path; any count produces identical output for the same seed."
+  in
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some n -> Error (`Msg (Printf.sprintf "domain count must be >= 1, got %d" n))
+      | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt (some positive_int) None & info [ "domains"; "j" ] ~doc)
+
 let out s = print_string s; print_newline ()
 
 let run_table1 seed = out (Ldlp_report.Report.table1 (Ldlp_model.Figures.table1 ~seed ()))
@@ -39,19 +56,25 @@ let run_fig1 seed =
   let phases, funcs = Ldlp_model.Figures.figure1 ~seed () in
   out (Ldlp_report.Report.figure1 phases funcs)
 
-let run_fig5 params seed =
-  out (Ldlp_report.Report.fig5 (Ldlp_model.Figures.rate_sweep ~params ~seed ()))
+let run_fig5 ?domains params seed =
+  out
+    (Ldlp_report.Report.fig5
+       (Ldlp_model.Figures.rate_sweep ?domains ~params ~seed ()))
 
-let run_fig6 params seed =
-  out (Ldlp_report.Report.fig6 (Ldlp_model.Figures.rate_sweep ~params ~seed ()))
+let run_fig6 ?domains params seed =
+  out
+    (Ldlp_report.Report.fig6
+       (Ldlp_model.Figures.rate_sweep ?domains ~params ~seed ()))
 
-let run_fig56 params seed =
-  let points = Ldlp_model.Figures.rate_sweep ~params ~seed () in
+let run_fig56 ?domains params seed =
+  let points = Ldlp_model.Figures.rate_sweep ?domains ~params ~seed () in
   out (Ldlp_report.Report.fig5 points);
   out (Ldlp_report.Report.fig6 points)
 
-let run_fig7 params seed =
-  out (Ldlp_report.Report.fig7 (Ldlp_model.Figures.clock_sweep ~params ~seed ()))
+let run_fig7 ?domains params seed =
+  out
+    (Ldlp_report.Report.fig7
+       (Ldlp_model.Figures.clock_sweep ?domains ~params ~seed ()))
 
 let run_fig8 () = out (Ldlp_report.Report.fig8 (Ldlp_model.Figures.fig8 ()))
 
@@ -76,51 +99,65 @@ let run_blocking () =
     (Ldlp_report.Report.blocking
        (Ldlp_core.Blocking.recommend Ldlp_core.Blocking.paper_machine stack))
 
-let run_ablations params seed =
-  out (Ldlp_report.Report.ablation_batch (Ldlp_model.Figures.ablation_batch ~params ~seed ()));
+let run_ablations ?domains params seed =
+  out
+    (Ldlp_report.Report.ablation_batch
+       (Ldlp_model.Figures.ablation_batch ?domains ~params ~seed ()));
   out
     (Ldlp_report.Report.ablation_density
-       (Ldlp_model.Figures.ablation_density ~params ~seed ()));
+       (Ldlp_model.Figures.ablation_density ?domains ~params ~seed ()));
   out
     (Ldlp_report.Report.ablation_linesize
-       (Ldlp_model.Figures.ablation_linesize ~params ~seed ()));
+       (Ldlp_model.Figures.ablation_linesize ?domains ~params ~seed ()));
   out (Ldlp_report.Report.ablation_dilution (Ldlp_model.Figures.ablation_dilution ()));
   out (Ldlp_report.Report.ablation_relayout (Ldlp_model.Figures.ablation_relayout ()));
   out
     (Ldlp_report.Report.ablation_associativity
-       (Ldlp_model.Figures.ablation_associativity ~params ~seed ()));
+       (Ldlp_model.Figures.ablation_associativity ?domains ~params ~seed ()));
   out
     (Ldlp_report.Report.ablation_prefetch
-       (Ldlp_model.Figures.ablation_prefetch ~params ~seed ()));
+       (Ldlp_model.Figures.ablation_prefetch ?domains ~params ~seed ()));
   out
     (Ldlp_report.Report.ablation_unified
-       (Ldlp_model.Figures.ablation_unified ~params ~seed ()));
+       (Ldlp_model.Figures.ablation_unified ?domains ~params ~seed ()));
   out
     (Ldlp_report.Report.ablation_layout
-       (Ldlp_model.Figures.ablation_layout ~params ~seed ()))
+       (Ldlp_model.Figures.ablation_layout ?domains ~params ~seed ()))
 
-let run_tcpstack seed =
+let run_tcpstack ?domains seed =
   out
     (Ldlp_report.Report.extension_tcp_stack
-       (Ldlp_model.Figures.extension_tcp_stack ~seed ()))
+       (Ldlp_model.Figures.extension_tcp_stack ?domains ~seed ()))
 
-let run_granularity seed =
+let run_granularity ?domains seed =
   out
     (Ldlp_report.Report.ablation_granularity
-       (Ldlp_model.Figures.ablation_granularity ~seed ()))
+       (Ldlp_model.Figures.ablation_granularity ?domains ~seed ()))
 
-let run_txside params seed =
+let run_txside ?domains params seed =
   out
     (Ldlp_report.Report.extension_txside
-       (Ldlp_model.Figures.extension_txside ~params ~seed ()))
+       (Ldlp_model.Figures.extension_txside ?domains ~params ~seed ()))
 
-let run_ilp params seed =
+let run_ilp ?domains params seed =
   out
     (Ldlp_report.Report.comparison_ilp
-       (Ldlp_model.Figures.comparison_ilp ~params ~seed ()))
+       (Ldlp_model.Figures.comparison_ilp ?domains ~params ~seed ()))
 
-let run_goal seed =
-  out (Ldlp_report.Report.extension_goal (Ldlp_model.Figures.extension_goal ~seed ()))
+let run_goal ?domains seed =
+  out
+    (Ldlp_report.Report.extension_goal
+       (Ldlp_model.Figures.extension_goal ?domains ~seed ()))
+
+let run_selftest domains =
+  let domains = Option.value ~default:2 domains in
+  if Ldlp_model.Figures.sweep_selftest ~domains () then
+    Printf.printf
+      "selftest OK: %d-domain sweeps byte-identical to sequential\n" domains
+  else begin
+    prerr_endline "selftest FAILED: parallel sweep diverged from sequential";
+    exit 1
+  end
 
 let run_selfsim seed seconds path =
   let rng = Ldlp_sim.Rng.create ~seed in
@@ -166,26 +203,29 @@ let run_hurst path =
       horizon
       (Ldlp_traffic.Hurst.of_packets ~bin:(horizon /. 1024.0) ~horizon shifted)
 
-let run_all params seed =
+let run_all ?domains params seed =
   run_table1 42;
   run_table3 42;
   run_fig1 42;
-  run_fig56 params seed;
-  run_fig7 params seed;
+  run_fig56 ?domains params seed;
+  run_fig7 ?domains params seed;
   run_fig8 ();
   run_blocking ();
-  run_ablations params seed;
-  run_txside params seed;
-  run_ilp params seed;
-  run_goal seed;
-  run_granularity seed;
-  run_tcpstack seed
+  run_ablations ?domains params seed;
+  run_txside ?domains params seed;
+  run_ilp ?domains params seed;
+  run_goal ?domains seed;
+  run_granularity ?domains seed;
+  run_tcpstack ?domains seed
 
 let with_params f =
   Term.(
-    const (fun full runs seconds seed ->
-        f (params ~full ~runs ~seconds) seed)
-    $ full_t $ runs_t $ seconds_t $ seed_t)
+    const (fun full runs seconds seed domains ->
+        f ?domains (params ~full ~runs ~seconds) seed)
+    $ full_t $ runs_t $ seconds_t $ seed_t $ domains_t)
+
+let with_seed_domains f =
+  Term.(const (fun seed domains -> f ?domains seed) $ seed_t $ domains_t)
 
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
@@ -213,12 +253,16 @@ let cmds =
     cmd "ilp" "Conventional vs ILP vs LDLP comparison (Figures 2/3)."
       (with_params run_ilp);
     cmd "granularity" "Layer-granularity / grouping ablation (Section 6)."
-      Term.(const run_granularity $ seed_t);
+      (with_seed_domains run_granularity);
     cmd "tcpstack" "LDLP on the real Table 1 TCP/IP footprints (Section 6)."
-      Term.(const run_tcpstack $ seed_t);
+      (with_seed_domains run_tcpstack);
     cmd "goal" "Section 1 signalling performance goal check."
-      Term.(const run_goal $ seed_t);
+      (with_seed_domains run_goal);
     cmd "all" "Everything." (with_params run_all);
+    cmd "selftest"
+      "Assert that the parallel sweep engine reproduces the sequential \
+       results exactly (same seeds, same tables)."
+      Term.(const run_selftest $ domains_t);
     Cmd.v
       (Cmd.info "selfsim"
          ~doc:

@@ -51,11 +51,19 @@ let access_line t line =
       else if t.tags.(base + i) = line then i
       else find (i + 1)
     in
-    match find 0 with
-    | 0 ->
+    let i = find 0 in
+    if i >= 0 then begin
+      (* Hit in way [i]: rotate ways [0..i] so [line] lands at the MRU
+         position.  For [i = 0] the rotation is empty — an MRU hit costs
+         no tag traffic, with no special case. *)
+      for j = i downto 1 do
+        t.tags.(base + j) <- t.tags.(base + j - 1)
+      done;
+      if i > 0 then t.tags.(base) <- line;
       t.hits <- t.hits + 1;
       true
-    | -1 ->
+    end
+    else begin
       (* Miss: shift everything down, install at MRU position. *)
       for j = t.ways - 1 downto 1 do
         t.tags.(base + j) <- t.tags.(base + j - 1)
@@ -63,14 +71,7 @@ let access_line t line =
       t.tags.(base) <- line;
       t.misses <- t.misses + 1;
       false
-    | i ->
-      (* Hit in way [i]: move to MRU position. *)
-      for j = i downto 1 do
-        t.tags.(base + j) <- t.tags.(base + j - 1)
-      done;
-      t.tags.(base) <- line;
-      t.hits <- t.hits + 1;
-      true
+    end
   end
 
 let access t addr = access_line t (addr asr t.set_shift)

@@ -13,9 +13,16 @@ let poisson_source params rate rng =
        ~size:params.Params.msg_bytes ())
     params.Params.seconds
 
-let rate_sweep ?(params = Params.quick) ?(seed = 1996) ?(rates = default_rates)
-    () =
-  List.map
+(* Every sweep point is a closed thunk — it builds its own RNG (from the
+   shared integer seed), layout, memory system and scheduler — so the
+   points run on worker domains with no shared mutable state, and
+   [Pool.map] reassembles them in input order.  Parallel output is
+   therefore byte-identical to sequential output. *)
+let pmap = Ldlp_par.Pool.map
+
+let rate_sweep ?domains ?(params = Params.quick) ?(seed = 1996)
+    ?(rates = default_rates) () =
+  pmap ?domains
     (fun rate ->
       let make_source = poisson_source params rate in
       let run discipline =
@@ -32,10 +39,10 @@ type clock_point = {
 
 let default_clocks_mhz = [ 10.; 15.; 20.; 25.; 30.; 40.; 50.; 60.; 70.; 80. ]
 
-let clock_sweep ?(params = Params.quick) ?(seed = 1996)
+let clock_sweep ?domains ?(params = Params.quick) ?(seed = 1996)
     ?(clocks_mhz = default_clocks_mhz) ?(onoff = Ldlp_traffic.Onoff.default) ()
     =
-  List.map
+  pmap ?domains
     (fun clock_mhz ->
       let make_source rng =
         Ldlp_traffic.Source.limit_time
@@ -70,8 +77,8 @@ type batch_point = {
   r : Simrun.result;
 }
 
-let ablation_batch ?(params = Params.quick) ?(seed = 1996) ?(rate = 8000.0) ()
-    =
+let ablation_batch ?domains ?(params = Params.quick) ?(seed = 1996)
+    ?(rate = 8000.0) () =
   let policies =
     [
       Ldlp_core.Batch.Fixed 1;
@@ -84,7 +91,7 @@ let ablation_batch ?(params = Params.quick) ?(seed = 1996) ?(rate = 8000.0) ()
       Ldlp_core.Batch.All;
     ]
   in
-  List.map
+  pmap ?domains
     (fun policy ->
       let params = { params with Params.batch = policy } in
       let make_source = poisson_source params rate in
@@ -102,9 +109,9 @@ type density_point = {
   dl : Simrun.result;
 }
 
-let ablation_density ?(params = Params.quick) ?(seed = 1996) ?(rate = 6000.0)
-    () =
-  List.map
+let ablation_density ?domains ?(params = Params.quick) ?(seed = 1996)
+    ?(rate = 6000.0) () =
+  pmap ?domains
     (fun code_scale ->
       let params = Params.scale_code params code_scale in
       let make_source = poisson_source params rate in
@@ -120,9 +127,9 @@ type linesize_point = {
   ll : Simrun.result;
 }
 
-let ablation_linesize ?(params = Params.quick) ?(seed = 1996) ?(rate = 6000.0)
-    () =
-  List.map
+let ablation_linesize ?domains ?(params = Params.quick) ?(seed = 1996)
+    ?(rate = 6000.0) () =
+  pmap ?domains
     (fun line_bytes ->
       let cache =
         Ldlp_cache.Config.v ~size_bytes:8192 ~line_bytes ~miss_penalty:20 ()
@@ -150,9 +157,9 @@ let run_pair params seed rate =
   let run discipline = Simrun.run_avg ~params ~discipline ~seed ~make_source () in
   (run Simrun.Conventional, run Simrun.Ldlp)
 
-let ablation_associativity ?(params = Params.quick) ?(seed = 1996)
+let ablation_associativity ?domains ?(params = Params.quick) ?(seed = 1996)
     ?(rate = 6000.0) () =
-  List.map
+  pmap ?domains
     (fun ways ->
       let cache =
         Ldlp_cache.Config.v ~size_bytes:8192 ~line_bytes:32 ~associativity:ways
@@ -165,9 +172,9 @@ let ablation_associativity ?(params = Params.quick) ?(seed = 1996)
 
 type prefetch_point = { discount : float; pc : Simrun.result; pl : Simrun.result }
 
-let ablation_prefetch ?(params = Params.quick) ?(seed = 1996) ?(rate = 6000.0)
-    () =
-  List.map
+let ablation_prefetch ?domains ?(params = Params.quick) ?(seed = 1996)
+    ?(rate = 6000.0) () =
+  pmap ?domains
     (fun discount ->
       let params = { params with Params.prefetch_discount = discount } in
       let pc, pl = run_pair params seed rate in
@@ -176,36 +183,29 @@ let ablation_prefetch ?(params = Params.quick) ?(seed = 1996) ?(rate = 6000.0)
 
 type machine_point = { label : string; mc : Simrun.result; ml : Simrun.result }
 
-let ablation_unified ?(params = Params.quick) ?(seed = 1996) ?(rate = 6000.0)
-    () =
-  let split =
-    let mc, ml = run_pair params seed rate in
-    { label = "split 8K+8K"; mc; ml }
-  in
-  let unified =
+let machine_points ?domains seed rate configs =
+  pmap ?domains
+    (fun (label, params) ->
+      let mc, ml = run_pair params seed rate in
+      { label; mc; ml })
+    configs
+
+let ablation_unified ?domains ?(params = Params.quick) ?(seed = 1996)
+    ?(rate = 6000.0) () =
+  let unified_params =
     let cache =
       Ldlp_cache.Config.v ~size_bytes:16384 ~line_bytes:32 ~miss_penalty:20 ()
     in
-    let params =
-      { params with Params.icache = cache; dcache = cache; unified_cache = true }
-    in
-    let mc, ml = run_pair params seed rate in
-    { label = "unified 16K"; mc; ml }
+    { params with Params.icache = cache; dcache = cache; unified_cache = true }
   in
-  [ split; unified ]
+  machine_points ?domains seed rate
+    [ ("split 8K+8K", params); ("unified 16K", unified_params) ]
 
-let ablation_layout ?(params = Params.quick) ?(seed = 1996) ?(rate = 6000.0) ()
-    =
-  let random =
-    let mc, ml = run_pair params seed rate in
-    { label = "random placement"; mc; ml }
-  in
-  let packed =
-    let params = { params with Params.packed_layout = true; runs = 1 } in
-    let mc, ml = run_pair params seed rate in
-    { label = "dense (Cord-like)"; mc; ml }
-  in
-  [ random; packed ]
+let ablation_layout ?domains ?(params = Params.quick) ?(seed = 1996)
+    ?(rate = 6000.0) () =
+  let packed_params = { params with Params.packed_layout = true; runs = 1 } in
+  machine_points ?domains seed rate
+    [ ("random placement", params); ("dense (Cord-like)", packed_params) ]
 
 type ilp_point = {
   irate : float;
@@ -214,9 +214,9 @@ type ilp_point = {
   i_ldlp : Simrun.result;
 }
 
-let comparison_ilp ?(params = Params.quick) ?(seed = 1996)
+let comparison_ilp ?domains ?(params = Params.quick) ?(seed = 1996)
     ?(rates = [ 2000.0; 6000.0; 9000.0 ]) () =
-  List.map
+  pmap ?domains
     (fun irate ->
       let make_source = poisson_source params irate in
       let run discipline =
@@ -239,7 +239,7 @@ type goal_check = {
           meaningful. *)
 }
 
-let extension_goal ?(seed = 1996) ?(runs = 5) () =
+let extension_goal ?domains ?(seed = 1996) ?(runs = 5) () =
   (* A signalling stack: link + SSCOP + Q.93B + call control.  Per-layer
      working sets average ~5 KB of code; messages are ~120 bytes; each
      layer spends ~1200 cycles per message.  20 000 msg/s = the paper's
@@ -258,16 +258,21 @@ let extension_goal ?(seed = 1996) ?(runs = 5) () =
     }
   in
   let offered = 20000.0 in
-  let run rate discipline =
+  let run (rate, discipline) =
     Simrun.run_avg ~params ~discipline ~seed
       ~make_source:(poisson_source params rate) ()
   in
-  {
-    offered;
-    g_conv = run offered Simrun.Conventional;
-    g_ldlp = run offered Simrun.Ldlp;
-    g_ldlp_backoff = run (0.8 *. offered) Simrun.Ldlp;
-  }
+  match
+    pmap ?domains run
+      [
+        (offered, Simrun.Conventional);
+        (offered, Simrun.Ldlp);
+        (0.8 *. offered, Simrun.Ldlp);
+      ]
+  with
+  | [ g_conv; g_ldlp; g_ldlp_backoff ] ->
+    { offered; g_conv; g_ldlp; g_ldlp_backoff }
+  | _ -> assert false
 
 type tcp_stack_point = {
   t_rate : float;
@@ -296,8 +301,8 @@ let table1_profile =
     (fun (code, data) -> (code, data, 6880 * code / total_code))
     rows
 
-let extension_tcp_stack ?(seed = 1996) ?(rates = [ 1000.0; 3000.0; 6000.0; 9000.0 ])
-    ?(runs = 5) () =
+let extension_tcp_stack ?domains ?(seed = 1996)
+    ?(rates = [ 1000.0; 3000.0; 6000.0; 9000.0 ]) ?(runs = 5) () =
   let params =
     {
       Params.paper with
@@ -307,7 +312,7 @@ let extension_tcp_stack ?(seed = 1996) ?(rates = [ 1000.0; 3000.0; 6000.0; 9000.
       seconds = 0.3;
     }
   in
-  List.map
+  pmap ?domains
     (fun t_rate ->
       let make_source = poisson_source params t_rate in
       let run discipline =
@@ -323,10 +328,11 @@ type granularity_point = {
   gl : Simrun.result;
 }
 
-let ablation_granularity ?(seed = 1996) ?(rate = 8000.0) ?(runs = 5) () =
+let ablation_granularity ?domains ?(seed = 1996) ?(rate = 8000.0) ?(runs = 5)
+    () =
   (* The paper's stack, re-partitioned at constant totals: 30720 B code,
      1280 B layer data, 8260 execution cycles per 552-byte message. *)
-  List.map
+  pmap ?domains
     (fun nlayers ->
       let params =
         {
@@ -360,9 +366,9 @@ type txside_point = {
   tx_ldlp : Simrun.result;
 }
 
-let extension_txside ?(params = Params.quick) ?(seed = 1996)
+let extension_txside ?domains ?(params = Params.quick) ?(seed = 1996)
     ?(rates = [ 2000.0; 6000.0; 9000.0 ]) () =
-  List.map
+  pmap ?domains
     (fun rate ->
       let make_source = poisson_source params rate in
       let run direction discipline =
@@ -376,3 +382,14 @@ let extension_txside ?(params = Params.quick) ?(seed = 1996)
         tx_ldlp = run `Transmit Simrun.Ldlp;
       })
     rates
+
+let sweep_selftest ?(domains = 2) () =
+  let params = { Params.quick with Params.runs = 2; seconds = 0.05 } in
+  let rates = [ 2000.0; 6000.0; 9000.0 ] in
+  let clocks_mhz = [ 20.0; 60.0 ] in
+  let seed = 7 in
+  let reference = rate_sweep ~domains:1 ~params ~seed ~rates () in
+  let candidate = rate_sweep ~domains ~params ~seed ~rates () in
+  let reference_clock = clock_sweep ~domains:1 ~params ~seed ~clocks_mhz () in
+  let candidate_clock = clock_sweep ~domains ~params ~seed ~clocks_mhz () in
+  reference = candidate && reference_clock = candidate_clock

@@ -9,6 +9,7 @@ type rate_point = {
 }
 
 val rate_sweep :
+  ?domains:int ->
   ?params:Params.t ->
   ?seed:int ->
   ?rates:float list ->
@@ -26,6 +27,7 @@ type clock_point = {
 }
 
 val clock_sweep :
+  ?domains:int ->
   ?params:Params.t ->
   ?seed:int ->
   ?clocks_mhz:float list ->
@@ -55,6 +57,7 @@ val figure1 :
 type batch_point = { policy : Ldlp_core.Batch.policy; at_rate : float; r : Simrun.result }
 
 val ablation_batch :
+  ?domains:int ->
   ?params:Params.t -> ?seed:int -> ?rate:float -> unit -> batch_point list
 (** LDLP under different batch policies at one (heavy) rate. *)
 
@@ -65,6 +68,7 @@ type density_point = {
 }
 
 val ablation_density :
+  ?domains:int ->
   ?params:Params.t -> ?seed:int -> ?rate:float -> unit -> density_point list
 (** Section 5.2: denser (CISC-like) code shrinks the working set, speeding
     up the conventional stack and shrinking LDLP's advantage. *)
@@ -76,6 +80,7 @@ type linesize_point = {
 }
 
 val ablation_linesize :
+  ?domains:int ->
   ?params:Params.t -> ?seed:int -> ?rate:float -> unit -> linesize_point list
 (** Section 5.3: larger I-cache lines cut miss counts for code. *)
 
@@ -94,6 +99,7 @@ type assoc_point = {
 }
 
 val ablation_associativity :
+  ?domains:int ->
   ?params:Params.t -> ?seed:int -> ?rate:float -> unit -> assoc_point list
 (** Set-associative caches reduce the conflict misses that random layout
     causes (why the paper averages over 100 placements). *)
@@ -105,6 +111,7 @@ type prefetch_point = {
 }
 
 val ablation_prefetch :
+  ?domains:int ->
   ?params:Params.t -> ?seed:int -> ?rate:float -> unit -> prefetch_point list
 (** Section 4's remark: second-level-cache instruction prefetch hides part
     of the miss cost, shrinking (but not erasing) LDLP's advantage. *)
@@ -116,10 +123,12 @@ type machine_point = {
 }
 
 val ablation_unified :
+  ?domains:int ->
   ?params:Params.t -> ?seed:int -> ?rate:float -> unit -> machine_point list
 (** Split 8 KB + 8 KB vs unified 16 KB (Figure 4's caption). *)
 
 val ablation_layout :
+  ?domains:int ->
   ?params:Params.t -> ?seed:int -> ?rate:float -> unit -> machine_point list
 (** Random placement vs an idealised dense (Cord-style) layout
     (Section 5.4). *)
@@ -132,6 +141,7 @@ type ilp_point = {
 }
 
 val comparison_ilp :
+  ?domains:int ->
   ?params:Params.t -> ?seed:int -> ?rates:float list -> unit -> ilp_point list
 (** The three-way comparison of Figures 2/3: conventional vs ILP vs LDLP.
     ILP integrates the data loops (message bytes touched once instead of
@@ -148,7 +158,7 @@ type goal_check = {
           is meaningful. *)
 }
 
-val extension_goal : ?seed:int -> ?runs:int -> unit -> goal_check
+val extension_goal : ?domains:int -> ?seed:int -> ?runs:int -> unit -> goal_check
 (** Section 1's target — "10000 pairs of setup/teardown requests per
     second with processing latency of 100 microseconds ... using just a
     commodity workstation processor" — checked against the paper's
@@ -163,6 +173,7 @@ type tcp_stack_point = {
 }
 
 val extension_tcp_stack :
+  ?domains:int ->
   ?seed:int -> ?rates:float list -> ?runs:int -> unit -> tcp_stack_point list
 (** Section 6's surprise claim, simulated: "It was a surprise to us that
     LDLP could be advantageous with protocols such as TCP."  Drives the
@@ -178,6 +189,7 @@ type granularity_point = {
 }
 
 val ablation_granularity :
+  ?domains:int ->
   ?seed:int -> ?rate:float -> ?runs:int -> unit -> granularity_point list
 (** Section 6's grouping advice, simulated: one 30 KB / 8260-cycle stack
     partitioned into 10 / 5 / 2 / 1 layers.  Finer layers pay more queue
@@ -195,8 +207,16 @@ type txside_point = {
 }
 
 val extension_txside :
+  ?domains:int ->
   ?params:Params.t -> ?seed:int -> ?rates:float list -> unit -> txside_point list
 (** The experiment the paper defers (Section 1: transmit-side LDLP): the
     same synthetic stack driven top-down through {!Ldlp_core.Txsched},
     side by side with the receive direction.  By symmetry the miss
     amortisation should match — this run demonstrates it. *)
+
+val sweep_selftest : ?domains:int -> unit -> bool
+(** Determinism check used by tests and [make check]: run a small rate
+    sweep and clock sweep both sequentially ([domains = 1]) and with
+    [domains] (default 2) worker domains, and compare the structured
+    results for exact equality.  [true] means the parallel engine is
+    observably identical to the sequential one. *)

@@ -1,0 +1,63 @@
+let max_domains = 64
+
+let parse_count s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Some (min n max_domains)
+  | _ -> None
+
+let available_domains () =
+  match Option.bind (Sys.getenv_opt "LDLP_DOMAINS") parse_count with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let resolve_domains ?domains () =
+  match domains with
+  | Some n when n >= 1 -> min n max_domains
+  | Some n ->
+    invalid_arg (Printf.sprintf "Pool.resolve_domains: domains = %d" n)
+  | None -> available_domains ()
+
+(* Dynamic (self-scheduling) task pull: workers race on an atomic index, so
+   an expensive point (a high-rate sweep point simulates more messages than
+   a low-rate one) does not leave its neighbours idle.  Scheduling order is
+   racy; the results array is indexed by task, so output order is not. *)
+let map_array ?domains f input =
+  let n = Array.length input in
+  let domains = resolve_domains ?domains () in
+  if n = 0 then [||]
+  else if domains = 1 || n = 1 then Array.map f input
+  else begin
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let next = Atomic.make 0 in
+    let work () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f input.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+            failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers =
+      List.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn work)
+    in
+    work ();
+    List.iter Domain.join helpers;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      failures;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map ?domains f xs =
+  Array.to_list (map_array ?domains f (Array.of_list xs))
+
+let map_reduce ?domains ~map:f ~combine ~init xs =
+  Array.fold_left combine init (map_array ?domains f (Array.of_list xs))

@@ -1,0 +1,56 @@
+(** Deterministic domain-based work pool for embarrassingly parallel
+    simulation sweeps.
+
+    Every sweep in the reproduction evaluates dozens of independent
+    (discipline x rate x layout x seed) simulation points; each point owns
+    its RNG stream and its own memory-system state, so the points can run
+    on separate domains with no coordination.  [map] farms the points out
+    to worker domains and reassembles the results {e in input order}, so a
+    parallel run is observably identical to a sequential one: same seeds,
+    same tables, same figures, regardless of the domain count.
+
+    Domain-count resolution, in priority order:
+
+    + the explicit [?domains] argument;
+    + the [LDLP_DOMAINS] environment variable (a positive integer);
+    + [Domain.recommended_domain_count ()].
+
+    [domains = 1] takes a strictly sequential path on the calling domain —
+    no domain is spawned — which is also the fallback whenever there is at
+    most one task. *)
+
+val max_domains : int
+(** Upper bound on the pool size (guards against absurd [LDLP_DOMAINS]
+    values); requests above it are clamped. *)
+
+val available_domains : unit -> int
+(** The domain count used when [?domains] is omitted: [LDLP_DOMAINS] if
+    set to a positive integer, else [Domain.recommended_domain_count ()].
+    Always at least 1. *)
+
+val resolve_domains : ?domains:int -> unit -> int
+(** The count [map] will actually use.  Raises [Invalid_argument] if an
+    explicit [domains] is not positive. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ?domains f xs] computes [List.map f xs] with up to [domains]
+    domains (the caller's included) pulling tasks from a shared queue.
+    Results are returned in input order.  If one or more tasks raise, all
+    remaining tasks still run, the workers are joined, and then the
+    exception of the {e lowest-indexed} failing task is re-raised with its
+    backtrace — deterministic even under racy schedules. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array counterpart of {!map}. *)
+
+val map_reduce :
+  ?domains:int ->
+  map:('a -> 'b) ->
+  combine:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc
+(** [map_reduce ?domains ~map ~combine ~init xs] runs [map] over [xs] in
+    parallel, then folds the results {e sequentially in input order} on
+    the calling domain — so a non-commutative [combine] is safe and the
+    result never depends on scheduling. *)

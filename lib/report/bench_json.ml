@@ -1,0 +1,50 @@
+type sweep = {
+  name : string;
+  points : int;
+  seq_seconds : float;
+  par_seconds : float;
+  domains : int;
+}
+
+let speedup s =
+  if s.par_seconds > 0.0 then s.seq_seconds /. s.par_seconds else 0.0
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let sweep_json s =
+  Printf.sprintf
+    "    {\n\
+    \      \"name\": \"%s\",\n\
+    \      \"points\": %d,\n\
+    \      \"seq_seconds\": %.6f,\n\
+    \      \"par_seconds\": %.6f,\n\
+    \      \"domains\": %d,\n\
+    \      \"speedup\": %.3f\n\
+    \    }"
+    (escape s.name) s.points s.seq_seconds s.par_seconds s.domains (speedup s)
+
+let render ~host_cores ~sweeps =
+  Printf.sprintf
+    "{\n\
+    \  \"schema\": \"ldlp-bench-sweeps/1\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"default_domains\": %d,\n\
+    \  \"sweeps\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    host_cores
+    (Ldlp_par.Pool.available_domains ())
+    (String.concat ",\n" (List.map sweep_json sweeps))

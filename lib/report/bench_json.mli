@@ -1,0 +1,22 @@
+(** Machine-readable benchmark output.
+
+    [bench/main.ml --sweeps] times each simulation sweep twice — once
+    sequentially and once on the parallel engine — and records the wall
+    clock of both, so successive PRs have a perf trajectory to compare
+    against ([BENCH_sweeps.json] at the repo root). *)
+
+type sweep = {
+  name : string;  (** Generator name, e.g. ["rate_sweep"]. *)
+  points : int;  (** Independent simulation points evaluated. *)
+  seq_seconds : float;  (** Wall clock with [domains = 1]. *)
+  par_seconds : float;  (** Wall clock with [domains]. *)
+  domains : int;  (** Domain count of the parallel run. *)
+}
+
+val speedup : sweep -> float
+(** [seq_seconds /. par_seconds] (0 if the parallel time is 0). *)
+
+val render : host_cores:int -> sweeps:sweep list -> string
+(** JSON document: a header ([schema], [host_cores], the default domain
+    count) plus one object per sweep with both timings and the speedup.
+    Self-contained — no JSON library involved. *)

@@ -59,6 +59,47 @@ let test_set_associative_lru () =
   check "MRU survived" true (Cache.access c 0);
   check "LRU evicted" false (Cache.access c 8192)
 
+(* LRU order, exhaustively: hit the line in each way position, then check
+   the eviction order.  Addresses 8192 apart land in set 0 for every
+   associativity used here.  [Cache.resident] is non-mutating, so it can
+   assert contents without perturbing the recency order. *)
+
+let test_lru_two_way_order () =
+  let c = Cache.create (Config.v ~associativity:2 ()) in
+  let a = 0 and b = 8192 and e = 16384 in
+  ignore (Cache.access c a);
+  ignore (Cache.access c b);
+  (* Hit in way 1 (a is LRU): promotes a to MRU. *)
+  check "hit way 1" true (Cache.access c a);
+  (* Hit in way 0 (a is now MRU): order must be unchanged. *)
+  check "hit way 0" true (Cache.access c a);
+  (* b is LRU: a third conflicting line evicts b, not a. *)
+  ignore (Cache.access c e);
+  check "MRU a survives" true (Cache.resident c a);
+  check "LRU b evicted" false (Cache.resident c b);
+  check "new line resident" true (Cache.resident c e)
+
+let test_lru_four_way_order () =
+  let c = Cache.create (Config.v ~associativity:4 ()) in
+  let a = 0 and b = 8192 and d = 16384 and e = 24576 in
+  List.iter (fun x -> ignore (Cache.access c x)) [ a; b; d; e ];
+  (* Recency (MRU first): e d b a.  Hit each way position in turn. *)
+  check "hit way 3 (a)" true (Cache.access c a);  (* a e d b *)
+  check "hit way 2 (d)" true (Cache.access c d);  (* d a e b *)
+  check "hit way 1 (a)" true (Cache.access c a);  (* a d e b *)
+  check "hit way 0 (a)" true (Cache.access c a);  (* a d e b *)
+  checki "4 hits so far" 4 (Cache.hits c);
+  (* Eviction order is now b, then e, then d. *)
+  let f = 32768 and g = 40960 in
+  check "5th line misses" false (Cache.access c f);  (* evicts b *)
+  check "b evicted first" false (Cache.resident c b);
+  check "e still resident" true (Cache.resident c e);
+  ignore (Cache.access c g);  (* evicts e *)
+  check "e evicted second" false (Cache.resident c e);
+  check "d still resident" true (Cache.resident c d);
+  check "a still resident" true (Cache.resident c a);
+  check "f still resident" true (Cache.resident c f)
+
 let test_touch_range () =
   let c = Cache.create (Config.v ()) in
   checki "cold range misses" 3 (Cache.touch_range c ~addr:10 ~len:80);
@@ -274,6 +315,8 @@ let suite =
     Alcotest.test_case "direct-mapped hit/miss" `Quick test_direct_mapped_hit_miss;
     Alcotest.test_case "direct-mapped conflict" `Quick test_direct_mapped_conflict;
     Alcotest.test_case "set-associative LRU" `Quick test_set_associative_lru;
+    Alcotest.test_case "2-way LRU order" `Quick test_lru_two_way_order;
+    Alcotest.test_case "4-way LRU order" `Quick test_lru_four_way_order;
     Alcotest.test_case "touch range" `Quick test_touch_range;
     Alcotest.test_case "flush/occupancy" `Quick test_flush_occupancy;
     QCheck_alcotest.to_alcotest prop_cache_fits_capacity;

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "ldlp"
     [
       ("sim", Test_sim.suite);
+      ("par", Test_par.suite);
       ("cache", Test_cache.suite);
       ("buf", Test_buf.suite);
       ("packet", Test_packet.suite);

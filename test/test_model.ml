@@ -270,6 +270,18 @@ let test_ablation_granularity_shape () =
   check "fused layer misses like conventional" true
     ((get 1).Simrun.imisses_per_msg > 900.0)
 
+let test_parallel_sweep_matches_sequential () =
+  (* The ISSUE's determinism guarantee: same seeds, same tables, whatever
+     the domain count.  Exercised with 2 and 4 domains. *)
+  check "2 domains == sequential" true (Figures.sweep_selftest ~domains:2 ());
+  check "4 domains == sequential" true (Figures.sweep_selftest ~domains:4 ())
+
+let test_parallel_rate_sweep_identical () =
+  let rates = [ 1000.0; 5000.0 ] in
+  let seq = Figures.rate_sweep ~domains:1 ~params:tiny ~seed:1 ~rates () in
+  let par = Figures.rate_sweep ~domains:4 ~params:tiny ~seed:1 ~rates () in
+  check "structurally equal results" true (seq = par)
+
 let test_extension_tcp_stack () =
   (* Section 6: LDLP is advantageous even for TCP's real footprints. *)
   let pts = Figures.extension_tcp_stack ~seed:5 ~rates:[ 6000.0 ] ~runs:2 () in
@@ -310,4 +322,8 @@ let suite =
     Alcotest.test_case "goal check structure" `Slow test_extension_goal_structure;
     Alcotest.test_case "granularity ablation" `Slow test_ablation_granularity_shape;
     Alcotest.test_case "tcp-footprint extension" `Slow test_extension_tcp_stack;
+    Alcotest.test_case "parallel sweep selftest" `Quick
+      test_parallel_sweep_matches_sequential;
+    Alcotest.test_case "parallel rate sweep identical" `Slow
+      test_parallel_rate_sweep_identical;
   ]

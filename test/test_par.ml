@@ -1,0 +1,105 @@
+(* Tests for the domain-based work pool behind the parallel sweep engine. *)
+
+open Ldlp_par
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let with_env var value f =
+  let old = Sys.getenv_opt var in
+  Unix.putenv var value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv var (Option.value ~default:"" old))
+    f
+
+let test_map_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.map (fun x -> x * x) xs in
+  Alcotest.(check (list int))
+    "parallel map = List.map" expected
+    (Pool.map ~domains:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int))
+    "sequential map = List.map" expected
+    (Pool.map ~domains:1 (fun x -> x * x) xs)
+
+let test_map_empty () =
+  checki "empty, parallel" 0 (List.length (Pool.map ~domains:4 Fun.id []));
+  checki "empty, sequential" 0 (List.length (Pool.map ~domains:1 Fun.id []))
+
+let test_domains_exceed_tasks () =
+  Alcotest.(check (list int))
+    "more domains than tasks" [ 2; 4; 6 ]
+    (Pool.map ~domains:16 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_exception_propagates () =
+  Alcotest.check_raises "worker exception re-raised" (Failure "boom")
+    (fun () ->
+      ignore
+        (Pool.map ~domains:4
+           (fun i -> if i = 5 then failwith "boom" else i)
+           (List.init 20 Fun.id)));
+  (* Several failures: the lowest-indexed one wins, deterministically. *)
+  Alcotest.check_raises "lowest index wins" (Failure "t3") (fun () ->
+      ignore
+        (Pool.map ~domains:4
+           (fun i ->
+             if i >= 3 then failwith (Printf.sprintf "t%d" i) else i)
+           (List.init 20 Fun.id)))
+
+let test_env_forces_sequential () =
+  with_env "LDLP_DOMAINS" "1" (fun () ->
+      checki "env resolves to 1" 1 (Pool.resolve_domains ());
+      let self = Domain.self () in
+      let ran_on = Pool.map (fun _ -> Domain.self ()) [ 1; 2; 3; 4; 5 ] in
+      check "all tasks on the calling domain" true
+        (List.for_all (fun d -> d = self) ran_on))
+
+let test_env_parsing () =
+  with_env "LDLP_DOMAINS" "3" (fun () ->
+      checki "positive value honoured" 3 (Pool.available_domains ()));
+  with_env "LDLP_DOMAINS" "0" (fun () ->
+      check "zero ignored" true (Pool.available_domains () >= 1));
+  with_env "LDLP_DOMAINS" "garbage" (fun () ->
+      check "garbage ignored" true (Pool.available_domains () >= 1));
+  with_env "LDLP_DOMAINS" "100000" (fun () ->
+      checki "clamped to max" Pool.max_domains (Pool.available_domains ()))
+
+let test_explicit_domains_validation () =
+  check "explicit invalid count rejected" true
+    (try
+       ignore (Pool.resolve_domains ~domains:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_map_reduce_ordered () =
+  (* A non-commutative combine: input-order folding is observable. *)
+  Alcotest.(check string)
+    "ordered fold" "123456789"
+    (Pool.map_reduce ~domains:4 ~map:string_of_int
+       ~combine:(fun acc s -> acc ^ s)
+       ~init:""
+       [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]);
+  checki "sum" 55
+    (Pool.map_reduce ~domains:3 ~map:Fun.id ~combine:( + ) ~init:0
+       (List.init 11 Fun.id))
+
+let test_map_array () =
+  Alcotest.(check (array int))
+    "array map" [| 1; 4; 9 |]
+    (Pool.map_array ~domains:2 (fun x -> x * x) [| 1; 2; 3 |])
+
+let suite =
+  [
+    Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+    Alcotest.test_case "map empty input" `Quick test_map_empty;
+    Alcotest.test_case "domains > tasks" `Quick test_domains_exceed_tasks;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+    Alcotest.test_case "LDLP_DOMAINS=1 sequential" `Quick
+      test_env_forces_sequential;
+    Alcotest.test_case "LDLP_DOMAINS parsing" `Quick test_env_parsing;
+    Alcotest.test_case "explicit domains validated" `Quick
+      test_explicit_domains_validation;
+    Alcotest.test_case "map_reduce input order" `Quick test_map_reduce_ordered;
+    Alcotest.test_case "map_array" `Quick test_map_array;
+  ]
