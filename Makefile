@@ -1,27 +1,38 @@
-# Local CI gate.  `make check` = build + formatting + tests + a 2-domain
-# determinism selftest of the parallel sweep engine.
+# Local CI gate.  `make check` = build + formatting + tests (unit,
+# property and golden-figure) + a 2-domain determinism selftest of the
+# parallel sweep engine + the differential-oracle replay.
 
 DOMAINS ?= 2
 
-.PHONY: all build test fmt selftest bench-sweeps check
+.PHONY: all build test fmt promote selftest oracle bench-sweeps check
 
 all: build
 
 build:
 	dune build
 
+# Includes the golden-figure snapshots under test/golden/: any drift in a
+# rendered table or figure fails here with a diff.  After an intentional
+# change, `make promote` accepts the new output.
 test:
 	dune runtest
 
 fmt:
 	dune build @fmt
 
+promote:
+	dune promote
+
 selftest: build
 	dune exec bin/ldlp_repro.exe -- selftest --domains $(DOMAINS)
+
+# Differential oracles + LDLP_CHECK invariant sweep on the real model.
+oracle: build
+	dune exec bin/ldlp_repro.exe -- check
 
 # Times every sweep at 1 domain and at N domains; writes BENCH_sweeps.json.
 bench-sweeps: build
 	dune exec bench/main.exe -- --sweeps
 
-check: build fmt test selftest
+check: build fmt test selftest oracle
 	@echo "check OK"

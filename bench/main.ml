@@ -155,6 +155,9 @@ let bench_sweeps ~out () =
       ~host_cores:(Domain.recommended_domain_count ())
       ~sweeps
   in
+  (match Ldlp_report.Bench_json.parse json with
+  | Ok _ -> ()
+  | Error e -> failwith ("BENCH_sweeps.json fails its own schema: " ^ e));
   let oc = open_out out in
   output_string oc json;
   close_out oc;

@@ -159,6 +159,59 @@ let run_selftest domains =
     exit 1
   end
 
+let run_check seed =
+  let fail fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt in
+  (* 1. Differential replay: production cache vs the naive LRU oracle. *)
+  let steps = 10_000 in
+  List.iter
+    (fun (name, cfg) ->
+      let rng = Ldlp_sim.Rng.create ~seed in
+      let ops =
+        Ldlp_check.Cache_oracle.random_ops ~rng
+          ~hot_lines:(3 * Ldlp_cache.Config.lines cfg)
+          steps
+      in
+      match Ldlp_check.Cache_oracle.differential cfg ops with
+      | Ok n -> Printf.printf "cache differential %-13s %d steps, no divergence\n" name n
+      | Error d ->
+        fail "cache differential %s FAILED: %a" name
+          Ldlp_check.Cache_oracle.pp_divergence d)
+    [
+      ("direct-mapped", Ldlp_cache.Config.paper_default);
+      ("2-way", Ldlp_cache.Config.v ~size_bytes:8192 ~line_bytes:32 ~associativity:2 ());
+      ("4-way", Ldlp_cache.Config.v ~size_bytes:8192 ~line_bytes:32 ~associativity:4 ());
+    ];
+  (* 2. Scheduler equivalence: Conventional vs LDLP over random stacks. *)
+  let cases = 200 in
+  (match Ldlp_check.Sched_oracle.run_random ~seed ~cases with
+  | Ok n -> Printf.printf "sched equivalence: %d random workloads, no divergence\n" n
+  | Error e -> fail "sched equivalence FAILED: %s" e);
+  (* 3. LDLP_CHECK invariants on the real model, every discipline. *)
+  Ldlp_core.Invariant.set_enabled true;
+  let params =
+    { Ldlp_model.Params.quick with Ldlp_model.Params.runs = 2; seconds = 0.05 }
+  in
+  (try
+     List.iter
+       (fun (name, discipline) ->
+         let r =
+           Ldlp_model.Simrun.run_avg ~params ~discipline ~seed
+             ~make_source:(fun rng ->
+               Ldlp_traffic.Source.limit_time
+                 (Ldlp_traffic.Poisson.source ~rng ~rate:6000.0 ())
+                 params.Ldlp_model.Params.seconds)
+             ()
+         in
+         Printf.printf "invariants hold: %-12s (%d messages)\n" name
+           r.Ldlp_model.Simrun.processed)
+       [
+         ("conventional", Ldlp_model.Simrun.Conventional);
+         ("ilp", Ldlp_model.Simrun.Ilp);
+         ("ldlp", Ldlp_model.Simrun.Ldlp);
+       ]
+   with Ldlp_core.Invariant.Violation what -> fail "invariant VIOLATED: %s" what);
+  print_endline "check OK"
+
 let run_selfsim seed seconds path =
   let rng = Ldlp_sim.Rng.create ~seed in
   let source =
@@ -259,6 +312,12 @@ let cmds =
     cmd "goal" "Section 1 signalling performance goal check."
       (with_seed_domains run_goal);
     cmd "all" "Everything." (with_params run_all);
+    cmd "check"
+      "Differential oracles: replay random access streams through the \
+       production cache and a naive LRU reference, assert Conventional and \
+       LDLP scheduling are behaviourally equivalent on random stacks, and \
+       run the cycle model with LDLP_CHECK invariants enabled."
+      Term.(const run_check $ seed_t);
     cmd "selftest"
       "Assert that the parallel sweep engine reproduces the sequential \
        results exactly (same seeds, same tables)."

@@ -103,6 +103,9 @@ let flush t = Array.fill t.tags 0 (Array.length t.tags) (-1)
 let occupancy t =
   Array.fold_left (fun acc tag -> if tag >= 0 then acc + 1 else acc) 0 t.tags
 
+let iter_resident t f =
+  Array.iter (fun tag -> if tag >= 0 then f tag) t.tags
+
 let hits t = t.hits
 
 let misses t = t.misses

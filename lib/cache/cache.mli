@@ -31,6 +31,12 @@ val flush : t -> unit
 val occupancy : t -> int
 (** Number of valid lines currently held. *)
 
+val iter_resident : t -> (int -> unit) -> unit
+(** [iter_resident c f] calls [f line] for every line currently cached, in
+    set order, most recently used first within a set (no state change).
+    Lets an external checker compare the full tag state against a
+    reference implementation — see [Ldlp_check.Cache_oracle]. *)
+
 val hits : t -> int
 
 val misses : t -> int

@@ -1,0 +1,173 @@
+open Ldlp_core
+
+type behaviour = Pass | Consume_every of int | Reply_every of int
+
+type spec = {
+  layers : behaviour list;
+  msgs : (int * int) list;
+  policy : Batch.policy;
+  interleave : int;
+}
+
+let pp_behaviour ppf = function
+  | Pass -> Format.fprintf ppf "pass"
+  | Consume_every k -> Format.fprintf ppf "consume/%d" k
+  | Reply_every k -> Format.fprintf ppf "reply/%d" k
+
+let pp_spec ppf s =
+  Format.fprintf ppf "stack=[%a] msgs=%d policy=%a interleave=%d"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";")
+       pp_behaviour)
+    s.layers (List.length s.msgs) Batch.pp s.policy s.interleave
+
+type trace = {
+  visits : int list array;
+  delivered_order : int list;
+  stats : Sched.stats;
+}
+
+(* Payload: the message's injection index.  Behaviours depend only on it,
+   so both disciplines make identical per-message decisions regardless of
+   visit order. *)
+let layer_of_behaviour i behaviour =
+  let divides k n = k > 0 && n mod k = 0 in
+  Layer.v ~name:(Format.asprintf "L%d-%a" i pp_behaviour behaviour)
+    (fun msg ->
+      match behaviour with
+      | Pass -> [ Layer.Deliver_up msg ]
+      | Consume_every k ->
+        if divides k msg.Msg.payload then [ Layer.Consume ]
+        else [ Layer.Deliver_up msg ]
+      | Reply_every k ->
+        if divides k msg.Msg.payload then
+          [
+            Layer.Send_down (Msg.make ~size:40 (-msg.Msg.payload - 1));
+            Layer.Deliver_up msg;
+          ]
+        else [ Layer.Deliver_up msg ])
+
+let run_spec discipline spec =
+  if spec.layers = [] then invalid_arg "Sched_oracle.run_spec: empty stack";
+  let n = List.length spec.msgs in
+  let visits = Array.make (max n 1) [] in
+  let delivered = ref [] in
+  let layers = List.mapi layer_of_behaviour spec.layers in
+  let sched =
+    Sched.create ~discipline ~layers
+      ~up:(fun m -> delivered := m.Msg.payload :: !delivered)
+      ~down:(fun _ -> ())
+      ~on_handled:(fun i _ m ->
+        let idx = m.Msg.payload in
+        if idx >= 0 then visits.(idx) <- i :: visits.(idx))
+      ()
+  in
+  let chunk = if spec.interleave <= 0 then max n 1 else spec.interleave in
+  List.iteri
+    (fun idx (flow, size) ->
+      Sched.inject sched (Msg.make ~flow ~size idx);
+      if (idx + 1) mod chunk = 0 then ignore (Sched.step sched))
+    spec.msgs;
+  Sched.run sched;
+  Array.iteri (fun i l -> visits.(i) <- List.rev l) visits;
+  {
+    visits;
+    delivered_order = List.rev !delivered;
+    stats = Sched.stats sched;
+  }
+
+let conserved (st : Sched.stats) ~pending =
+  pending = 0
+  && st.Sched.injected
+     = st.Sched.delivered + st.Sched.consumed + st.Sched.misrouted
+  && st.Sched.total_batched = st.Sched.injected
+  && (st.Sched.batches = 0 || st.Sched.max_batch >= 1)
+  && st.Sched.max_batch <= st.Sched.total_batched
+
+let multiset l = List.sort compare l
+
+let flows_of spec = List.sort_uniq compare (List.map fst spec.msgs)
+
+let flow_order spec (t : trace) flow =
+  List.filter
+    (fun idx -> fst (List.nth spec.msgs idx) = flow)
+    t.delivered_order
+
+let equivalent spec =
+  let conv = run_spec Sched.Conventional spec in
+  let ldlp = run_spec (Sched.Ldlp spec.policy) spec in
+  let n = List.length spec.msgs in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let rec check_visits i =
+    if i >= n then Ok ()
+    else if multiset conv.visits.(i) <> multiset ldlp.visits.(i) then
+      err "msg %d layer-visit multisets differ: conv=[%s] ldlp=[%s]" i
+        (String.concat ";" (List.map string_of_int conv.visits.(i)))
+        (String.concat ";" (List.map string_of_int ldlp.visits.(i)))
+    else check_visits (i + 1)
+  in
+  let same field a b = if a = b then Ok () else err "%s: conv=%d ldlp=%d" field a b in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let* () = check_visits 0 in
+  let* () = same "delivered" conv.stats.Sched.delivered ldlp.stats.Sched.delivered in
+  let* () = same "consumed" conv.stats.Sched.consumed ldlp.stats.Sched.consumed in
+  let* () = same "sent_down" conv.stats.Sched.sent_down ldlp.stats.Sched.sent_down in
+  let* () = same "misrouted" conv.stats.Sched.misrouted ldlp.stats.Sched.misrouted in
+  let* () =
+    if not (conserved conv.stats ~pending:0) then
+      err "conventional run violates conservation"
+    else Ok ()
+  in
+  let* () =
+    if not (conserved ldlp.stats ~pending:0) then
+      err "ldlp run violates conservation"
+    else Ok ()
+  in
+  let rec check_flows = function
+    | [] -> Ok ()
+    | f :: rest ->
+      if flow_order spec conv f <> flow_order spec ldlp f then
+        err "flow %d delivery order differs" f
+      else check_flows rest
+  in
+  check_flows (flows_of spec)
+
+let random_spec ~rng =
+  let module R = Ldlp_sim.Rng in
+  let nlayers = 1 + R.int rng 6 in
+  let layers =
+    List.init nlayers (fun _ ->
+        match R.int rng 10 with
+        | r when r < 6 -> Pass
+        | r when r < 8 -> Consume_every (2 + R.int rng 5)
+        | _ -> Reply_every (2 + R.int rng 5))
+  in
+  let nmsgs = R.int rng 81 in
+  let flows = 1 + R.int rng 4 in
+  let msgs =
+    List.init nmsgs (fun _ -> (R.int rng flows, R.int rng 4096))
+  in
+  let policy =
+    match R.int rng 4 with
+    | 0 -> Batch.All
+    | 1 -> Batch.Fixed (1 + R.int rng 10)
+    | 2 -> Batch.paper_default
+    | _ ->
+      Batch.Dcache_fit
+        { cache_bytes = 512 + R.int rng 8192; per_msg_overhead = R.int rng 64 }
+  in
+  let interleave = if R.bool rng 0.5 then 0 else 1 + R.int rng 10 in
+  { layers; msgs; policy; interleave }
+
+let run_random ~seed ~cases =
+  let rng = Ldlp_sim.Rng.create ~seed in
+  let rec go i =
+    if i >= cases then Ok cases
+    else begin
+      let spec = random_spec ~rng in
+      match equivalent spec with
+      | Ok () -> go (i + 1)
+      | Error e -> Error (Format.asprintf "case %d (%a): %s" i pp_spec spec e)
+    end
+  in
+  go 0

@@ -163,6 +163,9 @@ let step_ldlp t policy =
       Queue.fold (fun acc m -> m.Msg.size :: acc) [] node.queue |> List.rev
     in
     let n = Batch.limit policy ~sizes in
+    Invariant.check
+      (n >= 1 && n <= Queue.length node.queue)
+      "Graphsched.step: batch limit outside [1, backlog]";
     record_batch t n;
     for _ = 1 to n do
       handle t node (Queue.pop node.queue) ~recurse:false
@@ -182,7 +185,21 @@ let step t =
 let run t =
   while step t do
     ()
-  done
+  done;
+  (* Idle invariants.  Unlike the linear scheduler, [total_batched] only
+     counts entry-point dequeues (forwarded messages drain uncounted), so
+     coverage is an inequality here; terminal-outcome conservation assumes
+     one terminal action per message, as everywhere in this repo. *)
+  Invariant.check (pending t = 0) "Graphsched.run: idle with pending messages";
+  Invariant.check
+    (t.total_batched <= t.injected)
+    "Graphsched.run: more batched dequeues than injections";
+  Invariant.check
+    (t.batches = 0 || t.max_batch >= 1)
+    "Graphsched.run: recorded a batch smaller than 1";
+  Invariant.check
+    (t.injected = t.delivered + t.consumed + t.misrouted)
+    "Graphsched.run: injected <> delivered + consumed + misrouted at idle"
 
 let stats t =
   {

@@ -93,6 +93,15 @@ let run ~discipline ~layers ~make_payload ?(buffer_cap = 500)
   let stats = Sched.stats sched in
   let duration = !now in
   let processed = stats.Sched.delivered + stats.Sched.consumed in
+  Invariant.check
+    (stats.Sched.injected + !dropped = offered)
+    "Runtime.run: arrivals <> injected + dropped";
+  Invariant.check
+    (processed + stats.Sched.misrouted = stats.Sched.injected)
+    "Runtime.run: processed + misrouted <> injected at idle";
+  Invariant.check
+    (Ldlp_sim.Hist.count latency <= processed)
+    "Runtime.run: more latency samples than completed messages";
   {
     offered;
     processed;

@@ -123,6 +123,9 @@ let step_ldlp t policy =
       Queue.fold (fun acc m -> m.Msg.size :: acc) [] t.queues.(0) |> List.rev
     in
     let n = Batch.limit policy ~sizes in
+    Invariant.check
+      (n >= 1 && n <= Queue.length t.queues.(0))
+      "Sched.step: batch limit outside [1, backlog]";
     record_batch t n;
     for _ = 1 to n do
       handle_at t 0 (Queue.pop t.queues.(0)) ~enqueue_up:true
@@ -144,7 +147,21 @@ let step t =
 let run t =
   while step t do
     ()
-  done
+  done;
+  (* Idle invariants.  [total_batched] counts arrival-queue dequeues, so at
+     idle every injected message must have been dequeued exactly once;
+     conservation of terminal outcomes holds for any stack whose handlers
+     emit one terminal action per message (all stacks in this repo). *)
+  Invariant.check (pending t = 0) "Sched.run: idle with pending messages";
+  Invariant.check
+    (t.total_batched = t.injected)
+    "Sched.run: batches do not cover all injected messages";
+  Invariant.check
+    (t.batches = 0 || t.max_batch >= 1)
+    "Sched.run: recorded a batch smaller than 1";
+  Invariant.check
+    (t.injected = t.delivered + t.consumed + t.misrouted)
+    "Sched.run: injected <> delivered + consumed + misrouted at idle"
 
 let stats t =
   {

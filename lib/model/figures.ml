@@ -392,4 +392,10 @@ let sweep_selftest ?(domains = 2) () =
   let candidate = rate_sweep ~domains ~params ~seed ~rates () in
   let reference_clock = clock_sweep ~domains:1 ~params ~seed ~clocks_mhz () in
   let candidate_clock = clock_sweep ~domains ~params ~seed ~clocks_mhz () in
-  reference = candidate && reference_clock = candidate_clock
+  (* A policy sweep too: its work items differ in shape (policies, not
+     rates), so it exercises the pool's work distribution differently. *)
+  let reference_batch = ablation_batch ~domains:1 ~params ~seed () in
+  let candidate_batch = ablation_batch ~domains ~params ~seed () in
+  reference = candidate
+  && reference_clock = candidate_clock
+  && reference_batch = candidate_batch

@@ -35,6 +35,8 @@ let sweep_json s =
     \    }"
     (escape s.name) s.points s.seq_seconds s.par_seconds s.domains (speedup s)
 
+let schema = "ldlp-bench-sweeps/1"
+
 let render ~host_cores ~sweeps =
   Printf.sprintf
     "{\n\
@@ -48,3 +50,221 @@ let render ~host_cores ~sweeps =
     host_cores
     (Ldlp_par.Pool.available_domains ())
     (String.concat ",\n" (List.map sweep_json sweeps))
+
+(* ---------- Parsing (schema check) ----------
+
+   A minimal recursive-descent JSON reader — objects, arrays, strings,
+   numbers, booleans, null — kept in-tree for the same reason [render] is
+   hand-rolled: the container ships no JSON library, and the grammar we
+   need is tiny. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "offset %d: %s" !pos msg)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %c, got %c" c c')
+    | None -> fail (Printf.sprintf "expected %c, got end of input" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+        | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+        | Some '/' -> Buffer.add_char b '/'; advance (); go ()
+        | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+        | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+          pos := !pos + 4;
+          (* The writer only escapes control characters, so a code point
+             below 0x80 is all we ever need to read back. *)
+          if code < 0x80 then Buffer.add_char b (Char.chr code)
+          else fail "non-ASCII \\u escape";
+          go ()
+        | _ -> fail "bad escape")
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Obj [] end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or } in object"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); Arr [] end
+      else begin
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ] in array"
+        in
+        elements []
+      end
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+type doc = { host_cores : int; default_domains : int; sweeps : sweep list }
+
+let parse text =
+  let field obj name =
+    match List.assoc_opt name obj with
+    | Some v -> v
+    | None -> raise (Bad (Printf.sprintf "missing field %S" name))
+  in
+  let num obj name =
+    match field obj name with
+    | Num f -> f
+    | _ -> raise (Bad (Printf.sprintf "field %S is not a number" name))
+  in
+  let int_field obj name =
+    let f = num obj name in
+    if Float.is_integer f then int_of_float f
+    else raise (Bad (Printf.sprintf "field %S is not an integer" name))
+  in
+  let str obj name =
+    match field obj name with
+    | Str v -> v
+    | _ -> raise (Bad (Printf.sprintf "field %S is not a string" name))
+  in
+  try
+    let root =
+      match parse_json text with
+      | Obj o -> o
+      | _ -> raise (Bad "top level is not an object")
+    in
+    let tag = str root "schema" in
+    if tag <> schema then
+      raise (Bad (Printf.sprintf "schema %S, expected %S" tag schema));
+    let sweeps =
+      match field root "sweeps" with
+      | Arr entries ->
+        List.map
+          (function
+            | Obj o ->
+              let sw =
+                {
+                  name = str o "name";
+                  points = int_field o "points";
+                  seq_seconds = num o "seq_seconds";
+                  par_seconds = num o "par_seconds";
+                  domains = int_field o "domains";
+                }
+              in
+              (* The stored speedup is derived; writer and reader must
+                 agree on the derivation. *)
+              let recorded = num o "speedup" in
+              if Float.abs (recorded -. speedup sw) > 0.0005 +. 1e-9 then
+                raise
+                  (Bad
+                     (Printf.sprintf "sweep %S: speedup %.3f != %.3f" sw.name
+                        recorded (speedup sw)));
+              sw
+            | _ -> raise (Bad "sweep entry is not an object"))
+          entries
+      | _ -> raise (Bad "field \"sweeps\" is not an array")
+    in
+    Ok
+      {
+        host_cores = int_field root "host_cores";
+        default_domains = int_field root "default_domains";
+        sweeps;
+      }
+  with Bad msg -> Error msg

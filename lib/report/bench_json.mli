@@ -20,3 +20,15 @@ val render : host_cores:int -> sweeps:sweep list -> string
 (** JSON document: a header ([schema], [host_cores], the default domain
     count) plus one object per sweep with both timings and the speedup.
     Self-contained — no JSON library involved. *)
+
+val schema : string
+(** The schema tag written by {!render}, ["ldlp-bench-sweeps/1"]. *)
+
+type doc = { host_cores : int; default_domains : int; sweeps : sweep list }
+
+val parse : string -> (doc, string) result
+(** Read a document produced by {!render} (any JSON layout/whitespace):
+    validates the [schema] tag, the presence and type of every field, and
+    that each recorded [speedup] matches the two timings.  This is the
+    schema check the tests run render output through — and what downstream
+    tooling can use to consume [BENCH_sweeps.json]. *)

@@ -58,6 +58,44 @@ let prop_batch_bounds =
           Batch.Dcache_fit { cache_bytes = 1024; per_msg_overhead = 0 };
         ])
 
+let prop_batch_fixed_cap =
+  QCheck.Test.make ~name:"Fixed n never exceeds n" ~count:300
+    QCheck.(
+      pair (int_range 1 50) (list_of_size Gen.(0 -- 60) (int_range 0 4096)))
+    (fun (n, sizes) -> Batch.limit (Batch.Fixed n) ~sizes <= n)
+
+let prop_batch_dcache_monotone =
+  (* A bigger data cache never shrinks the batch (Section 3.2: the batch is
+     "as many messages as will fit in the data cache"). *)
+  QCheck.Test.make ~name:"Dcache_fit limit is monotone in cache_bytes"
+    ~count:300
+    QCheck.(
+      quad (int_range 0 16384) (int_range 0 16384) (int_range 0 64)
+        (list_of_size Gen.(1 -- 40) (int_range 0 4096)))
+    (fun (c1, c2, per_msg_overhead, sizes) ->
+      let small = min c1 c2 and big = max c1 c2 in
+      Batch.limit (Batch.Dcache_fit { cache_bytes = small; per_msg_overhead }) ~sizes
+      <= Batch.limit (Batch.Dcache_fit { cache_bytes = big; per_msg_overhead }) ~sizes)
+
+let prop_batch_prefix_sum =
+  (* Dcache_fit takes exactly the longest prefix fitting the cache budget
+     (always at least one message). *)
+  QCheck.Test.make ~name:"Dcache_fit takes the longest fitting prefix"
+    ~count:300
+    QCheck.(
+      triple (int_range 64 8192) (int_range 0 64)
+        (list_of_size Gen.(1 -- 40) (int_range 0 4096)))
+    (fun (cache_bytes, per_msg_overhead, sizes) ->
+      let n =
+        Batch.limit (Batch.Dcache_fit { cache_bytes; per_msg_overhead }) ~sizes
+      in
+      let cost k =
+        List.fold_left ( + ) 0
+          (List.filteri (fun i _ -> i < k) (List.map (( + ) per_msg_overhead) sizes))
+      in
+      (n = 1 || cost n <= cache_bytes)
+      && (n >= List.length sizes || cost (n + 1) > cache_bytes))
+
 (* ---------- Sched helpers ---------- *)
 
 (* A stack of [n] passthrough layers that logs (layer, msg id) handling
@@ -446,6 +484,9 @@ let suite =
     Alcotest.test_case "batch dcache fit (paper 14)" `Quick test_batch_dcache_fit_paper;
     Alcotest.test_case "batch oversized msg" `Quick test_batch_oversized_msg;
     QCheck_alcotest.to_alcotest prop_batch_bounds;
+    QCheck_alcotest.to_alcotest prop_batch_fixed_cap;
+    QCheck_alcotest.to_alcotest prop_batch_dcache_monotone;
+    QCheck_alcotest.to_alcotest prop_batch_prefix_sum;
     Alcotest.test_case "conventional order" `Quick test_conventional_order;
     Alcotest.test_case "ldlp blocked order" `Quick test_ldlp_blocked_order;
     Alcotest.test_case "ldlp batch cap" `Quick test_ldlp_batch_cap_respected;

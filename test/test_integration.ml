@@ -478,6 +478,14 @@ let test_blocking_model_matches_simulation () =
     true
     (Float.abs (simulated -. analytic) < 0.15 *. analytic)
 
+(* ---------- Parallel sweep engine determinism ---------- *)
+
+let test_sweep_selftest_three_domains () =
+  (* PR 1's selftest ran at 2 domains; 3 domains exercises uneven work
+     splits (3 rate points over 3 workers, 2 clock points over 3). *)
+  check "3-domain sweeps identical to sequential" true
+    (Ldlp_model.Figures.sweep_selftest ~domains:3 ())
+
 let suite =
   [
     Alcotest.test_case "tcp path in order" `Quick test_tcp_path_in_order;
@@ -490,4 +498,6 @@ let suite =
     Alcotest.test_case "two-switch call" `Quick test_two_switch_call;
     Alcotest.test_case "analytic vs simulated" `Slow
       test_blocking_model_matches_simulation;
+    Alcotest.test_case "sweep selftest, 3 domains" `Slow
+      test_sweep_selftest_three_domains;
   ]

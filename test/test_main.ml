@@ -19,4 +19,5 @@ let () =
       ("netsim", Test_netsim.suite);
       ("report", Test_report.suite);
       ("integration", Test_integration.suite);
+      ("check", Test_check.suite);
     ]

@@ -414,6 +414,145 @@ let test_reassembly_interleaved_datagrams () =
   check "datagram 2" true
     (match !done2 with Some out -> Bytes.equal out p2 | None -> false)
 
+(* ---------- build -> parse roundtrips on random headers ---------- *)
+
+let mac_gen =
+  QCheck.Gen.(
+    map
+      (fun s -> Addr.Mac.of_bytes (Bytes.of_string s) 0)
+      (string_size ~gen:char (return 6)))
+
+let ip_gen =
+  QCheck.Gen.(
+    map
+      (fun s -> Addr.Ipv4.of_bytes (Bytes.of_string s) 0)
+      (string_size ~gen:char (return 4)))
+
+let eth_gen =
+  QCheck.Gen.(
+    map3
+      (fun dst src ethertype -> { Ethernet.dst; src; ethertype })
+      mac_gen mac_gen (int_bound 0xFFFF))
+
+let eth_arb =
+  QCheck.make
+    ~print:(fun h ->
+      Printf.sprintf "%s -> %s type %#x"
+        (Addr.Mac.to_string h.Ethernet.src)
+        (Addr.Mac.to_string h.Ethernet.dst)
+        h.Ethernet.ethertype)
+    eth_gen
+
+let prop_ethernet_build_parse =
+  QCheck.Test.make ~name:"ethernet build -> parse roundtrip" ~count:300 eth_arb
+    (fun h ->
+      let b = Bytes.create 14 in
+      Ethernet.build h b 0;
+      match Ethernet.parse b 0 14 with
+      | Error _ -> false
+      | Ok (h', off) ->
+        off = 14
+        && Addr.Mac.equal h.Ethernet.dst h'.Ethernet.dst
+        && Addr.Mac.equal h.Ethernet.src h'.Ethernet.src
+        && h.Ethernet.ethertype = h'.Ethernet.ethertype)
+
+let ipv4_gen =
+  QCheck.Gen.(
+    let* tos = int_bound 0xFF in
+    let* total_length = int_range 20 40 in
+    let* ident = int_bound 0xFFFF in
+    let* dont_fragment = bool in
+    let* more_fragments = bool in
+    let* fragment_offset = int_bound 0x1FFF in
+    let* ttl = int_bound 0xFF in
+    let* protocol = int_bound 0xFF in
+    let* src = ip_gen in
+    let+ dst = ip_gen in
+    {
+      Ipv4.ihl = 5;
+      tos;
+      total_length;
+      ident;
+      dont_fragment;
+      more_fragments;
+      fragment_offset;
+      ttl;
+      protocol;
+      src;
+      dst;
+    })
+
+let ipv4_arb =
+  QCheck.make
+    ~print:(fun h ->
+      Printf.sprintf "%s -> %s proto %d len %d frag %d%s%s"
+        (Addr.Ipv4.to_string h.Ipv4.src)
+        (Addr.Ipv4.to_string h.Ipv4.dst)
+        h.Ipv4.protocol h.Ipv4.total_length h.Ipv4.fragment_offset
+        (if h.Ipv4.dont_fragment then " DF" else "")
+        (if h.Ipv4.more_fragments then " MF" else ""))
+    ipv4_gen
+
+let prop_ipv4_build_parse =
+  QCheck.Test.make ~name:"ipv4 build -> parse roundtrip (checksum verified)"
+    ~count:300 ipv4_arb (fun h ->
+      let b = Bytes.create 40 in
+      Ipv4.build h b 0;
+      match Ipv4.parse b 0 40 with
+      | Error _ -> false
+      | Ok (h', off) -> off = 20 && h' = h)
+
+let tcp_gen =
+  QCheck.Gen.(
+    let* src_port = int_bound 0xFFFF in
+    let* dst_port = int_bound 0xFFFF in
+    let* seq = map Int32.of_int (int_bound 0x3FFFFFFF) in
+    let* ack = map Int32.of_int (int_bound 0x3FFFFFFF) in
+    let* data_offset = int_range 5 15 in
+    let* flags = int_bound 0x3F in
+    let* window = int_bound 0xFFFF in
+    let+ urgent = int_bound 0xFFFF in
+    { Tcp.src_port; dst_port; seq; ack; data_offset; flags; window; urgent })
+
+let tcp_arb =
+  QCheck.make
+    ~print:(fun h ->
+      Printf.sprintf "%d -> %d seq %ld ack %ld do %d flags %#x" h.Tcp.src_port
+        h.Tcp.dst_port h.Tcp.seq h.Tcp.ack h.Tcp.data_offset h.Tcp.flags)
+    tcp_gen
+
+let prop_tcp_build_parse =
+  QCheck.Test.make ~name:"tcp build -> parse roundtrip" ~count:300 tcp_arb
+    (fun h ->
+      let b = Bytes.create 64 in
+      Tcp.build h b 0;
+      match Tcp.parse b 0 64 with
+      | Error _ -> false
+      | Ok (h', off) -> off = h.Tcp.data_offset * 4 && h' = h)
+
+let prop_udp_build_parse =
+  QCheck.Test.make ~name:"udp build -> parse roundtrip (checksum verified)"
+    ~count:300
+    QCheck.(
+      triple (int_bound 0xFFFF) (int_bound 0xFFFF)
+        (make QCheck.Gen.(string_size ~gen:char (0 -- 64))))
+    (fun (src_port, dst_port, payload) ->
+      let src = Addr.Ipv4.of_string "10.0.0.1"
+      and dst = Addr.Ipv4.of_string "10.0.0.2" in
+      let n = String.length payload in
+      let dgram = Bytes.create (8 + n) in
+      Bytes.blit_string payload 0 dgram 8 n;
+      Udp.build { Udp.src_port; dst_port; length = 0 } ~src ~dst dgram 0
+        ~payload_len:n;
+      match Udp.parse dgram 0 (Bytes.length dgram) with
+      | Error _ -> false
+      | Ok (h', off) ->
+        off = 8
+        && h'.Udp.src_port = src_port
+        && h'.Udp.dst_port = dst_port
+        && h'.Udp.length = 8 + n
+        && Udp.verify_checksum ~src ~dst dgram 0 (Bytes.length dgram))
+
 let prop_fragment_reassemble_roundtrip =
   QCheck.Test.make ~name:"fragment/reassemble roundtrip at any mtu" ~count:200
     QCheck.(pair (int_range 48 1500) (int_range 1 5000))
@@ -456,6 +595,10 @@ let suite =
     Alcotest.test_case "tcp checksum" `Quick test_tcp_checksum_roundtrip;
     Alcotest.test_case "tcp seq arithmetic" `Quick test_tcp_seq_arithmetic;
     QCheck_alcotest.to_alcotest prop_tcp_seq_total_order_window;
+    QCheck_alcotest.to_alcotest prop_ethernet_build_parse;
+    QCheck_alcotest.to_alcotest prop_ipv4_build_parse;
+    QCheck_alcotest.to_alcotest prop_tcp_build_parse;
+    QCheck_alcotest.to_alcotest prop_udp_build_parse;
     Alcotest.test_case "udp roundtrip" `Quick test_udp_roundtrip;
     Alcotest.test_case "udp too short" `Quick test_udp_too_short;
     Alcotest.test_case "fragment passthrough" `Quick test_fragment_small_passthrough;

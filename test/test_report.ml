@@ -88,6 +88,61 @@ let test_ablation_renders () =
   in
   check "txside title" true (contains tx "transmit-side")
 
+(* ---------- Bench_json ---------- *)
+
+let sample_sweeps =
+  [
+    {
+      Ldlp_report.Bench_json.name = "rate_sweep";
+      points = 3;
+      seq_seconds = 1.25;
+      par_seconds = 0.5;
+      domains = 4;
+    };
+    {
+      Ldlp_report.Bench_json.name = "clock \"odd\" name\n";
+      points = 0;
+      seq_seconds = 0.0;
+      par_seconds = 0.0;
+      domains = 1;
+    };
+  ]
+
+let test_bench_json_roundtrip () =
+  let text = Ldlp_report.Bench_json.render ~host_cores:8 ~sweeps:sample_sweeps in
+  match Ldlp_report.Bench_json.parse text with
+  | Error e -> Alcotest.failf "render output failed its own schema: %s" e
+  | Ok doc ->
+    Alcotest.(check int) "host_cores" 8 doc.Ldlp_report.Bench_json.host_cores;
+    check "sweeps roundtrip" true (doc.Ldlp_report.Bench_json.sweeps = sample_sweeps)
+
+let test_bench_json_rejects () =
+  let reject what text =
+    match Ldlp_report.Bench_json.parse text with
+    | Ok _ -> Alcotest.failf "%s unexpectedly accepted" what
+    | Error _ -> ()
+  in
+  reject "garbage" "not json";
+  reject "wrong schema"
+    "{\"schema\": \"other/9\", \"host_cores\": 1, \"default_domains\": 1, \
+     \"sweeps\": []}";
+  reject "missing sweeps"
+    "{\"schema\": \"ldlp-bench-sweeps/1\", \"host_cores\": 1, \
+     \"default_domains\": 1}";
+  reject "inconsistent speedup"
+    "{\"schema\": \"ldlp-bench-sweeps/1\", \"host_cores\": 1, \
+     \"default_domains\": 1, \"sweeps\": [{\"name\": \"x\", \"points\": 1, \
+     \"seq_seconds\": 2.0, \"par_seconds\": 1.0, \"domains\": 2, \
+     \"speedup\": 9.0}]}";
+  (* A hand-written but valid document must parse: the reader accepts any
+     JSON layout, not just the writer's pretty-printing. *)
+  match
+    Ldlp_report.Bench_json.parse
+      "{\"schema\":\"ldlp-bench-sweeps/1\",\"host_cores\":2,\"default_domains\":2,\"sweeps\":[]}"
+  with
+  | Ok doc -> Alcotest.(check int) "compact layout" 2 doc.Ldlp_report.Bench_json.host_cores
+  | Error e -> Alcotest.failf "compact layout rejected: %s" e
+
 let suite =
   [
     Alcotest.test_case "table1 render" `Quick test_table1_render;
@@ -98,4 +153,6 @@ let suite =
     Alcotest.test_case "fig7 render" `Slow test_fig7_render;
     Alcotest.test_case "blocking render" `Quick test_blocking_render;
     Alcotest.test_case "ablation renders" `Slow test_ablation_renders;
+    Alcotest.test_case "bench json roundtrip" `Quick test_bench_json_roundtrip;
+    Alcotest.test_case "bench json rejects bad input" `Quick test_bench_json_rejects;
   ]

@@ -58,6 +58,22 @@ let prop_heap_sorts =
       in
       drain [] = List.sort compare keys)
 
+let prop_heap_fifo_ties =
+  (* Equal keys must pop in insertion order — the event loop relies on this
+     for same-timestamp events. *)
+  QCheck.Test.make ~name:"heap is FIFO within equal keys" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 60) (int_bound 4))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h (float_of_int k) (k, i)) keys;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      let inserted = List.mapi (fun i k -> (k, i)) keys in
+      drain [] = List.stable_sort (fun (a, _) (b, _) -> compare a b) inserted)
+
 (* ---------- Rng ---------- *)
 
 let test_rng_deterministic () =
@@ -120,6 +136,35 @@ let test_rng_shuffle_permutation () =
   let sorted = Array.copy a in
   Array.sort compare sorted;
   Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let prop_rng_deterministic =
+  (* Reproducibility is the whole experiment design: a seed pins every
+     figure.  Same seed, same draw sequence, across all the generators. *)
+  QCheck.Test.make ~name:"rng: same seed gives the same stream" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let a = Rng.create ~seed and b = Rng.create ~seed in
+      List.for_all Fun.id
+        (List.init 50 (fun i ->
+             match i mod 4 with
+             | 0 -> Rng.int64 a = Rng.int64 b
+             | 1 -> Rng.int a 1000 = Rng.int b 1000
+             | 2 -> Float.equal (Rng.unit_float a) (Rng.unit_float b)
+             | _ ->
+               Float.equal
+                 (Rng.exponential a ~mean:2.0)
+                 (Rng.exponential b ~mean:2.0))))
+
+let prop_rng_distinct_seeds =
+  QCheck.Test.make ~name:"rng: distinct seeds give distinct streams"
+    ~count:100
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (s1, s2) ->
+      QCheck.assume (s1 <> s2);
+      let a = Rng.create ~seed:s1 and b = Rng.create ~seed:s2 in
+      (* 16 consecutive 64-bit draws all colliding is (practically) only
+         possible if seeding folds both seeds to the same state. *)
+      List.exists Fun.id (List.init 16 (fun _ -> Rng.int64 a <> Rng.int64 b)))
 
 (* ---------- Stats ---------- *)
 
@@ -284,7 +329,10 @@ let suite =
     Alcotest.test_case "heap clear" `Quick test_heap_clear;
     Alcotest.test_case "heap to_sorted_list" `Quick test_heap_to_sorted_list;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_heap_fifo_ties;
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    QCheck_alcotest.to_alcotest prop_rng_deterministic;
+    QCheck_alcotest.to_alcotest prop_rng_distinct_seeds;
     Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
     Alcotest.test_case "rng int range" `Quick test_rng_int_range;
     Alcotest.test_case "rng float range" `Quick test_rng_unit_float_range;
