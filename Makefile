@@ -4,7 +4,7 @@
 
 DOMAINS ?= 2
 
-.PHONY: all build test fmt promote selftest oracle bench-sweeps check
+.PHONY: all build test fmt promote selftest oracle bench-sweeps bench-hotpath check
 
 all: build
 
@@ -33,6 +33,12 @@ oracle: build
 # Times every sweep at 1 domain and at N domains; writes BENCH_sweeps.json.
 bench-sweeps: build
 	dune exec bench/main.exe -- --sweeps
+
+# Conventional vs LDLP hot-path baseline (misses, throughput, latency and
+# real allocations per message, metrics-on overhead); writes
+# BENCH_hotpath.json and fails if LDLP stops winning on i-misses.
+bench-hotpath: build
+	dune exec bench/main.exe -- --hotpath
 
 check: build fmt test selftest oracle
 	@echo "check OK"

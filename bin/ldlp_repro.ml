@@ -149,6 +149,13 @@ let run_goal ?domains seed =
     (Ldlp_report.Report.extension_goal
        (Ldlp_model.Figures.extension_goal ?domains ~seed ()))
 
+let run_stats ?domains ~json ~rate params seed =
+  if json then
+    out
+      (Ldlp_report.Bench_json.render_stats
+         (Ldlp_report.Report.observability_sheets ?domains ~params ~seed ~rate ()))
+  else out (Ldlp_report.Report.observability ?domains ~params ~seed ~rate ())
+
 let run_selftest domains =
   let domains = Option.value ~default:2 domains in
   if Ldlp_model.Figures.sweep_selftest ~domains () then
@@ -312,6 +319,23 @@ let cmds =
     cmd "goal" "Section 1 signalling performance goal check."
       (with_seed_domains run_goal);
     cmd "all" "Everything." (with_params run_all);
+    cmd "stats"
+      "Per-layer observability counters (cycles, stalls, i/d/w-misses, \
+       quanta, queue peaks) for Conventional vs LDLP under Poisson load, \
+       merged over the run set.  Deterministic per seed; --json emits the \
+       ldlp-stats/1 document."
+      Term.(
+        const (fun full runs seconds seed domains json rate ->
+            run_stats ?domains ~json ~rate (params ~full ~runs ~seconds) seed)
+        $ full_t $ runs_t $ seconds_t $ seed_t $ domains_t
+        $ Arg.(
+            value & flag
+            & info [ "json" ]
+                ~doc:"Emit the ldlp-stats/1 JSON document instead of text.")
+        $ Arg.(
+            value
+            & opt float 9000.0
+            & info [ "rate" ] ~doc:"Poisson arrival rate in messages/second."));
     cmd "check"
       "Differential oracles: replay random access streams through the \
        production cache and a naive LRU reference, assert Conventional and \

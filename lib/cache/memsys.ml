@@ -6,12 +6,19 @@ type counters = {
   stall_cycles : int;
 }
 
+type event =
+  | Fetch_code of { addr : int; len : int; misses : int; stall : int }
+  | Read_data of { addr : int; len : int; misses : int }
+  | Write_data of { addr : int; len : int; misses : int }
+  | Execute of { cycles : int }
+
 type t = {
   icache : Cache.t;
   dcache : Cache.t;
   prefetch_discount : float;
   mutable clock_hz : float;
   mutable c : counters;
+  mutable probe : (event -> unit) option;
 }
 
 let zero =
@@ -30,7 +37,9 @@ let create ?(icache = Config.paper_default) ?(dcache = Config.paper_default)
     invalid_arg "Memsys.create: prefetch_discount must be in [0, 1]";
   let i = Cache.create icache in
   let d = if unified then i else Cache.create dcache in
-  { icache = i; dcache = d; prefetch_discount; clock_hz; c = zero }
+  { icache = i; dcache = d; prefetch_discount; clock_hz; c = zero; probe = None }
+
+let set_probe t p = t.probe <- p
 
 let clock_hz t = t.clock_hz
 
@@ -44,21 +53,27 @@ let dcache t = t.dcache
 
 let fetch_code t ~addr ~len =
   let m = Cache.touch_range t.icache ~addr ~len in
-  if m > 0 then begin
-    let penalty = (Cache.config t.icache).Config.miss_penalty in
-    (* Sequential prefetch hides part of every miss after the first in a
-       straight-line fetch run. *)
-    let stall =
-      float_of_int penalty
-      *. (1.0 +. (t.prefetch_discount *. float_of_int (m - 1)))
-    in
+  let stall =
+    if m = 0 then 0
+    else begin
+      let penalty = (Cache.config t.icache).Config.miss_penalty in
+      (* Sequential prefetch hides part of every miss after the first in a
+         straight-line fetch run. *)
+      int_of_float
+        (float_of_int penalty
+        *. (1.0 +. (t.prefetch_discount *. float_of_int (m - 1))))
+    end
+  in
+  if m > 0 then
     t.c <-
       {
         t.c with
         icache_misses = t.c.icache_misses + m;
-        stall_cycles = t.c.stall_cycles + int_of_float stall;
-      }
-  end
+        stall_cycles = t.c.stall_cycles + stall;
+      };
+  match t.probe with
+  | None -> ()
+  | Some f -> f (Fetch_code { addr; len; misses = m; stall })
 
 let read_data t ~addr ~len =
   let m = Cache.touch_range t.dcache ~addr ~len in
@@ -69,15 +84,24 @@ let read_data t ~addr ~len =
         dcache_misses = t.c.dcache_misses + m;
         stall_cycles =
           t.c.stall_cycles + (m * (Cache.config t.dcache).Config.miss_penalty);
-      }
+      };
+  match t.probe with
+  | None -> ()
+  | Some f -> f (Read_data { addr; len; misses = m })
 
 let write_data t ~addr ~len =
   let m = Cache.touch_range t.dcache ~addr ~len in
-  if m > 0 then t.c <- { t.c with write_misses = t.c.write_misses + m }
+  if m > 0 then t.c <- { t.c with write_misses = t.c.write_misses + m };
+  match t.probe with
+  | None -> ()
+  | Some f -> f (Write_data { addr; len; misses = m })
 
 let execute t cycles =
   if cycles < 0 then invalid_arg "Memsys.execute: negative cycles";
-  t.c <- { t.c with exec_cycles = t.c.exec_cycles + cycles }
+  t.c <- { t.c with exec_cycles = t.c.exec_cycles + cycles };
+  match t.probe with
+  | None -> ()
+  | Some f -> f (Execute { cycles })
 
 let cycles t = t.c.exec_cycles + t.c.stall_cycles
 

@@ -16,6 +16,16 @@ type counters = {
   stall_cycles : int;
 }
 
+type event =
+  | Fetch_code of { addr : int; len : int; misses : int; stall : int }
+  | Read_data of { addr : int; len : int; misses : int }
+  | Write_data of { addr : int; len : int; misses : int }
+  | Execute of { cycles : int }
+      (** One memory-system access, as seen by the optional {!set_probe}
+          observer.  Events fire on every access — including hits
+          ([misses = 0]) — carrying exactly the counter deltas applied, so
+          an observer can rebuild {!counters} from the event stream. *)
+
 val create :
   ?icache:Config.t ->
   ?dcache:Config.t ->
@@ -55,6 +65,12 @@ val write_data : t -> addr:int -> len:int -> unit
 
 val execute : t -> int -> unit
 (** Charge pure execution cycles. *)
+
+val set_probe : t -> (event -> unit) option -> unit
+(** Install (or remove) an access observer.  The probe fires after each
+    access's counters are applied; it is a diagnostic hook (used by the
+    observability differential tests) and costs one [match] per access
+    when absent. *)
 
 val cycles : t -> int
 (** Total cycles so far (execution + stalls). *)

@@ -1,3 +1,6 @@
+module Metrics = Ldlp_obs.Metrics
+module Obs = Ldlp_obs.Obs
+
 type stats = {
   injected : int;
   delivered : int;
@@ -17,6 +20,7 @@ type 'a node = {
   queue : 'a Msg.t Queue.t;
   mutable handled : int;
   mutable is_root : bool;  (* nobody delivers into it from below *)
+  mutable m_index : int;  (* row in the attached metrics sheet, or -1 *)
 }
 
 type 'a t = {
@@ -34,6 +38,7 @@ type 'a t = {
   mutable batches : int;
   mutable max_batch : int;
   mutable total_batched : int;
+  mutable metrics : Metrics.t option;
 }
 
 let create ~discipline ?(up = fun _ -> ()) ?(down = fun _ -> ())
@@ -53,6 +58,7 @@ let create ~discipline ?(up = fun _ -> ()) ?(down = fun _ -> ())
     batches = 0;
     max_batch = 0;
     total_batched = 0;
+    metrics = None;
   }
 
 let find t name =
@@ -79,15 +85,32 @@ let add_layer t ?(above = []) layer =
       queue = Queue.create ();
       handled = 0;
       is_root = true;
+      m_index = -1;
     };
   t.order <- t.order @ [ name ]
 
 let roots t =
   List.filter (fun name -> (find t name).is_root) t.order
 
+(* Layers are registered incrementally, so unlike [Sched.create] the sheet
+   attaches after the graph is built; the sheet rows must match
+   registration order exactly. *)
+let attach_metrics t m =
+  if Metrics.layer_names m <> t.order then
+    invalid_arg "Graphsched.attach_metrics: sheet rows <> registration order";
+  List.iteri (fun i name -> (find t name).m_index <- i) t.order;
+  t.metrics <- Some m
+
 let inject t ~into msg =
   t.injected <- t.injected + 1;
-  Queue.push msg (find t into).queue
+  let node = find t into in
+  Queue.push msg node.queue;
+  match t.metrics with
+  | None -> ()
+  | Some mt ->
+    let d = Queue.length node.queue in
+    Metrics.arrival mt ~depth:d;
+    Metrics.queue_depth mt node.m_index d
 
 let backlog t ~into = Queue.length (find t into).queue
 
@@ -112,11 +135,29 @@ let rec route t node target m ~recurse =
     else t.misrouted <- t.misrouted + 1
 
 and forward t parent m ~recurse =
-  if recurse then handle t parent m ~recurse else Queue.push m parent.queue
+  if recurse then handle t parent m ~recurse
+  else begin
+    Queue.push m parent.queue;
+    match t.metrics with
+    | None -> ()
+    | Some mt -> Metrics.queue_depth mt parent.m_index (Queue.length parent.queue)
+  end
 
 and handle t node msg ~recurse =
   t.on_handled node.layer msg;
   node.handled <- node.handled + 1;
+  (match t.metrics with
+  | None -> ()
+  | Some mt -> Metrics.handled mt node.m_index);
+  let actions =
+    match t.metrics with
+    | Some mt when Obs.enabled () ->
+      let w0 = Gc.minor_words () in
+      let actions = node.layer.Layer.handle msg in
+      Metrics.alloc mt node.m_index (int_of_float (Gc.minor_words () -. w0));
+      actions
+    | _ -> node.layer.Layer.handle msg
+  in
   List.iter
     (fun action ->
       match action with
@@ -126,12 +167,13 @@ and handle t node msg ~recurse =
         t.down m
       | Layer.Deliver_up m -> route t node `Up m ~recurse
       | Layer.Deliver_to (name, m) -> route t node (`To name) m ~recurse)
-    (node.layer.Layer.handle msg)
+    actions
 
 let record_batch t n =
   t.batches <- t.batches + 1;
   t.max_batch <- max t.max_batch n;
-  t.total_batched <- t.total_batched + n
+  t.total_batched <- t.total_batched + n;
+  match t.metrics with None -> () | Some mt -> Metrics.batch_run mt n
 
 (* Non-empty node with the smallest depth (closest to completion); ties go
    to registration order. *)

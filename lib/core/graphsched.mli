@@ -48,6 +48,12 @@ val add_layer : 'a t -> ?above:string list -> 'a Layer.t -> unit
 val roots : 'a t -> string list
 (** Layers nobody lists as a parent — the packet entry points. *)
 
+val attach_metrics : 'a t -> Ldlp_obs.Metrics.t -> unit
+(** Attach a metric sheet once the graph is fully built.  The sheet's
+    layer rows must equal the registration order ({!stats}' [per_layer]
+    order); raises [Invalid_argument] otherwise.  Recording follows the
+    same gate-off-costs-nothing contract as {!Sched.create}'s [metrics]. *)
+
 val inject : 'a t -> into:string -> 'a Msg.t -> unit
 (** Message arrival at a named entry layer. *)
 

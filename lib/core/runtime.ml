@@ -1,3 +1,6 @@
+module Metrics = Ldlp_obs.Metrics
+module Obs = Ldlp_obs.Obs
+
 type workload = { at : float; size : int; flow : int }
 
 type report = {
@@ -20,8 +23,15 @@ let poisson_workload ~rng ~rate ~duration ~size =
   go [] 0.0
 
 let run ~discipline ~layers ~make_payload ?(buffer_cap = 500)
-    ?(service = fun ~batch:_ _ -> 0.0) workload =
+    ?(service = fun ~batch:_ _ -> 0.0) ?metrics workload =
   let latency = Ldlp_sim.Hist.create () in
+  (* Scalar refs are registered up front (find-or-create is setup-time
+     work); bumping them below is gated and allocation-free. *)
+  let offered_sc, dropped_sc =
+    match metrics with
+    | None -> (ref 0, ref 0)
+    | Some m -> (Metrics.scalar m "offered", Metrics.scalar m "dropped")
+  in
   let completed_this_step = ref [] in
   let handled_this_step : (int, Ldlp_buf.Mbuf.t Msg.t list) Hashtbl.t =
     Hashtbl.create 8
@@ -38,7 +48,7 @@ let run ~discipline ~layers ~make_payload ?(buffer_cap = 500)
           Option.value ~default:[] (Hashtbl.find_opt handled_this_step i)
         in
         Hashtbl.replace handled_this_step i (msg :: prev))
-      ()
+      ?metrics ()
   in
   let now = ref 0.0 in
   let dropped = ref 0 in
@@ -49,7 +59,10 @@ let run ~discipline ~layers ~make_payload ?(buffer_cap = 500)
       match !pending_arrivals with
       | { at; size; flow } :: rest when at <= !now ->
         pending_arrivals := rest;
-        if Sched.backlog sched >= buffer_cap then incr dropped
+        if Sched.backlog sched >= buffer_cap then begin
+          incr dropped;
+          Metrics.add_scalar dropped_sc 1
+        end
         else begin
           let payload = make_payload ~size in
           Sched.inject sched (Msg.make ~flow ~arrival:at ~size payload)
@@ -86,10 +99,17 @@ let run ~discipline ~layers ~make_payload ?(buffer_cap = 500)
       now := !now +. cost;
       List.iter
         (fun (m : Ldlp_buf.Mbuf.t Msg.t) ->
-          Ldlp_sim.Hist.add latency (Float.max 0.0 (!now -. m.Msg.arrival)))
+          let l = Float.max 0.0 (!now -. m.Msg.arrival) in
+          Ldlp_sim.Hist.add latency l;
+          (* The gate check lives at the call site: passing the float to
+             [latency_s] boxes it, which the disabled path must not pay. *)
+          match metrics with
+          | Some mt when Obs.enabled () -> Metrics.latency_s mt l
+          | _ -> ())
         !completed_this_step
     end
   done;
+  Metrics.add_scalar offered_sc offered;
   let stats = Sched.stats sched in
   let duration = !now in
   let processed = stats.Sched.delivered + stats.Sched.consumed in

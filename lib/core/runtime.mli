@@ -32,12 +32,17 @@ val run :
   make_payload:(size:int -> Ldlp_buf.Mbuf.t) ->
   ?buffer_cap:int ->
   ?service:(batch:int -> Ldlp_buf.Mbuf.t Msg.t -> float) ->
+  ?metrics:Ldlp_obs.Metrics.t ->
   workload list ->
   report
 (** Default [buffer_cap] 500 (the paper's Figure 6 buffer), default
     [service] zero-cost (pure functional check).  The per-message service
     time receives the batch size the message was processed under, so
-    callers can model the amortisation LDLP buys. *)
+    callers can model the amortisation LDLP buys.
+
+    [metrics] is forwarded to the underlying {!Sched} (so it must have one
+    row per layer); on top of the scheduler's recording the runtime adds
+    virtual-time latency samples and the "offered"/"dropped" scalars. *)
 
 val poisson_workload :
   rng:Ldlp_sim.Rng.t -> rate:float -> duration:float -> size:int -> workload list

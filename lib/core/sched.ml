@@ -1,3 +1,6 @@
+module Metrics = Ldlp_obs.Metrics
+module Obs = Ldlp_obs.Obs
+
 type discipline = Conventional | Ldlp of Batch.policy
 
 type stats = {
@@ -28,12 +31,17 @@ type 'a t = {
   mutable batches : int;
   mutable max_batch : int;
   mutable total_batched : int;
+  metrics : Metrics.t option;
 }
 
 let create ~discipline ~layers ?(up = fun _ -> ()) ?(down = fun _ -> ())
-    ?(on_handled = fun _ _ _ -> ()) () =
+    ?(on_handled = fun _ _ _ -> ()) ?metrics () =
   if layers = [] then invalid_arg "Sched.create: empty stack";
   let layers = Array.of_list layers in
+  (match metrics with
+  | Some m when Metrics.nlayers m <> Array.length layers ->
+    invalid_arg "Sched.create: metrics sheet layer count mismatch"
+  | _ -> ());
   {
     discipline;
     layers;
@@ -50,11 +58,18 @@ let create ~discipline ~layers ?(up = fun _ -> ()) ?(down = fun _ -> ())
     batches = 0;
     max_batch = 0;
     total_batched = 0;
+    metrics;
   }
 
 let inject t msg =
   t.injected <- t.injected + 1;
-  Queue.push msg t.queues.(0)
+  Queue.push msg t.queues.(0);
+  match t.metrics with
+  | None -> ()
+  | Some mt ->
+    let d = Queue.length t.queues.(0) in
+    Metrics.arrival mt ~depth:d;
+    Metrics.queue_depth mt 0 d
 
 let pending t =
   Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
@@ -69,7 +84,19 @@ let top t = Array.length t.layers - 1
 let rec handle_at t i msg ~enqueue_up =
   t.on_handled i t.layers.(i) msg;
   t.handled.(i) <- t.handled.(i) + 1;
-  let actions = t.layers.(i).Layer.handle msg in
+  (match t.metrics with None -> () | Some mt -> Metrics.handled mt i);
+  let actions =
+    (* Gc sampling around the handler only (not the dispatch below), so a
+       recursive climb in conventional mode cannot double-attribute an
+       upper layer's allocations to the layer below it. *)
+    match t.metrics with
+    | Some mt when Obs.enabled () ->
+      let w0 = Gc.minor_words () in
+      let actions = t.layers.(i).Layer.handle msg in
+      Metrics.alloc mt i (int_of_float (Gc.minor_words () -. w0));
+      actions
+    | _ -> t.layers.(i).Layer.handle msg
+  in
   List.iter
     (fun action ->
       match action with
@@ -82,13 +109,25 @@ let rec handle_at t i msg ~enqueue_up =
           t.delivered <- t.delivered + 1;
           t.up m
         end
-        else if enqueue_up then Queue.push m t.queues.(i + 1)
+        else if enqueue_up then begin
+          Queue.push m t.queues.(i + 1);
+          match t.metrics with
+          | None -> ()
+          | Some mt ->
+            Metrics.queue_depth mt (i + 1) (Queue.length t.queues.(i + 1))
+        end
         else handle_at t (i + 1) m ~enqueue_up
       | Layer.Deliver_to (name, m) ->
         (* In a linear chain, a named delivery is only valid when it
            names the next layer up. *)
         if i < top t && t.layers.(i + 1).Layer.name = name then
-          if enqueue_up then Queue.push m t.queues.(i + 1)
+          if enqueue_up then begin
+            Queue.push m t.queues.(i + 1);
+            match t.metrics with
+            | None -> ()
+            | Some mt ->
+              Metrics.queue_depth mt (i + 1) (Queue.length t.queues.(i + 1))
+          end
           else handle_at t (i + 1) m ~enqueue_up
         else t.misrouted <- t.misrouted + 1)
     actions
@@ -96,7 +135,8 @@ let rec handle_at t i msg ~enqueue_up =
 let record_batch t n =
   t.batches <- t.batches + 1;
   t.max_batch <- max t.max_batch n;
-  t.total_batched <- t.total_batched + n
+  t.total_batched <- t.total_batched + n;
+  match t.metrics with None -> () | Some mt -> Metrics.batch_run mt n
 
 let step_conventional t =
   match Queue.take_opt t.queues.(0) with

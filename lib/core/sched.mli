@@ -45,12 +45,19 @@ val create :
   ?up:('a Msg.t -> unit) ->
   ?down:('a Msg.t -> unit) ->
   ?on_handled:(int -> 'a Layer.t -> 'a Msg.t -> unit) ->
+  ?metrics:Ldlp_obs.Metrics.t ->
   unit ->
   'a t
 (** [layers] is bottom-first and must be non-empty.  [up] receives messages
     delivered above the top layer; [down] receives [Send_down] messages;
     [on_handled layer_index layer msg] fires before each handler invocation
-    (used by the cycle-accurate model to charge the memory system). *)
+    (used by the cycle-accurate model to charge the memory system).
+
+    [metrics], when given, must have one layer per stack layer (same
+    order); while the {!Ldlp_obs.Obs} gate is on the scheduler records
+    arrivals, batch sizes, per-layer handler counts/quanta, queue depths
+    and per-handler minor-heap allocation into it.  With the gate off the
+    sheet is never touched and the instrumentation allocates nothing. *)
 
 val inject : 'a t -> 'a Msg.t -> unit
 (** Message arrival at the bottom of the stack.  Never processes anything

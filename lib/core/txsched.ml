@@ -1,3 +1,6 @@
+module Metrics = Ldlp_obs.Metrics
+module Obs = Ldlp_obs.Obs
+
 type stats = {
   submitted : int;
   transmitted : int;
@@ -24,12 +27,17 @@ type 'a t = {
   mutable batches : int;
   mutable max_batch : int;
   mutable total_batched : int;
+  metrics : Metrics.t option;
 }
 
 let create ~discipline ~layers ?(wire = fun _ -> ()) ?(up = fun _ -> ())
-    ?(on_handled = fun _ _ _ -> ()) () =
+    ?(on_handled = fun _ _ _ -> ()) ?metrics () =
   if layers = [] then invalid_arg "Txsched.create: empty stack";
   let layers = Array.of_list layers in
+  (match metrics with
+  | Some m when Metrics.nlayers m <> Array.length layers ->
+    invalid_arg "Txsched.create: metrics sheet layer count mismatch"
+  | _ -> ());
   {
     discipline;
     layers;
@@ -45,13 +53,20 @@ let create ~discipline ~layers ?(wire = fun _ -> ()) ?(up = fun _ -> ())
     batches = 0;
     max_batch = 0;
     total_batched = 0;
+    metrics;
   }
 
 let top t = Array.length t.layers - 1
 
 let submit t msg =
   t.submitted <- t.submitted + 1;
-  Queue.push msg t.queues.(top t)
+  Queue.push msg t.queues.(top t);
+  match t.metrics with
+  | None -> ()
+  | Some mt ->
+    let d = Queue.length t.queues.(top t) in
+    Metrics.arrival mt ~depth:d;
+    Metrics.queue_depth mt (top t) d
 
 let pending t =
   Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
@@ -61,7 +76,16 @@ let backlog t = Queue.length t.queues.(top t)
 let rec handle_at t i msg ~enqueue_down =
   t.on_handled i t.layers.(i) msg;
   t.handled.(i) <- t.handled.(i) + 1;
-  let actions = t.layers.(i).Layer.handle_tx msg in
+  (match t.metrics with None -> () | Some mt -> Metrics.handled mt i);
+  let actions =
+    match t.metrics with
+    | Some mt when Obs.enabled () ->
+      let w0 = Gc.minor_words () in
+      let actions = t.layers.(i).Layer.handle_tx msg in
+      Metrics.alloc mt i (int_of_float (Gc.minor_words () -. w0));
+      actions
+    | _ -> t.layers.(i).Layer.handle_tx msg
+  in
   List.iter
     (fun action ->
       match action with
@@ -74,14 +98,21 @@ let rec handle_at t i msg ~enqueue_down =
           t.transmitted <- t.transmitted + 1;
           t.wire m
         end
-        else if enqueue_down then Queue.push m t.queues.(i - 1)
+        else if enqueue_down then begin
+          Queue.push m t.queues.(i - 1);
+          match t.metrics with
+          | None -> ()
+          | Some mt ->
+            Metrics.queue_depth mt (i - 1) (Queue.length t.queues.(i - 1))
+        end
         else handle_at t (i - 1) m ~enqueue_down)
     actions
 
 let record_batch t n =
   t.batches <- t.batches + 1;
   t.max_batch <- max t.max_batch n;
-  t.total_batched <- t.total_batched + n
+  t.total_batched <- t.total_batched + n;
+  match t.metrics with None -> () | Some mt -> Metrics.batch_run mt n
 
 let step_conventional t =
   match Queue.take_opt t.queues.(top t) with

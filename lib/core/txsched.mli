@@ -34,12 +34,16 @@ val create :
   ?wire:('a Msg.t -> unit) ->
   ?up:('a Msg.t -> unit) ->
   ?on_handled:(int -> 'a Layer.t -> 'a Msg.t -> unit) ->
+  ?metrics:Ldlp_obs.Metrics.t ->
   unit ->
   'a t
 (** [layers] is bottom-first, exactly as for {!Sched.create}, so one stack
     description serves both directions.  [wire] receives frames leaving
     below layer 0; [up] receives any [Deliver_up] a transmit handler
-    produces (e.g. loopback). *)
+    produces (e.g. loopback).  [metrics] behaves as in {!Sched.create}:
+    one sheet layer per stack layer, recorded into only while the
+    {!Ldlp_obs.Obs} gate is on (arrivals here are submissions, and the
+    entry queue is the {e top} queue). *)
 
 val submit : 'a t -> 'a Msg.t -> unit
 (** Hand a message to the top of the stack for transmission. *)

@@ -1,5 +1,7 @@
 module Cache = Ldlp_cache
 module Core = Ldlp_core
+module Metrics = Ldlp_obs.Metrics
+module Obs = Ldlp_obs.Obs
 
 type discipline = Conventional | Ilp | Ldlp
 
@@ -29,6 +31,16 @@ type payload = int
 let sched_discipline (params : Params.t) = function
   | Conventional | Ilp -> Core.Sched.Conventional
   | Ldlp -> Core.Sched.Ldlp params.Params.batch
+
+(* The synthetic stack's layer names, bottom-first — the shape a metric
+   sheet passed to [run_into]/[run_once] must have. *)
+let layer_names (params : Params.t) =
+  let n =
+    match params.Params.profile with
+    | Some profile -> List.length profile
+    | None -> params.Params.layers
+  in
+  List.init n (fun i -> Printf.sprintf "L%d" (i + 1))
 
 type accum = {
   hist : Ldlp_sim.Hist.t;
@@ -68,7 +80,7 @@ type 'a driver = {
 }
 
 let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
-    ~source ?clock_hz acc =
+    ~source ?clock_hz ?metrics ?probe acc =
   let open Params in
   let clock_hz = Option.value ~default:params.clock_hz clock_hz in
   let memsys =
@@ -106,7 +118,19 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
   in
   let next_slot = ref 0 in
   let top = nlayers - 1 in
-  let charge i (msg : payload Core.Msg.t) =
+  (* Which layer is charging right now, so the memory-system probe can tag
+     its event stream (the observability differential test recomputes the
+     per-layer miss counters from that stream). *)
+  let current_layer = ref (-1) in
+  (match probe with
+  | None -> ()
+  | Some f ->
+    Cache.Memsys.set_probe memsys (Some (fun ev -> f ~layer:!current_layer ev)));
+  (match metrics with
+  | Some m when Metrics.nlayers m <> nlayers ->
+    invalid_arg "Simrun.run_into: metrics sheet layer count mismatch"
+  | _ -> ());
+  let charge_memsys i (msg : payload Core.Msg.t) =
     let code_bytes, data_bytes, base_cycles = spec.(i) in
     let cr = code_regions.(i) and dr = data_regions.(i) in
     Cache.Memsys.fetch_code memsys ~addr:cr.Cache.Layout.base ~len:code_bytes;
@@ -122,6 +146,23 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
       + int_of_float (params.cycles_per_byte *. float_of_int msg.Core.Msg.size));
     if discipline = Ldlp then
       Cache.Memsys.execute memsys params.ldlp_queue_cycles
+  in
+  let charge i (msg : payload Core.Msg.t) =
+    current_layer := i;
+    match metrics with
+    | Some mt when Obs.enabled () ->
+      (* [counters] returns the live immutable record; the memory system
+         replaces it on update, so holding the old one gives the delta. *)
+      let c0 = Cache.Memsys.counters memsys in
+      charge_memsys i msg;
+      let c1 = Cache.Memsys.counters memsys in
+      Metrics.charge mt i
+        ~exec:(c1.Cache.Memsys.exec_cycles - c0.Cache.Memsys.exec_cycles)
+        ~stall:(c1.Cache.Memsys.stall_cycles - c0.Cache.Memsys.stall_cycles)
+        ~imisses:(c1.Cache.Memsys.icache_misses - c0.Cache.Memsys.icache_misses)
+        ~dmisses:(c1.Cache.Memsys.dcache_misses - c0.Cache.Memsys.dcache_misses)
+        ~wmisses:(c1.Cache.Memsys.write_misses - c0.Cache.Memsys.write_misses)
+    | _ -> charge_memsys i msg
   in
   let now = ref 0.0 in
   let completed = ref [] in
@@ -144,7 +185,7 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
           ~layers
           ~up:(fun msg -> completed := msg :: !completed)
           ~on_handled:(fun i _ msg -> charge i msg)
-          ()
+          ?metrics ()
       in
       {
         d_inject = Core.Sched.inject sched;
@@ -168,7 +209,7 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
           ~layers
           ~wire:(fun msg -> completed := msg :: !completed)
           ~on_handled:(fun i _ msg -> charge i msg)
-          ()
+          ?metrics ()
       in
       {
         d_inject = Core.Txsched.submit tx;
@@ -184,6 +225,11 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
       }
   in
   ignore top;
+  let offered_sc, dropped_sc =
+    match metrics with
+    | None -> (ref 0, ref 0)
+    | Some m -> (Metrics.scalar m "offered", Metrics.scalar m "dropped")
+  in
   let arrivals = ref (Ldlp_traffic.Source.peek source) in
   let pull () =
     ignore (Ldlp_traffic.Source.pull source);
@@ -195,8 +241,11 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
       match !arrivals with
       | Some p when p.Ldlp_traffic.Source.at <= !now ->
         acc.offered <- acc.offered + 1;
-        if driver.d_backlog () >= params.buffer_cap then
-          acc.dropped <- acc.dropped + 1
+        Metrics.add_scalar offered_sc 1;
+        if driver.d_backlog () >= params.buffer_cap then begin
+          acc.dropped <- acc.dropped + 1;
+          Metrics.add_scalar dropped_sc 1
+        end
         else begin
           let slot = slots.(!next_slot) in
           next_slot := (!next_slot + 1) mod Array.length slots;
@@ -225,10 +274,17 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
       List.iter
         (fun (m : payload Core.Msg.t) ->
           acc.processed <- acc.processed + 1;
-          Ldlp_sim.Hist.add acc.hist (Float.max 0.0 (!now -. m.Core.Msg.arrival)))
+          let l = Float.max 0.0 (!now -. m.Core.Msg.arrival) in
+          Ldlp_sim.Hist.add acc.hist l;
+          (* Gate at the call site: passing the float to [latency_s] boxes
+             it, which the disabled path must not pay. *)
+          match metrics with
+          | Some mt when Obs.enabled () -> Metrics.latency_s mt l
+          | _ -> ())
         !completed
     end
   done;
+  (match probe with None -> () | Some _ -> Cache.Memsys.set_probe memsys None);
   let counters = Cache.Memsys.counters memsys in
   acc.imisses <- acc.imisses + counters.Cache.Memsys.icache_misses;
   acc.dmisses <-
@@ -265,17 +321,20 @@ let result_of ~discipline acc =
        else 0.0);
   }
 
-let run_once ?direction ~params ~discipline ~rng ~source ?clock_hz () =
+let run_once ?direction ~params ~discipline ~rng ~source ?clock_hz ?metrics
+    ?probe () =
   let acc = fresh_accum () in
-  run_into ?direction ~params ~discipline ~rng ~source ?clock_hz acc;
+  run_into ?direction ~params ~discipline ~rng ~source ?clock_hz ?metrics
+    ?probe acc;
   result_of ~discipline acc
 
-let run_avg ?direction ~params ~discipline ~seed ~make_source ?clock_hz () =
+let run_avg ?direction ~params ~discipline ~seed ~make_source ?clock_hz
+    ?metrics () =
   let master = Ldlp_sim.Rng.create ~seed in
   let acc = fresh_accum () in
   for _ = 1 to params.Params.runs do
     let rng = Ldlp_sim.Rng.split master in
     let source = make_source (Ldlp_sim.Rng.split master) in
-    run_into ?direction ~params ~discipline ~rng ~source ?clock_hz acc
+    run_into ?direction ~params ~discipline ~rng ~source ?clock_hz ?metrics acc
   done;
   result_of ~discipline acc

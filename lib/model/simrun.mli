@@ -15,6 +15,10 @@ type discipline = Conventional | Ilp | Ldlp
 
 val discipline_name : discipline -> string
 
+val layer_names : Params.t -> string list
+(** The synthetic stack's layer names (["L1"; ...]), bottom-first — the
+    row shape a metric sheet passed to [run_once]/[run_avg] must have. *)
+
 type result = {
   discipline : discipline;
   offered : int;
@@ -37,6 +41,8 @@ val run_once :
   rng:Ldlp_sim.Rng.t ->
   source:Ldlp_traffic.Source.t ->
   ?clock_hz:float ->
+  ?metrics:Ldlp_obs.Metrics.t ->
+  ?probe:(layer:int -> Ldlp_cache.Memsys.event -> unit) ->
   unit ->
   result
 (** One run: one random code/data/buffer placement drawn from [rng], one
@@ -44,7 +50,15 @@ val run_once :
     [direction] selects receive-side scheduling (the paper's evaluation,
     default) or transmit-side (the mirror experiment the paper mentions
     but does not evaluate): messages then enter at the top layer and
-    complete on reaching the wire. *)
+    complete on reaching the wire.
+
+    [metrics] (shape {!layer_names}) is forwarded to the scheduler and
+    additionally charged with every memory-system delta, attributed to the
+    layer that caused it, plus latency samples and "offered"/"dropped"
+    scalars.  [probe] observes the raw {!Ldlp_cache.Memsys} event stream
+    tagged with the charging layer ([-1] outside any handler) — the hook
+    the observability differential test uses to re-derive the per-layer
+    miss counters independently. *)
 
 val run_avg :
   ?direction:[ `Receive | `Transmit ] ->
@@ -53,8 +67,10 @@ val run_avg :
   seed:int ->
   make_source:(Ldlp_sim.Rng.t -> Ldlp_traffic.Source.t) ->
   ?clock_hz:float ->
+  ?metrics:Ldlp_obs.Metrics.t ->
   unit ->
   result
 (** Average of [params.runs] runs, each with an independent layout and
     arrival stream — the paper's "100 runs, each with a different random
-    placement in memory". *)
+    placement in memory".  A [metrics] sheet accumulates across all runs
+    (sheets are pure sums, so this equals merging per-run sheets). *)

@@ -1,5 +1,7 @@
 module Nic = Ldlp_nic.Nic
 module Engine = Ldlp_sim.Engine
+module Metrics = Ldlp_obs.Metrics
+module Span = Ldlp_obs.Span
 
 type 'a link = { peer : 'a node; latency : float; loss : float; rng : Ldlp_sim.Rng.t }
 
@@ -11,6 +13,8 @@ and 'a node = {
   service : 'a Nic.t -> unit;
   mutable link : 'a link option;
   mutable service_scheduled : bool;
+  service_span : Span.t option;  (* wraps every service invocation *)
+  lost_sc : int ref;  (* frames this node transmitted that the link lost *)
 }
 
 type 'a t = { engine : Engine.t; mutable nodes : 'a node list }
@@ -20,7 +24,7 @@ let create () = { engine = Engine.create (); nodes = [] }
 let engine t = t.engine
 
 let add_node t ~name ?(nic = Nic.create ()) ?(irq_latency = 5e-6)
-    ?(holdoff = 1e-4) ~service () =
+    ?(holdoff = 1e-4) ?metrics ~service () =
   let node =
     {
       name;
@@ -30,10 +34,21 @@ let add_node t ~name ?(nic = Nic.create ()) ?(irq_latency = 5e-6)
       service;
       link = None;
       service_scheduled = false;
+      service_span =
+        Option.map (fun m -> Metrics.span m ("service:" ^ name)) metrics;
+      lost_sc =
+        (match metrics with
+        | None -> ref 0
+        | Some m -> Metrics.scalar m "link_lost");
     }
   in
   t.nodes <- node :: t.nodes;
   node
+
+let run_service node =
+  match node.service_span with
+  | None -> node.service node.nic
+  | Some s -> Span.time s (fun () -> node.service node.nic)
 
 let nic n = n.nic
 
@@ -64,7 +79,8 @@ let rec pump t node =
         if loss = 0.0 || not (Ldlp_sim.Rng.bool rng loss) then
           Engine.after t.engine latency (fun () ->
               ignore (Nic.deliver peer.nic frame);
-              maybe_schedule t peer))
+              maybe_schedule t peer)
+        else Metrics.add_scalar node.lost_sc 1)
       frames
 
 and maybe_schedule t node =
@@ -72,7 +88,7 @@ and maybe_schedule t node =
     node.service_scheduled <- true;
     Engine.after t.engine delay (fun () ->
         node.service_scheduled <- false;
-        node.service node.nic;
+        run_service node;
         pump t node;
         (* The service may have left frames unserviced (coalescing) or new
            interrupts may have been raised meanwhile. *)
@@ -100,7 +116,7 @@ let inject t node ?at frame =
 
 let kick t node =
   Engine.after t.engine 0.0 (fun () ->
-      node.service node.nic;
+      run_service node;
       pump t node;
       maybe_schedule t node)
 

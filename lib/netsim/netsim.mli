@@ -24,6 +24,7 @@ val add_node :
   ?nic:'a Ldlp_nic.Nic.t ->
   ?irq_latency:float ->
   ?holdoff:float ->
+  ?metrics:Ldlp_obs.Metrics.t ->
   service:('a Ldlp_nic.Nic.t -> unit) ->
   unit ->
   'a node
@@ -36,7 +37,13 @@ val add_node :
     [holdoff] (default 100 us) is the interrupt-holdoff timer real
     adaptors pair with coalescing: if frames sit in the receive ring
     without having reached the coalescing threshold, the service runs
-    after this delay anyway, so a lone packet is never stranded. *)
+    after this delay anyway, so a lone packet is never stranded.
+
+    [metrics], while the {!Ldlp_obs.Obs} gate is on, wraps every service
+    invocation in a ["service:<name>"] span (host wall clock and
+    allocation) and counts frames the node's link dropped in the
+    ["link_lost"] scalar.  Attach the same sheet to the node's NIC to see
+    its ring counters alongside. *)
 
 val nic : 'a node -> 'a Ldlp_nic.Nic.t
 

@@ -1,3 +1,5 @@
+module Metrics = Ldlp_obs.Metrics
+
 type irq_mode = Per_frame | Coalesced of int
 
 type stats = {
@@ -15,12 +17,23 @@ type 'a t = {
   mutable since_irq : int;  (* frames received since the last interrupt *)
   mutable pending : bool;
   mutable s : stats;
+  metrics : Metrics.t option;
+  (* Scalar mirrors of [stats] on the metric sheet; dummies when no sheet
+     is attached so the hot paths stay branch-plus-store simple. *)
+  rx_frames_sc : int ref;
+  rx_drops_sc : int ref;
+  tx_frames_sc : int ref;
+  tx_drops_sc : int ref;
+  interrupts_sc : int ref;
 }
 
-let create ?(rx_slots = 64) ?(tx_slots = 64) ?(irq = Per_frame) () =
+let create ?(rx_slots = 64) ?(tx_slots = 64) ?(irq = Per_frame) ?metrics () =
   (match irq with
   | Coalesced n when n <= 0 -> invalid_arg "Nic.create: coalescing must be positive"
   | _ -> ());
+  let sc name =
+    match metrics with None -> ref 0 | Some m -> Metrics.scalar m name
+  in
   {
     rx = Ring.create ~slots:rx_slots;
     tx = Ring.create ~slots:tx_slots;
@@ -28,18 +41,29 @@ let create ?(rx_slots = 64) ?(tx_slots = 64) ?(irq = Per_frame) () =
     since_irq = 0;
     pending = false;
     s = { rx_frames = 0; rx_drops = 0; tx_frames = 0; tx_drops = 0; interrupts = 0 };
+    metrics;
+    rx_frames_sc = sc "rx_frames";
+    rx_drops_sc = sc "rx_drops";
+    tx_frames_sc = sc "tx_frames";
+    tx_drops_sc = sc "tx_drops";
+    interrupts_sc = sc "interrupts";
   }
 
 let raise_irq t =
   if not t.pending then begin
     t.pending <- true;
-    t.s <- { t.s with interrupts = t.s.interrupts + 1 }
+    t.s <- { t.s with interrupts = t.s.interrupts + 1 };
+    Metrics.add_scalar t.interrupts_sc 1
   end;
   t.since_irq <- 0
 
 let deliver t frame =
   if Ring.push t.rx frame then begin
     t.s <- { t.s with rx_frames = t.s.rx_frames + 1 };
+    Metrics.add_scalar t.rx_frames_sc 1;
+    (match t.metrics with
+    | None -> ()
+    | Some m -> Metrics.arrival m ~depth:(Ring.length t.rx));
     t.since_irq <- t.since_irq + 1;
     (match t.irq with
     | Per_frame -> raise_irq t
@@ -48,17 +72,23 @@ let deliver t frame =
   end
   else begin
     t.s <- { t.s with rx_drops = t.s.rx_drops + 1 };
+    Metrics.add_scalar t.rx_drops_sc 1;
     false
   end
 
 let wire_take t =
   let v = Ring.pop t.tx in
-  if v <> None then t.s <- { t.s with tx_frames = t.s.tx_frames + 1 };
+  if v <> None then begin
+    t.s <- { t.s with tx_frames = t.s.tx_frames + 1 };
+    Metrics.add_scalar t.tx_frames_sc 1
+  end;
   v
 
 let wire_take_all t =
   let frames = Ring.pop_all t.tx in
-  t.s <- { t.s with tx_frames = t.s.tx_frames + List.length frames };
+  let n = List.length frames in
+  t.s <- { t.s with tx_frames = t.s.tx_frames + n };
+  Metrics.add_scalar t.tx_frames_sc n;
   frames
 
 let irq_pending t = t.pending
@@ -71,7 +101,14 @@ let rx_available t = Ring.length t.rx
 
 let take_all t =
   ack_irq t;
-  Ring.pop_all t.rx
+  let frames = Ring.pop_all t.rx in
+  (match t.metrics with
+  | None -> ()
+  | Some m ->
+    (* The service batch: how many frames one intake opportunity saw. *)
+    let n = List.length frames in
+    if n > 0 then Metrics.batch_run m n);
+  frames
 
 let take t = Ring.pop t.rx
 
@@ -79,6 +116,7 @@ let transmit t frame =
   if Ring.push t.tx frame then true
   else begin
     t.s <- { t.s with tx_drops = t.s.tx_drops + 1 };
+    Metrics.add_scalar t.tx_drops_sc 1;
     false
   end
 

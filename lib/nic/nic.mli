@@ -24,8 +24,20 @@ type stats = {
   interrupts : int;
 }
 
-val create : ?rx_slots:int -> ?tx_slots:int -> ?irq:irq_mode -> unit -> 'a t
-(** Defaults: 64-slot rings, [Per_frame] interrupts. *)
+val create :
+  ?rx_slots:int ->
+  ?tx_slots:int ->
+  ?irq:irq_mode ->
+  ?metrics:Ldlp_obs.Metrics.t ->
+  unit ->
+  'a t
+(** Defaults: 64-slot rings, [Per_frame] interrupts.
+
+    [metrics] (no layer rows needed) receives, while the {!Ldlp_obs.Obs}
+    gate is on: the "rx_frames"/"rx_drops"/"tx_frames"/"tx_drops"/
+    "interrupts" scalars mirroring {!stats}, RX-ring occupancy as the
+    entry-queue depth histogram, and {!take_all} service batch sizes as
+    the batch histogram. *)
 
 (** {1 Wire side} *)
 

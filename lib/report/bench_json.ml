@@ -203,6 +203,36 @@ let parse_json s =
 
 type doc = { host_cores : int; default_domains : int; sweeps : sweep list }
 
+(* Shared field readers for the document parsers below. *)
+let field obj name =
+  match List.assoc_opt name obj with
+  | Some v -> v
+  | None -> raise (Bad (Printf.sprintf "missing field %S" name))
+
+let num_field obj name =
+  match field obj name with
+  | Num f -> f
+  | _ -> raise (Bad (Printf.sprintf "field %S is not a number" name))
+
+let int_field obj name =
+  let f = num_field obj name in
+  if Float.is_integer f then int_of_float f
+  else raise (Bad (Printf.sprintf "field %S is not an integer" name))
+
+let str_field obj name =
+  match field obj name with
+  | Str v -> v
+  | _ -> raise (Bad (Printf.sprintf "field %S is not a string" name))
+
+let arr_field obj name =
+  match field obj name with
+  | Arr v -> v
+  | _ -> raise (Bad (Printf.sprintf "field %S is not an array" name))
+
+let obj_entry = function
+  | Obj o -> o
+  | _ -> raise (Bad "array entry is not an object")
+
 let parse text =
   let field obj name =
     match List.assoc_opt name obj with
@@ -266,5 +296,238 @@ let parse text =
         host_cores = int_field root "host_cores";
         default_domains = int_field root "default_domains";
         sweeps;
+      }
+  with Bad msg -> Error msg
+
+(* ---------- observability stats (ldlp_repro stats --json) ---------- *)
+
+module Metrics = Ldlp_obs.Metrics
+module Histogram = Ldlp_obs.Histogram
+
+type layer_row = {
+  lr_name : string;
+  lr_handled : int;
+  lr_quanta : int;
+  lr_exec_cycles : int;
+  lr_stall_cycles : int;
+  lr_imisses : int;
+  lr_dmisses : int;
+  lr_wmisses : int;
+  lr_queue_peak : int;
+}
+
+type stats_sheet = {
+  s_label : string;
+  s_messages : int;
+  s_batches : int;
+  s_layers : layer_row list;
+  s_scalars : (string * int) list;
+}
+
+type stats_doc = { stats_sheets : stats_sheet list }
+
+let stats_schema = "ldlp-stats/1"
+
+let hist_json name h =
+  Printf.sprintf
+    "\"%s\": { \"count\": %d, \"mean\": %.6f, \"p50\": %d, \"p99\": %d, \
+     \"max\": %d }"
+    name (Histogram.count h) (Histogram.mean h) (Histogram.median h)
+    (Histogram.quantile h 0.99)
+    (Histogram.max_value h)
+
+let stats_sheet_json m =
+  let layer_json (l : Metrics.layer) =
+    Printf.sprintf
+      "        { \"name\": \"%s\", \"handled\": %d, \"quanta\": %d, \
+       \"exec_cycles\": %d, \"stall_cycles\": %d, \"imisses\": %d, \
+       \"dmisses\": %d, \"wmisses\": %d, \"queue_peak\": %d }"
+      (escape l.Metrics.l_name) l.Metrics.handled l.Metrics.quanta
+      l.Metrics.exec_cycles l.Metrics.stall_cycles l.Metrics.imisses
+      l.Metrics.dmisses l.Metrics.wmisses l.Metrics.queue_peak
+  in
+  let layers =
+    List.init (Metrics.nlayers m) (fun i -> layer_json (Metrics.layer m i))
+  in
+  let scalar_json (name, v) =
+    Printf.sprintf "        { \"name\": \"%s\", \"value\": %d }" (escape name) v
+  in
+  Printf.sprintf
+    "    {\n\
+    \      \"label\": \"%s\",\n\
+    \      \"messages\": %d,\n\
+    \      \"batches\": %d,\n\
+    \      \"layers\": [\n\
+     %s\n\
+    \      ],\n\
+    \      \"scalars\": [\n\
+     %s\n\
+    \      ],\n\
+    \      %s,\n\
+    \      %s,\n\
+    \      %s\n\
+    \    }"
+    (escape (Metrics.label m))
+    (Metrics.messages m) (Metrics.batches m)
+    (String.concat ",\n" layers)
+    (String.concat ",\n" (List.map scalar_json (Metrics.scalars m)))
+    (hist_json "batch" (Metrics.batch_hist m))
+    (hist_json "depth" (Metrics.depth_hist m))
+    (hist_json "latency_ns" (Metrics.latency_hist m))
+
+let render_stats sheets =
+  Printf.sprintf
+    "{\n\
+    \  \"schema\": \"%s\",\n\
+    \  \"sheets\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    stats_schema
+    (String.concat ",\n" (List.map stats_sheet_json sheets))
+
+let parse_stats text =
+  try
+    let root =
+      match parse_json text with
+      | Obj o -> o
+      | _ -> raise (Bad "top level is not an object")
+    in
+    let tag = str_field root "schema" in
+    if tag <> stats_schema then
+      raise (Bad (Printf.sprintf "schema %S, expected %S" tag stats_schema));
+    let sheet_of entry =
+      let o = obj_entry entry in
+      let layer_of entry =
+        let l = obj_entry entry in
+        (* Every histogram summary must at least be present and well-typed. *)
+        {
+          lr_name = str_field l "name";
+          lr_handled = int_field l "handled";
+          lr_quanta = int_field l "quanta";
+          lr_exec_cycles = int_field l "exec_cycles";
+          lr_stall_cycles = int_field l "stall_cycles";
+          lr_imisses = int_field l "imisses";
+          lr_dmisses = int_field l "dmisses";
+          lr_wmisses = int_field l "wmisses";
+          lr_queue_peak = int_field l "queue_peak";
+        }
+      in
+      let scalar_of entry =
+        let s = obj_entry entry in
+        (str_field s "name", int_field s "value")
+      in
+      List.iter
+        (fun h ->
+          match field o h with
+          | Obj fields ->
+            List.iter
+              (fun k -> ignore (num_field fields k))
+              [ "count"; "mean"; "p50"; "p99"; "max" ]
+          | _ -> raise (Bad (Printf.sprintf "field %S is not an object" h)))
+        [ "batch"; "depth"; "latency_ns" ];
+      {
+        s_label = str_field o "label";
+        s_messages = int_field o "messages";
+        s_batches = int_field o "batches";
+        s_layers = List.map layer_of (arr_field o "layers");
+        s_scalars = List.map scalar_of (arr_field o "scalars");
+      }
+    in
+    Ok { stats_sheets = List.map sheet_of (arr_field root "sheets") }
+  with Bad msg -> Error msg
+
+(* ---------- hot-path baseline (bench --hotpath) ---------- *)
+
+type hot = {
+  h_name : string;
+  messages : int;
+  wall_seconds : float;
+  messages_per_sec : float;
+  imisses_per_msg : float;
+  dmisses_per_msg : float;
+  allocs_per_msg : float;
+  p50_latency_s : float;
+  p99_latency_s : float;
+  mean_batch : float;
+}
+
+type hot_doc = {
+  hd_rate : float;
+  hd_seed : int;
+  hd_metrics_overhead_pct : float;
+  hots : hot list;
+}
+
+let hotpath_schema = "ldlp-bench-hotpath/1"
+
+let hot_json h =
+  Printf.sprintf
+    "    {\n\
+    \      \"name\": \"%s\",\n\
+    \      \"messages\": %d,\n\
+    \      \"wall_seconds\": %.6f,\n\
+    \      \"messages_per_sec\": %.3f,\n\
+    \      \"imisses_per_msg\": %.6f,\n\
+    \      \"dmisses_per_msg\": %.6f,\n\
+    \      \"allocs_per_msg\": %.3f,\n\
+    \      \"p50_latency_s\": %.9f,\n\
+    \      \"p99_latency_s\": %.9f,\n\
+    \      \"mean_batch\": %.3f\n\
+    \    }"
+    (escape h.h_name) h.messages h.wall_seconds h.messages_per_sec
+    h.imisses_per_msg h.dmisses_per_msg h.allocs_per_msg h.p50_latency_s
+    h.p99_latency_s h.mean_batch
+
+let render_hotpath ~rate ~seed ~metrics_overhead_pct hots =
+  Printf.sprintf
+    "{\n\
+    \  \"schema\": \"%s\",\n\
+    \  \"rate\": %.1f,\n\
+    \  \"seed\": %d,\n\
+    \  \"metrics_overhead_pct\": %.2f,\n\
+    \  \"disciplines\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    hotpath_schema rate seed metrics_overhead_pct
+    (String.concat ",\n" (List.map hot_json hots))
+
+let parse_hotpath text =
+  try
+    let root =
+      match parse_json text with
+      | Obj o -> o
+      | _ -> raise (Bad "top level is not an object")
+    in
+    let tag = str_field root "schema" in
+    if tag <> hotpath_schema then
+      raise (Bad (Printf.sprintf "schema %S, expected %S" tag hotpath_schema));
+    let hot_of entry =
+      let o = obj_entry entry in
+      let h =
+        {
+          h_name = str_field o "name";
+          messages = int_field o "messages";
+          wall_seconds = num_field o "wall_seconds";
+          messages_per_sec = num_field o "messages_per_sec";
+          imisses_per_msg = num_field o "imisses_per_msg";
+          dmisses_per_msg = num_field o "dmisses_per_msg";
+          allocs_per_msg = num_field o "allocs_per_msg";
+          p50_latency_s = num_field o "p50_latency_s";
+          p99_latency_s = num_field o "p99_latency_s";
+          mean_batch = num_field o "mean_batch";
+        }
+      in
+      if h.messages < 0 || h.wall_seconds < 0.0 || h.imisses_per_msg < 0.0 then
+        raise (Bad (Printf.sprintf "discipline %S: negative measure" h.h_name));
+      h
+    in
+    Ok
+      {
+        hd_rate = num_field root "rate";
+        hd_seed = int_field root "seed";
+        hd_metrics_overhead_pct = num_field root "metrics_overhead_pct";
+        hots = List.map hot_of (arr_field root "disciplines");
       }
   with Bad msg -> Error msg

@@ -32,3 +32,74 @@ val parse : string -> (doc, string) result
     that each recorded [speedup] matches the two timings.  This is the
     schema check the tests run render output through — and what downstream
     tooling can use to consume [BENCH_sweeps.json]. *)
+
+(** {1 Observability stats ([ldlp_repro stats --json])} *)
+
+type layer_row = {
+  lr_name : string;
+  lr_handled : int;
+  lr_quanta : int;
+  lr_exec_cycles : int;
+  lr_stall_cycles : int;
+  lr_imisses : int;
+  lr_dmisses : int;
+  lr_wmisses : int;
+  lr_queue_peak : int;
+}
+
+type stats_sheet = {
+  s_label : string;
+  s_messages : int;
+  s_batches : int;
+  s_layers : layer_row list;
+  s_scalars : (string * int) list;
+}
+
+type stats_doc = { stats_sheets : stats_sheet list }
+
+val stats_schema : string
+(** ["ldlp-stats/1"]. *)
+
+val render_stats : Ldlp_obs.Metrics.t list -> string
+(** JSON document for a list of metric sheets: per-layer counter rows,
+    scalars and batch/depth/latency histogram summaries (count, mean,
+    p50, p99, max). *)
+
+val parse_stats : string -> (stats_doc, string) result
+(** Read {!render_stats} output back; validates the schema tag, every
+    counter field and the presence of the three histogram summaries. *)
+
+(** {1 Hot-path baseline ([bench --hotpath] -> [BENCH_hotpath.json])} *)
+
+type hot = {
+  h_name : string;  (** Discipline, e.g. ["conventional"] / ["ldlp"]. *)
+  messages : int;  (** Messages processed (simulated). *)
+  wall_seconds : float;  (** Host wall clock of the metrics-off run. *)
+  messages_per_sec : float;  (** Simulated throughput (deterministic). *)
+  imisses_per_msg : float;
+  dmisses_per_msg : float;
+  allocs_per_msg : float;
+      (** Real minor-heap words per message while metrics were on. *)
+  p50_latency_s : float;  (** Simulated seconds. *)
+  p99_latency_s : float;
+  mean_batch : float;
+}
+
+type hot_doc = {
+  hd_rate : float;
+  hd_seed : int;
+  hd_metrics_overhead_pct : float;
+      (** Wall-clock cost of running with metrics on vs off, in percent
+          (host-dependent; the instrumentation budget is < 10). *)
+  hots : hot list;
+}
+
+val hotpath_schema : string
+(** ["ldlp-bench-hotpath/1"]. *)
+
+val render_hotpath :
+  rate:float -> seed:int -> metrics_overhead_pct:float -> hot list -> string
+
+val parse_hotpath : string -> (hot_doc, string) result
+(** Read {!render_hotpath} output back; validates the schema tag, all
+    fields, and that no measure is negative. *)

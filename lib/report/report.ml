@@ -549,3 +549,60 @@ let extension_goal (g : F.goal_check) =
 let blocking r =
   "Blocking analysis for the paper's synthetic stack (Section 3.2)\n"
   ^ Format.asprintf "%a\n" Ldlp_core.Blocking.pp_recommendation r
+
+(* ---------- observability ---------- *)
+
+module Metrics = Ldlp_obs.Metrics
+module Simrun = Ldlp_model.Simrun
+module Params = Ldlp_model.Params
+
+(* One metric sheet per run index, merged in index order.  Each index
+   derives its own seed, so the work can spread over any number of
+   domains and still merge to the same sheet — the merge demonstration
+   for [Ldlp_par.Pool].  The gate is forced on for the duration so the
+   output (all simulated counters) is identical whether or not
+   LDLP_METRICS is set in the environment. *)
+let observability_sheets ?domains ?(params = Params.quick) ?(seed = 1996)
+    ?(rate = 9000.0) () =
+  Ldlp_obs.Obs.with_enabled true (fun () ->
+      let names = Simrun.layer_names params in
+      let sheet_of discipline =
+        let label =
+          Printf.sprintf "%s @ %.0f msg/s"
+            (Simrun.discipline_name discipline)
+            rate
+        in
+        let per_run =
+          Ldlp_par.Pool.map ?domains
+            (fun i ->
+              let master =
+                Ldlp_sim.Rng.create ~seed:(seed + (7919 * (i + 1)))
+              in
+              let rng = Ldlp_sim.Rng.split master in
+              let source =
+                Ldlp_traffic.Source.limit_time
+                  (Ldlp_traffic.Poisson.source
+                     ~rng:(Ldlp_sim.Rng.split master)
+                     ~rate ~size:params.Params.msg_bytes ())
+                  params.Params.seconds
+              in
+              let m = Metrics.create ~label ~layer_names:names in
+              ignore
+                (Simrun.run_once ~params ~discipline ~rng ~source ~metrics:m ());
+              m)
+            (List.init params.Params.runs Fun.id)
+        in
+        let dst = Metrics.create ~label ~layer_names:names in
+        List.iter (fun src -> Metrics.merge_into ~dst src) per_run;
+        dst
+      in
+      [ sheet_of Simrun.Conventional; sheet_of Simrun.Ldlp ])
+
+let observability ?domains ?(params = Params.quick) ?(seed = 1996)
+    ?(rate = 9000.0) () =
+  let sheets = observability_sheets ?domains ~params ~seed ~rate () in
+  Printf.sprintf
+    "Observability — per-layer counters under load (seed %d, %d runs x %.1f \
+     s, Poisson %.0f msg/s, %d B)\n\n"
+    seed params.Params.runs params.Params.seconds rate params.Params.msg_bytes
+  ^ String.concat "\n" (List.map Metrics.render sheets)

@@ -59,3 +59,29 @@ val extension_goal : Ldlp_model.Figures.goal_check -> string
 
 val blocking : Ldlp_core.Blocking.recommendation -> string
 (** The analytic Section 3.2 estimate for the paper's synthetic stack. *)
+
+val observability_sheets :
+  ?domains:int ->
+  ?params:Ldlp_model.Params.t ->
+  ?seed:int ->
+  ?rate:float ->
+  unit ->
+  Ldlp_obs.Metrics.t list
+(** The [stats] command's data: one merged metric sheet per discipline
+    ([Conventional; Ldlp]), collected from [params.runs] independent
+    {!Ldlp_model.Simrun} runs under Poisson load at [rate] (default 9000
+    msg/s — well into the region where batching matters).  Run indices
+    derive independent seeds and execute on the {!Ldlp_par.Pool}, so the
+    merged sheets are identical for any [domains].  The {!Ldlp_obs.Obs}
+    gate is forced on for the duration; the sheets hold only simulated
+    counters, so the result is deterministic per seed. *)
+
+val observability :
+  ?domains:int ->
+  ?params:Ldlp_model.Params.t ->
+  ?seed:int ->
+  ?rate:float ->
+  unit ->
+  string
+(** {!observability_sheets} rendered as deterministic text (the golden
+    snapshot of the [stats] command). *)

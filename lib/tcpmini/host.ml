@@ -1,6 +1,7 @@
 module Pkt = Ldlp_packet
 module Mbuf = Ldlp_buf.Mbuf
 module Core = Ldlp_core
+module Metrics = Ldlp_obs.Metrics
 
 type counters = {
   frames_in : int;
@@ -21,10 +22,20 @@ type t = {
   reasm : Pkt.Reasm.t option;
   mutable c : counters;
   mutable ident : int;
+  (* Scalar mirrors of [counters] on an attached metric sheet (dummy refs
+     otherwise), bumped through the gated [Metrics.add_scalar]. *)
+  frames_in_sc : int ref;
+  non_ip_sc : int ref;
+  non_tcp_sc : int ref;
+  bad_ip_sc : int ref;
+  delivered_bytes_sc : int ref;
 }
 
 let create ~pool ~mac ~ip ?(gateway_mac = Pkt.Addr.Mac.broadcast)
-    ?(reassemble = false) () =
+    ?(reassemble = false) ?metrics () =
+  let sc name =
+    match metrics with None -> ref 0 | Some m -> Metrics.scalar m name
+  in
   {
     pool;
     mac;
@@ -34,6 +45,11 @@ let create ~pool ~mac ~ip ?(gateway_mac = Pkt.Addr.Mac.broadcast)
     reasm = (if reassemble then Some (Pkt.Reasm.create ()) else None);
     c = { frames_in = 0; non_ip = 0; non_tcp = 0; bad_ip = 0; delivered_bytes = 0 };
     ident = 0;
+    frames_in_sc = sc "frames_in";
+    non_ip_sc = sc "non_ip";
+    non_tcp_sc = sc "non_tcp";
+    bad_ip_sc = sc "bad_ip";
+    delivered_bytes_sc = sc "delivered_bytes";
   }
 
 let wrap t m = { buf = m; src_ip = t.my_ip }
@@ -91,6 +107,7 @@ let layers t =
       ~fp:(Core.Layer.footprint ~code_bytes:4480 ~data_bytes:864 ())
       (fun msg ->
         t.c <- { t.c with frames_in = t.c.frames_in + 1 };
+        Metrics.add_scalar t.frames_in_sc 1;
         let m = msg.Core.Msg.payload.buf in
         match Pkt.Ethernet.strip m with
         | Ok h
@@ -100,6 +117,7 @@ let layers t =
           [ Core.Layer.Deliver_up msg ]
         | Ok _ | Error _ ->
           t.c <- { t.c with non_ip = t.c.non_ip + 1 };
+          Metrics.add_scalar t.non_ip_sc 1;
           consume_bad m)
   in
   let ip_layer =
@@ -134,12 +152,15 @@ let layers t =
           | Pkt.Reasm.Pending -> [ Core.Layer.Consume ]
           | Pkt.Reasm.Rejected _ ->
             t.c <- { t.c with bad_ip = t.c.bad_ip + 1 };
+            Metrics.add_scalar t.bad_ip_sc 1;
             [ Core.Layer.Consume ])
         | Ok h when h.Pkt.Ipv4.protocol <> Pkt.Ipv4.proto_tcp ->
           t.c <- { t.c with non_tcp = t.c.non_tcp + 1 };
+          Metrics.add_scalar t.non_tcp_sc 1;
           consume_bad m
         | Ok _ | Error _ ->
           t.c <- { t.c with bad_ip = t.c.bad_ip + 1 };
+          Metrics.add_scalar t.bad_ip_sc 1;
           consume_bad m)
   in
   let tcp =
@@ -152,6 +173,7 @@ let layers t =
             ~src_ip:msg.Core.Msg.payload.src_ip ~pool:t.pool m
         in
         t.c <- { t.c with delivered_bytes = t.c.delivered_bytes + o.Tcp_input.delivered };
+        Metrics.add_scalar t.delivered_bytes_sc o.Tcp_input.delivered;
         let downs =
           List.map
             (fun r ->

@@ -23,13 +23,19 @@ val create :
   ip:Ldlp_packet.Addr.Ipv4.t ->
   ?gateway_mac:Ldlp_packet.Addr.Mac.t ->
   ?reassemble:bool ->
+  ?metrics:Ldlp_obs.Metrics.t ->
   unit ->
   t
 (** [gateway_mac] is the destination of every transmitted frame (no ARP;
     default the broadcast address).  With [reassemble] (default false —
     the paper's traced fast path drops fragments), the IP layer runs the
     {!Ldlp_packet.Reasm} slow path, using message arrival times as the
-    reassembly clock. *)
+    reassembly clock.
+
+    [metrics] mirrors {!counters} as gated scalars ("frames_in",
+    "non_ip", "non_tcp", "bad_ip", "delivered_bytes"); pass the same
+    sheet to the {!Ldlp_core.Sched} driving {!layers} to collect the
+    per-layer columns alongside. *)
 
 val listen : t -> port:int -> Pcb.t
 (** Open a listening socket; incoming connections clone it. *)

@@ -73,4 +73,5 @@ let () =
   write "goal" (R.extension_goal (F.extension_goal ~domains ~seed ()));
   write "granularity"
     (R.ablation_granularity (F.ablation_granularity ~domains ~seed ()));
-  write "tcpstack" (R.extension_tcp_stack (F.extension_tcp_stack ~domains ~seed ()))
+  write "tcpstack" (R.extension_tcp_stack (F.extension_tcp_stack ~domains ~seed ()));
+  write "stats" (R.observability ~domains ~params ~seed ())

@@ -17,6 +17,7 @@ let () =
       ("dnslite", Test_dnslite.suite);
       ("model", Test_model.suite);
       ("netsim", Test_netsim.suite);
+      ("obs", Test_obs.suite);
       ("report", Test_report.suite);
       ("integration", Test_integration.suite);
       ("check", Test_check.suite);

@@ -143,6 +143,119 @@ let test_bench_json_rejects () =
   | Ok doc -> Alcotest.(check int) "compact layout" 2 doc.Ldlp_report.Bench_json.host_cores
   | Error e -> Alcotest.failf "compact layout rejected: %s" e
 
+(* ---------- Observability: stats text + JSON documents ---------- *)
+
+let tiny_sheets () =
+  Ldlp_report.Report.observability_sheets ~domains:1 ~params:tiny ~seed:5
+    ~rate:7000.0 ()
+
+let test_observability_render () =
+  let s =
+    Ldlp_report.Report.observability ~domains:1 ~params:tiny ~seed:5
+      ~rate:7000.0 ()
+  in
+  check "header" true (contains s "Observability");
+  check "both disciplines" true
+    (contains s "conventional @ 7000 msg/s" && contains s "ldlp @ 7000 msg/s");
+  check "per-layer rows" true (contains s "L1");
+  check "per-message rates" true (contains s "per-message");
+  check "offered scalar" true (contains s "offered")
+
+let test_observability_domain_independent () =
+  (* The merged sheets must not depend on the worker count. *)
+  let one =
+    Ldlp_report.Report.observability ~domains:1 ~params:tiny ~seed:5 ()
+  in
+  let four =
+    Ldlp_report.Report.observability ~domains:4 ~params:tiny ~seed:5 ()
+  in
+  check "domains=1 equals domains=4" true (one = four)
+
+let test_stats_json_roundtrip () =
+  let sheets = tiny_sheets () in
+  let text = Ldlp_report.Bench_json.render_stats sheets in
+  match Ldlp_report.Bench_json.parse_stats text with
+  | Error e -> Alcotest.failf "render_stats output failed its schema: %s" e
+  | Ok doc ->
+    Alcotest.(check int)
+      "one sheet per discipline" 2
+      (List.length doc.Ldlp_report.Bench_json.stats_sheets);
+    List.iter2
+      (fun m (s : Ldlp_report.Bench_json.stats_sheet) ->
+        Alcotest.(check string)
+          "label" (Ldlp_obs.Metrics.label m)
+          s.Ldlp_report.Bench_json.s_label;
+        Alcotest.(check int)
+          "messages" (Ldlp_obs.Metrics.messages m)
+          s.Ldlp_report.Bench_json.s_messages;
+        let t = Ldlp_obs.Metrics.totals m in
+        Alcotest.(check int)
+          "imisses survive the roundtrip" t.Ldlp_obs.Metrics.t_imisses
+          (List.fold_left
+             (fun acc (l : Ldlp_report.Bench_json.layer_row) ->
+               acc + l.Ldlp_report.Bench_json.lr_imisses)
+             0 s.Ldlp_report.Bench_json.s_layers))
+      sheets doc.Ldlp_report.Bench_json.stats_sheets
+
+let sample_hots =
+  [
+    {
+      Ldlp_report.Bench_json.h_name = "conventional";
+      messages = 8000;
+      wall_seconds = 0.21;
+      messages_per_sec = 3500.0;
+      imisses_per_msg = 960.0;
+      dmisses_per_msg = 29.4;
+      allocs_per_msg = 25.0;
+      p50_latency_s = 0.13;
+      p99_latency_s = 0.14;
+      mean_batch = 1.0;
+    };
+    {
+      Ldlp_report.Bench_json.h_name = "ldlp";
+      messages = 13000;
+      wall_seconds = 0.11;
+      messages_per_sec = 8700.0;
+      imisses_per_msg = 85.4;
+      dmisses_per_msg = 65.5;
+      allocs_per_msg = 25.0;
+      p50_latency_s = 0.002;
+      p99_latency_s = 0.02;
+      mean_batch = 11.0;
+    };
+  ]
+
+let test_hotpath_json_roundtrip () =
+  let text =
+    Ldlp_report.Bench_json.render_hotpath ~rate:9000.0 ~seed:1996
+      ~metrics_overhead_pct:3.5 sample_hots
+  in
+  match Ldlp_report.Bench_json.parse_hotpath text with
+  | Error e -> Alcotest.failf "render_hotpath output failed its schema: %s" e
+  | Ok doc ->
+    Alcotest.(check (float 1e-9)) "rate" 9000.0 doc.Ldlp_report.Bench_json.hd_rate;
+    Alcotest.(check int) "seed" 1996 doc.Ldlp_report.Bench_json.hd_seed;
+    check "disciplines roundtrip" true
+      (doc.Ldlp_report.Bench_json.hots = sample_hots)
+
+let test_hotpath_json_rejects () =
+  let reject what text =
+    match Ldlp_report.Bench_json.parse_hotpath text with
+    | Ok _ -> Alcotest.failf "%s unexpectedly accepted" what
+    | Error _ -> ()
+  in
+  reject "garbage" "nope";
+  reject "wrong schema"
+    "{\"schema\": \"ldlp-stats/1\", \"rate\": 1.0, \"seed\": 1, \
+     \"metrics_overhead_pct\": 0.0, \"disciplines\": []}";
+  reject "negative messages"
+    "{\"schema\": \"ldlp-bench-hotpath/1\", \"rate\": 1.0, \"seed\": 1, \
+     \"metrics_overhead_pct\": 0.0, \"disciplines\": [{\"name\": \"x\", \
+     \"messages\": -1, \"wall_seconds\": 0.1, \"messages_per_sec\": 1.0, \
+     \"imisses_per_msg\": 1.0, \"dmisses_per_msg\": 1.0, \"allocs_per_msg\": \
+     1.0, \"p50_latency_s\": 0.1, \"p99_latency_s\": 0.1, \"mean_batch\": \
+     1.0}]}"
+
 let suite =
   [
     Alcotest.test_case "table1 render" `Quick test_table1_render;
@@ -155,4 +268,12 @@ let suite =
     Alcotest.test_case "ablation renders" `Slow test_ablation_renders;
     Alcotest.test_case "bench json roundtrip" `Quick test_bench_json_roundtrip;
     Alcotest.test_case "bench json rejects bad input" `Quick test_bench_json_rejects;
+    Alcotest.test_case "observability render" `Quick test_observability_render;
+    Alcotest.test_case "observability domain-independent" `Slow
+      test_observability_domain_independent;
+    Alcotest.test_case "stats json roundtrip" `Quick test_stats_json_roundtrip;
+    Alcotest.test_case "hotpath json roundtrip" `Quick
+      test_hotpath_json_roundtrip;
+    Alcotest.test_case "hotpath json rejects bad input" `Quick
+      test_hotpath_json_rejects;
   ]
