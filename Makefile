@@ -4,7 +4,7 @@
 
 DOMAINS ?= 2
 
-.PHONY: all build test fmt promote selftest oracle bench-sweeps bench-hotpath check
+.PHONY: all build test fmt promote selftest oracle soak bench-sweeps bench-hotpath bench-soak check
 
 all: build
 
@@ -30,6 +30,13 @@ selftest: build
 oracle: build
 	dune exec bin/ldlp_repro.exe -- check
 
+# Chaos soak: seeded fault-injection scenarios (loss, duplication,
+# corruption, reordering, link flaps, overload shedding) over the tcpmini
+# echo exchange, under both disciplines; fails on any integrity, leak or
+# equivalence violation.
+soak: build
+	dune exec bin/ldlp_repro.exe -- soak --seed 1996 --scenarios 25
+
 # Times every sweep at 1 domain and at N domains; writes BENCH_sweeps.json.
 bench-sweeps: build
 	dune exec bench/main.exe -- --sweeps
@@ -40,5 +47,9 @@ bench-sweeps: build
 bench-hotpath: build
 	dune exec bench/main.exe -- --hotpath
 
-check: build fmt test selftest oracle
+# Goodput / retransmission loss ladder; writes BENCH_soak.json.
+bench-soak: build
+	dune exec bench/main.exe -- --soak
+
+check: build fmt test selftest oracle soak
 	@echo "check OK"

@@ -311,6 +311,63 @@ let bench_hotpath ~out () =
   Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* Section 1d: chaos-soak loss ladder -> BENCH_soak.json.              *)
+(* ------------------------------------------------------------------ *)
+
+(* One tcpmini echo soak (LDLP discipline) per frame-loss rate,
+   symmetric on both directions of the link: how goodput decays and
+   retransmissions grow as the paper's lossless-LAN assumption is
+   relaxed.  Fully deterministic — simulated time, seeded impairment. *)
+
+let soak_rates = [ 0.0; 0.01; 0.02; 0.05; 0.1 ]
+let soak_chunks = 32
+let soak_chunk_bytes = 64
+
+let bench_soak ~out () =
+  let rows = Ldlp_soak.Soak.loss_ladder ~seed ~rates:soak_rates in
+  let srows =
+    List.map
+      (fun (r : Ldlp_soak.Soak.ladder_row) ->
+        {
+          Ldlp_report.Bench_json.sr_loss = r.Ldlp_soak.Soak.loss;
+          sr_goodput = r.Ldlp_soak.Soak.goodput;
+          sr_retransmits = r.Ldlp_soak.Soak.ladder_retransmits;
+          sr_completion_s = r.Ldlp_soak.Soak.ladder_completion;
+          sr_ok = r.Ldlp_soak.Soak.ok;
+        })
+      rows
+  in
+  let json =
+    Ldlp_report.Bench_json.render_soak ~seed ~chunks:soak_chunks
+      ~chunk_bytes:soak_chunk_bytes srows
+  in
+  (match Ldlp_report.Bench_json.parse_soak json with
+  | Ok _ -> ()
+  | Error e -> failwith ("BENCH_soak.json fails its own schema: " ^ e));
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "Loss ladder: %d x %d-byte echo chunks, LDLP discipline (seed %d)\n"
+    soak_chunks soak_chunk_bytes seed;
+  Printf.printf "%-8s %16s %8s %14s %4s\n" "loss" "goodput" "rexmt"
+    "completion" "ok";
+  List.iter
+    (fun (r : Ldlp_report.Bench_json.soak_row) ->
+      Printf.printf "%6.1f%% %12.0f B/s %8d %12.4f s %4s\n"
+        (r.Ldlp_report.Bench_json.sr_loss *. 100.0)
+        r.Ldlp_report.Bench_json.sr_goodput
+        r.Ldlp_report.Bench_json.sr_retransmits
+        r.Ldlp_report.Bench_json.sr_completion_s
+        (if r.Ldlp_report.Bench_json.sr_ok then "ok" else "FAIL"))
+    srows;
+  if not (List.for_all (fun r -> r.Ldlp_report.Bench_json.sr_ok) srows) then begin
+    prerr_endline "FAIL: a soak ladder rung lost integrity or leaked mbufs";
+    exit 1
+  end;
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* Section 2: Bechamel tests.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -554,8 +611,10 @@ let () =
   let repro_only = Array.exists (( = ) "--repro-only") Sys.argv in
   let sweeps_only = Array.exists (( = ) "--sweeps") Sys.argv in
   let hotpath_only = Array.exists (( = ) "--hotpath") Sys.argv in
+  let soak_only = Array.exists (( = ) "--soak") Sys.argv in
   if sweeps_only then bench_sweeps ~out:"BENCH_sweeps.json" ()
   else if hotpath_only then bench_hotpath ~out:"BENCH_hotpath.json" ()
+  else if soak_only then bench_soak ~out:"BENCH_soak.json" ()
   else begin
     if not bench_only then reproduce ();
     if not repro_only then run_benchmarks ()

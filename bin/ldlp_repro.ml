@@ -166,6 +166,15 @@ let run_selftest domains =
     exit 1
   end
 
+let run_soak ?domains seed count =
+  let scs = Ldlp_soak.Soak.scenarios ~seed ~count in
+  let reports = Ldlp_soak.Soak.run_all ?domains scs in
+  print_string (Ldlp_soak.Soak.render reports);
+  if not (List.for_all Ldlp_soak.Soak.report_ok reports) then begin
+    prerr_endline "soak FAILED: see table above";
+    exit 1
+  end
+
 let run_check seed =
   let fail fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt in
   (* 1. Differential replay: production cache vs the naive LRU oracle. *)
@@ -346,6 +355,18 @@ let cmds =
       "Assert that the parallel sweep engine reproduces the sequential \
        results exactly (same seeds, same tables)."
       Term.(const run_selftest $ domains_t);
+    cmd "soak"
+      "Chaos soak: run the tcpmini echo exchange over seeded impaired \
+       links (loss, duplication, corruption, reordering, down episodes, \
+       intake shedding) under both scheduling disciplines, asserting \
+       byte-stream integrity, mbuf-pool leak freedom and \
+       Conventional/LDLP equivalence.  Nonzero exit on any failure."
+      Term.(
+        const (fun seed domains count -> run_soak ?domains seed count)
+        $ seed_t $ domains_t
+        $ Arg.(
+            value & opt int 10
+            & info [ "scenarios" ] ~doc:"Number of chaos scenarios to run."));
     Cmd.v
       (Cmd.info "selfsim"
          ~doc:

@@ -7,6 +7,7 @@ type stats = {
   consumed : int;
   sent_down : int;
   misrouted : int;
+  shed : int;
   batches : int;
   max_batch : int;
   total_batched : int;
@@ -38,11 +39,18 @@ type 'a t = {
   mutable batches : int;
   mutable max_batch : int;
   mutable total_batched : int;
+  intake_limit : int option;
+  on_shed : 'a Msg.t -> unit;
+  mutable shed : int;
+  mutable shed_sc : int ref;
   mutable metrics : Metrics.t option;
 }
 
 let create ~discipline ?(up = fun _ -> ()) ?(down = fun _ -> ())
-    ?(on_handled = fun _ _ -> ()) () =
+    ?(on_handled = fun _ _ -> ()) ?intake_limit ?(on_shed = fun _ -> ()) () =
+  (match intake_limit with
+  | Some n when n < 1 -> invalid_arg "Graphsched.create: intake_limit < 1"
+  | _ -> ());
   {
     discipline;
     nodes = Hashtbl.create 16;
@@ -58,6 +66,10 @@ let create ~discipline ?(up = fun _ -> ()) ?(down = fun _ -> ())
     batches = 0;
     max_batch = 0;
     total_batched = 0;
+    intake_limit;
+    on_shed;
+    shed = 0;
+    shed_sc = ref 0;
     metrics = None;
   }
 
@@ -99,18 +111,31 @@ let attach_metrics t m =
   if Metrics.layer_names m <> t.order then
     invalid_arg "Graphsched.attach_metrics: sheet rows <> registration order";
   List.iteri (fun i name -> (find t name).m_index <- i) t.order;
+  (* Same rule as [Sched]: the "shed" scalar exists only on schedulers
+     that can actually shed, keeping unlimited sheets unchanged. *)
+  if t.intake_limit <> None then t.shed_sc <- Metrics.scalar m "shed";
   t.metrics <- Some m
 
-let inject t ~into msg =
-  t.injected <- t.injected + 1;
+let try_inject t ~into msg =
   let node = find t into in
-  Queue.push msg node.queue;
-  match t.metrics with
-  | None -> ()
-  | Some mt ->
-    let d = Queue.length node.queue in
-    Metrics.arrival mt ~depth:d;
-    Metrics.queue_depth mt node.m_index d
+  match t.intake_limit with
+  | Some limit when Queue.length node.queue >= limit ->
+    t.shed <- t.shed + 1;
+    Metrics.add_scalar t.shed_sc 1;
+    t.on_shed msg;
+    false
+  | _ ->
+    t.injected <- t.injected + 1;
+    Queue.push msg node.queue;
+    (match t.metrics with
+    | None -> ()
+    | Some mt ->
+      let d = Queue.length node.queue in
+      Metrics.arrival mt ~depth:d;
+      Metrics.queue_depth mt node.m_index d);
+    true
+
+let inject t ~into msg = ignore (try_inject t ~into msg)
 
 let backlog t ~into = Queue.length (find t into).queue
 
@@ -250,6 +275,7 @@ let stats t =
     consumed = t.consumed;
     sent_down = t.sent_down;
     misrouted = t.misrouted;
+    shed = t.shed;
     batches = t.batches;
     max_batch = t.max_batch;
     total_batched = t.total_batched;

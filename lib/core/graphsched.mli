@@ -23,6 +23,7 @@ type stats = {
   consumed : int;
   sent_down : int;
   misrouted : int;  (** [Deliver_to] along a non-existent edge (dropped). *)
+  shed : int;  (** Arrivals refused by the intake high-watermark. *)
   batches : int;
   max_batch : int;
   total_batched : int;
@@ -34,8 +35,14 @@ val create :
   ?up:('a Msg.t -> unit) ->
   ?down:('a Msg.t -> unit) ->
   ?on_handled:('a Layer.t -> 'a Msg.t -> unit) ->
+  ?intake_limit:int ->
+  ?on_shed:('a Msg.t -> unit) ->
   unit ->
   'a t
+(** [intake_limit]/[on_shed] bound every entry layer's arrival queue with
+    the same drop-at-the-door policy as {!Sched.create}: an injection
+    into a queue already at the watermark is counted in [stats.shed],
+    passed to [on_shed], and refused without touching [injected]. *)
 
 val add_layer : 'a t -> ?above:string list -> 'a Layer.t -> unit
 (** Register a layer; [above] names the layers directly above it, which
@@ -55,7 +62,11 @@ val attach_metrics : 'a t -> Ldlp_obs.Metrics.t -> unit
     same gate-off-costs-nothing contract as {!Sched.create}'s [metrics]. *)
 
 val inject : 'a t -> into:string -> 'a Msg.t -> unit
-(** Message arrival at a named entry layer. *)
+(** Message arrival at a named entry layer (sheds silently under an
+    [intake_limit]; see {!try_inject}). *)
+
+val try_inject : 'a t -> into:string -> 'a Msg.t -> bool
+(** Like {!inject}, but [false] when the message was shed. *)
 
 val backlog : 'a t -> into:string -> int
 

@@ -9,6 +9,7 @@ type stats = {
   consumed : int;
   sent_down : int;
   misrouted : int;
+  shed : int;
   batches : int;
   max_batch : int;
   total_batched : int;
@@ -31,12 +32,20 @@ type 'a t = {
   mutable batches : int;
   mutable max_batch : int;
   mutable total_batched : int;
+  intake_limit : int option;
+  on_shed : 'a Msg.t -> unit;
+  mutable shed : int;
+  shed_sc : int ref;
   metrics : Metrics.t option;
 }
 
 let create ~discipline ~layers ?(up = fun _ -> ()) ?(down = fun _ -> ())
-    ?(on_handled = fun _ _ _ -> ()) ?metrics () =
+    ?(on_handled = fun _ _ _ -> ()) ?intake_limit ?(on_shed = fun _ -> ())
+    ?metrics () =
   if layers = [] then invalid_arg "Sched.create: empty stack";
+  (match intake_limit with
+  | Some n when n < 1 -> invalid_arg "Sched.create: intake_limit < 1"
+  | _ -> ());
   let layers = Array.of_list layers in
   (match metrics with
   | Some m when Metrics.nlayers m <> Array.length layers ->
@@ -58,18 +67,40 @@ let create ~discipline ~layers ?(up = fun _ -> ()) ?(down = fun _ -> ())
     batches = 0;
     max_batch = 0;
     total_batched = 0;
+    intake_limit;
+    on_shed;
+    shed = 0;
+    (* The scalar registers only when shedding can actually happen, so
+       sheets of unlimited schedulers render exactly as before. *)
+    shed_sc =
+      (match (intake_limit, metrics) with
+      | Some _, Some m -> Metrics.scalar m "shed"
+      | _ -> ref 0);
     metrics;
   }
 
-let inject t msg =
-  t.injected <- t.injected + 1;
-  Queue.push msg t.queues.(0);
-  match t.metrics with
-  | None -> ()
-  | Some mt ->
-    let d = Queue.length t.queues.(0) in
-    Metrics.arrival mt ~depth:d;
-    Metrics.queue_depth mt 0 d
+let try_inject t msg =
+  match t.intake_limit with
+  | Some limit when Queue.length t.queues.(0) >= limit ->
+    (* Overload: refuse at the door.  The message never counts as
+       injected, so the idle conservation invariants are untouched; the
+       owner reclaims its payload in [on_shed]. *)
+    t.shed <- t.shed + 1;
+    Metrics.add_scalar t.shed_sc 1;
+    t.on_shed msg;
+    false
+  | _ ->
+    t.injected <- t.injected + 1;
+    Queue.push msg t.queues.(0);
+    (match t.metrics with
+    | None -> ()
+    | Some mt ->
+      let d = Queue.length t.queues.(0) in
+      Metrics.arrival mt ~depth:d;
+      Metrics.queue_depth mt 0 d);
+    true
+
+let inject t msg = ignore (try_inject t msg)
 
 let pending t =
   Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
@@ -210,6 +241,7 @@ let stats t =
     consumed = t.consumed;
     sent_down = t.sent_down;
     misrouted = t.misrouted;
+    shed = t.shed;
     batches = t.batches;
     max_batch = t.max_batch;
     total_batched = t.total_batched;

@@ -31,6 +31,9 @@ type stats = {
   misrouted : int;
       (** [Deliver_to] actions naming anything but the next layer up —
           dropped (a linear chain cannot demultiplex; use {!Graphsched}). *)
+  shed : int;
+      (** Arrivals refused by the intake high-watermark (never counted in
+          [injected]). *)
   batches : int;  (** Bottom-layer scheduling quanta. *)
   max_batch : int;
   total_batched : int;  (** Sum of batch sizes (= bottom-layer dequeues). *)
@@ -45,6 +48,8 @@ val create :
   ?up:('a Msg.t -> unit) ->
   ?down:('a Msg.t -> unit) ->
   ?on_handled:(int -> 'a Layer.t -> 'a Msg.t -> unit) ->
+  ?intake_limit:int ->
+  ?on_shed:('a Msg.t -> unit) ->
   ?metrics:Ldlp_obs.Metrics.t ->
   unit ->
   'a t
@@ -52,6 +57,15 @@ val create :
     delivered above the top layer; [down] receives [Send_down] messages;
     [on_handled layer_index layer msg] fires before each handler invocation
     (used by the cycle-accurate model to charge the memory system).
+
+    [intake_limit] (≥ 1) is an overload high-watermark on the arrival
+    queue: an injection arriving with [backlog] already at the limit is
+    {e shed} — refused, counted in [stats.shed] (and a "shed" scalar on
+    the metric sheet, registered only when a limit is set), and handed to
+    [on_shed] so the owner can reclaim its payload (e.g. free the mbuf
+    chain).  Shed messages never enter [injected], so the idle
+    conservation invariants are unchanged.  Without a limit intake is
+    unbounded, as before.
 
     [metrics], when given, must have one layer per stack layer (same
     order); while the {!Ldlp_obs.Obs} gate is on the scheduler records
@@ -62,7 +76,13 @@ val create :
 val inject : 'a t -> 'a Msg.t -> unit
 (** Message arrival at the bottom of the stack.  Never processes anything
     (processing happens in {!step}/{!run}), so callers control
-    interleaving of arrivals and work. *)
+    interleaving of arrivals and work.  Under an [intake_limit] an
+    over-watermark arrival is shed silently; use {!try_inject} to
+    observe it. *)
+
+val try_inject : 'a t -> 'a Msg.t -> bool
+(** Like {!inject}, but reports acceptance: [false] means the message was
+    shed (and already passed to [on_shed]). *)
 
 val pending : 'a t -> int
 (** Messages currently queued at any layer. *)

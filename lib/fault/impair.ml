@@ -1,0 +1,163 @@
+module Rng = Ldlp_sim.Rng
+
+type 'a emission = { frame : 'a; delay : float }
+
+type stats = {
+  offered : int;
+  delivered : int;
+  dropped : int;
+  duplicated : int;
+  corrupted : int;
+  reordered : int;
+  down_dropped : int;
+}
+
+let zero_stats =
+  {
+    offered = 0;
+    delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+    corrupted = 0;
+    reordered = 0;
+    down_dropped = 0;
+  }
+
+module Reorder = struct
+  type 'a item = { value : 'a; mutable countdown : int; deadline : float }
+
+  type 'a buf = { window : int; mutable items : 'a item list (* oldest first *) }
+
+  let create ~window =
+    if window < 1 then invalid_arg "Reorder.create: window < 1";
+    { window; items = [] }
+
+  let held t = List.length t.items
+
+  let next_deadline t =
+    match t.items with
+    | [] -> None
+    | items ->
+      Some (List.fold_left (fun acc i -> Float.min acc i.deadline) infinity items)
+
+  (* Age every held value by one slot; values whose window has elapsed
+     leave, oldest first. *)
+  let age t =
+    List.iter (fun i -> i.countdown <- i.countdown - 1) t.items;
+    let out, kept = List.partition (fun i -> i.countdown <= 0) t.items in
+    t.items <- kept;
+    List.map (fun i -> i.value) out
+
+  let push t ~hold ~deadline v =
+    let out = age t in
+    if hold then begin
+      t.items <- t.items @ [ { value = v; countdown = t.window; deadline } ];
+      out
+    end
+    else out @ [ v ]
+
+  let release_due t ~now =
+    let out, kept = List.partition (fun i -> i.deadline <= now) t.items in
+    t.items <- kept;
+    List.map (fun i -> i.value) out
+
+  let flush t =
+    let out = List.map (fun i -> i.value) t.items in
+    t.items <- [];
+    out
+end
+
+type 'a t = {
+  plan : Plan.t;
+  rng : Rng.t;
+  clone : 'a -> 'a;
+  corrupt : 'a -> 'a;
+  free : 'a -> unit;
+  reorder : 'a emission Reorder.buf;
+  mutable s : stats;
+}
+
+let create ?(clone = Fun.id) ?(corrupt = Fun.id) ?(free = ignore) ?(seed = 1996)
+    plan =
+  Plan.validate plan;
+  {
+    plan;
+    rng = Rng.create ~seed;
+    clone;
+    corrupt;
+    free;
+    reorder = Reorder.create ~window:(max 1 plan.Plan.reorder_window);
+    s = zero_stats;
+  }
+
+let stats t = t.s
+
+let held t = Reorder.held t.reorder
+
+let next_deadline t = Reorder.next_deadline t.reorder
+
+let count_delivered t n = t.s <- { t.s with delivered = t.s.delivered + n }
+
+(* Corruption and jitter apply per copy; the RNG draw order (drop, dup,
+   then corrupt/jitter/reorder per copy) is part of the replayable
+   contract — tests pin it. *)
+let emit t frame =
+  let frame =
+    if t.plan.Plan.corrupt > 0.0 && Rng.bool t.rng t.plan.Plan.corrupt then begin
+      t.s <- { t.s with corrupted = t.s.corrupted + 1 };
+      t.corrupt frame
+    end
+    else frame
+  in
+  let delay =
+    if t.plan.Plan.jitter > 0.0 then Rng.float t.rng t.plan.Plan.jitter else 0.0
+  in
+  { frame; delay }
+
+let send t ~now frame =
+  t.s <- { t.s with offered = t.s.offered + 1 };
+  if not (Plan.link_up t.plan now) then begin
+    t.s <- { t.s with down_dropped = t.s.down_dropped + 1 };
+    t.free frame;
+    []
+  end
+  else if t.plan.Plan.drop > 0.0 && Rng.bool t.rng t.plan.Plan.drop then begin
+    t.s <- { t.s with dropped = t.s.dropped + 1 };
+    t.free frame;
+    []
+  end
+  else begin
+    let copies =
+      if t.plan.Plan.dup > 0.0 && Rng.bool t.rng t.plan.Plan.dup then begin
+        t.s <- { t.s with duplicated = t.s.duplicated + 1 };
+        [ frame; t.clone frame ]
+      end
+      else [ frame ]
+    in
+    let out =
+      List.concat_map
+        (fun f ->
+          let em = emit t f in
+          let hold =
+            t.plan.Plan.reorder > 0.0 && Rng.bool t.rng t.plan.Plan.reorder
+          in
+          if hold then t.s <- { t.s with reordered = t.s.reordered + 1 };
+          Reorder.push t.reorder ~hold
+            ~deadline:(now +. t.plan.Plan.hold_timeout)
+            em)
+        copies
+    in
+    count_delivered t (List.length out);
+    out
+  end
+
+let release_due t ~now =
+  let out = Reorder.release_due t.reorder ~now in
+  count_delivered t (List.length out);
+  out
+
+let flush t = Reorder.flush t.reorder
+
+let drop_frame t frame =
+  t.s <- { t.s with dropped = t.s.dropped + 1 };
+  t.free frame

@@ -1,0 +1,73 @@
+type t = {
+  drop : float;
+  dup : float;
+  corrupt : float;
+  reorder : float;
+  reorder_window : int;
+  hold_timeout : float;
+  jitter : float;
+  down : (float * float) list;
+}
+
+let none =
+  {
+    drop = 0.0;
+    dup = 0.0;
+    corrupt = 0.0;
+    reorder = 0.0;
+    reorder_window = 4;
+    hold_timeout = 0.05;
+    jitter = 0.0;
+    down = [];
+  }
+
+let validate t =
+  let prob name p =
+    if p < 0.0 || p >= 1.0 then
+      invalid_arg (Printf.sprintf "Plan: %s probability %g outside [0,1)" name p)
+  in
+  prob "drop" t.drop;
+  prob "dup" t.dup;
+  prob "corrupt" t.corrupt;
+  prob "reorder" t.reorder;
+  if t.reorder > 0.0 && t.reorder_window < 1 then
+    invalid_arg "Plan: reorder requires a window >= 1";
+  if t.hold_timeout < 0.0 then invalid_arg "Plan: negative hold_timeout";
+  if t.jitter < 0.0 then invalid_arg "Plan: negative jitter";
+  ignore
+    (List.fold_left
+       (fun prev (a, b) ->
+         if a < prev || b <= a then
+           invalid_arg "Plan: down episodes must be sorted and disjoint";
+         b)
+       0.0 t.down)
+
+let v ?(drop = 0.0) ?(dup = 0.0) ?(corrupt = 0.0) ?(reorder = 0.0)
+    ?(reorder_window = 4) ?(hold_timeout = 0.05) ?(jitter = 0.0) ?(down = []) ()
+    =
+  let t =
+    { drop; dup; corrupt; reorder; reorder_window; hold_timeout; jitter; down }
+  in
+  validate t;
+  t
+
+let is_none t =
+  t.drop = 0.0 && t.dup = 0.0 && t.corrupt = 0.0 && t.reorder = 0.0
+  && t.jitter = 0.0 && t.down = []
+
+let link_up t now = not (List.exists (fun (a, b) -> now >= a && now < b) t.down)
+
+let describe t =
+  if is_none t then "pristine"
+  else begin
+    let parts = ref [] in
+    let add fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
+    let pct p = 100.0 *. p in
+    if t.down <> [] then add "down=%d" (List.length t.down);
+    if t.jitter > 0.0 then add "jitter=%gus" (1e6 *. t.jitter);
+    if t.reorder > 0.0 then add "reorder=%g%%/w%d" (pct t.reorder) t.reorder_window;
+    if t.corrupt > 0.0 then add "corrupt=%g%%" (pct t.corrupt);
+    if t.dup > 0.0 then add "dup=%g%%" (pct t.dup);
+    if t.drop > 0.0 then add "drop=%g%%" (pct t.drop);
+    String.concat " " !parts
+  end

@@ -1,0 +1,61 @@
+(** A fault schedule for one direction of a link.
+
+    A plan is pure data: probabilities, a reorder window, and scheduled
+    link-down episodes.  Combined with an integer seed (see {!Impair}) it
+    describes a byte-for-byte replayable impairment stream — the same
+    plan + seed always drops, duplicates, corrupts and reorders exactly
+    the same frames, independent of host or domain count. *)
+
+type t = {
+  drop : float;  (** Per-frame loss probability, [0, 1). *)
+  dup : float;  (** Per-frame duplication probability, [0, 1). *)
+  corrupt : float;
+      (** Per-copy probability of a single random bit flip, [0, 1). *)
+  reorder : float;
+      (** Per-copy probability of being held back and released after
+          [reorder_window] later frames have passed, [0, 1). *)
+  reorder_window : int;
+      (** How many subsequent frames overtake a held frame.  Must be >= 1
+          when [reorder > 0]. *)
+  hold_timeout : float;
+      (** Upper bound (seconds) a reordered frame is held when traffic
+          stops — the wire flushes it after this long regardless. *)
+  jitter : float;  (** Extra uniform-random latency in [0, jitter) seconds. *)
+  down : (float * float) list;
+      (** Scheduled link-down episodes [(start, stop)); frames sent while
+          the link is down vanish.  Must be sorted and disjoint. *)
+}
+
+val none : t
+(** The identity plan: every field zero, nothing impaired. *)
+
+val v :
+  ?drop:float ->
+  ?dup:float ->
+  ?corrupt:float ->
+  ?reorder:float ->
+  ?reorder_window:int ->
+  ?hold_timeout:float ->
+  ?jitter:float ->
+  ?down:(float * float) list ->
+  unit ->
+  t
+(** Build and {!validate} a plan.  Defaults are all zero (= {!none});
+    [reorder_window] defaults to 4 and [hold_timeout] to 50 ms. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on probabilities outside [0, 1), a negative
+    jitter/timeout, a non-positive window with [reorder > 0], or
+    unsorted/overlapping down episodes. *)
+
+val is_none : t -> bool
+(** Whether the plan impairs nothing (down episodes included). *)
+
+val link_up : t -> float -> bool
+(** Whether the link is up at the given time (outside every down
+    episode). *)
+
+val describe : t -> string
+(** Compact one-line summary, e.g. ["drop=5% dup=2% corrupt=0.1%
+    reorder=10%/w4"]; ["pristine"] for {!none}.  Deterministic — used in
+    golden-snapshotted tables. *)

@@ -2,8 +2,15 @@ module Nic = Ldlp_nic.Nic
 module Engine = Ldlp_sim.Engine
 module Metrics = Ldlp_obs.Metrics
 module Span = Ldlp_obs.Span
+module Impair = Ldlp_fault.Impair
 
-type 'a link = { peer : 'a node; latency : float; loss : float; rng : Ldlp_sim.Rng.t }
+type 'a link = {
+  peer : 'a node;
+  latency : float;
+  loss : float;
+  rng : Ldlp_sim.Rng.t;
+  impair : 'a Impair.t option;
+}
 
 and 'a node = {
   name : string;
@@ -54,14 +61,15 @@ let nic n = n.nic
 
 let name n = n.name
 
-let connect _t a b ~latency ?(loss = 0.0) ?(seed = 1996) () =
+let connect _t a b ~latency ?(loss = 0.0) ?(seed = 1996) ?impair_ab ?impair_ba
+    () =
   if latency < 0.0 then invalid_arg "Netsim.connect: negative latency";
   if loss < 0.0 || loss >= 1.0 then invalid_arg "Netsim.connect: loss out of [0,1)";
   if a.link <> None then invalid_arg ("Netsim.connect: " ^ a.name ^ " already linked");
   if b.link <> None then invalid_arg ("Netsim.connect: " ^ b.name ^ " already linked");
   let rng = Ldlp_sim.Rng.create ~seed in
-  a.link <- Some { peer = b; latency; loss; rng };
-  b.link <- Some { peer = a; latency; loss; rng }
+  a.link <- Some { peer = b; latency; loss; rng; impair = impair_ab };
+  b.link <- Some { peer = a; latency; loss; rng; impair = impair_ba }
 
 (* Propagate a node's transmit ring over its link, then run any interrupt
    service this triggers at the receiving end. *)
@@ -73,14 +81,49 @@ let rec pump t node =
     (* Unconnected transmissions vanish into the void (counted by the
        NIC's tx_frames already). *)
     ignore frames
-  | frames, Some { peer; latency; loss; rng } ->
+  | frames, Some { peer; latency; loss; rng; impair } ->
+    (* Deliver one emission after the link latency plus its jitter; a full
+       receive ring hands the frame back to the impairment engine so mbuf
+       accounting stays leak-free. *)
+    let deliver frame extra =
+      Engine.after t.engine (latency +. extra) (fun () ->
+          let accepted = Nic.deliver peer.nic frame in
+          (if not accepted then
+             match impair with
+             | Some imp -> Impair.drop_frame imp frame
+             | None -> ());
+          maybe_schedule t peer)
+    in
+    (* Reordered frames held inside the impairment engine must not be
+       stranded when traffic stops: keep one flush event armed at the
+       earliest hold deadline.  Redundant events (one per pump) release
+       nothing and terminate. *)
+    let rec arm_flush imp =
+      match Impair.next_deadline imp with
+      | None -> ()
+      | Some deadline ->
+        Engine.at t.engine deadline (fun () ->
+            List.iter
+              (fun (e : _ Impair.emission) -> deliver e.Impair.frame e.Impair.delay)
+              (Impair.release_due imp ~now:(Engine.now t.engine));
+            arm_flush imp)
+    in
     List.iter
       (fun frame ->
-        if loss = 0.0 || not (Ldlp_sim.Rng.bool rng loss) then
-          Engine.after t.engine latency (fun () ->
-              ignore (Nic.deliver peer.nic frame);
-              maybe_schedule t peer)
-        else Metrics.add_scalar node.lost_sc 1)
+        if loss > 0.0 && Ldlp_sim.Rng.bool rng loss then begin
+          Metrics.add_scalar node.lost_sc 1;
+          match impair with
+          | Some imp -> Impair.drop_frame imp frame
+          | None -> ()
+        end
+        else
+          match impair with
+          | None -> deliver frame 0.0
+          | Some imp ->
+            List.iter
+              (fun (e : _ Impair.emission) -> deliver e.Impair.frame e.Impair.delay)
+              (Impair.send imp ~now:(Engine.now t.engine) frame);
+            arm_flush imp)
       frames
 
 and maybe_schedule t node =

@@ -50,13 +50,30 @@ val nic : 'a node -> 'a Ldlp_nic.Nic.t
 val name : 'a node -> string
 
 val connect :
-  'a t -> 'a node -> 'a node -> latency:float -> ?loss:float -> ?seed:int -> unit -> unit
+  'a t ->
+  'a node ->
+  'a node ->
+  latency:float ->
+  ?loss:float ->
+  ?seed:int ->
+  ?impair_ab:'a Ldlp_fault.Impair.t ->
+  ?impair_ba:'a Ldlp_fault.Impair.t ->
+  unit ->
+  unit
 (** Bidirectional point-to-point link.  A node has at most one link
     (hosts-on-a-wire; build switches as nodes that retransmit).  [loss]
     (default 0) drops each frame independently with that probability,
     using a deterministic PRNG seeded by [seed] — for exercising the
     timer-driven recovery of the protocols above.  Raises
-    [Invalid_argument] if either end is already connected. *)
+    [Invalid_argument] if either end is already connected.
+
+    [impair_ab] / [impair_ba] attach a {!Ldlp_fault.Impair} engine to
+    each direction (a->b and b->a respectively): every transmitted frame
+    passes through it, picking up drops, duplication, bit corruption,
+    reordering, jitter and down episodes per its plan.  Netsim keeps a
+    flush event armed at the engine's earliest hold deadline so reordered
+    frames are never stranded, and returns frames refused by a full
+    receive ring to the engine's [free] hook. *)
 
 val inject : 'a t -> 'a node -> ?at:float -> 'a -> unit
 (** Deliver a frame into a node's receive ring from outside the simulated

@@ -224,6 +224,11 @@ let str_field obj name =
   | Str v -> v
   | _ -> raise (Bad (Printf.sprintf "field %S is not a string" name))
 
+let bool_field obj name =
+  match field obj name with
+  | Bool v -> v
+  | _ -> raise (Bad (Printf.sprintf "field %S is not a boolean" name))
+
 let arr_field obj name =
   match field obj name with
   | Arr v -> v
@@ -529,5 +534,85 @@ let parse_hotpath text =
         hd_seed = int_field root "seed";
         hd_metrics_overhead_pct = num_field root "metrics_overhead_pct";
         hots = List.map hot_of (arr_field root "disciplines");
+      }
+  with Bad msg -> Error msg
+
+(* ---------- chaos-soak loss ladder (bench --soak) ---------- *)
+
+type soak_row = {
+  sr_loss : float;
+  sr_goodput : float;
+  sr_retransmits : int;
+  sr_completion_s : float;
+  sr_ok : bool;
+}
+
+type soak_doc = {
+  sd_seed : int;
+  sd_chunks : int;
+  sd_chunk_bytes : int;
+  soak_rows : soak_row list;
+}
+
+let soak_schema = "ldlp-bench-soak/1"
+
+let soak_row_json r =
+  Printf.sprintf
+    "    {\n\
+    \      \"loss\": %.4f,\n\
+    \      \"goodput_bytes_per_s\": %.3f,\n\
+    \      \"retransmits\": %d,\n\
+    \      \"completion_s\": %.6f,\n\
+    \      \"ok\": %b\n\
+    \    }"
+    r.sr_loss r.sr_goodput r.sr_retransmits r.sr_completion_s r.sr_ok
+
+let render_soak ~seed ~chunks ~chunk_bytes rows =
+  Printf.sprintf
+    "{\n\
+    \  \"schema\": \"%s\",\n\
+    \  \"seed\": %d,\n\
+    \  \"chunks\": %d,\n\
+    \  \"chunk_bytes\": %d,\n\
+    \  \"ladder\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    soak_schema seed chunks chunk_bytes
+    (String.concat ",\n" (List.map soak_row_json rows))
+
+let parse_soak text =
+  try
+    let root =
+      match parse_json text with
+      | Obj o -> o
+      | _ -> raise (Bad "top level is not an object")
+    in
+    let tag = str_field root "schema" in
+    if tag <> soak_schema then
+      raise (Bad (Printf.sprintf "schema %S, expected %S" tag soak_schema));
+    let row_of entry =
+      let o = obj_entry entry in
+      let r =
+        {
+          sr_loss = num_field o "loss";
+          sr_goodput = num_field o "goodput_bytes_per_s";
+          sr_retransmits = int_field o "retransmits";
+          sr_completion_s = num_field o "completion_s";
+          sr_ok = bool_field o "ok";
+        }
+      in
+      if
+        r.sr_loss < 0.0 || r.sr_loss >= 1.0 || r.sr_goodput < 0.0
+        || r.sr_retransmits < 0 || r.sr_completion_s < 0.0
+      then raise (Bad (Printf.sprintf "loss %.4f: negative measure" r.sr_loss));
+      r
+    in
+    Ok
+      {
+        sd_seed = int_field root "seed";
+        sd_chunks = int_field root "chunks";
+        sd_chunk_bytes = int_field root "chunk_bytes";
+        soak_rows = List.map row_of (arr_field root "ladder");
       }
   with Bad msg -> Error msg

@@ -103,3 +103,34 @@ val render_hotpath :
 val parse_hotpath : string -> (hot_doc, string) result
 (** Read {!render_hotpath} output back; validates the schema tag, all
     fields, and that no measure is negative. *)
+
+(** {1 Chaos-soak loss ladder ([bench --soak] -> [BENCH_soak.json])}
+
+    One tcpmini echo soak (LDLP scheduling) per loss rate: how goodput
+    decays and retransmissions grow as the paper's lossless-LAN
+    assumption is relaxed. *)
+
+type soak_row = {
+  sr_loss : float;  (** Per-frame drop probability, both directions. *)
+  sr_goodput : float;  (** Echoed payload bytes per simulated second. *)
+  sr_retransmits : int;  (** Client + server retransmissions. *)
+  sr_completion_s : float;  (** Simulated time to the last echoed byte. *)
+  sr_ok : bool;  (** Integrity + leak-freedom held. *)
+}
+
+type soak_doc = {
+  sd_seed : int;
+  sd_chunks : int;
+  sd_chunk_bytes : int;
+  soak_rows : soak_row list;
+}
+
+val soak_schema : string
+(** ["ldlp-bench-soak/1"]. *)
+
+val render_soak :
+  seed:int -> chunks:int -> chunk_bytes:int -> soak_row list -> string
+
+val parse_soak : string -> (soak_doc, string) result
+(** Read {!render_soak} output back; validates the schema tag, all fields,
+    loss in [0, 1) and non-negative measures. *)

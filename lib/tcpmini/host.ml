@@ -9,9 +9,16 @@ type counters = {
   non_tcp : int;
   bad_ip : int;
   delivered_bytes : int;
+  retransmits : int;
 }
 
 type item = { mutable buf : Mbuf.t; mutable src_ip : Pkt.Addr.Ipv4.t }
+
+type timers = {
+  now : unit -> float;
+  schedule : float -> (unit -> unit) -> unit;
+  tx : Mbuf.t -> unit;
+}
 
 type t = {
   pool : Ldlp_buf.Pool.t;
@@ -22,6 +29,7 @@ type t = {
   reasm : Pkt.Reasm.t option;
   mutable c : counters;
   mutable ident : int;
+  mutable timers : timers option;
   (* Scalar mirrors of [counters] on an attached metric sheet (dummy refs
      otherwise), bumped through the gated [Metrics.add_scalar]. *)
   frames_in_sc : int ref;
@@ -29,6 +37,7 @@ type t = {
   non_tcp_sc : int ref;
   bad_ip_sc : int ref;
   delivered_bytes_sc : int ref;
+  retransmits_sc : int ref;
 }
 
 let create ~pool ~mac ~ip ?(gateway_mac = Pkt.Addr.Mac.broadcast)
@@ -43,13 +52,23 @@ let create ~pool ~mac ~ip ?(gateway_mac = Pkt.Addr.Mac.broadcast)
     gateway_mac;
     pcbs = Pcb.create_table ();
     reasm = (if reassemble then Some (Pkt.Reasm.create ()) else None);
-    c = { frames_in = 0; non_ip = 0; non_tcp = 0; bad_ip = 0; delivered_bytes = 0 };
+    c =
+      {
+        frames_in = 0;
+        non_ip = 0;
+        non_tcp = 0;
+        bad_ip = 0;
+        delivered_bytes = 0;
+        retransmits = 0;
+      };
     ident = 0;
+    timers = None;
     frames_in_sc = sc "frames_in";
     non_ip_sc = sc "non_ip";
     non_tcp_sc = sc "non_tcp";
     bad_ip_sc = sc "bad_ip";
     delivered_bytes_sc = sc "delivered_bytes";
+    retransmits_sc = sc "retransmits";
   }
 
 let wrap t m = { buf = m; src_ip = t.my_ip }
@@ -96,6 +115,137 @@ let reply_frame t (r : Tcp_input.reply) =
       ~window:r.Tcp_input.window ()
   in
   build_frame t ~dst_ip:r.Tcp_input.dst segment
+
+(* ---------- loss recovery (only active once timers are attached) ---------- *)
+
+let delack_timeout = 0.04
+
+let attach_timers t ~now ~schedule ~tx = t.timers <- Some { now; schedule; tx }
+
+(* Rebuild a tracked segment as a complete Ethernet frame.  The ACK field
+   is refreshed to the current [rcv_nxt] (a retransmission carries the
+   newest acknowledgment, like the real stack's output routine). *)
+let seg_frame t (pcb : Pcb.t) (s : Pcb.seg) =
+  match pcb.Pcb.remote with
+  | None -> None
+  | Some (rip, rport) ->
+    let has_ack = s.Pcb.seg_flags land Pkt.Tcp.flag_ack <> 0 in
+    let segment =
+      Tcp_output.build ~src:t.my_ip ~dst:rip ~src_port:pcb.Pcb.local_port
+        ~dst_port:rport ~seq:s.Pcb.seg_seq
+        ~ack:(if has_ack then pcb.Pcb.rcv_nxt else 0l)
+        ~flags:s.Pcb.seg_flags
+        ~window:(Sockbuf.space pcb.Pcb.sockbuf)
+        ~payload:s.Pcb.seg_payload ()
+    in
+    Some (build_frame t ~dst_ip:rip segment)
+
+let count_retransmit t =
+  t.c <- { t.c with retransmits = t.c.retransmits + 1 };
+  Metrics.add_scalar t.retransmits_sc 1
+
+let retransmit_seg t pcb (s : Pcb.seg) ~now =
+  match seg_frame t pcb s with
+  | None -> None
+  | Some frame ->
+    s.Pcb.seg_sent_at <- now;
+    s.Pcb.seg_rexmits <- s.Pcb.seg_rexmits + 1;
+    count_retransmit t;
+    Some frame
+
+(* The retransmission timer is armed on demand (a self-rescheduling tick
+   would keep the discrete-event engine from ever quiescing): one event
+   per PCB at the oldest unacked segment's deadline.  When it fires
+   early — the queue head changed, or an ACK advanced [sent_at] — it
+   simply re-arms. *)
+let rec arm_rtx t (pcb : Pcb.t) =
+  match t.timers with
+  | None -> ()
+  | Some tm ->
+    if not pcb.Pcb.rtx_armed then begin
+      match Pcb.oldest_unacked pcb with
+      | None -> ()
+      | Some s ->
+        pcb.Pcb.rtx_armed <- true;
+        let deadline = s.Pcb.seg_sent_at +. Rto.rto pcb.Pcb.rto in
+        let delay = Float.max 0.0 (deadline -. tm.now ()) in
+        tm.schedule delay (fun () -> rtx_fire t pcb)
+    end
+
+and rtx_fire t (pcb : Pcb.t) =
+  pcb.Pcb.rtx_armed <- false;
+  match t.timers with
+  | None -> ()
+  | Some tm -> (
+    if pcb.Pcb.state <> Pcb.Closed then
+      match Pcb.oldest_unacked pcb with
+      | None -> ()
+      | Some s ->
+        let now = tm.now () in
+        if s.Pcb.seg_sent_at +. Rto.rto pcb.Pcb.rto <= now +. 1e-9 then begin
+          (match retransmit_seg t pcb s ~now with
+          | Some frame -> tm.tx frame
+          | None -> ());
+          Rto.backoff pcb.Pcb.rto
+        end;
+        arm_rtx t pcb)
+
+let arm_delack t (pcb : Pcb.t) =
+  match t.timers with
+  | None -> ()
+  | Some tm ->
+    if (not pcb.Pcb.delack_armed) && pcb.Pcb.delayed_ack > 0 then begin
+      pcb.Pcb.delack_armed <- true;
+      tm.schedule delack_timeout (fun () ->
+          pcb.Pcb.delack_armed <- false;
+          match pcb.Pcb.remote with
+          | Some (rip, rport)
+            when pcb.Pcb.delayed_ack > 0
+                 && (pcb.Pcb.state = Pcb.Established
+                    || pcb.Pcb.state = Pcb.Close_wait) ->
+            pcb.Pcb.delayed_ack <- 0;
+            let segment =
+              Tcp_output.build ~src:t.my_ip ~dst:rip
+                ~src_port:pcb.Pcb.local_port ~dst_port:rport
+                ~seq:pcb.Pcb.snd_nxt ~ack:pcb.Pcb.rcv_nxt
+                ~flags:Pkt.Tcp.flag_ack
+                ~window:(Sockbuf.space pcb.Pcb.sockbuf) ()
+            in
+            tm.tx (build_frame t ~dst_ip:rip segment)
+          | _ -> ())
+    end
+
+(* Track a transmitted segment and make sure the timer covers it. *)
+let track_tx t (pcb : Pcb.t) ~seq ~flags payload =
+  match t.timers with
+  | None -> ()
+  | Some tm ->
+    Pcb.track pcb ~now:(tm.now ()) ~seq ~flags payload;
+    arm_rtx t pcb
+
+(* Post-input recovery hook, run after the TCP layer has processed a
+   segment for [pcb]: emit a pending fast retransmit, keep the
+   retransmission timer armed while data is outstanding, and arm the
+   delayed-ACK timer when an ACK is owed. *)
+let recovery_frames t (pcb : Pcb.t) ~now =
+  match t.timers with
+  | None -> []
+  | Some _ ->
+    let fast =
+      if pcb.Pcb.fast_retx_pending then begin
+        pcb.Pcb.fast_retx_pending <- false;
+        match Pcb.oldest_unacked pcb with
+        | None -> []
+        | Some s -> (
+          match retransmit_seg t pcb s ~now with
+          | Some frame -> [ frame ]
+          | None -> [])
+      end
+      else []
+    in
+    arm_rtx t pcb;
+    arm_delack t pcb;
+    fast
 
 let layers t =
   let consume_bad m =
@@ -170,21 +320,39 @@ let layers t =
         let m = msg.Core.Msg.payload.buf in
         let o =
           Tcp_input.segment_arrived t.pcbs ~my_ip:t.my_ip
-            ~src_ip:msg.Core.Msg.payload.src_ip ~pool:t.pool m
+            ~src_ip:msg.Core.Msg.payload.src_ip ~pool:t.pool
+            ~now:msg.Core.Msg.arrival m
         in
         t.c <- { t.c with delivered_bytes = t.c.delivered_bytes + o.Tcp_input.delivered };
         Metrics.add_scalar t.delivered_bytes_sc o.Tcp_input.delivered;
+        let send_down frame =
+          Core.Layer.Send_down
+            (Core.Msg.with_payload msg
+               { buf = frame; src_ip = t.my_ip }
+               ~size:(Mbuf.length frame))
+        in
         let downs =
           List.map
-            (fun r ->
-              let frame = reply_frame t r in
-              Core.Layer.Send_down
-                (Core.Msg.with_payload msg
-                   { buf = frame; src_ip = t.my_ip }
-                   ~size:(Mbuf.length frame)))
+            (fun (r : Tcp_input.reply) ->
+              (* A SYN-bearing reply (the SYN-ACK) consumes sequence space
+                 and must survive loss like data does. *)
+              (if r.Tcp_input.flags land Pkt.Tcp.flag_syn <> 0 then
+                 match o.Tcp_input.pcb with
+                 | Some pcb ->
+                   track_tx t pcb ~seq:r.Tcp_input.seq ~flags:r.Tcp_input.flags
+                     Bytes.empty
+                 | None -> ());
+              send_down (reply_frame t r))
             o.Tcp_input.replies
         in
-        Core.Layer.Consume :: downs)
+        let recovery =
+          match o.Tcp_input.pcb with
+          | Some pcb ->
+            List.map send_down
+              (recovery_frames t pcb ~now:msg.Core.Msg.arrival)
+          | None -> []
+        in
+        Core.Layer.Consume :: (downs @ recovery))
   in
   [ ether; ip_layer; tcp ]
 
@@ -193,25 +361,33 @@ let connect t ~dst:(dst_ip, dst_port) ~src_port =
     Pcb.insert_active t.pcbs ~local_port:src_port ~remote:(dst_ip, dst_port) ()
   in
   pcb.Pcb.snd_nxt <- Tcp_input.initial_send_seq;
+  pcb.Pcb.snd_una <- Tcp_input.initial_send_seq;
   let segment =
     Tcp_output.build ~src:t.my_ip ~dst:dst_ip ~src_port ~dst_port
       ~seq:pcb.Pcb.snd_nxt ~ack:0l ~flags:Pkt.Tcp.flag_syn
       ~window:(Sockbuf.space pcb.Pcb.sockbuf) ()
   in
+  track_tx t pcb ~seq:pcb.Pcb.snd_nxt ~flags:Pkt.Tcp.flag_syn Bytes.empty;
   pcb.Pcb.snd_nxt <- Pkt.Tcp.seq_add pcb.Pcb.snd_nxt 1;
   (pcb, build_frame t ~dst_ip segment)
 
 let send t (pcb : Pcb.t) payload =
   match (pcb.Pcb.state, pcb.Pcb.remote) with
   | (Pcb.Established | Pcb.Close_wait), Some (rip, rport) ->
+    let seq = pcb.Pcb.snd_nxt in
+    let flags = Pkt.Tcp.flag_ack lor Pkt.Tcp.flag_psh in
     let segment =
       Tcp_output.build ~src:t.my_ip ~dst:rip ~src_port:pcb.Pcb.local_port
-        ~dst_port:rport ~seq:pcb.Pcb.snd_nxt ~ack:pcb.Pcb.rcv_nxt
-        ~flags:(Pkt.Tcp.flag_ack lor Pkt.Tcp.flag_psh)
+        ~dst_port:rport ~seq ~ack:pcb.Pcb.rcv_nxt ~flags
         ~window:(Sockbuf.space pcb.Pcb.sockbuf)
         ~payload ()
     in
     pcb.Pcb.snd_nxt <- Pkt.Tcp.seq_add pcb.Pcb.snd_nxt (Bytes.length payload);
+    if t.timers <> None then begin
+      (* The segment piggybacks the newest ACK, so nothing is owed. *)
+      pcb.Pcb.delayed_ack <- 0;
+      track_tx t pcb ~seq ~flags payload
+    end;
     Some (build_frame t ~dst_ip:rip segment)
   | _ -> None
 

@@ -57,9 +57,42 @@ type counters = {
   non_tcp : int;
   bad_ip : int;
   delivered_bytes : int;
+  retransmits : int;  (** Segments re-sent by timeout or fast retransmit. *)
 }
 
 val counters : t -> counters
+
+(** {1 Loss recovery}
+
+    Without {!attach_timers} the host behaves exactly as before: no
+    segment tracking, no timers, no retransmissions (lossless links need
+    none and every frame would be acknowledged anyway). *)
+
+val attach_timers :
+  t ->
+  now:(unit -> float) ->
+  schedule:(float -> (unit -> unit) -> unit) ->
+  tx:(Ldlp_buf.Mbuf.t -> unit) ->
+  unit
+(** Connect the host to a clock and event scheduler (typically
+    {!Ldlp_sim.Engine} via {!Ldlp_netsim}), enabling loss recovery:
+
+    - transmitted data segments, SYNs and SYN-ACKs are tracked on their
+      PCB until acknowledged ({!Pcb.track} / {!Pcb.on_ack});
+    - a retransmission timer per connection re-sends the oldest unacked
+      segment when its {!Rto} deadline passes, with exponential backoff
+      (armed on demand, so an idle host schedules nothing and the
+      discrete-event engine can quiesce);
+    - the third duplicate ACK triggers a fast retransmit;
+    - delayed ACKs are bounded by a 40 ms timer instead of waiting
+      indefinitely for a second segment.
+
+    [schedule d k] must run [k] at [now () + d]; [tx] transmits a
+    complete Ethernet frame (e.g. [Nic.transmit]). *)
+
+val delack_timeout : float
+(** Delayed-ACK bound, 0.04 s — below {!Rto.min_rto} so a delayed ACK can
+    never masquerade as a loss. *)
 
 val connect :
   t -> dst:Ldlp_packet.Addr.Ipv4.t * int -> src_port:int -> Pcb.t * Ldlp_buf.Mbuf.t

@@ -1,4 +1,5 @@
 module Ipv4 = Ldlp_packet.Addr.Ipv4
+module Tcp = Ldlp_packet.Tcp
 
 type state = Listen | Syn_sent | Syn_received | Established | Close_wait | Closed
 
@@ -10,6 +11,14 @@ let state_name = function
   | Close_wait -> "close-wait"
   | Closed -> "closed"
 
+type seg = {
+  seg_seq : int32;
+  seg_flags : int;
+  seg_payload : bytes;
+  mutable seg_sent_at : float;
+  mutable seg_rexmits : int;
+}
+
 type t = {
   local_port : int;
   mutable remote : (Ipv4.t * int) option;
@@ -17,8 +26,15 @@ type t = {
   mutable irs : int32;
   mutable rcv_nxt : int32;
   mutable snd_nxt : int32;
+  mutable snd_una : int32;
   mutable delayed_ack : int;
   sockbuf : Sockbuf.t;
+  rto : Rto.t;
+  mutable retx : seg list;  (* unacknowledged segments, oldest first *)
+  mutable dupacks : int;
+  mutable fast_retx_pending : bool;
+  mutable rtx_armed : bool;
+  mutable delack_armed : bool;
 }
 
 type key = int * int32 * int (* local port, remote ip, remote port *)
@@ -53,8 +69,15 @@ let fresh ~local_port ~state ?(hiwat = 16384) () =
     irs = 0l;
     rcv_nxt = 0l;
     snd_nxt = 1l;
+    snd_una = 1l;
     delayed_ack = 0;
     sockbuf = Sockbuf.create ~hiwat ();
+    rto = Rto.create ();
+    retx = [];
+    dupacks = 0;
+    fast_retx_pending = false;
+    rtx_armed = false;
+    delack_armed = false;
   }
 
 let listen table ~port ?hiwat () =
@@ -119,3 +142,53 @@ let drop table pcb =
 let connections table = Hashtbl.length table.conns
 
 let stats table = table.s
+
+(* ---------- retransmission bookkeeping ---------- *)
+
+let seg_span s =
+  Bytes.length s.seg_payload
+  + (if s.seg_flags land Tcp.flag_syn <> 0 then 1 else 0)
+  + if s.seg_flags land Tcp.flag_fin <> 0 then 1 else 0
+
+let track pcb ~now ~seq ~flags payload =
+  if not (List.exists (fun s -> Int32.equal s.seg_seq seq) pcb.retx) then
+    pcb.retx <-
+      pcb.retx
+      @ [
+          {
+            seg_seq = seq;
+            seg_flags = flags;
+            seg_payload = payload;
+            seg_sent_at = now;
+            seg_rexmits = 0;
+          };
+        ]
+
+let unacked pcb = List.length pcb.retx
+
+let oldest_unacked pcb = match pcb.retx with [] -> None | s :: _ -> Some s
+
+type ack_class = Ack_new of float option | Ack_duplicate | Ack_old
+
+let on_ack pcb ~now ack =
+  if Tcp.seq_lt pcb.snd_una ack && Tcp.seq_leq ack pcb.snd_nxt then begin
+    let acked, rest =
+      List.partition
+        (fun s -> Tcp.seq_leq (Tcp.seq_add s.seg_seq (seg_span s)) ack)
+        pcb.retx
+    in
+    pcb.retx <- rest;
+    pcb.snd_una <- ack;
+    pcb.dupacks <- 0;
+    Rto.reset_backoff pcb.rto;
+    (* Karn's rule: only a segment transmitted exactly once yields an RTT
+       sample (take the newest fully covered one). *)
+    let sample =
+      List.fold_left
+        (fun acc s -> if s.seg_rexmits = 0 then Some (now -. s.seg_sent_at) else acc)
+        None acked
+    in
+    Ack_new sample
+  end
+  else if Int32.equal ack pcb.snd_una then Ack_duplicate
+  else Ack_old

@@ -17,6 +17,16 @@ type state =
 
 val state_name : state -> string
 
+type seg = {
+  seg_seq : int32;
+  seg_flags : int;
+  seg_payload : bytes;
+  mutable seg_sent_at : float;  (** Last (re)transmission time. *)
+  mutable seg_rexmits : int;  (** Retransmissions so far (0 = original). *)
+}
+(** A sent-but-unacknowledged segment, as the retransmission machinery
+    remembers it. *)
+
 type t = {
   local_port : int;
   mutable remote : (Ldlp_packet.Addr.Ipv4.t * int) option;
@@ -25,10 +35,19 @@ type t = {
   mutable irs : int32;  (** Initial receive sequence number. *)
   mutable rcv_nxt : int32;
   mutable snd_nxt : int32;
+  mutable snd_una : int32;  (** Oldest unacknowledged sequence number. *)
   mutable delayed_ack : int;
       (** Segments received since the last ACK was sent; 4.4BSD acks every
           second data segment. *)
   sockbuf : Sockbuf.t;
+  rto : Rto.t;  (** Per-connection timeout estimator. *)
+  mutable retx : seg list;  (** Unacknowledged segments, oldest first. *)
+  mutable dupacks : int;  (** Consecutive duplicate ACKs seen. *)
+  mutable fast_retx_pending : bool;
+      (** Set by the input path on the third duplicate ACK; the host's
+          recovery driver consumes it. *)
+  mutable rtx_armed : bool;  (** A retransmission timer event is scheduled. *)
+  mutable delack_armed : bool;  (** A delayed-ACK timer event is scheduled. *)
 }
 
 type table
@@ -71,3 +90,34 @@ val drop : table -> t -> unit
 val connections : table -> int
 
 val stats : table -> stats
+
+(** {1 Retransmission bookkeeping}
+
+    Pure sequence-space accounting; the timers that drive it live in
+    {!Host}. *)
+
+val seg_span : seg -> int
+(** Sequence space a segment occupies: payload bytes plus one for SYN and
+    one for FIN. *)
+
+val track : t -> now:float -> seq:int32 -> flags:int -> bytes -> unit
+(** Remember a transmitted segment for retransmission (no-op if a segment
+    with that sequence number is already tracked). *)
+
+val unacked : t -> int
+(** Tracked segments not yet acknowledged. *)
+
+val oldest_unacked : t -> seg option
+
+type ack_class =
+  | Ack_new of float option
+      (** Acknowledged new data; tracked segments it covers were released
+          and [snd_una] advanced.  Carries an RTT sample when a covered
+          segment had never been retransmitted (Karn's rule). *)
+  | Ack_duplicate  (** ACK for exactly [snd_una] — a potential dup-ACK. *)
+  | Ack_old  (** Outside the window; ignore. *)
+
+val on_ack : t -> now:float -> int32 -> ack_class
+(** Process an incoming ACK value against the retransmission queue.  On
+    new data: releases covered segments, resets [dupacks] and the RTO
+    backoff. *)

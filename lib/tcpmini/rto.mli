@@ -1,0 +1,41 @@
+(** Retransmission-timeout estimation: SRTT/RTTVAR smoothing (RFC 6298 /
+    the 4.4BSD [tcp_xmit_timer]) plus exponential backoff.
+
+    One instance per connection.  {!observe} feeds a round-trip sample
+    (never from a retransmitted segment — Karn's rule is the caller's
+    job); {!rto} is the current timeout including backoff; {!backoff}
+    doubles it after a timer expiry and {!reset_backoff} clears the
+    exponent when new data is acknowledged. *)
+
+type t
+
+val initial_rto : float
+(** Timeout before any sample has been observed: 1 s. *)
+
+val min_rto : float
+(** Lower clamp on the unbacked-off timeout: 200 ms (well above the
+    delayed-ACK timer, so a delayed ACK never looks like a loss). *)
+
+val max_rto : float
+(** Upper clamp including backoff: 60 s. *)
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** Feed one RTT sample in seconds: [srtt += (sample - srtt) / 8],
+    [rttvar += (|err| - rttvar) / 4] (first sample initialises both). *)
+
+val srtt : t -> float option
+(** Smoothed RTT, if any sample has been observed. *)
+
+val rto : t -> float
+(** [clamp (srtt + 4 * rttvar) * 2^backoff] into [min_rto, max_rto]
+    ([initial_rto] base before the first sample). *)
+
+val backoff : t -> unit
+(** Double the timeout (after a retransmission timer expiry). *)
+
+val backoff_count : t -> int
+
+val reset_backoff : t -> unit
+(** New data acknowledged: the network is moving again. *)

@@ -77,7 +77,22 @@ let rst_for ~src_ip (h : Tcp.header) ~dst_port ~payload_len =
       };
     ]
 
-let established_input table ~src_ip pcb (h : Tcp.header) payload =
+(* Run an incoming ACK value through the retransmission queue.  A pure
+   ACK for [snd_una] while data is outstanding is a dup-ACK; the third in
+   a row requests a fast retransmit (flagged on the PCB — the host's
+   recovery driver, when timers are attached, emits the segment). *)
+let process_ack pcb ~now (h : Tcp.header) ~len =
+  if Tcp.has_flag h Tcp.flag_ack then
+    match Pcb.on_ack pcb ~now h.Tcp.ack with
+    | Pcb.Ack_new sample -> Option.iter (Rto.observe pcb.Pcb.rto) sample
+    | Pcb.Ack_duplicate
+      when len = 0 && pcb.Pcb.retx <> []
+           && not (Tcp.has_flag h (Tcp.flag_syn lor Tcp.flag_fin)) ->
+      pcb.Pcb.dupacks <- pcb.Pcb.dupacks + 1;
+      if pcb.Pcb.dupacks = 3 then pcb.Pcb.fast_retx_pending <- true
+    | Pcb.Ack_duplicate | Pcb.Ack_old -> ()
+
+let established_input table ~src_ip ~now pcb (h : Tcp.header) payload =
   let len = Bytes.length payload in
   if Tcp.has_flag h Tcp.flag_rst then begin
     Pcb.drop table pcb;
@@ -94,6 +109,7 @@ let established_input table ~src_ip pcb (h : Tcp.header) payload =
     && Sockbuf.space pcb.Pcb.sockbuf >= len
   then begin
     counters := { !counters with fastpath_hits = !counters.fastpath_hits + 1 };
+    process_ack pcb ~now h ~len;
     let accepted = Sockbuf.append pcb.Pcb.sockbuf payload in
     pcb.Pcb.rcv_nxt <- Tcp.seq_add pcb.Pcb.rcv_nxt accepted;
     pcb.Pcb.delayed_ack <- pcb.Pcb.delayed_ack + 1;
@@ -108,6 +124,7 @@ let established_input table ~src_ip pcb (h : Tcp.header) payload =
   end
   else begin
     counters := { !counters with slowpath = !counters.slowpath + 1 };
+    process_ack pcb ~now h ~len;
     (* Slow path: in-order FIN, out-of-order data, window probes... *)
     let in_order = Int32.equal h.Tcp.seq pcb.Pcb.rcv_nxt in
     let delivered =
@@ -127,19 +144,24 @@ let established_input table ~src_ip pcb (h : Tcp.header) payload =
       pcb.Pcb.rcv_nxt <- Tcp.seq_add pcb.Pcb.rcv_nxt 1;
       pcb.Pcb.state <- Pcb.Close_wait
     end;
-    (* The slow path always acknowledges immediately: duplicate and
-       out-of-order segments trigger the classic dup-ACK. *)
-    pcb.Pcb.delayed_ack <- 0;
-    {
-      pcb = Some pcb;
-      delivered;
-      replies = [ reply_of ~src_ip h pcb ~flags:Tcp.flag_ack ];
-      fastpath = false;
-      dropped = None;
-    }
+    (* The slow path acknowledges immediately — duplicate and out-of-order
+       segments trigger the classic dup-ACK — but only segments that
+       occupy sequence space.  A pure ACK must never be ACKed back, or two
+       hosts volley acknowledgments forever. *)
+    let occupies =
+      len > 0 || Tcp.has_flag h Tcp.flag_syn || Tcp.has_flag h Tcp.flag_fin
+    in
+    let replies =
+      if occupies then begin
+        pcb.Pcb.delayed_ack <- 0;
+        [ reply_of ~src_ip h pcb ~flags:Tcp.flag_ack ]
+      end
+      else []
+    in
+    { pcb = Some pcb; delivered; replies; fastpath = false; dropped = None }
   end
 
-let segment_arrived table ~my_ip ~src_ip ~pool m =
+let segment_arrived table ~my_ip ~src_ip ~pool ?(now = 0.0) m =
   if not (Tcp.verify_checksum ~src:src_ip ~dst:my_ip m) then begin
     Mbuf.free pool m;
     drop `Bad_checksum
@@ -176,6 +198,7 @@ let segment_arrived table ~my_ip ~src_ip ~pool m =
             conn.Pcb.irs <- h.Tcp.seq;
             conn.Pcb.rcv_nxt <- Tcp.seq_add h.Tcp.seq 1;
             conn.Pcb.snd_nxt <- initial_send_seq;
+            conn.Pcb.snd_una <- initial_send_seq;
             let reply =
               reply_of ~src_ip h conn ~flags:(Tcp.flag_syn lor Tcp.flag_ack)
             in
@@ -207,13 +230,30 @@ let segment_arrived table ~my_ip ~src_ip ~pool m =
             Tcp.has_flag h Tcp.flag_ack
             && Int32.equal h.Tcp.ack pcb.Pcb.snd_nxt
           then begin
+            process_ack pcb ~now h ~len:(Bytes.length payload);
             pcb.Pcb.state <- Pcb.Established;
             (* The handshake ACK may carry data; reprocess it through the
                established path. *)
             if Bytes.length payload > 0 then
-              established_input table ~src_ip pcb h payload
+              established_input table ~src_ip ~now pcb h payload
             else
               { pcb = Some pcb; delivered = 0; replies = []; fastpath = false; dropped = None }
+          end
+          else if
+            Tcp.has_flag h Tcp.flag_syn
+            && (not (Tcp.has_flag h Tcp.flag_ack))
+            && Int32.equal h.Tcp.seq pcb.Pcb.irs
+          then begin
+            (* Retransmitted SYN: our SYN-ACK was lost; repeat it with the
+               original sequence number (snd_nxt already consumed it). *)
+            let r = reply_of ~src_ip h pcb ~flags:(Tcp.flag_syn lor Tcp.flag_ack) in
+            {
+              pcb = Some pcb;
+              delivered = 0;
+              replies = [ { r with seq = Tcp.seq_add pcb.Pcb.snd_nxt (-1) } ];
+              fastpath = false;
+              dropped = None;
+            }
           end
           else drop ~pcb `Bad_state
         | Pcb.Syn_sent ->
@@ -228,6 +268,7 @@ let segment_arrived table ~my_ip ~src_ip ~pool m =
             && Int32.equal h.Tcp.ack pcb.Pcb.snd_nxt
           then begin
             (* Active open completes: record the server's ISN and ack it. *)
+            process_ack pcb ~now h ~len:0;
             pcb.Pcb.irs <- h.Tcp.seq;
             pcb.Pcb.rcv_nxt <- Tcp.seq_add h.Tcp.seq 1;
             pcb.Pcb.state <- Pcb.Established;
@@ -241,6 +282,6 @@ let segment_arrived table ~my_ip ~src_ip ~pool m =
           end
           else drop ~pcb `Bad_state
         | Pcb.Established | Pcb.Close_wait ->
-          established_input table ~src_ip pcb h payload
+          established_input table ~src_ip ~now pcb h payload
         | Pcb.Closed -> drop ~pcb `Bad_state))
   end

@@ -45,10 +45,19 @@ val segment_arrived :
   my_ip:Ldlp_packet.Addr.Ipv4.t ->
   src_ip:Ldlp_packet.Addr.Ipv4.t ->
   pool:Ldlp_buf.Pool.t ->
+  ?now:float ->
   Ldlp_buf.Mbuf.t ->
   outcome
 (** Process one TCP segment held in an mbuf chain (IP header already
-    stripped).  The chain is consumed (freed). *)
+    stripped).  The chain is consumed (freed).
+
+    [now] (default 0) is the arrival time used by the loss-recovery
+    bookkeeping: incoming ACK values run through {!Pcb.on_ack} (releasing
+    tracked segments, feeding the {!Rto} estimator under Karn's rule, and
+    flagging a fast retransmit on the PCB after three duplicate ACKs), and
+    a retransmitted SYN in [Syn_received] gets its SYN-ACK repeated.  With
+    no tracked segments (no timers attached — see {!Host.attach_timers})
+    all of this is inert. *)
 
 type stats = { fastpath_hits : int; slowpath : int; acks_sent : int; drops : int }
 

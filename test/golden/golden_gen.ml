@@ -74,4 +74,8 @@ let () =
   write "granularity"
     (R.ablation_granularity (F.ablation_granularity ~domains ~seed ()));
   write "tcpstack" (R.extension_tcp_stack (F.extension_tcp_stack ~domains ~seed ()));
-  write "stats" (R.observability ~domains ~params ~seed ())
+  write "stats" (R.observability ~domains ~params ~seed ());
+  write "soak"
+    (Ldlp_soak.Soak.render
+       (Ldlp_soak.Soak.run_all ~domains
+          (Ldlp_soak.Soak.scenarios ~seed ~count:6)))

@@ -238,6 +238,71 @@ let test_stats_per_layer () =
   List.iter (fun (_, n) -> checki "each layer handled all" 4 n) st.Sched.per_layer;
   checki "injected" 4 st.Sched.injected
 
+let test_intake_shedding () =
+  let shed_ids = ref [] in
+  let delivered = ref [] in
+  let sched =
+    Sched.create ~discipline:Sched.Conventional
+      ~layers:[ Layer.passthrough "l0"; Layer.passthrough "l1" ]
+      ~up:(fun m -> delivered := m.Msg.id :: !delivered)
+      ~intake_limit:3
+      ~on_shed:(fun m -> shed_ids := m.Msg.id :: !shed_ids)
+      ()
+  in
+  let results =
+    List.map (fun m -> (m.Msg.id, Sched.try_inject sched m))
+      (List.init 5 (fun i -> Msg.make ~size:10 i))
+  in
+  checki "watermark admits 3" 3 (List.length (List.filter snd results));
+  checki "2 passed to on_shed" 2 (List.length !shed_ids);
+  (* The refused messages are the last two offered. *)
+  Alcotest.(check (list bool))
+    "first-come first-served" [ true; true; true; false; false ]
+    (List.map snd results);
+  let st = Sched.stats sched in
+  checki "stats.shed" 2 st.Sched.shed;
+  (* Shed arrivals never enter the stack: the conservation invariant
+     (injected = delivered + consumed + sent_down) is untouched. *)
+  checki "shed not counted injected" 3 st.Sched.injected;
+  Sched.run sched;
+  checki "accepted messages all delivered" 3 (List.length !delivered);
+  checki "nothing shed mid-run" 2 (Sched.stats sched).Sched.shed;
+  (* Draining the queue reopens the intake. *)
+  check "room after run" true (Sched.try_inject sched (Msg.make ~size:10 9));
+  (* Without a limit try_inject never refuses. *)
+  let open_sched =
+    Sched.create ~discipline:(Sched.Ldlp Batch.All)
+      ~layers:[ Layer.passthrough "l0" ] ()
+  in
+  check "unlimited intake" true
+    (List.for_all Fun.id
+       (List.init 100 (fun i -> Sched.try_inject open_sched (Msg.make i))))
+
+let test_shed_scalar_only_with_limit () =
+  Ldlp_obs.Obs.with_enabled true (fun () ->
+      let m = Ldlp_obs.Metrics.create ~label:"shed" ~layer_names:[ "l0" ] in
+      let sched =
+        Sched.create ~discipline:Sched.Conventional
+          ~layers:[ Layer.passthrough "l0" ]
+          ~intake_limit:1 ~metrics:m ()
+      in
+      ignore (Sched.try_inject sched (Msg.make 0));
+      ignore (Sched.try_inject sched (Msg.make 1));
+      ignore (Sched.try_inject sched (Msg.make 2));
+      checki "scalar mirrors stats.shed" (Sched.stats sched).Sched.shed
+        (List.assoc "shed" (Ldlp_obs.Metrics.scalars m));
+      checki "two shed" 2 (List.assoc "shed" (Ldlp_obs.Metrics.scalars m));
+      (* No intake limit: the scalar is not even registered, keeping
+         existing stats sheets (and their goldens) unchanged. *)
+      let m2 = Ldlp_obs.Metrics.create ~label:"noshed" ~layer_names:[ "l0" ] in
+      let _sched2 =
+        Sched.create ~discipline:Sched.Conventional
+          ~layers:[ Layer.passthrough "l0" ]
+          ~metrics:m2 ()
+      in
+      check "no scalar without a limit" false
+        (List.mem_assoc "shed" (Ldlp_obs.Metrics.scalars m2)))
+
 let test_empty_stack_rejected () =
   check "empty stack raises" true
     (try
@@ -495,6 +560,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_conservation;
     QCheck_alcotest.to_alcotest prop_fifo_per_flow;
     Alcotest.test_case "stats per layer" `Quick test_stats_per_layer;
+    Alcotest.test_case "intake shedding" `Quick test_intake_shedding;
+    Alcotest.test_case "shed scalar only with limit" `Quick
+      test_shed_scalar_only_with_limit;
     Alcotest.test_case "empty stack rejected" `Quick test_empty_stack_rejected;
     Alcotest.test_case "tx conventional order" `Quick test_tx_conventional_order;
     Alcotest.test_case "tx ldlp blocked order" `Quick test_tx_ldlp_blocked_order;

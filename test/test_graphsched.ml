@@ -168,9 +168,39 @@ let prop_graph_conservation =
       && s.Graphsched.misrouted = 0
       && Graphsched.pending g = 0)
 
+let test_intake_shedding () =
+  let shed_ids = ref [] in
+  let g =
+    Graphsched.create ~discipline:Sched.Conventional ~intake_limit:2
+      ~on_shed:(fun m -> shed_ids := snd m.Msg.payload :: !shed_ids)
+      ()
+  in
+  Graphsched.add_layer g
+    (Layer.v ~name:"top" (fun m ->
+         ignore m;
+         [ Layer.Consume ]));
+  Graphsched.add_layer g ~above:[ "top" ]
+    (Layer.v ~name:"ether" (fun m -> [ Layer.Deliver_up m ]));
+  let results =
+    List.init 5 (fun i -> Graphsched.try_inject g ~into:"ether" (msg "tcp" i))
+  in
+  Alcotest.(check (list bool))
+    "watermark admits the first 2" [ true; true; false; false; false ] results;
+  Alcotest.(check (list int)) "refused ids to on_shed" [ 2; 3; 4 ]
+    (List.rev !shed_ids);
+  let st = Graphsched.stats g in
+  checki "stats.shed" 3 st.Graphsched.shed;
+  checki "shed not counted injected" 2 st.Graphsched.injected;
+  Graphsched.run g;
+  let st = Graphsched.stats g in
+  checki "accepted all consumed" 2 st.Graphsched.consumed;
+  check "drained queue reopens intake" true
+    (Graphsched.try_inject g ~into:"ether" (msg "tcp" 9))
+
 let suite =
   [
     Alcotest.test_case "graph shape" `Quick test_graph_shape;
+    Alcotest.test_case "intake shedding" `Quick test_intake_shedding;
     Alcotest.test_case "demux routes" `Quick test_demux_routes;
     Alcotest.test_case "ldlp blocked over graph" `Quick test_ldlp_blocked_over_graph;
     Alcotest.test_case "branch priority" `Quick

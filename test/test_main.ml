@@ -17,6 +17,8 @@ let () =
       ("dnslite", Test_dnslite.suite);
       ("model", Test_model.suite);
       ("netsim", Test_netsim.suite);
+      ("fault", Test_fault.suite);
+      ("soak", Test_soak.suite);
       ("obs", Test_obs.suite);
       ("report", Test_report.suite);
       ("integration", Test_integration.suite);

@@ -1,0 +1,103 @@
+(* Tests for the chaos-soak harness: the acceptance scenario (loss +
+   duplication + reordering + corruption survived with exact stream
+   integrity, no mbuf leak and Conventional/LDLP equivalence), the
+   pristine baseline (zero retransmissions), and determinism of the whole
+   matrix across domain counts. *)
+
+open Ldlp_soak
+
+let check = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let test_scenario_matrix () =
+  let scs = Soak.scenarios ~seed:1996 ~count:5 in
+  checki "count" 5 (List.length scs);
+  let s0 = List.nth scs 0 in
+  check "scenario 0 pristine" true (Ldlp_fault.Plan.is_none s0.Soak.plan);
+  let s1 = List.nth scs 1 in
+  check "scenario 1 is the acceptance mix" true
+    (s1.Soak.plan.Ldlp_fault.Plan.drop = 0.05
+    && s1.Soak.plan.Ldlp_fault.Plan.dup = 0.02
+    && s1.Soak.plan.Ldlp_fault.Plan.corrupt = 0.001
+    && s1.Soak.plan.Ldlp_fault.Plan.reorder = 0.1
+    && s1.Soak.plan.Ldlp_fault.Plan.reorder_window = 4);
+  (* Distinct seeds per scenario, and every random plan validates. *)
+  let seeds = List.map (fun s -> s.Soak.seed) scs in
+  checki "seeds distinct" 5 (List.length (List.sort_uniq compare seeds));
+  List.iter (fun s -> Ldlp_fault.Plan.validate s.Soak.plan) scs
+
+let test_pristine_scenario () =
+  let sc = List.hd (Soak.scenarios ~seed:1996 ~count:1) in
+  let r = Soak.run_scenario sc in
+  check "report ok" true (Soak.report_ok r);
+  checki "no retransmits without faults" 0 r.Soak.conventional.Soak.retransmits;
+  checki "no retransmits under ldlp either" 0 r.Soak.ldlp.Soak.retransmits;
+  checki "nothing dropped" 0 r.Soak.conventional.Soak.dropped;
+  checki "every byte echoed" (sc.Soak.chunks * sc.Soak.chunk_bytes)
+    r.Soak.conventional.Soak.echoed_bytes
+
+(* The issue's acceptance scenario: 5% loss + duplication + 4-frame
+   reorder window + 0.1% corruption must still deliver the exact byte
+   stream under both disciplines, leak-free. *)
+let test_acceptance_scenario () =
+  let sc = List.nth (Soak.scenarios ~seed:1996 ~count:2) 1 in
+  let r = Soak.run_scenario sc in
+  check "completed (conventional)" true r.Soak.conventional.Soak.completed;
+  check "completed (ldlp)" true r.Soak.ldlp.Soak.completed;
+  check "byte-stream integrity (conventional)" true
+    r.Soak.conventional.Soak.integrity;
+  check "byte-stream integrity (ldlp)" true r.Soak.ldlp.Soak.integrity;
+  check "zero mbuf leak (conventional)" true r.Soak.conventional.Soak.leak_free;
+  check "zero mbuf leak (ldlp)" true r.Soak.ldlp.Soak.leak_free;
+  check "disciplines equivalent" true r.Soak.equivalent;
+  (* The chaos was real: the link dropped frames and recovery ran. *)
+  check "frames were dropped" true (r.Soak.ldlp.Soak.dropped > 0);
+  check "retransmissions happened" true (r.Soak.ldlp.Soak.retransmits > 0)
+
+let test_equivalence_includes_fault_sequence () =
+  (* Conventional and LDLP see the same impairment draws, so their
+     outcomes agree not just on bytes but on the wire-level fault mix. *)
+  let sc = List.nth (Soak.scenarios ~seed:1996 ~count:2) 1 in
+  let r = Soak.run_scenario sc in
+  let c = r.Soak.conventional and l = r.Soak.ldlp in
+  checki "same echoed bytes" c.Soak.echoed_bytes l.Soak.echoed_bytes;
+  checki "same drops" c.Soak.dropped l.Soak.dropped;
+  checki "same duplicates" c.Soak.duplicated l.Soak.duplicated;
+  checki "same corruptions" c.Soak.corrupted l.Soak.corrupted;
+  checki "same reorders" c.Soak.reordered l.Soak.reordered
+
+let test_run_all_deterministic_across_domains () =
+  let scs = Soak.scenarios ~seed:1996 ~count:4 in
+  let a = Soak.run_all ~domains:1 scs in
+  let b = Soak.run_all ~domains:3 scs in
+  check "identical reports at 1 and 3 domains" true (a = b);
+  Alcotest.(check string)
+    "identical rendered table" (Soak.render a) (Soak.render b);
+  check "all ok" true (List.for_all Soak.report_ok a)
+
+let test_loss_ladder () =
+  let rows = Soak.loss_ladder ~seed:1996 ~rates:[ 0.0; 0.05 ] in
+  match rows with
+  | [ clean; lossy ] ->
+    check "clean rung ok" true clean.Soak.ok;
+    check "lossy rung ok" true lossy.Soak.ok;
+    checki "no retransmits at 0 loss" 0 clean.Soak.ladder_retransmits;
+    check "loss costs retransmits" true (lossy.Soak.ladder_retransmits > 0);
+    check "loss costs goodput" true (lossy.Soak.goodput < clean.Soak.goodput);
+    check "goodput positive" true (lossy.Soak.goodput > 0.0)
+  | l -> Alcotest.failf "expected 2 rungs, got %d" (List.length l)
+
+let suite =
+  [
+    Alcotest.test_case "scenario matrix" `Quick test_scenario_matrix;
+    Alcotest.test_case "pristine: zero retransmits" `Quick
+      test_pristine_scenario;
+    Alcotest.test_case "acceptance chaos scenario" `Quick
+      test_acceptance_scenario;
+    Alcotest.test_case "equivalence includes fault sequence" `Quick
+      test_equivalence_includes_fault_sequence;
+    Alcotest.test_case "run_all deterministic across domains" `Quick
+      test_run_all_deterministic_across_domains;
+    Alcotest.test_case "loss ladder" `Quick test_loss_ladder;
+  ]

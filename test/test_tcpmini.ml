@@ -445,6 +445,324 @@ let test_fragments_dropped_without_reassembly () =
   | Some pcb -> checki "nothing delivered" 0 (Sockbuf.length pcb.Pcb.sockbuf)
   | None -> Alcotest.fail "no pcb"
 
+(* ---------- Rto ---------- *)
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_rto_estimator () =
+  checkf "initial" 1.0 Rto.initial_rto;
+  checkf "min" 0.2 Rto.min_rto;
+  checkf "max" 60.0 Rto.max_rto;
+  let r = Rto.create () in
+  check "no sample yet" true (Rto.srtt r = None);
+  checkf "initial rto" Rto.initial_rto (Rto.rto r);
+  Rto.observe r 0.1;
+  (match Rto.srtt r with
+  | Some s -> checkf "first sample initialises srtt" 0.1 s
+  | None -> Alcotest.fail "no srtt after observe");
+  (* rttvar starts at sample/2: rto = 0.1 + 4 * 0.05. *)
+  checkf "rto after first sample" 0.3 (Rto.rto r);
+  Rto.observe r 0.1;
+  (* A steady rtt decays the variance term: rttvar = 0.05 * 3/4. *)
+  checkf "steady sample decays rttvar" (0.1 +. (4.0 *. 0.0375)) (Rto.rto r);
+  (* A sub-millisecond LAN rtt clamps at min_rto. *)
+  let r2 = Rto.create () in
+  Rto.observe r2 1e-4;
+  checkf "min clamp" Rto.min_rto (Rto.rto r2)
+
+let test_rto_backoff () =
+  let r = Rto.create () in
+  Rto.observe r 0.1;
+  let base = Rto.rto r in
+  Rto.backoff r;
+  checkf "doubled" (2.0 *. base) (Rto.rto r);
+  Rto.backoff r;
+  checkf "quadrupled" (4.0 *. base) (Rto.rto r);
+  checki "backoff count" 2 (Rto.backoff_count r);
+  Rto.reset_backoff r;
+  checkf "reset" base (Rto.rto r);
+  for _ = 1 to 40 do
+    Rto.backoff r
+  done;
+  checkf "max clamp" Rto.max_rto (Rto.rto r)
+
+(* ---------- Pcb segment tracking and Karn's rule ---------- *)
+
+let test_pcb_track_and_karn () =
+  let t = Pcb.create_table () in
+  let l = Pcb.listen t ~port:80 () in
+  let pcb = Pcb.insert_connection t ~listener:l ~remote:(ipa "10.0.0.9", 1) in
+  pcb.Pcb.state <- Pcb.Established;
+  pcb.Pcb.snd_una <- 100l;
+  pcb.Pcb.snd_nxt <- 100l;
+  Pcb.track pcb ~now:1.0 ~seq:100l ~flags:Tcp.flag_ack (Bytes.make 10 'x');
+  pcb.Pcb.snd_nxt <- 110l;
+  checki "one unacked" 1 (Pcb.unacked pcb);
+  (* A segment transmitted exactly once yields an RTT sample... *)
+  (match Pcb.on_ack pcb ~now:1.5 110l with
+  | Pcb.Ack_new (Some s) -> checkf "sample = ack - send time" 0.5 s
+  | _ -> Alcotest.fail "expected Ack_new with a sample");
+  (* ...a retransmitted one must not (Karn's rule). *)
+  Pcb.track pcb ~now:2.0 ~seq:110l ~flags:Tcp.flag_ack (Bytes.make 5 'y');
+  pcb.Pcb.snd_nxt <- 115l;
+  (match Pcb.oldest_unacked pcb with
+  | Some s ->
+    s.Pcb.seg_rexmits <- 1;
+    s.Pcb.seg_sent_at <- 2.6
+  | None -> Alcotest.fail "no tracked segment");
+  (match Pcb.on_ack pcb ~now:3.0 115l with
+  | Pcb.Ack_new None -> ()
+  | Pcb.Ack_new (Some _) -> Alcotest.fail "Karn's rule violated"
+  | _ -> Alcotest.fail "expected Ack_new");
+  checki "queue drained" 0 (Pcb.unacked pcb);
+  (* An ack below snd_una is old; an ack at snd_una is a duplicate. *)
+  check "old" true (Pcb.on_ack pcb ~now:3.0 100l = Pcb.Ack_old);
+  check "duplicate" true (Pcb.on_ack pcb ~now:3.0 115l = Pcb.Ack_duplicate)
+
+(* ---------- Loss recovery through the host timers ---------- *)
+
+(* A manual clock + event list standing in for the discrete-event engine:
+   [advance] runs due callbacks in (time, insertion) order. *)
+module Fake_clock = struct
+  type ev = { at : float; k : unit -> unit; id : int }
+
+  type t = { mutable now : float; mutable events : ev list; mutable next : int }
+
+  let create () = { now = 0.0; events = []; next = 0 }
+
+  let schedule t d k =
+    t.events <- { at = t.now +. d; k; id = t.next } :: t.events;
+    t.next <- t.next + 1
+
+  let rec advance t until =
+    let due = List.filter (fun e -> e.at <= until) t.events in
+    match List.sort (fun a b -> compare (a.at, a.id) (b.at, b.id)) due with
+    | [] -> t.now <- until
+    | e :: _ ->
+      t.events <- List.filter (fun e' -> e'.id <> e.id) t.events;
+      t.now <- e.at;
+      e.k ();
+      advance t until
+end
+
+let attach_fake_timers host =
+  let clk = Fake_clock.create () in
+  let txed = ref [] in
+  Host.attach_timers host
+    ~now:(fun () -> clk.Fake_clock.now)
+    ~schedule:(Fake_clock.schedule clk)
+    ~tx:(fun f -> txed := f :: !txed);
+  (clk, txed)
+
+let established_pcb host ~src_port =
+  match Pcb.lookup (Host.table host) ~local_port:80 ~remote:(client_ip, src_port) with
+  | Some pcb -> pcb
+  | None -> Alcotest.fail "no pcb"
+
+let test_retransmission_timeout_and_backoff () =
+  let _, host = make_host () in
+  ignore (Host.listen host ~port:80);
+  let clk, txed = attach_fake_timers host in
+  ignore (handshake host ~src_port:9000);
+  let pcb = established_pcb host ~src_port:9000 in
+  (* Let the (now pointless) handshake retransmission timer expire with
+     an empty queue, then send data and lose the original transmission
+     on the floor. *)
+  Fake_clock.advance clk 1.0;
+  checki "acked handshake retransmits nothing" 0
+    (Host.counters host).Host.retransmits;
+  (match Host.send host pcb (Bytes.of_string "needs-ack") with
+  | Some _ -> ()
+  | None -> Alcotest.fail "send refused");
+  checki "tracked" 1 (Pcb.unacked pcb);
+  (* The handshake rtt sample was ~0, so the timer sits at min_rto. *)
+  Fake_clock.advance clk 1.3;
+  checki "first timeout retransmitted" 1 (Host.counters host).Host.retransmits;
+  checki "backoff applied" 1 (Rto.backoff_count pcb.Pcb.rto);
+  (* Next deadline doubled: min_rto * 2 past the retransmission. *)
+  Fake_clock.advance clk 1.5;
+  checki "not yet" 1 (Host.counters host).Host.retransmits;
+  Fake_clock.advance clk 1.7;
+  checki "second timeout" 2 (Host.counters host).Host.retransmits;
+  (* Both retransmissions carried the original segment. *)
+  let frames = List.rev !txed in
+  checki "two frames on the wire" 2 (List.length frames);
+  List.iter
+    (fun f ->
+      match Host.parse_tx host (Host.wrap host f) with
+      | Some (h, payload) ->
+        check "data flags" true (Tcp.has_flag h Tcp.flag_psh);
+        checks "payload intact" "needs-ack" (Bytes.to_string payload)
+      | None -> Alcotest.fail "unparseable retransmission")
+    frames;
+  (* The ack finally lands: queue drains, backoff resets, timer goes quiet. *)
+  let ack =
+    Host.client_frame host ~src_ip:client_ip ~src_port:9000 ~dst_port:80
+      ~seq:101l ~ack:pcb.Pcb.snd_nxt ~flags:Tcp.flag_ack ()
+  in
+  checki "no reply to the ack" 0 (List.length (run_frames host [ ack ]));
+  checki "queue drained" 0 (Pcb.unacked pcb);
+  checki "backoff reset" 0 (Rto.backoff_count pcb.Pcb.rto);
+  txed := [];
+  Fake_clock.advance clk 100.0;
+  checki "silent once acked" 0 (List.length !txed);
+  checki "no further retransmits" 2 (Host.counters host).Host.retransmits
+
+let test_fast_retransmit_on_third_dupack () =
+  let _, host = make_host () in
+  ignore (Host.listen host ~port:80);
+  let _clk, _txed = attach_fake_timers host in
+  ignore (handshake host ~src_port:9001);
+  let pcb = established_pcb host ~src_port:9001 in
+  (match Host.send host pcb (Bytes.of_string "lost") with
+  | Some _ -> ()
+  | None -> Alcotest.fail "send refused");
+  let dup () =
+    Host.client_frame host ~src_ip:client_ip ~src_port:9001 ~dst_port:80
+      ~seq:101l ~ack:pcb.Pcb.snd_una ~flags:Tcp.flag_ack ()
+  in
+  checki "1st dup-ack: silent" 0 (List.length (run_frames host [ dup () ]));
+  checki "2nd dup-ack: silent" 0 (List.length (run_frames host [ dup () ]));
+  checki "no retransmit below threshold" 0 (Host.counters host).Host.retransmits;
+  (match run_frames host [ dup () ] with
+  | [ (h, payload) ] ->
+    check "3rd dup-ack fast-retransmits" true (Tcp.has_flag h Tcp.flag_psh);
+    checks "the lost segment" "lost" (Bytes.to_string payload)
+  | l -> Alcotest.failf "expected the fast retransmit, got %d" (List.length l));
+  checki "counted" 1 (Host.counters host).Host.retransmits;
+  (* A fourth duplicate does not retransmit again. *)
+  checki "4th dup-ack: silent" 0 (List.length (run_frames host [ dup () ]));
+  checki "still one" 1 (Host.counters host).Host.retransmits
+
+let test_delayed_ack_timer () =
+  let _, host = make_host () in
+  ignore (Host.listen host ~port:80);
+  let clk, txed = attach_fake_timers host in
+  ignore (handshake host ~src_port:9002);
+  check "delack below min_rto" true (Host.delack_timeout < Rto.min_rto);
+  (* A single data segment: 4.4BSD waits for a second one... *)
+  let seg = data_frame host ~src_port:9002 ~seq:101l "hi" in
+  checki "no immediate ack" 0 (List.length (run_frames host [ seg ]));
+  checki "nothing transmitted yet" 0 (List.length !txed);
+  (* ...but the delayed-ACK timer bounds the wait. *)
+  Fake_clock.advance clk (Host.delack_timeout +. 0.001);
+  (match !txed with
+  | [ f ] -> (
+    match Host.parse_tx host (Host.wrap host f) with
+    | Some (h, payload) ->
+      check "pure ack" true
+        (Tcp.has_flag h Tcp.flag_ack && not (Tcp.has_flag h Tcp.flag_psh));
+      check "acks the segment" true (Int32.equal h.Tcp.ack 103l);
+      checki "no payload" 0 (Bytes.length payload)
+    | None -> Alcotest.fail "unparseable delayed ack")
+  | l -> Alcotest.failf "expected 1 delayed ack, got %d" (List.length l));
+  (* The timer is one-shot: nothing further fires. *)
+  txed := [];
+  Fake_clock.advance clk 10.0;
+  checki "quiet afterwards" 0 (List.length !txed)
+
+let test_pure_ack_never_answered () =
+  (* Regression: a pure ACK (no data, no SYN/FIN) must never generate an
+     ACK in reply — with both ends acking acks, two established hosts
+     volley forever.  Found by the chaos soak's delayed-ACK timer. *)
+  let _, host = make_host () in
+  ignore (Host.listen host ~port:80);
+  ignore (handshake host ~src_port:9003);
+  let pcb = established_pcb host ~src_port:9003 in
+  let pure_ack ~ack =
+    Host.client_frame host ~src_ip:client_ip ~src_port:9003 ~dst_port:80
+      ~seq:101l ~ack ~flags:Tcp.flag_ack ()
+  in
+  checki "window-update ack: silent" 0
+    (List.length (run_frames host [ pure_ack ~ack:pcb.Pcb.snd_nxt ]));
+  checki "duplicate ack: silent" 0
+    (List.length (run_frames host [ pure_ack ~ack:pcb.Pcb.snd_una ]));
+  (* A segment that occupies sequence space still gets its ACK. *)
+  let seg = data_frame host ~src_port:9003 ~seq:101l "oo" in
+  let seg2 = data_frame host ~src_port:9003 ~seq:103l "xx" in
+  checki "data still acked" 1 (List.length (run_frames host [ seg; seg2 ]))
+
+(* ---------- Parser hardening: mutation fuzz over the stack ---------- *)
+
+let pool_in_use pool =
+  let s = Ldlp_buf.Pool.stats pool in
+  s.Ldlp_buf.Pool.small_in_use + s.Ldlp_buf.Pool.cluster_in_use
+
+let test_truncation_and_garbage_counted () =
+  let pool, host = make_host () in
+  ignore (Host.listen host ~port:80);
+  ignore (handshake host ~src_port:9200);
+  let baseline = pool_in_use pool in
+  (* Runt frame: too short for an Ethernet header. *)
+  let runt = Ldlp_buf.Mbuf.of_bytes pool (Bytes.make 6 '\x42') in
+  checki "runt: no reply" 0 (List.length (run_frames host [ runt ]));
+  checki "runt counted non_ip" 1 (Host.counters host).Host.non_ip;
+  (* Valid Ethernet, garbage IP. *)
+  let seg = data_frame host ~src_port:9200 ~seq:101l "x" in
+  let b = Ldlp_buf.Mbuf.to_bytes seg in
+  Ldlp_buf.Mbuf.free pool seg;
+  let garbage_ip = Bytes.sub b 0 16 in
+  checki "garbage ip: no reply" 0
+    (List.length (run_frames host [ Ldlp_buf.Mbuf.of_bytes pool garbage_ip ]));
+  checki "counted bad_ip" 1 (Host.counters host).Host.bad_ip;
+  (* Valid Ethernet + IP but a non-TCP protocol. *)
+  let non_tcp = Bytes.copy b in
+  Bytes.set non_tcp 23 '\x11' (* IPPROTO_UDP *);
+  (* Fix the IP header checksum for the protocol change (byte 23 is in
+     the 16-bit word at offset 22; adjust the checksum incrementally). *)
+  let get16 buf off = (Char.code (Bytes.get buf off) lsl 8) lor Char.code (Bytes.get buf (off + 1)) in
+  let set16 buf off v =
+    Bytes.set buf off (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set buf (off + 1) (Char.chr (v land 0xff))
+  in
+  let old_word = get16 b 22 and new_word = get16 non_tcp 22 in
+  let cksum = get16 non_tcp 24 in
+  let adjusted = (lnot cksum land 0xffff) - old_word + new_word in
+  let adjusted = ((adjusted mod 0xffff) + 0xffff) mod 0xffff in
+  set16 non_tcp 24 (lnot adjusted land 0xffff);
+  checki "udp: no reply" 0
+    (List.length (run_frames host [ Ldlp_buf.Mbuf.of_bytes pool non_tcp ]));
+  checki "counted non_tcp" 1 (Host.counters host).Host.non_tcp;
+  checki "every rejected mbuf freed" baseline (pool_in_use pool)
+
+let prop_mutated_frames_never_raise =
+  (* Any truncation or single byte-flip of a valid frame is absorbed by
+     the stack: no exception escapes Host.layers and the mbuf is freed no
+     matter which layer rejects it (or none — some flips leave the frame
+     deliverable). *)
+  QCheck.Test.make ~name:"mutated frames never raise and never leak" ~count:250
+    QCheck.(
+      triple
+        (string_of_size Gen.(1 -- 40))
+        (pair (0 -- 10_000) (0 -- 7))
+        bool)
+    (fun (payload, (site, bit), truncate) ->
+      let pool, host = make_host () in
+      ignore (Host.listen host ~port:80);
+      ignore (handshake host ~src_port:9100);
+      let baseline = pool_in_use pool in
+      let frame = data_frame host ~src_port:9100 ~seq:101l payload in
+      let b = Ldlp_buf.Mbuf.to_bytes frame in
+      Ldlp_buf.Mbuf.free pool frame;
+      let len = Bytes.length b in
+      let mutated =
+        if truncate then Bytes.sub b 0 (site mod len)
+        else begin
+          let pos = site mod len in
+          Bytes.set b pos
+            (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+          b
+        end
+      in
+      let ok =
+        try
+          if Bytes.length mutated > 0 then
+            ignore (run_frames host [ Ldlp_buf.Mbuf.of_bytes pool mutated ]);
+          true
+        with _ -> false
+      in
+      ok && pool_in_use pool = baseline)
+
 let suite =
   [
     Alcotest.test_case "sockbuf basic" `Quick test_sockbuf_basic;
@@ -470,4 +788,18 @@ let suite =
       test_fragmented_segment_reassembled;
     Alcotest.test_case "fragments dropped without reassembly" `Quick
       test_fragments_dropped_without_reassembly;
+    Alcotest.test_case "rto estimator" `Quick test_rto_estimator;
+    Alcotest.test_case "rto backoff" `Quick test_rto_backoff;
+    Alcotest.test_case "pcb tracking + Karn's rule" `Quick
+      test_pcb_track_and_karn;
+    Alcotest.test_case "retransmission timeout + backoff" `Quick
+      test_retransmission_timeout_and_backoff;
+    Alcotest.test_case "fast retransmit on 3rd dup-ack" `Quick
+      test_fast_retransmit_on_third_dupack;
+    Alcotest.test_case "delayed-ack timer" `Quick test_delayed_ack_timer;
+    Alcotest.test_case "pure ack never answered" `Quick
+      test_pure_ack_never_answered;
+    Alcotest.test_case "truncation/garbage counted and freed" `Quick
+      test_truncation_and_garbage_counted;
+    QCheck_alcotest.to_alcotest prop_mutated_frames_never_raise;
   ]
