@@ -4,7 +4,7 @@
 
 DOMAINS ?= 2
 
-.PHONY: all build test fmt promote selftest oracle soak bench-sweeps bench-hotpath bench-soak check
+.PHONY: all build test fmt promote selftest oracle engine-parity soak soak-duplex bench-sweeps bench-hotpath bench-soak check
 
 all: build
 
@@ -30,12 +30,25 @@ selftest: build
 oracle: build
 	dune exec bin/ldlp_repro.exe -- check
 
+# Facade/engine parity: the extended equivalence oracles (receive chain,
+# transmit chain and full-duplex engine per random workload) with the
+# runtime invariant gate forced on, so every Engine.run also checks the
+# flow-balance and batch-accounting invariants.
+engine-parity: build
+	LDLP_CHECK=1 dune exec bin/ldlp_repro.exe -- check
+
 # Chaos soak: seeded fault-injection scenarios (loss, duplication,
 # corruption, reordering, link flaps, overload shedding) over the tcpmini
 # echo exchange, under both disciplines; fails on any integrity, leak or
 # equivalence violation.
 soak: build
 	dune exec bin/ldlp_repro.exe -- soak --seed 1996 --scenarios 25
+
+# The same chaos scenarios with each host's receive and transmit sides
+# under one full-duplex LDLP engine (rx-generated ACKs join the tx queues
+# of the same scheduling pass).  Must match the classic tables exactly.
+soak-duplex: build
+	dune exec bin/ldlp_repro.exe -- soak --seed 1996 --scenarios 25 --duplex
 
 # Times every sweep at 1 domain and at N domains; writes BENCH_sweeps.json.
 bench-sweeps: build
@@ -51,5 +64,5 @@ bench-hotpath: build
 bench-soak: build
 	dune exec bench/main.exe -- --soak
 
-check: build fmt test selftest oracle soak
+check: build fmt test selftest oracle engine-parity soak soak-duplex
 	@echo "check OK"

@@ -210,23 +210,30 @@ let bench_hotpath ~out () =
     done;
     (r, !best)
   in
-  let measure (name, discipline) =
+  let duplex_names = Ldlp_core.Engine.duplex_layer_names names in
+  let measure (name, direction, discipline) =
+    let sheet_names =
+      match direction with `Duplex -> duplex_names | _ -> names
+    in
     let r_off, off_s =
       best_of 5 (fun () ->
-          Ldlp_model.Simrun.run_avg ~params ~discipline ~seed ~make_source ())
+          Ldlp_model.Simrun.run_avg ~direction ~params ~discipline ~seed
+            ~make_source ())
     in
     (* Fresh sheet per repetition so the kept counters cover exactly one
        run; the simulation is deterministic, so every repetition fills an
        identical sheet and keeping the last is keeping any. *)
-    let sheet = ref (Ldlp_obs.Metrics.create ~label:name ~layer_names:names) in
+    let sheet =
+      ref (Ldlp_obs.Metrics.create ~label:name ~layer_names:sheet_names)
+    in
     let r_on, on_s =
       Ldlp_obs.Obs.with_enabled true (fun () ->
           best_of 5 (fun () ->
               let m =
-                Ldlp_obs.Metrics.create ~label:name ~layer_names:names
+                Ldlp_obs.Metrics.create ~label:name ~layer_names:sheet_names
               in
               let r =
-                Ldlp_model.Simrun.run_avg ~params ~discipline ~seed
+                Ldlp_model.Simrun.run_avg ~direction ~params ~discipline ~seed
                   ~make_source ~metrics:m ()
               in
               sheet := m;
@@ -252,18 +259,21 @@ let bench_hotpath ~out () =
         mean_batch = r_off.Ldlp_model.Simrun.mean_batch;
       },
       off_s,
-      on_s )
+      on_s,
+      r_off )
   in
   let measured =
     List.map measure
       [
-        ("conventional", Ldlp_model.Simrun.Conventional);
-        ("ldlp", Ldlp_model.Simrun.Ldlp);
+        ("conventional", `Receive, Ldlp_model.Simrun.Conventional);
+        ("ldlp", `Receive, Ldlp_model.Simrun.Ldlp);
+        ("conventional-duplex", `Duplex, Ldlp_model.Simrun.Conventional);
+        ("ldlp-duplex", `Duplex, Ldlp_model.Simrun.Ldlp);
       ]
   in
-  let hots = List.map (fun (h, _, _) -> h) measured in
-  let off_total = List.fold_left (fun a (_, o, _) -> a +. o) 0.0 measured in
-  let on_total = List.fold_left (fun a (_, _, o) -> a +. o) 0.0 measured in
+  let hots = List.map (fun (h, _, _, _) -> h) measured in
+  let off_total = List.fold_left (fun a (_, o, _, _) -> a +. o) 0.0 measured in
+  let on_total = List.fold_left (fun a (_, _, o, _) -> a +. o) 0.0 measured in
   let overhead_pct =
     if off_total > 0.0 then (on_total -. off_total) /. off_total *. 100.0
     else 0.0
@@ -294,19 +304,43 @@ let bench_hotpath ~out () =
         (h.Ldlp_report.Bench_json.p99_latency_s *. 1e3))
     hots;
   Printf.printf "metrics-on overhead: %+.1f%% wall clock\n" overhead_pct;
-  (match hots with
-  | [ conv; ldlp ] ->
+  (* Cross-direction amortisation: under duplex, reply traffic generated
+     while draining a receive batch descends the transmit nodes of the
+     same pass, so LDLP pays far fewer transmit-side working-set reloads
+     per wire message than the per-message conventional schedule. *)
+  let amort (r : Ldlp_model.Simrun.result) =
+    if r.Ldlp_model.Simrun.tx_runs = 0 then 0.0
+    else
+      float_of_int r.Ldlp_model.Simrun.tx_msgs
+      /. float_of_int r.Ldlp_model.Simrun.tx_runs
+  in
+  List.iter
+    (fun (h, _, _, r) ->
+      if r.Ldlp_model.Simrun.tx_runs > 0 then
+        Printf.printf
+          "%-20s cross-direction amortisation: %.2f wire msgs per tx-side \
+           switch (%d msgs / %d switches)\n"
+          h.Ldlp_report.Bench_json.h_name (amort r)
+          r.Ldlp_model.Simrun.tx_msgs r.Ldlp_model.Simrun.tx_runs)
+    measured;
+  let check_pair what (conv : Ldlp_report.Bench_json.hot)
+      (ldlp : Ldlp_report.Bench_json.hot) =
     if
       ldlp.Ldlp_report.Bench_json.imisses_per_msg
       >= conv.Ldlp_report.Bench_json.imisses_per_msg
     then begin
       Printf.eprintf
         "FAIL: LDLP should take fewer instruction misses per message than \
-         conventional (got %.2f vs %.2f)\n"
-        ldlp.Ldlp_report.Bench_json.imisses_per_msg
+         conventional%s (got %.2f vs %.2f)\n"
+        what ldlp.Ldlp_report.Bench_json.imisses_per_msg
         conv.Ldlp_report.Bench_json.imisses_per_msg;
       exit 1
     end
+  in
+  (match hots with
+  | [ conv; ldlp; conv_dx; ldlp_dx ] ->
+    check_pair "" conv ldlp;
+    check_pair " on the duplex host" conv_dx ldlp_dx
   | _ -> assert false);
   Printf.printf "wrote %s\n" out
 

@@ -166,9 +166,10 @@ let run_selftest domains =
     exit 1
   end
 
-let run_soak ?domains seed count =
+let run_soak ?domains ~duplex seed count =
   let scs = Ldlp_soak.Soak.scenarios ~seed ~count in
-  let reports = Ldlp_soak.Soak.run_all ?domains scs in
+  let reports = Ldlp_soak.Soak.run_all ?domains ~duplex scs in
+  if duplex then print_endline "(full-duplex hosts)";
   print_string (Ldlp_soak.Soak.render reports);
   if not (List.for_all Ldlp_soak.Soak.report_ok reports) then begin
     prerr_endline "soak FAILED: see table above";
@@ -362,11 +363,18 @@ let cmds =
        byte-stream integrity, mbuf-pool leak freedom and \
        Conventional/LDLP equivalence.  Nonzero exit on any failure."
       Term.(
-        const (fun seed domains count -> run_soak ?domains seed count)
+        const (fun seed domains count duplex -> run_soak ?domains ~duplex seed count)
         $ seed_t $ domains_t
         $ Arg.(
             value & opt int 10
-            & info [ "scenarios" ] ~doc:"Number of chaos scenarios to run."));
+            & info [ "scenarios" ] ~doc:"Number of chaos scenarios to run.")
+        $ Arg.(
+            value & flag
+            & info [ "duplex" ]
+                ~doc:
+                  "Run each host's receive and transmit sides under one \
+                   full-duplex LDLP engine instead of the classic receive \
+                   chain."));
     Cmd.v
       (Cmd.info "selfsim"
          ~doc:

@@ -56,10 +56,61 @@ val equivalent : spec -> (unit, string) result
 (** Run the spec under [Conventional] and [Ldlp spec.policy] and compare;
     [Error] carries a human-readable description of the first mismatch. *)
 
+(** {1 Transmit-side oracle}
+
+    The same behaviours installed as [handle_tx] drive a {!Ldlp_core.Txsched}
+    chain: [Pass] forwards toward the wire, [Consume_every] absorbs,
+    [Reply_every] loops a completion notification upward before
+    forwarding. *)
+
+type trace_tx = {
+  tx_visits : int list array;
+  wire_order : int list;  (** Injection indices, wire-sink order. *)
+  tx_stats : Ldlp_core.Txsched.stats;
+}
+
+val run_spec_tx : Ldlp_core.Sched.discipline -> spec -> trace_tx
+
+val conserved_tx : Ldlp_core.Txsched.stats -> pending:int -> bool
+(** [submitted = transmitted + consumed] (loopback notifications are fresh
+    messages, not submissions) and batches cover every submission. *)
+
+val equivalent_tx : spec -> (unit, string) result
+(** Visit-multiset, terminal-count, per-flow wire-order and conservation
+    equivalence for the transmit chain under both disciplines. *)
+
+(** {1 Duplex oracle} *)
+
+type trace_duplex = {
+  dx_visits : int list array;
+      (** Per original message, node visits over the [2n] duplex nodes —
+          including the transmit nodes its replies traverse. *)
+  dx_delivered_order : int list;
+  dx_wire_order : int list;
+      (** Originating injection indices of replies, wire-sink order. *)
+  dx_stats : Ldlp_core.Engine.stats;
+}
+
+val run_spec_duplex : Ldlp_core.Sched.discipline -> spec -> trace_duplex
+(** The spec's receive behaviours over an {!Ldlp_core.Engine.duplex}:
+    replies cross into the same layer's transmit node and descend the
+    passthrough transmit side to the wire. *)
+
+val equivalent_duplex : spec -> (unit, string) result
+(** Visit-multiset (across both directions), terminal-count, per-flow
+    delivery-order, wire-multiset and conservation equivalence
+    ([injected = to_up + consumed + misrouted]; every reply reaches the
+    wire) for the duplex engine under both disciplines.  Wire {e order}
+    is deliberately unconstrained: replies originating at different
+    receive layers may interleave differently, just as the receive
+    oracle never constrains down-sink order. *)
+
 val random_spec : rng:Ldlp_sim.Rng.t -> spec
 (** 1-6 layers with mixed behaviours, 0-80 messages over 1-4 flows with
     sizes from 0 to 4 KB, a random batch policy, random interleaving. *)
 
 val run_random : seed:int -> cases:int -> (int, string) result
-(** Check [cases] random specs; [Ok cases] or the first failure, prefixed
-    with the offending spec.  Used by [ldlp_repro check]. *)
+(** Check [cases] random specs — each through {!equivalent},
+    {!equivalent_tx} {e and} {!equivalent_duplex}; [Ok cases] or the
+    first failure, prefixed with the offending spec.  Used by
+    [ldlp_repro check]. *)

@@ -1,5 +1,4 @@
 module Metrics = Ldlp_obs.Metrics
-module Obs = Ldlp_obs.Obs
 
 type stats = {
   injected : int;
@@ -14,95 +13,70 @@ type stats = {
   per_layer : (string * int) list;
 }
 
-type 'a node = {
-  layer : 'a Layer.t;
-  parents : string list;
-  depth : int;  (* fewest layers remaining to the top; top = 0 *)
-  queue : 'a Msg.t Queue.t;
-  mutable handled : int;
-  mutable is_root : bool;  (* nobody delivers into it from below *)
-  mutable m_index : int;  (* row in the attached metrics sheet, or -1 *)
-}
+(* The facade owns the {e shape}: the name registry, parent edges and
+   depths.  Scheduling lives entirely in {!Engine}: node priority is the
+   negated depth (smallest depth = furthest from the roots = highest
+   priority, ties toward registration order), and entry status tracks
+   [is_root] — every node starts as an entry point and loses it the
+   moment a layer registers below it. *)
+type info = { idx : int; depth : int }
 
 type 'a t = {
-  discipline : Sched.discipline;
-  nodes : (string, 'a node) Hashtbl.t;
+  eng : 'a Engine.t;
+  names : (string, info) Hashtbl.t;
   mutable order : string list;  (* registration order, for determinism *)
-  up : 'a Msg.t -> unit;
-  down : 'a Msg.t -> unit;
-  on_handled : 'a Layer.t -> 'a Msg.t -> unit;
-  mutable injected : int;
-  mutable delivered : int;
-  mutable consumed : int;
-  mutable sent_down : int;
-  mutable misrouted : int;
-  mutable batches : int;
-  mutable max_batch : int;
-  mutable total_batched : int;
-  intake_limit : int option;
-  on_shed : 'a Msg.t -> unit;
-  mutable shed : int;
-  mutable shed_sc : int ref;
-  mutable metrics : Metrics.t option;
 }
 
 let create ~discipline ?(up = fun _ -> ()) ?(down = fun _ -> ())
-    ?(on_handled = fun _ _ -> ()) ?intake_limit ?(on_shed = fun _ -> ()) () =
+    ?(on_handled = fun _ _ _ -> ()) ?intake_limit ?(on_shed = fun _ -> ()) () =
   (match intake_limit with
   | Some n when n < 1 -> invalid_arg "Graphsched.create: intake_limit < 1"
   | _ -> ());
-  {
-    discipline;
-    nodes = Hashtbl.create 16;
-    order = [];
-    up;
-    down;
-    on_handled;
-    injected = 0;
-    delivered = 0;
-    consumed = 0;
-    sent_down = 0;
-    misrouted = 0;
-    batches = 0;
-    max_batch = 0;
-    total_batched = 0;
-    intake_limit;
-    on_shed;
-    shed = 0;
-    shed_sc = ref 0;
-    metrics = None;
-  }
+  let eng =
+    Engine.create ~discipline ~up ~down ~on_handled ?intake_limit ~on_shed ()
+  in
+  { eng; names = Hashtbl.create 16; order = [] }
+
+let engine t = t.eng
 
 let find t name =
-  match Hashtbl.find_opt t.nodes name with
+  match Hashtbl.find_opt t.names name with
   | Some n -> n
   | None -> invalid_arg ("Graphsched: unknown layer " ^ name)
 
 let add_layer t ?(above = []) layer =
   let name = layer.Layer.name in
-  if Hashtbl.mem t.nodes name then
+  if Hashtbl.mem t.names name then
     invalid_arg ("Graphsched.add_layer: duplicate layer " ^ name);
-  let parent_nodes = List.map (find t) above in
+  let parents = List.map (fun p -> (p, find t p)) above in
   let depth =
-    match parent_nodes with
+    match parents with
     | [] -> 0
-    | ps -> 1 + List.fold_left (fun acc p -> min acc p.depth) max_int ps
+    | ps -> 1 + List.fold_left (fun acc (_, p) -> min acc p.depth) max_int ps
   in
-  List.iter (fun p -> p.is_root <- false) parent_nodes;
-  Hashtbl.replace t.nodes name
-    {
-      layer;
-      parents = above;
-      depth;
-      queue = Queue.create ();
-      handled = 0;
-      is_root = true;
-      m_index = -1;
-    };
+  let up_route =
+    match parents with
+    | [] -> Engine.To_up
+    | [ (_, p) ] -> Engine.To_node p.idx
+    | _ :: _ :: _ ->
+      (* Ambiguous fan-out: the handler must name its target. *)
+      Engine.Misroute
+  in
+  let to_route target =
+    match List.assoc_opt target parents with
+    | Some p -> Engine.To_node p.idx
+    | None -> Engine.Misroute
+  in
+  let idx =
+    Engine.add_node t.eng ~layer ~use_tx:false ~priority:(-depth) ~entry:true
+      ~up_route ~to_route ~down_route:Engine.To_down
+  in
+  List.iter (fun (_, p) -> Engine.set_entry t.eng p.idx false) parents;
+  Hashtbl.replace t.names name { idx; depth };
   t.order <- t.order @ [ name ]
 
 let roots t =
-  List.filter (fun name -> (find t name).is_root) t.order
+  List.filter (fun name -> Engine.is_entry t.eng (find t name).idx) t.order
 
 (* Layers are registered incrementally, so unlike [Sched.create] the sheet
    attaches after the graph is built; the sheet rows must match
@@ -110,174 +84,44 @@ let roots t =
 let attach_metrics t m =
   if Metrics.layer_names m <> t.order then
     invalid_arg "Graphsched.attach_metrics: sheet rows <> registration order";
-  List.iteri (fun i name -> (find t name).m_index <- i) t.order;
-  (* Same rule as [Sched]: the "shed" scalar exists only on schedulers
-     that can actually shed, keeping unlimited sheets unchanged. *)
-  if t.intake_limit <> None then t.shed_sc <- Metrics.scalar m "shed";
-  t.metrics <- Some m
+  Engine.attach_metrics t.eng m
 
-let try_inject t ~into msg =
-  let node = find t into in
-  match t.intake_limit with
-  | Some limit when Queue.length node.queue >= limit ->
-    t.shed <- t.shed + 1;
-    Metrics.add_scalar t.shed_sc 1;
-    t.on_shed msg;
-    false
-  | _ ->
-    t.injected <- t.injected + 1;
-    Queue.push msg node.queue;
-    (match t.metrics with
-    | None -> ()
-    | Some mt ->
-      let d = Queue.length node.queue in
-      Metrics.arrival mt ~depth:d;
-      Metrics.queue_depth mt node.m_index d);
-    true
+let try_inject t ~into msg = Engine.try_inject t.eng ~node:(find t into).idx msg
 
 let inject t ~into msg = ignore (try_inject t ~into msg)
 
-let backlog t ~into = Queue.length (find t into).queue
+let backlog t ~into = Engine.backlog t.eng ~node:(find t into).idx
 
-let pending t =
-  Hashtbl.fold (fun _ n acc -> acc + Queue.length n.queue) t.nodes 0
+let pending t = Engine.pending t.eng
 
-(* Route one upward delivery from [node]; [recurse] processes immediately
-   (conventional), otherwise the parent's queue receives it. *)
-let rec route t node target m ~recurse =
-  match target with
-  | `Up -> (
-    match node.parents with
-    | [] ->
-      t.delivered <- t.delivered + 1;
-      t.up m
-    | [ parent ] -> forward t (find t parent) m ~recurse
-    | _ :: _ :: _ ->
-      (* Ambiguous fan-out: the handler must name its target. *)
-      t.misrouted <- t.misrouted + 1)
-  | `To name ->
-    if List.mem name node.parents then forward t (find t name) m ~recurse
-    else t.misrouted <- t.misrouted + 1
-
-and forward t parent m ~recurse =
-  if recurse then handle t parent m ~recurse
-  else begin
-    Queue.push m parent.queue;
-    match t.metrics with
-    | None -> ()
-    | Some mt -> Metrics.queue_depth mt parent.m_index (Queue.length parent.queue)
-  end
-
-and handle t node msg ~recurse =
-  t.on_handled node.layer msg;
-  node.handled <- node.handled + 1;
-  (match t.metrics with
-  | None -> ()
-  | Some mt -> Metrics.handled mt node.m_index);
-  let actions =
-    match t.metrics with
-    | Some mt when Obs.enabled () ->
-      let w0 = Gc.minor_words () in
-      let actions = node.layer.Layer.handle msg in
-      Metrics.alloc mt node.m_index (int_of_float (Gc.minor_words () -. w0));
-      actions
-    | _ -> node.layer.Layer.handle msg
-  in
-  List.iter
-    (fun action ->
-      match action with
-      | Layer.Consume -> t.consumed <- t.consumed + 1
-      | Layer.Send_down m ->
-        t.sent_down <- t.sent_down + 1;
-        t.down m
-      | Layer.Deliver_up m -> route t node `Up m ~recurse
-      | Layer.Deliver_to (name, m) -> route t node (`To name) m ~recurse)
-    actions
-
-let record_batch t n =
-  t.batches <- t.batches + 1;
-  t.max_batch <- max t.max_batch n;
-  t.total_batched <- t.total_batched + n;
-  match t.metrics with None -> () | Some mt -> Metrics.batch_run mt n
-
-(* Non-empty node with the smallest depth (closest to completion); ties go
-   to registration order. *)
-let next_ready t =
-  List.fold_left
-    (fun best name ->
-      let n = find t name in
-      if Queue.is_empty n.queue then best
-      else
-        match best with
-        | Some b when b.depth <= n.depth -> best
-        | _ -> Some n)
-    None t.order
-
-let step_conventional t =
-  match next_ready t with
-  | None -> false
-  | Some node ->
-    record_batch t 1;
-    handle t node (Queue.pop node.queue) ~recurse:true;
-    true
-
-let step_ldlp t policy =
-  match next_ready t with
-  | None -> false
-  | Some node when node.is_root ->
-    (* Entry point: yield after a D-cache-sized batch. *)
-    let sizes =
-      Queue.fold (fun acc m -> m.Msg.size :: acc) [] node.queue |> List.rev
-    in
-    let n = Batch.limit policy ~sizes in
-    Invariant.check
-      (n >= 1 && n <= Queue.length node.queue)
-      "Graphsched.step: batch limit outside [1, backlog]";
-    record_batch t n;
-    for _ = 1 to n do
-      handle t node (Queue.pop node.queue) ~recurse:false
-    done;
-    true
-  | Some node ->
-    while not (Queue.is_empty node.queue) do
-      handle t node (Queue.pop node.queue) ~recurse:false
-    done;
-    true
-
-let step t =
-  match t.discipline with
-  | Sched.Conventional -> step_conventional t
-  | Sched.Ldlp policy -> step_ldlp t policy
-
-let run t =
-  while step t do
-    ()
-  done;
-  (* Idle invariants.  Unlike the linear scheduler, [total_batched] only
-     counts entry-point dequeues (forwarded messages drain uncounted), so
-     coverage is an inequality here; terminal-outcome conservation assumes
-     one terminal action per message, as everywhere in this repo. *)
-  Invariant.check (pending t = 0) "Graphsched.run: idle with pending messages";
-  Invariant.check
-    (t.total_batched <= t.injected)
-    "Graphsched.run: more batched dequeues than injections";
-  Invariant.check
-    (t.batches = 0 || t.max_batch >= 1)
-    "Graphsched.run: recorded a batch smaller than 1";
-  Invariant.check
-    (t.injected = t.delivered + t.consumed + t.misrouted)
-    "Graphsched.run: injected <> delivered + consumed + misrouted at idle"
+let step t = Engine.step t.eng
 
 let stats t =
+  let s = Engine.stats t.eng in
   {
-    injected = t.injected;
-    delivered = t.delivered;
-    consumed = t.consumed;
-    sent_down = t.sent_down;
-    misrouted = t.misrouted;
-    shed = t.shed;
-    batches = t.batches;
-    max_batch = t.max_batch;
-    total_batched = t.total_batched;
-    per_layer = List.map (fun name -> (name, (find t name).handled)) t.order;
+    injected = s.Engine.injected;
+    delivered = s.Engine.to_up;
+    consumed = s.Engine.consumed;
+    sent_down = s.Engine.to_down;
+    misrouted = s.Engine.misrouted;
+    shed = s.Engine.shed;
+    batches = s.Engine.batches;
+    max_batch = s.Engine.max_batch;
+    total_batched = s.Engine.total_batched;
+    per_layer = s.Engine.per_node;
   }
+
+let run t =
+  Engine.run t.eng;
+  (* Idle invariants specific to the graph shape.  Unlike the linear
+     scheduler, [total_batched] only counts entry-point dequeues
+     (forwarded messages drain uncounted), so coverage is an inequality
+     here; terminal-outcome conservation assumes one terminal action per
+     message, as everywhere in this repo. *)
+  let s = stats t in
+  Invariant.check
+    (s.total_batched <= s.injected)
+    "Graphsched.run: more batched dequeues than injections";
+  Invariant.check
+    (s.injected = s.delivered + s.consumed + s.misrouted)
+    "Graphsched.run: injected <> delivered + consumed + misrouted at idle"

@@ -13,7 +13,11 @@
     root layers — the packet entry points — yield after a D-cache-bounded
     batch.  Handlers in a fan-out position route with
     {!Layer.Deliver_to}; [Deliver_up] remains valid where a layer has
-    exactly one parent. *)
+    exactly one parent.
+
+    Like {!Sched}, this module is a facade over {!Engine}: it owns the
+    name registry and parent edges, and maps depth to engine priority
+    (smallest depth wins, ties toward registration order). *)
 
 type 'a t
 
@@ -34,12 +38,17 @@ val create :
   discipline:Sched.discipline ->
   ?up:('a Msg.t -> unit) ->
   ?down:('a Msg.t -> unit) ->
-  ?on_handled:('a Layer.t -> 'a Msg.t -> unit) ->
+  ?on_handled:(int -> 'a Layer.t -> 'a Msg.t -> unit) ->
   ?intake_limit:int ->
   ?on_shed:('a Msg.t -> unit) ->
   unit ->
   'a t
-(** [intake_limit]/[on_shed] bound every entry layer's arrival queue with
+(** [on_handled layer_index layer msg] fires before each handler
+    invocation; [layer_index] is the layer's registration index (the
+    [per_layer] position), unifying the hook signature with
+    {!Sched.create} and {!Txsched.create}.
+
+    [intake_limit]/[on_shed] bound every entry layer's arrival queue with
     the same drop-at-the-door policy as {!Sched.create}: an injection
     into a queue already at the watermark is counted in [stats.shed],
     passed to [on_shed], and refused without touching [injected]. *)
@@ -77,3 +86,10 @@ val step : 'a t -> bool
 val run : 'a t -> unit
 
 val stats : 'a t -> stats
+(** An exact projection of the underlying {!Engine.stats}: [delivered]
+    is [to_up], [sent_down] is [to_down], everything else maps by name;
+    [per_layer] follows registration order. *)
+
+val engine : 'a t -> 'a Engine.t
+(** The underlying engine (same instance, not a copy) — for oracles and
+    tests that compare facade stats against engine stats. *)

@@ -1,7 +1,6 @@
 module Metrics = Ldlp_obs.Metrics
-module Obs = Ldlp_obs.Obs
 
-type discipline = Conventional | Ldlp of Batch.policy
+type discipline = Engine.discipline = Conventional | Ldlp of Batch.policy
 
 type stats = {
   injected : int;
@@ -16,28 +15,10 @@ type stats = {
   per_layer : (string * int) list;
 }
 
-type 'a t = {
-  discipline : discipline;
-  layers : 'a Layer.t array;
-  queues : 'a Msg.t Queue.t array;  (* queues.(i) feeds layers.(i) *)
-  up : 'a Msg.t -> unit;
-  down : 'a Msg.t -> unit;
-  on_handled : int -> 'a Layer.t -> 'a Msg.t -> unit;
-  handled : int array;
-  mutable injected : int;
-  mutable delivered : int;
-  mutable consumed : int;
-  mutable sent_down : int;
-  mutable misrouted : int;
-  mutable batches : int;
-  mutable max_batch : int;
-  mutable total_batched : int;
-  intake_limit : int option;
-  on_shed : 'a Msg.t -> unit;
-  mutable shed : int;
-  shed_sc : int ref;
-  metrics : Metrics.t option;
-}
+(* A linear receive chain is the degenerate graph: node [i] is layer [i],
+   priorities ascend with the index (the layer furthest from the bottom
+   entry point wins), and only node 0 takes arrivals. *)
+type 'a t = 'a Engine.t
 
 let create ~discipline ~layers ?(up = fun _ -> ()) ?(down = fun _ -> ())
     ?(on_handled = fun _ _ _ -> ()) ?intake_limit ?(on_shed = fun _ -> ())
@@ -51,204 +32,67 @@ let create ~discipline ~layers ?(up = fun _ -> ()) ?(down = fun _ -> ())
   | Some m when Metrics.nlayers m <> Array.length layers ->
     invalid_arg "Sched.create: metrics sheet layer count mismatch"
   | _ -> ());
-  {
-    discipline;
+  let eng =
+    Engine.create ~discipline ~up ~down ~on_handled ?intake_limit ~on_shed ()
+  in
+  let top = Array.length layers - 1 in
+  Array.iteri
+    (fun i layer ->
+      ignore
+        (Engine.add_node eng ~layer ~use_tx:false ~priority:i ~entry:(i = 0)
+           ~up_route:(if i = top then Engine.To_up else Engine.To_node (i + 1))
+           ~to_route:(fun name ->
+             (* In a linear chain, a named delivery is only valid when it
+                names the next layer up. *)
+             if i < top && layers.(i + 1).Layer.name = name then
+               Engine.To_node (i + 1)
+             else Engine.Misroute)
+           ~down_route:Engine.To_down))
     layers;
-    queues = Array.init (Array.length layers) (fun _ -> Queue.create ());
-    up;
-    down;
-    on_handled;
-    handled = Array.make (Array.length layers) 0;
-    injected = 0;
-    delivered = 0;
-    consumed = 0;
-    sent_down = 0;
-    misrouted = 0;
-    batches = 0;
-    max_batch = 0;
-    total_batched = 0;
-    intake_limit;
-    on_shed;
-    shed = 0;
-    (* The scalar registers only when shedding can actually happen, so
-       sheets of unlimited schedulers render exactly as before. *)
-    shed_sc =
-      (match (intake_limit, metrics) with
-      | Some _, Some m -> Metrics.scalar m "shed"
-      | _ -> ref 0);
-    metrics;
-  }
+  (match metrics with None -> () | Some m -> Engine.attach_metrics eng m);
+  eng
 
-let try_inject t msg =
-  match t.intake_limit with
-  | Some limit when Queue.length t.queues.(0) >= limit ->
-    (* Overload: refuse at the door.  The message never counts as
-       injected, so the idle conservation invariants are untouched; the
-       owner reclaims its payload in [on_shed]. *)
-    t.shed <- t.shed + 1;
-    Metrics.add_scalar t.shed_sc 1;
-    t.on_shed msg;
-    false
-  | _ ->
-    t.injected <- t.injected + 1;
-    Queue.push msg t.queues.(0);
-    (match t.metrics with
-    | None -> ()
-    | Some mt ->
-      let d = Queue.length t.queues.(0) in
-      Metrics.arrival mt ~depth:d;
-      Metrics.queue_depth mt 0 d);
-    true
+let engine t = t
+
+let try_inject t msg = Engine.try_inject t ~node:0 msg
 
 let inject t msg = ignore (try_inject t msg)
 
-let pending t =
-  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
+let pending = Engine.pending
 
-let backlog t = Queue.length t.queues.(0)
+let backlog t = Engine.backlog t ~node:0
 
-let top t = Array.length t.layers - 1
-
-(* Run one message through layer [i]'s handler and dispatch its actions.
-   [enqueue_up] decides whether an upward delivery is queued (LDLP) or
-   processed immediately by recursion (conventional). *)
-let rec handle_at t i msg ~enqueue_up =
-  t.on_handled i t.layers.(i) msg;
-  t.handled.(i) <- t.handled.(i) + 1;
-  (match t.metrics with None -> () | Some mt -> Metrics.handled mt i);
-  let actions =
-    (* Gc sampling around the handler only (not the dispatch below), so a
-       recursive climb in conventional mode cannot double-attribute an
-       upper layer's allocations to the layer below it. *)
-    match t.metrics with
-    | Some mt when Obs.enabled () ->
-      let w0 = Gc.minor_words () in
-      let actions = t.layers.(i).Layer.handle msg in
-      Metrics.alloc mt i (int_of_float (Gc.minor_words () -. w0));
-      actions
-    | _ -> t.layers.(i).Layer.handle msg
-  in
-  List.iter
-    (fun action ->
-      match action with
-      | Layer.Consume -> t.consumed <- t.consumed + 1
-      | Layer.Send_down m ->
-        t.sent_down <- t.sent_down + 1;
-        t.down m
-      | Layer.Deliver_up m ->
-        if i = top t then begin
-          t.delivered <- t.delivered + 1;
-          t.up m
-        end
-        else if enqueue_up then begin
-          Queue.push m t.queues.(i + 1);
-          match t.metrics with
-          | None -> ()
-          | Some mt ->
-            Metrics.queue_depth mt (i + 1) (Queue.length t.queues.(i + 1))
-        end
-        else handle_at t (i + 1) m ~enqueue_up
-      | Layer.Deliver_to (name, m) ->
-        (* In a linear chain, a named delivery is only valid when it
-           names the next layer up. *)
-        if i < top t && t.layers.(i + 1).Layer.name = name then
-          if enqueue_up then begin
-            Queue.push m t.queues.(i + 1);
-            match t.metrics with
-            | None -> ()
-            | Some mt ->
-              Metrics.queue_depth mt (i + 1) (Queue.length t.queues.(i + 1))
-          end
-          else handle_at t (i + 1) m ~enqueue_up
-        else t.misrouted <- t.misrouted + 1)
-    actions
-
-let record_batch t n =
-  t.batches <- t.batches + 1;
-  t.max_batch <- max t.max_batch n;
-  t.total_batched <- t.total_batched + n;
-  match t.metrics with None -> () | Some mt -> Metrics.batch_run mt n
-
-let step_conventional t =
-  match Queue.take_opt t.queues.(0) with
-  | None -> false
-  | Some msg ->
-    record_batch t 1;
-    handle_at t 0 msg ~enqueue_up:false;
-    true
-
-(* Highest non-empty queue index, or -1. *)
-let highest_ready t =
-  let rec go i =
-    if i < 0 then -1 else if Queue.is_empty t.queues.(i) then go (i - 1) else i
-  in
-  go (top t)
-
-let step_ldlp t policy =
-  match highest_ready t with
-  | -1 -> false
-  | 0 ->
-    (* Bottom layer: yield after one D-cache-sized batch so message data is
-       still resident when the upper layers run. *)
-    let sizes =
-      Queue.fold (fun acc m -> m.Msg.size :: acc) [] t.queues.(0) |> List.rev
-    in
-    let n = Batch.limit policy ~sizes in
-    Invariant.check
-      (n >= 1 && n <= Queue.length t.queues.(0))
-      "Sched.step: batch limit outside [1, backlog]";
-    record_batch t n;
-    for _ = 1 to n do
-      handle_at t 0 (Queue.pop t.queues.(0)) ~enqueue_up:true
-    done;
-    true
-  | i ->
-    (* Run to completion: apply this layer to every message it has queued
-       before anything else runs. *)
-    while not (Queue.is_empty t.queues.(i)) do
-      handle_at t i (Queue.pop t.queues.(i)) ~enqueue_up:true
-    done;
-    true
-
-let step t =
-  match t.discipline with
-  | Conventional -> step_conventional t
-  | Ldlp policy -> step_ldlp t policy
-
-let run t =
-  while step t do
-    ()
-  done;
-  (* Idle invariants.  [total_batched] counts arrival-queue dequeues, so at
-     idle every injected message must have been dequeued exactly once;
-     conservation of terminal outcomes holds for any stack whose handlers
-     emit one terminal action per message (all stacks in this repo). *)
-  Invariant.check (pending t = 0) "Sched.run: idle with pending messages";
-  Invariant.check
-    (t.total_batched = t.injected)
-    "Sched.run: batches do not cover all injected messages";
-  Invariant.check
-    (t.batches = 0 || t.max_batch >= 1)
-    "Sched.run: recorded a batch smaller than 1";
-  Invariant.check
-    (t.injected = t.delivered + t.consumed + t.misrouted)
-    "Sched.run: injected <> delivered + consumed + misrouted at idle"
+let step = Engine.step
 
 let stats t =
+  let s = Engine.stats t in
   {
-    injected = t.injected;
-    delivered = t.delivered;
-    consumed = t.consumed;
-    sent_down = t.sent_down;
-    misrouted = t.misrouted;
-    shed = t.shed;
-    batches = t.batches;
-    max_batch = t.max_batch;
-    total_batched = t.total_batched;
-    per_layer =
-      Array.to_list
-        (Array.mapi (fun i l -> (l.Layer.name, t.handled.(i))) t.layers);
+    injected = s.Engine.injected;
+    delivered = s.Engine.to_up;
+    consumed = s.Engine.consumed;
+    sent_down = s.Engine.to_down;
+    misrouted = s.Engine.misrouted;
+    shed = s.Engine.shed;
+    batches = s.Engine.batches;
+    max_batch = s.Engine.max_batch;
+    total_batched = s.Engine.total_batched;
+    per_layer = s.Engine.per_node;
   }
 
+let run t =
+  Engine.run t;
+  (* Idle invariants specific to the chain shape.  [total_batched] counts
+     arrival-queue dequeues, so at idle every injected message must have
+     been dequeued exactly once; conservation of terminal outcomes holds
+     for any stack whose handlers emit one terminal action per message
+     (all stacks in this repo). *)
+  let s = stats t in
+  Invariant.check
+    (s.total_batched = s.injected)
+    "Sched.run: batches do not cover all injected messages";
+  Invariant.check
+    (s.injected = s.delivered + s.consumed + s.misrouted)
+    "Sched.run: injected <> delivered + consumed + misrouted at idle"
+
 let layer_names t =
-  Array.to_list (Array.map (fun l -> l.Layer.name) t.layers)
+  List.map fst (Engine.stats t).Engine.per_node

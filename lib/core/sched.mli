@@ -21,7 +21,9 @@
     heavy load batches grow and I-cache misses amortise — which is the
     whole effect measured in Figures 5–7. *)
 
-type discipline = Conventional | Ldlp of Batch.policy
+type discipline = Engine.discipline = Conventional | Ldlp of Batch.policy
+(** Re-exported from {!Engine}, which owns the scheduling loop; this
+    module is a facade describing the linear receive chain. *)
 
 type stats = {
   injected : int;
@@ -102,5 +104,12 @@ val run : 'a t -> unit
 (** [step] until idle. *)
 
 val stats : 'a t -> stats
+(** An exact projection of the underlying {!Engine.stats}: [delivered]
+    is [to_up], [sent_down] is [to_down], everything else maps by
+    name. *)
 
 val layer_names : 'a t -> string list
+
+val engine : 'a t -> 'a Engine.t
+(** The underlying engine (same instance, not a copy) — for oracles and
+    tests that compare facade stats against engine stats. *)

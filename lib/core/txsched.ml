@@ -1,176 +1,76 @@
 module Metrics = Ldlp_obs.Metrics
-module Obs = Ldlp_obs.Obs
 
 type stats = {
   submitted : int;
   transmitted : int;
   consumed : int;
   looped_up : int;
+  shed : int;
   batches : int;
   max_batch : int;
   total_batched : int;
   per_layer : (string * int) list;
 }
 
-type 'a t = {
-  discipline : Sched.discipline;
-  layers : 'a Layer.t array;
-  queues : 'a Msg.t Queue.t array;  (* queues.(i) feeds layers.(i).handle_tx *)
-  wire : 'a Msg.t -> unit;
-  up : 'a Msg.t -> unit;
-  on_handled : int -> 'a Layer.t -> 'a Msg.t -> unit;
-  handled : int array;
-  mutable submitted : int;
-  mutable transmitted : int;
-  mutable consumed : int;
-  mutable looped_up : int;
-  mutable batches : int;
-  mutable max_batch : int;
-  mutable total_batched : int;
-  metrics : Metrics.t option;
-}
+(* The transmit chain is {!Sched}'s mirror: node [i] is layer [i]
+   (bottom-first, as everywhere) running [handle_tx]; priorities descend
+   with the index (the layer closest to the wire is furthest from the
+   top entry point), and only the top node takes submissions. *)
+type 'a t = { eng : 'a Engine.t; entry : int }
 
 let create ~discipline ~layers ?(wire = fun _ -> ()) ?(up = fun _ -> ())
-    ?(on_handled = fun _ _ _ -> ()) ?metrics () =
+    ?(on_handled = fun _ _ _ -> ()) ?intake_limit ?(on_shed = fun _ -> ())
+    ?metrics () =
   if layers = [] then invalid_arg "Txsched.create: empty stack";
+  (match intake_limit with
+  | Some n when n < 1 -> invalid_arg "Txsched.create: intake_limit < 1"
+  | _ -> ());
   let layers = Array.of_list layers in
   (match metrics with
   | Some m when Metrics.nlayers m <> Array.length layers ->
     invalid_arg "Txsched.create: metrics sheet layer count mismatch"
   | _ -> ());
-  {
-    discipline;
+  let eng =
+    Engine.create ~discipline ~up ~down:wire ~on_handled ?intake_limit
+      ~on_shed ()
+  in
+  let top = Array.length layers - 1 in
+  Array.iteri
+    (fun i layer ->
+      ignore
+        (Engine.add_node eng ~layer ~use_tx:true ~priority:(top - i)
+           ~entry:(i = top) ~up_route:Engine.To_up
+           ~to_route:(fun _ -> Engine.To_up)
+           ~down_route:
+             (if i = 0 then Engine.To_down else Engine.To_node (i - 1))))
     layers;
-    queues = Array.init (Array.length layers) (fun _ -> Queue.create ());
-    wire;
-    up;
-    on_handled;
-    handled = Array.make (Array.length layers) 0;
-    submitted = 0;
-    transmitted = 0;
-    consumed = 0;
-    looped_up = 0;
-    batches = 0;
-    max_batch = 0;
-    total_batched = 0;
-    metrics;
-  }
+  (match metrics with None -> () | Some m -> Engine.attach_metrics eng m);
+  { eng; entry = top }
 
-let top t = Array.length t.layers - 1
+let engine t = t.eng
 
-let submit t msg =
-  t.submitted <- t.submitted + 1;
-  Queue.push msg t.queues.(top t);
-  match t.metrics with
-  | None -> ()
-  | Some mt ->
-    let d = Queue.length t.queues.(top t) in
-    Metrics.arrival mt ~depth:d;
-    Metrics.queue_depth mt (top t) d
+let try_inject t msg = Engine.try_inject t.eng ~node:t.entry msg
 
-let pending t =
-  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
+let submit t msg = ignore (try_inject t msg)
 
-let backlog t = Queue.length t.queues.(top t)
+let pending t = Engine.pending t.eng
 
-let rec handle_at t i msg ~enqueue_down =
-  t.on_handled i t.layers.(i) msg;
-  t.handled.(i) <- t.handled.(i) + 1;
-  (match t.metrics with None -> () | Some mt -> Metrics.handled mt i);
-  let actions =
-    match t.metrics with
-    | Some mt when Obs.enabled () ->
-      let w0 = Gc.minor_words () in
-      let actions = t.layers.(i).Layer.handle_tx msg in
-      Metrics.alloc mt i (int_of_float (Gc.minor_words () -. w0));
-      actions
-    | _ -> t.layers.(i).Layer.handle_tx msg
-  in
-  List.iter
-    (fun action ->
-      match action with
-      | Layer.Consume -> t.consumed <- t.consumed + 1
-      | Layer.Deliver_up m | Layer.Deliver_to (_, m) ->
-        t.looped_up <- t.looped_up + 1;
-        t.up m
-      | Layer.Send_down m ->
-        if i = 0 then begin
-          t.transmitted <- t.transmitted + 1;
-          t.wire m
-        end
-        else if enqueue_down then begin
-          Queue.push m t.queues.(i - 1);
-          match t.metrics with
-          | None -> ()
-          | Some mt ->
-            Metrics.queue_depth mt (i - 1) (Queue.length t.queues.(i - 1))
-        end
-        else handle_at t (i - 1) m ~enqueue_down)
-    actions
+let backlog t = Engine.backlog t.eng ~node:t.entry
 
-let record_batch t n =
-  t.batches <- t.batches + 1;
-  t.max_batch <- max t.max_batch n;
-  t.total_batched <- t.total_batched + n;
-  match t.metrics with None -> () | Some mt -> Metrics.batch_run mt n
+let step t = Engine.step t.eng
 
-let step_conventional t =
-  match Queue.take_opt t.queues.(top t) with
-  | None -> false
-  | Some msg ->
-    record_batch t 1;
-    handle_at t (top t) msg ~enqueue_down:false;
-    true
-
-(* Lowest non-empty queue: the one closest to the wire. *)
-let lowest_ready t =
-  let n = Array.length t.queues in
-  let rec go i =
-    if i >= n then -1 else if Queue.is_empty t.queues.(i) then go (i + 1) else i
-  in
-  go 0
-
-let step_ldlp t policy =
-  match lowest_ready t with
-  | -1 -> false
-  | i when i = top t ->
-    (* Submission point: yield after a D-cache-sized batch, like the
-       receive side's bottom layer. *)
-    let sizes =
-      Queue.fold (fun acc m -> m.Msg.size :: acc) [] t.queues.(i) |> List.rev
-    in
-    let n = Batch.limit policy ~sizes in
-    record_batch t n;
-    for _ = 1 to n do
-      handle_at t i (Queue.pop t.queues.(i)) ~enqueue_down:true
-    done;
-    true
-  | i ->
-    while not (Queue.is_empty t.queues.(i)) do
-      handle_at t i (Queue.pop t.queues.(i)) ~enqueue_down:true
-    done;
-    true
-
-let step t =
-  match t.discipline with
-  | Sched.Conventional -> step_conventional t
-  | Sched.Ldlp policy -> step_ldlp t policy
-
-let run t =
-  while step t do
-    ()
-  done
+let run t = Engine.run t.eng
 
 let stats t =
+  let s = Engine.stats t.eng in
   {
-    submitted = t.submitted;
-    transmitted = t.transmitted;
-    consumed = t.consumed;
-    looped_up = t.looped_up;
-    batches = t.batches;
-    max_batch = t.max_batch;
-    total_batched = t.total_batched;
-    per_layer =
-      Array.to_list
-        (Array.mapi (fun i l -> (l.Layer.name, t.handled.(i))) t.layers);
+    submitted = s.Engine.injected;
+    transmitted = s.Engine.to_down;
+    consumed = s.Engine.consumed;
+    looped_up = s.Engine.to_up;
+    shed = s.Engine.shed;
+    batches = s.Engine.batches;
+    max_batch = s.Engine.max_batch;
+    total_batched = s.Engine.total_batched;
+    per_layer = s.Engine.per_node;
   }

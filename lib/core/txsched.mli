@@ -13,13 +13,19 @@
     here the {e lowest} non-empty layer has the highest priority (it is
     closest to putting frames on the wire), and the {e top} layer (the
     submission point) yields after a D-cache-sized batch, symmetric to the
-    receive side's bottom layer. *)
+    receive side's bottom layer.
+
+    Like {!Sched}, this module is a facade over {!Engine}: it describes
+    the mirrored chain topology and projects the stats. *)
 
 type stats = {
   submitted : int;
   transmitted : int;  (** Messages that reached the wire sink. *)
   consumed : int;
   looped_up : int;  (** [Deliver_up] actions routed to the up sink. *)
+  shed : int;
+      (** Submissions refused by the intake high-watermark (never counted
+          in [submitted]). *)
   batches : int;
   max_batch : int;
   total_batched : int;
@@ -34,6 +40,8 @@ val create :
   ?wire:('a Msg.t -> unit) ->
   ?up:('a Msg.t -> unit) ->
   ?on_handled:(int -> 'a Layer.t -> 'a Msg.t -> unit) ->
+  ?intake_limit:int ->
+  ?on_shed:('a Msg.t -> unit) ->
   ?metrics:Ldlp_obs.Metrics.t ->
   unit ->
   'a t
@@ -43,10 +51,22 @@ val create :
     produces (e.g. loopback).  [metrics] behaves as in {!Sched.create}:
     one sheet layer per stack layer, recorded into only while the
     {!Ldlp_obs.Obs} gate is on (arrivals here are submissions, and the
-    entry queue is the {e top} queue). *)
+    entry queue is the {e top} queue).
+
+    [intake_limit]/[on_shed] bound the submission queue with the same
+    drop-at-the-door policy as {!Sched.create}: a submission arriving
+    with {!backlog} already at the watermark is shed — counted in
+    [stats.shed], handed to [on_shed], refused without touching
+    [submitted]. *)
 
 val submit : 'a t -> 'a Msg.t -> unit
-(** Hand a message to the top of the stack for transmission. *)
+(** Hand a message to the top of the stack for transmission.  Under an
+    [intake_limit] an over-watermark submission is shed silently; use
+    {!try_inject} to observe it. *)
+
+val try_inject : 'a t -> 'a Msg.t -> bool
+(** Like {!submit}, but reports acceptance: [false] means the message was
+    shed (and already passed to [on_shed]). *)
 
 val pending : 'a t -> int
 
@@ -58,3 +78,10 @@ val step : 'a t -> bool
 val run : 'a t -> unit
 
 val stats : 'a t -> stats
+(** An exact projection of the underlying {!Engine.stats}: [submitted]
+    is [injected], [transmitted] is [to_down], [looped_up] is [to_up],
+    everything else maps by name. *)
+
+val engine : 'a t -> 'a Engine.t
+(** The underlying engine (same instance, not a copy) — for oracles and
+    tests that compare facade stats against engine stats. *)

@@ -23,6 +23,8 @@ type result = {
   mean_batch : float;
   max_batch : int;
   throughput : float;
+  tx_msgs : int;
+  tx_runs : int;
 }
 
 (* Payloads are just the simulated buffer address of the message data. *)
@@ -53,6 +55,8 @@ type accum = {
   mutable total_batched : int;
   mutable max_batch : int;
   mutable sim_seconds : float;
+  mutable tx_msgs : int;
+  mutable tx_runs : int;
 }
 
 let fresh_accum () =
@@ -67,6 +71,8 @@ let fresh_accum () =
     total_batched = 0;
     max_batch = 0;
     sim_seconds = 0.0;
+    tx_msgs = 0;
+    tx_runs = 0;
   }
 
 (* Both directions drive the same loop through this interface: the
@@ -77,6 +83,7 @@ type 'a driver = {
   d_backlog : unit -> int;
   d_step : unit -> bool;
   d_batch_stats : unit -> int * int * int;  (* batches, total, max *)
+  d_duplex_stats : unit -> int * int;  (* wire msgs, tx-side run switches *)
 }
 
 let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
@@ -105,11 +112,21 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
          params.base_cycles_per_layer)
   in
   let nlayers = Array.length spec in
+  (* One charged region set per scheduler node: the receive chain and
+     transmit chain each have [nlayers]; a duplex engine has both, with
+     the transmit side's code/data placed independently (its handlers
+     are different code with their own working set). *)
+  let nnodes =
+    match direction with `Duplex -> 2 * nlayers | `Receive | `Transmit -> nlayers
+  in
+  let node_spec = Array.init nnodes (fun i -> spec.(i mod nlayers)) in
   let code_regions =
-    Array.map (fun (code, _, _) -> Cache.Layout.alloc layout code) spec
+    Array.map (fun (code, _, _) -> Cache.Layout.alloc layout code) node_spec
   in
   let data_regions =
-    Array.map (fun (_, data, _) -> Cache.Layout.alloc layout (max 32 data)) spec
+    Array.map
+      (fun (_, data, _) -> Cache.Layout.alloc layout (max 32 data))
+      node_spec
   in
   (* Message buffers recycle through a pool of slots, like mbuf clusters. *)
   let slots =
@@ -127,11 +144,11 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
   | Some f ->
     Cache.Memsys.set_probe memsys (Some (fun ev -> f ~layer:!current_layer ev)));
   (match metrics with
-  | Some m when Metrics.nlayers m <> nlayers ->
+  | Some m when Metrics.nlayers m <> nnodes ->
     invalid_arg "Simrun.run_into: metrics sheet layer count mismatch"
   | _ -> ());
   let charge_memsys i (msg : payload Core.Msg.t) =
-    let code_bytes, data_bytes, base_cycles = spec.(i) in
+    let code_bytes, data_bytes, base_cycles = node_spec.(i) in
     let cr = code_regions.(i) and dr = data_regions.(i) in
     Cache.Memsys.fetch_code memsys ~addr:cr.Cache.Layout.base ~len:code_bytes;
     Cache.Memsys.read_data memsys ~addr:dr.Cache.Layout.base ~len:data_bytes;
@@ -166,6 +183,16 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
   in
   let now = ref 0.0 in
   let completed = ref [] in
+  let take_slot () =
+    let slot = slots.(!next_slot) in
+    next_slot := (!next_slot + 1) mod Array.length slots;
+    slot
+  in
+  (* Under [`Duplex], the top layer answers every delivered message with a
+     small reply (a TCP-ACK stand-in) that descends the transmit nodes of
+     the same engine — the cross-direction traffic whose batching the
+     duplex arrangement amortises. *)
+  let ack_bytes = 40 in
   let layers =
     List.init nlayers (fun i ->
         let code_bytes, data_bytes, base_cycles = spec.(i) in
@@ -174,7 +201,15 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
             (Core.Layer.footprint ~code_bytes ~data_bytes
                ~cycles_per_msg:base_cycles
                ~cycles_per_byte:params.cycles_per_byte ())
-          (fun msg -> [ Core.Layer.Deliver_up msg ]))
+          (fun msg ->
+            if direction = `Duplex && i = top then
+              [
+                Core.Layer.Deliver_up msg;
+                Core.Layer.Send_down
+                  (Core.Msg.make ~arrival:msg.Core.Msg.arrival ~size:ack_bytes
+                     (take_slot ()));
+              ]
+            else [ Core.Layer.Deliver_up msg ]))
   in
   let driver =
     match direction with
@@ -198,6 +233,7 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
             ( st.Core.Sched.batches,
               st.Core.Sched.total_batched,
               st.Core.Sched.max_batch ));
+        d_duplex_stats = (fun () -> (0, 0));
       }
     | `Transmit ->
       (* Messages enter at the top (application sends) and complete when
@@ -222,9 +258,39 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
             ( st.Core.Txsched.batches,
               st.Core.Txsched.total_batched,
               st.Core.Txsched.max_batch ));
+        d_duplex_stats = (fun () -> (0, 0));
+      }
+    | `Duplex ->
+      (* Both directions under one engine: arrivals enter the rx side and
+         complete at the up sink (latency is still arrival-to-delivery);
+         the replies the top layer generates drain through the transmit
+         nodes — charged to their own regions via [on_handled] — and
+         leave at the wire sink uncounted. *)
+      let eng =
+        Core.Engine.duplex
+          ~discipline:(sched_discipline params discipline)
+          ~layers
+          ~up:(fun msg -> completed := msg :: !completed)
+          ~on_handled:(fun i _ msg -> charge i msg)
+          ?metrics ()
+      in
+      let rx = Core.Engine.duplex_rx_entry eng in
+      {
+        d_inject = (fun m -> Core.Engine.inject eng ~node:rx m);
+        d_pending = (fun () -> Core.Engine.pending eng);
+        d_backlog = (fun () -> Core.Engine.backlog eng ~node:rx);
+        d_step = (fun () -> Core.Engine.step eng);
+        d_batch_stats =
+          (fun () ->
+            let st = Core.Engine.stats eng in
+            ( st.Core.Engine.batches,
+              st.Core.Engine.total_batched,
+              st.Core.Engine.max_batch ));
+        d_duplex_stats =
+          (fun () ->
+            ((Core.Engine.stats eng).Core.Engine.to_down, Core.Engine.tx_runs eng));
       }
   in
-  ignore top;
   let offered_sc, dropped_sc =
     match metrics with
     | None -> (ref 0, ref 0)
@@ -246,13 +312,10 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
           acc.dropped <- acc.dropped + 1;
           Metrics.add_scalar dropped_sc 1
         end
-        else begin
-          let slot = slots.(!next_slot) in
-          next_slot := (!next_slot + 1) mod Array.length slots;
+        else
           driver.d_inject
             (Core.Msg.make ~arrival:p.Ldlp_traffic.Source.at
-               ~size:p.Ldlp_traffic.Source.size slot)
-        end;
+               ~size:p.Ldlp_traffic.Source.size (take_slot ()));
         pull ()
       | _ -> continue := false
     done
@@ -294,6 +357,9 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
   acc.batches <- acc.batches + batches;
   acc.total_batched <- acc.total_batched + total_batched;
   acc.max_batch <- max acc.max_batch max_batch;
+  let tx_msgs, tx_runs = driver.d_duplex_stats () in
+  acc.tx_msgs <- acc.tx_msgs + tx_msgs;
+  acc.tx_runs <- acc.tx_runs + tx_runs;
   acc.sim_seconds <- acc.sim_seconds +. !now
 
 let result_of ~discipline acc =
@@ -319,6 +385,8 @@ let result_of ~discipline acc =
       (if acc.sim_seconds > 0.0 then
          float_of_int acc.processed /. acc.sim_seconds
        else 0.0);
+    tx_msgs = acc.tx_msgs;
+    tx_runs = acc.tx_runs;
   }
 
 let run_once ?direction ~params ~discipline ~rng ~source ?clock_hz ?metrics

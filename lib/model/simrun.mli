@@ -32,10 +32,17 @@ type result = {
   mean_batch : float;
   max_batch : int;
   throughput : float;  (** Processed messages per simulated second. *)
+  tx_msgs : int;
+      (** [`Duplex] only: replies that reached the wire sink (0 for the
+          single-direction runs). *)
+  tx_runs : int;
+      (** [`Duplex] only: scheduling switches into transmit-side nodes.
+          [tx_msgs / tx_runs] is the cross-direction batch amortisation —
+          wire messages per reload of the transmit-side working set. *)
 }
 
 val run_once :
-  ?direction:[ `Receive | `Transmit ] ->
+  ?direction:[ `Receive | `Transmit | `Duplex ] ->
   params:Params.t ->
   discipline:discipline ->
   rng:Ldlp_sim.Rng.t ->
@@ -48,9 +55,15 @@ val run_once :
 (** One run: one random code/data/buffer placement drawn from [rng], one
     arrival stream.  [clock_hz] overrides the params clock (Figure 7).
     [direction] selects receive-side scheduling (the paper's evaluation,
-    default) or transmit-side (the mirror experiment the paper mentions
-    but does not evaluate): messages then enter at the top layer and
-    complete on reaching the wire.
+    default), transmit-side (the mirror experiment the paper mentions
+    but does not evaluate: messages enter at the top layer and complete
+    on reaching the wire), or [`Duplex] — both directions of the stack
+    under one {!Ldlp_core.Engine.duplex}: arrivals climb the receive
+    nodes and complete at delivery, and the top layer answers each with
+    a small reply that descends the transmit nodes of the same
+    scheduling pass (transmit-side code/data get their own independently
+    placed regions, so the reply traffic has a real working set to
+    amortise; a [metrics] sheet then needs [2n] rows).
 
     [metrics] (shape {!layer_names}) is forwarded to the scheduler and
     additionally charged with every memory-system delta, attributed to the
@@ -61,7 +74,7 @@ val run_once :
     miss counters independently. *)
 
 val run_avg :
-  ?direction:[ `Receive | `Transmit ] ->
+  ?direction:[ `Receive | `Transmit | `Duplex ] ->
   params:Params.t ->
   discipline:discipline ->
   seed:int ->

@@ -147,7 +147,7 @@ let client_port = 40007
 
 let client_window = 4
 
-let run_one ~discipline sc =
+let run_one ?(duplex = false) ~discipline sc =
   let payload = payloads sc in
   let total_bytes = sc.chunks * sc.chunk_bytes in
   let expected =
@@ -170,7 +170,7 @@ let run_one ~discipline sc =
   let recvd = Buffer.create total_bytes in
   let completion = ref None in
   let xmit nic frame = if not (Nic.transmit nic frame) then Mbuf.free pool frame in
-  let server_service host nic =
+  let server_service host ~emit =
     match
       Pcb.lookup (Host.table host) ~local_port:server_port
         ~remote:(client_ip, client_port)
@@ -181,11 +181,11 @@ let run_one ~discipline sc =
            && Pcb.unacked pcb < 2 * client_window -> (
       let data = Sockbuf.read_all pcb.Pcb.sockbuf in
       match Host.send host pcb data with
-      | Some frame -> xmit nic frame
+      | Some frame -> emit frame
       | None -> ())
     | _ -> ()
   in
-  let client_service host nic =
+  let client_service _host ~emit =
     match !client_pcb with
     | Some pcb when pcb.Pcb.state = Pcb.Established ->
       if Sockbuf.length pcb.Pcb.sockbuf > 0 then begin
@@ -194,34 +194,68 @@ let run_one ~discipline sc =
           completion := Some (Engine.now engine)
       end;
       while !sent_idx < sc.chunks && Pcb.unacked pcb < client_window do
-        (match Host.send host pcb payload.(!sent_idx) with
-        | Some frame -> xmit nic frame
+        (match Host.send client_host pcb payload.(!sent_idx) with
+        | Some frame -> emit frame
         | None -> ());
         incr sent_idx
       done
     | _ -> ()
   in
+  (* A node's scheduler is either the classic receive chain ([Sched],
+     app-built frames transmitted directly) or one full-duplex engine
+     ([Host.duplex]): received frames enter the rx side, app-built frames
+     are submitted at the tx entry and descend the transmit nodes before
+     reaching the NIC. *)
   let mk_node ~name host ~on_service =
     let nic =
       Nic.create ~rx_slots:256 ~tx_slots:256 ~irq:(Nic.Coalesced 4) ()
     in
-    let sched =
-      Core.Sched.create ~discipline ~layers:(Host.layers host)
-        ~down:(fun m -> xmit nic m.Core.Msg.payload.Host.buf)
-        ?intake_limit:sc.intake_limit
-        ~on_shed:(fun m -> Mbuf.free pool m.Core.Msg.payload.Host.buf)
-        ()
+    let wrap frame =
+      Core.Msg.make
+        ~arrival:(Engine.now engine)
+        ~size:(Mbuf.length frame) (Host.wrap host frame)
+    in
+    let drive, emit, shed_count =
+      if duplex then begin
+        let eng =
+          Host.duplex host ~discipline
+            ~wire:(fun frame -> xmit nic frame)
+            ?intake_limit:sc.intake_limit
+            ~on_shed:(fun m -> Mbuf.free pool m.Core.Msg.payload.Host.buf)
+            ()
+        in
+        let rx = Core.Engine.duplex_rx_entry eng
+        and tx = Core.Engine.duplex_tx_entry eng in
+        ( (fun nic ->
+            List.iter
+              (fun f -> Core.Engine.inject eng ~node:rx (wrap f))
+              (Nic.take_all nic);
+            Core.Engine.run eng),
+          (fun frame ->
+            Core.Engine.inject eng ~node:tx (wrap frame);
+            Core.Engine.run eng),
+          fun () -> (Core.Engine.stats eng).Core.Engine.shed )
+      end
+      else begin
+        let sched =
+          Core.Sched.create ~discipline ~layers:(Host.layers host)
+            ~down:(fun m -> xmit nic m.Core.Msg.payload.Host.buf)
+            ?intake_limit:sc.intake_limit
+            ~on_shed:(fun m -> Mbuf.free pool m.Core.Msg.payload.Host.buf)
+            ()
+        in
+        ( (fun nic ->
+            ignore (Nic.service_into nic sched ~wrap);
+            Core.Sched.run sched),
+          (fun frame -> xmit nic frame),
+          fun () -> (Core.Sched.stats sched).Core.Sched.shed )
+      end
     in
     let node =
       Netsim.add_node net ~name ~nic
         ~service:(fun nic ->
-          ignore
-            (Nic.service_into nic sched ~wrap:(fun frame ->
-                 Core.Msg.make
-                   ~arrival:(Engine.now engine)
-                   ~size:(Mbuf.length frame) (Host.wrap host frame)));
-          Core.Sched.run sched;
-          on_service host nic)
+          drive nic;
+          on_service host ~emit)
         ()
     in
     (* Timer transmissions happen outside an interrupt service; kick the
@@ -232,12 +266,12 @@ let run_one ~discipline sc =
       ~tx:(fun frame ->
         if Nic.transmit (Netsim.nic node) frame then Netsim.kick net node
         else Mbuf.free pool frame);
-    (nic, sched, node)
+    (nic, shed_count, node, emit)
   in
-  let server_nic, server_sched, server_node =
+  let server_nic, server_shed, server_node, _server_emit =
     mk_node ~name:"server" server_host ~on_service:server_service
   in
-  let client_nic, client_sched, client_node =
+  let client_nic, client_shed, client_node, client_emit =
     mk_node ~name:"client" client_host ~on_service:client_service
   in
   let mk_impair ~seed =
@@ -259,7 +293,7 @@ let run_one ~discipline sc =
       ~src_port:client_port
   in
   client_pcb := Some pcb;
-  xmit client_nic syn;
+  client_emit syn;
   Netsim.kick net client_node;
   (if Sys.getenv_opt "LDLP_SOAK_DEBUG" <> None then begin
      let steps = ref 0 in
@@ -293,9 +327,7 @@ let run_one ~discipline sc =
     integrity = String.equal (Buffer.contents recvd) expected;
     leak_free = pstats.Pool.small_in_use = 0 && pstats.Pool.cluster_in_use = 0;
     retransmits = cc.Host.retransmits + sc_c.Host.retransmits;
-    shed =
-      (Core.Sched.stats client_sched).Core.Sched.shed
-      + (Core.Sched.stats server_sched).Core.Sched.shed;
+    shed = client_shed () + server_shed ();
     echoed_bytes = Buffer.length recvd;
     completion =
       (match !completion with Some t -> t | None -> Engine.now engine);
@@ -305,10 +337,10 @@ let run_one ~discipline sc =
     reordered = ics.Impair.reordered + isc.Impair.reordered;
   }
 
-let run_scenario sc =
-  let conventional = run_one ~discipline:Core.Sched.Conventional sc in
+let run_scenario ?(duplex = false) sc =
+  let conventional = run_one ~duplex ~discipline:Core.Sched.Conventional sc in
   let ldlp =
-    run_one ~discipline:(Core.Sched.Ldlp Core.Batch.paper_default) sc
+    run_one ~duplex ~discipline:(Core.Sched.Ldlp Core.Batch.paper_default) sc
   in
   let equivalent =
     conventional.completed && ldlp.completed && conventional.integrity
@@ -317,7 +349,8 @@ let run_scenario sc =
   in
   { scenario = sc; conventional; ldlp; equivalent }
 
-let run_all ?domains scs = Ldlp_par.Pool.map ?domains run_scenario scs
+let run_all ?domains ?(duplex = false) scs =
+  Ldlp_par.Pool.map ?domains (run_scenario ~duplex) scs
 
 (* ---------- rendering ---------- *)
 

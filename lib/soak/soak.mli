@@ -69,11 +69,18 @@ type report = {
 
 val report_ok : report -> bool
 
-val run_scenario : scenario -> report
+val run_scenario : ?duplex:bool -> scenario -> report
 (** Run the echo exchange twice (Conventional, then LDLP) over the
-    scenario's fault plan.  Pure: no wall clock, no global RNG. *)
+    scenario's fault plan.  Pure: no wall clock, no global RNG.
 
-val run_all : ?domains:int -> scenario list -> report list
+    With [duplex] (default false) each host runs both stack directions
+    under one {!Ldlp_tcpmini.Host.duplex} engine: received frames enter
+    the rx side and application frames are submitted at the tx entry,
+    so TCP replies descend the transmit nodes of the same scheduling
+    pass.  Every integrity/leak/equivalence check is unchanged — the
+    duplex arrangement must put byte-identical frames on the wire. *)
+
+val run_all : ?domains:int -> ?duplex:bool -> scenario list -> report list
 (** Run scenarios through {!Ldlp_par.Pool.map}: input order, and the
     same results for any [domains]. *)
 

@@ -356,6 +356,18 @@ let layers t =
   in
   [ ether; ip_layer; tcp ]
 
+(* Full-duplex: both directions of [layers] under one engine, so ACKs
+   generated while draining a receive batch descend through the transmit
+   nodes of the same scheduling pass.  The receive path already builds
+   complete Ethernet frames and the layers' transmit handlers default to
+   passthrough, so the wire sees byte-identical frames to the [Sched]
+   arrangement — only the scheduling changes. *)
+let duplex t ~discipline ?(wire = fun _ -> ()) ?intake_limit
+    ?(on_shed = fun _ -> ()) ?metrics () =
+  Core.Engine.duplex ~discipline ~layers:(layers t)
+    ~wire:(fun m -> wire m.Core.Msg.payload.buf)
+    ?intake_limit ~on_shed ?metrics ()
+
 let connect t ~dst:(dst_ip, dst_port) ~src_port =
   let pcb =
     Pcb.insert_active t.pcbs ~local_port:src_port ~remote:(dst_ip, dst_port) ()

@@ -47,6 +47,28 @@ val layers : t -> item Ldlp_core.Layer.t list
 
 val wrap : t -> Ldlp_buf.Mbuf.t -> item
 
+val duplex :
+  t ->
+  discipline:Ldlp_core.Engine.discipline ->
+  ?wire:(Ldlp_buf.Mbuf.t -> unit) ->
+  ?intake_limit:int ->
+  ?on_shed:(item Ldlp_core.Msg.t -> unit) ->
+  ?metrics:Ldlp_obs.Metrics.t ->
+  unit ->
+  item Ldlp_core.Engine.t
+(** Both directions of {!layers} under one {!Ldlp_core.Engine.duplex}
+    instance: inject received frames at
+    {!Ldlp_core.Engine.duplex_rx_entry}, submit outbound frames (from
+    {!send}/{!connect}, already complete) at
+    {!Ldlp_core.Engine.duplex_tx_entry}; [wire] receives every frame
+    leaving the bottom transmit node.  Replies the TCP layer generates
+    while draining a receive batch cross into the transmit nodes of the
+    {e same} scheduling pass, so a receive batch's ACKs descend as one
+    transmit batch (cross-direction amortisation).  The wire frames are
+    byte-identical to the {!layers}-under-{!Ldlp_core.Sched}
+    arrangement.  [metrics] needs [2n] rows named by
+    {!Ldlp_core.Engine.duplex_layer_names}. *)
+
 val table : t -> Pcb.table
 
 val ip : t -> Ldlp_packet.Addr.Ipv4.t

@@ -1,0 +1,369 @@
+(* Engine-level tests: the facade-stats projection property (satellite of
+   the engine unification — Sched/Txsched/Graphsched stats must be exact
+   projections of the underlying Engine stats on random stacks under both
+   disciplines), transmit-side intake shedding, and the full-duplex
+   topology (same-pass ACK drainage, conservation, shedding at both
+   entries). *)
+
+open Ldlp_core
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---------- random stacks for the projection property ---------- *)
+
+type case = {
+  behs : int list;  (* per-layer behaviour selector, bottom-first *)
+  nmsgs : int;
+  disc : int;  (* 0 = Conventional, 1 = Ldlp All, 2 = Ldlp paper_default *)
+  limit : int option;
+}
+
+let pp_case c =
+  Printf.sprintf "{behs=[%s]; nmsgs=%d; disc=%d; limit=%s}"
+    (String.concat ";" (List.map string_of_int c.behs))
+    c.nmsgs c.disc
+    (match c.limit with None -> "none" | Some l -> string_of_int l)
+
+let gen_case =
+  QCheck.Gen.(
+    int_range 1 5 >>= fun n ->
+    list_repeat n (int_range 0 5) >>= fun behs ->
+    int_range 0 40 >>= fun nmsgs ->
+    int_range 0 2 >>= fun disc ->
+    oneof [ return None; map (fun l -> Some l) (int_range 1 8) ]
+    >>= fun limit -> return { behs; nmsgs; disc; limit })
+
+let arb_case = QCheck.make ~print:pp_case gen_case
+
+let discipline_of c =
+  match c.disc with
+  | 0 -> Sched.Conventional
+  | 1 -> Sched.Ldlp Batch.All
+  | _ -> Sched.Ldlp Batch.paper_default
+
+(* Handlers are deterministic functions of the payload (the injection
+   index), as in the oracle, so conventional and blocked runs — and the
+   facade and engine views of one run — describe the same work. *)
+let rx_layer i beh =
+  let name = Printf.sprintf "l%d" i in
+  let handle m =
+    match beh with
+    | 1 ->
+        if m.Msg.payload mod 5 = 0 then [ Layer.Deliver_to ("nowhere", m) ]
+        else [ Layer.Deliver_up m ]
+    | 2 ->
+        if m.Msg.payload mod 2 = 0 then [ Layer.Consume ]
+        else [ Layer.Deliver_up m ]
+    | 3 ->
+        if m.Msg.payload mod 3 = 0 then
+          [ Layer.Send_down (Msg.make ~size:40 (-m.Msg.payload - 1));
+            Layer.Deliver_up m ]
+        else [ Layer.Deliver_up m ]
+    | 4 ->
+        if m.Msg.payload mod 3 = 0 then [ Layer.Consume ]
+        else [ Layer.Deliver_up m ]
+    | _ -> [ Layer.Deliver_up m ]
+  in
+  let tx m =
+    match beh with
+    | 2 ->
+        if m.Msg.payload mod 2 = 0 then [ Layer.Consume ]
+        else [ Layer.Send_down m ]
+    | 3 ->
+        if m.Msg.payload mod 3 = 0 then
+          [ Layer.Deliver_up (Msg.make ~size:40 (-m.Msg.payload - 1));
+            Layer.Send_down m ]
+        else [ Layer.Send_down m ]
+    | 4 ->
+        if m.Msg.payload mod 3 = 0 then [ Layer.Consume ]
+        else [ Layer.Send_down m ]
+    | _ -> [ Layer.Send_down m ]
+  in
+  Layer.v ~name ~tx handle
+
+let case_msgs c =
+  List.init c.nmsgs (fun i -> Msg.make ~flow:(i mod 3) ~size:(32 * (i mod 4)) i)
+
+let prop_sched_projection c =
+  let layers = List.mapi rx_layer c.behs in
+  let sched =
+    Sched.create ~discipline:(discipline_of c) ~layers ?intake_limit:c.limit ()
+  in
+  List.iteri
+    (fun i m ->
+      ignore (Sched.try_inject sched m);
+      if i mod 5 = 4 then ignore (Sched.step sched))
+    (case_msgs c);
+  Sched.run sched;
+  let f = Sched.stats sched in
+  let e = Engine.stats (Sched.engine sched) in
+  f.Sched.injected = e.Engine.injected
+  && f.Sched.delivered = e.Engine.to_up
+  && f.Sched.sent_down = e.Engine.to_down
+  && f.Sched.consumed = e.Engine.consumed
+  && f.Sched.misrouted = e.Engine.misrouted
+  && f.Sched.shed = e.Engine.shed
+  && f.Sched.batches = e.Engine.batches
+  && f.Sched.max_batch = e.Engine.max_batch
+  && f.Sched.total_batched = e.Engine.total_batched
+  && f.Sched.per_layer = e.Engine.per_node
+
+let prop_tx_projection c =
+  let layers = List.mapi rx_layer c.behs in
+  let tx =
+    Txsched.create ~discipline:(discipline_of c) ~layers
+      ?intake_limit:c.limit ()
+  in
+  List.iteri
+    (fun i m ->
+      ignore (Txsched.try_inject tx m);
+      if i mod 5 = 4 then ignore (Txsched.step tx))
+    (case_msgs c);
+  Txsched.run tx;
+  let f = Txsched.stats tx in
+  let e = Engine.stats (Txsched.engine tx) in
+  f.Txsched.submitted = e.Engine.injected
+  && f.Txsched.transmitted = e.Engine.to_down
+  && f.Txsched.looped_up = e.Engine.to_up
+  && f.Txsched.consumed = e.Engine.consumed
+  && f.Txsched.shed = e.Engine.shed
+  && f.Txsched.batches = e.Engine.batches
+  && f.Txsched.max_batch = e.Engine.max_batch
+  && f.Txsched.total_batched = e.Engine.total_batched
+  && f.Txsched.per_layer = e.Engine.per_node
+
+let prop_graph_projection c =
+  let g =
+    Graphsched.create ~discipline:(discipline_of c) ?intake_limit:c.limit ()
+  in
+  let layers = Array.of_list (List.mapi rx_layer c.behs) in
+  let n = Array.length layers in
+  (* Register the chain top-down, as Graphsched requires. *)
+  for i = n - 1 downto 0 do
+    let above = if i = n - 1 then [] else [ layers.(i + 1).Layer.name ] in
+    Graphsched.add_layer g ~above layers.(i)
+  done;
+  let entry = layers.(0).Layer.name in
+  List.iteri
+    (fun i m ->
+      ignore (Graphsched.try_inject g ~into:entry m);
+      if i mod 5 = 4 then ignore (Graphsched.step g))
+    (case_msgs c);
+  Graphsched.run g;
+  let f = Graphsched.stats g in
+  let e = Engine.stats (Graphsched.engine g) in
+  f.Graphsched.injected = e.Engine.injected
+  && f.Graphsched.delivered = e.Engine.to_up
+  && f.Graphsched.sent_down = e.Engine.to_down
+  && f.Graphsched.consumed = e.Engine.consumed
+  && f.Graphsched.misrouted = e.Engine.misrouted
+  && f.Graphsched.shed = e.Engine.shed
+  && f.Graphsched.batches = e.Engine.batches
+  && f.Graphsched.max_batch = e.Engine.max_batch
+  && f.Graphsched.total_batched = e.Engine.total_batched
+  && f.Graphsched.per_layer = e.Engine.per_node
+
+(* ---------- transmit-side intake shedding ---------- *)
+
+(* Mirror of test_core's [test_intake_shedding] for the transmit facade
+   (submission-queue high-watermark). *)
+let test_tx_intake_shedding () =
+  let shed_ids = ref [] in
+  let wired = ref [] in
+  let tx =
+    Txsched.create ~discipline:Sched.Conventional
+      ~layers:[ Layer.passthrough "l0"; Layer.passthrough "l1" ]
+      ~wire:(fun m -> wired := m.Msg.id :: !wired)
+      ~intake_limit:3
+      ~on_shed:(fun m -> shed_ids := m.Msg.id :: !shed_ids)
+      ()
+  in
+  let results =
+    List.map
+      (fun m -> (m.Msg.id, Txsched.try_inject tx m))
+      (List.init 5 (fun i -> Msg.make ~size:10 i))
+  in
+  checki "watermark admits 3" 3 (List.length (List.filter snd results));
+  checki "2 passed to on_shed" 2 (List.length !shed_ids);
+  Alcotest.(check (list bool))
+    "first-come first-served" [ true; true; true; false; false ]
+    (List.map snd results);
+  let st = Txsched.stats tx in
+  checki "stats.shed" 2 st.Txsched.shed;
+  (* Shed submissions never enter the chain: submitted counts only the
+     accepted three. *)
+  checki "shed not counted submitted" 3 st.Txsched.submitted;
+  Txsched.run tx;
+  checki "accepted messages all transmitted" 3 (List.length !wired);
+  checki "nothing shed mid-run" 2 (Txsched.stats tx).Txsched.shed;
+  (* Draining the submission queue reopens the intake. *)
+  check "room after run" true (Txsched.try_inject tx (Msg.make ~size:10 9));
+  (* Without a limit try_inject never refuses. *)
+  let open_tx =
+    Txsched.create ~discipline:(Sched.Ldlp Batch.All)
+      ~layers:[ Layer.passthrough "l0" ]
+      ()
+  in
+  check "unlimited intake" true
+    (List.for_all Fun.id
+       (List.init 100 (fun i -> Txsched.try_inject open_tx (Msg.make i))))
+
+(* ---------- full-duplex topology ---------- *)
+
+let test_duplex_layer_names () =
+  Alcotest.(check (list string))
+    "rx names then /tx names, bottom-first"
+    [ "a"; "b"; "a/tx"; "b/tx" ]
+    (Engine.duplex_layer_names [ "a"; "b" ])
+
+let test_duplex_entries () =
+  let eng =
+    Engine.duplex ~discipline:Sched.Conventional
+      ~layers:[ Layer.passthrough "a"; Layer.passthrough "b"; Layer.passthrough "c" ]
+      ()
+  in
+  checki "2n nodes" 6 (Engine.node_count eng);
+  checki "rx entry is node 0" 0 (Engine.duplex_rx_entry eng);
+  checki "tx entry is node 2n-1" 5 (Engine.duplex_tx_entry eng);
+  check "rx entry flagged" true (Engine.is_entry eng 0);
+  check "tx entry flagged" true (Engine.is_entry eng 5);
+  check "mid nodes are not entries" true
+    (List.for_all (fun i -> not (Engine.is_entry eng i)) [ 1; 2; 3; 4 ]);
+  Alcotest.(check (list string))
+    "node names follow duplex_layer_names"
+    (Engine.duplex_layer_names [ "a"; "b"; "c" ])
+    (List.init 6 (Engine.node_name eng))
+
+let test_duplex_conservation () =
+  let up = ref [] in
+  let wire = ref [] in
+  let eng =
+    Engine.duplex ~discipline:(Sched.Ldlp Batch.All)
+      ~layers:[ Layer.passthrough "l0"; Layer.passthrough "l1" ]
+      ~up:(fun m -> up := m.Msg.payload :: !up)
+      ~wire:(fun m -> wire := m.Msg.payload :: !wire)
+      ()
+  in
+  List.iter
+    (fun i -> Engine.inject eng ~node:(Engine.duplex_rx_entry eng) (Msg.make ~size:64 i))
+    [ 0; 1; 2; 3 ];
+  List.iter
+    (fun i -> Engine.inject eng ~node:(Engine.duplex_tx_entry eng) (Msg.make ~size:64 i))
+    [ 10; 11; 12 ];
+  Engine.run eng;
+  checki "all rx delivered" 4 (List.length !up);
+  Alcotest.(check (list int)) "wire FIFO" [ 10; 11; 12 ] (List.rev !wire);
+  let st = Engine.stats eng in
+  checki "injected both entries" 7 st.Engine.injected;
+  checki "to_up" 4 st.Engine.to_up;
+  checki "to_down" 3 st.Engine.to_down;
+  checki "idle" 0 (Engine.pending eng);
+  checki "conservation" st.Engine.injected
+    (st.Engine.to_up + st.Engine.to_down + st.Engine.consumed
+   + st.Engine.misrouted)
+
+(* The duplex-specific behaviour: replies generated while draining a
+   receive batch cross into the transmit side and reach the wire in the
+   same scheduling pass, before newly arrived receive work is touched. *)
+let test_duplex_same_pass_acks () =
+  let wire = ref [] in
+  let top =
+    Layer.v ~name:"l1" (fun m ->
+        [ Layer.Send_down (Msg.make ~size:40 (1000 + m.Msg.payload));
+          Layer.Deliver_up m ])
+  in
+  let eng =
+    Engine.duplex ~discipline:(Sched.Ldlp Batch.All)
+      ~layers:[ Layer.passthrough "l0"; top ]
+      ~wire:(fun m -> wire := m.Msg.payload :: !wire)
+      ()
+  in
+  let rx = Engine.duplex_rx_entry eng in
+  Engine.inject eng ~node:rx (Msg.make ~size:64 0);
+  Engine.inject eng ~node:rx (Msg.make ~size:64 1);
+  (* Quantum 1: the rx entry batch climbs to the top rx queue. *)
+  check "entry quantum" true (Engine.step eng);
+  (* New frames arrive; they must wait behind the in-flight batch. *)
+  Engine.inject eng ~node:rx (Msg.make ~size:64 2);
+  Engine.inject eng ~node:rx (Msg.make ~size:64 3);
+  (* Quantum 2: top rx layer replies — ACKs enter the top tx queue. *)
+  check "top rx quantum" true (Engine.step eng);
+  (* Quanta 3-4: the tx side outranks the waiting rx entry backlog, so
+     both ACKs descend to the wire before frames 2 and 3 are touched. *)
+  check "tx entry quantum" true (Engine.step eng);
+  check "tx bottom quantum" true (Engine.step eng);
+  Alcotest.(check (list int)) "ACKs on the wire, in order" [ 1000; 1001 ]
+    (List.rev !wire);
+  checki "new arrivals still queued" 2 (Engine.backlog eng ~node:rx);
+  checki "two tx-side switches so far" 2 (Engine.tx_runs eng);
+  Engine.run eng;
+  Alcotest.(check (list int)) "second batch's ACKs follow"
+    [ 1000; 1001; 1002; 1003 ] (List.rev !wire);
+  let st = Engine.stats eng in
+  checki "every frame delivered" 4 st.Engine.to_up;
+  checki "every ACK transmitted" 4 st.Engine.to_down
+
+let test_duplex_shed_both_entries () =
+  let shed = ref 0 in
+  let eng =
+    Engine.duplex ~discipline:Sched.Conventional
+      ~layers:[ Layer.passthrough "l0" ]
+      ~intake_limit:2
+      ~on_shed:(fun _ -> incr shed)
+      ()
+  in
+  let rx = Engine.duplex_rx_entry eng in
+  let tx = Engine.duplex_tx_entry eng in
+  check "rx 1" true (Engine.try_inject eng ~node:rx (Msg.make 0));
+  check "rx 2" true (Engine.try_inject eng ~node:rx (Msg.make 1));
+  check "rx over watermark" false (Engine.try_inject eng ~node:rx (Msg.make 2));
+  check "tx 1" true (Engine.try_inject eng ~node:tx (Msg.make 10));
+  check "tx 2" true (Engine.try_inject eng ~node:tx (Msg.make 11));
+  check "tx over watermark" false (Engine.try_inject eng ~node:tx (Msg.make 12));
+  checki "both refusals shed" 2 !shed;
+  checki "stats.shed" 2 (Engine.stats eng).Engine.shed;
+  checki "accepted only" 4 (Engine.stats eng).Engine.injected;
+  Engine.run eng;
+  check "intake reopens" true (Engine.try_inject eng ~node:rx (Msg.make 3))
+
+let test_duplex_metrics_rows () =
+  let eng =
+    Engine.duplex ~discipline:Sched.Conventional
+      ~layers:[ Layer.passthrough "a"; Layer.passthrough "b" ]
+      ()
+  in
+  check "sheet must have 2n rows" true
+    (try
+       Engine.attach_metrics eng
+         (Ldlp_obs.Metrics.create ~label:"bad" ~layer_names:[ "a"; "b" ]);
+       false
+     with Invalid_argument _ -> true);
+  Engine.attach_metrics eng
+    (Ldlp_obs.Metrics.create ~label:"ok"
+       ~layer_names:(Engine.duplex_layer_names [ "a"; "b" ]))
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suite =
+  [
+    qcheck
+      (QCheck.Test.make ~name:"Sched stats project Engine stats" ~count:150
+         arb_case prop_sched_projection);
+    qcheck
+      (QCheck.Test.make ~name:"Txsched stats project Engine stats" ~count:150
+         arb_case prop_tx_projection);
+    qcheck
+      (QCheck.Test.make ~name:"Graphsched stats project Engine stats"
+         ~count:150 arb_case prop_graph_projection);
+    Alcotest.test_case "tx intake shedding" `Quick test_tx_intake_shedding;
+    Alcotest.test_case "duplex layer names" `Quick test_duplex_layer_names;
+    Alcotest.test_case "duplex entries" `Quick test_duplex_entries;
+    Alcotest.test_case "duplex conservation" `Quick test_duplex_conservation;
+    Alcotest.test_case "duplex same-pass ACKs" `Quick
+      test_duplex_same_pass_acks;
+    Alcotest.test_case "duplex shed at both entries" `Quick
+      test_duplex_shed_both_entries;
+    Alcotest.test_case "duplex metrics row shape" `Quick
+      test_duplex_metrics_rows;
+  ]

@@ -9,6 +9,7 @@ let () =
       ("traffic", Test_traffic.suite);
       ("trace", Test_trace.suite);
       ("core", Test_core.suite);
+      ("engine", Test_engine.suite);
       ("graphsched", Test_graphsched.suite);
       ("nic", Test_nic.suite);
       ("tcpmini", Test_tcpmini.suite);
