@@ -4,7 +4,7 @@
 
 DOMAINS ?= 2
 
-.PHONY: all build test fmt promote selftest oracle engine-parity soak soak-duplex bench-sweeps bench-hotpath bench-soak check
+.PHONY: all build test fmt promote selftest oracle engine-parity soak soak-duplex bench-sweeps bench-hotpath bench-alloc bench-soak check
 
 all: build
 
@@ -60,9 +60,15 @@ bench-sweeps: build
 bench-hotpath: build
 	dune exec bench/main.exe -- --hotpath
 
+# Allocation gate only: one metrics-on run per discipline, checked
+# against the per-message allocation budgets and the throughput floors.
+# Cheap enough to ride in `make check` without the full soak matrix.
+bench-alloc: build
+	dune exec bench/main.exe -- --alloc-gate
+
 # Goodput / retransmission loss ladder; writes BENCH_soak.json.
 bench-soak: build
 	dune exec bench/main.exe -- --soak
 
-check: build fmt test selftest oracle engine-parity soak soak-duplex
+check: build fmt test selftest oracle engine-parity bench-alloc soak soak-duplex
 	@echo "check OK"

@@ -188,6 +188,59 @@ let bench_sweeps ~out () =
 
 let hotpath_rate = 9000.0
 
+let hotpath_configs =
+  [
+    ("conventional", `Receive, Ldlp_model.Simrun.Conventional);
+    ("ldlp", `Receive, Ldlp_model.Simrun.Ldlp);
+    ("conventional-duplex", `Duplex, Ldlp_model.Simrun.Conventional);
+    ("ldlp-duplex", `Duplex, Ldlp_model.Simrun.Ldlp);
+  ]
+
+(* Per-configuration regression budgets, enforced on every hot-path run.
+   The allocation budget is minor-heap words allocated inside layer
+   handlers per processed message: the receive chain is allocation-free
+   since the pooled-message work, and the duplex host pays only for the
+   reply's action list, so the budgets (< 5 classic, < 12 duplex) have
+   real headroom below the old costs (25 and 63).  The throughput floor
+   is the pre-pooling baseline simulated rate less 1% slack — simulated
+   throughput is deterministic, so a shortfall means the model itself
+   changed, not the host machine. *)
+let hotpath_budgets =
+  [
+    ("conventional", 5.0, 3565.393);
+    ("ldlp", 5.0, 8710.883);
+    ("conventional-duplex", 12.0, 1825.304);
+    ("ldlp-duplex", 12.0, 5021.043);
+  ]
+
+(* [rows] maps configuration name to (allocs/msg, simulated msg/s). *)
+let gate_hotpath rows =
+  let failed = ref false in
+  List.iter
+    (fun (name, budget, baseline) ->
+      match List.assoc_opt name rows with
+      | None ->
+        Printf.eprintf "FAIL: hot-path gate: no row for %s\n" name;
+        failed := true
+      | Some (allocs, rate) ->
+        if allocs >= budget then begin
+          Printf.eprintf
+            "FAIL: %s allocates %.2f minor words/msg in layer handlers \
+             (budget < %.0f)\n"
+            name allocs budget;
+          failed := true
+        end;
+        let floor = 0.99 *. baseline in
+        if rate < floor then begin
+          Printf.eprintf
+            "FAIL: %s simulated throughput %.1f msg/s regressed below the \
+             baseline floor %.1f msg/s\n"
+            name rate floor;
+          failed := true
+        end)
+    hotpath_budgets;
+  if !failed then exit 1
+
 let bench_hotpath ~out () =
   let params = quick in
   let make_source rng =
@@ -262,15 +315,7 @@ let bench_hotpath ~out () =
       on_s,
       r_off )
   in
-  let measured =
-    List.map measure
-      [
-        ("conventional", `Receive, Ldlp_model.Simrun.Conventional);
-        ("ldlp", `Receive, Ldlp_model.Simrun.Ldlp);
-        ("conventional-duplex", `Duplex, Ldlp_model.Simrun.Conventional);
-        ("ldlp-duplex", `Duplex, Ldlp_model.Simrun.Ldlp);
-      ]
-  in
+  let measured = List.map measure hotpath_configs in
   let hots = List.map (fun (h, _, _, _) -> h) measured in
   let off_total = List.fold_left (fun a (_, o, _, _) -> a +. o) 0.0 measured in
   let on_total = List.fold_left (fun a (_, _, o, _) -> a +. o) 0.0 measured in
@@ -342,7 +387,62 @@ let bench_hotpath ~out () =
     check_pair "" conv ldlp;
     check_pair " on the duplex host" conv_dx ldlp_dx
   | _ -> assert false);
+  gate_hotpath
+    (List.map
+       (fun (h : Ldlp_report.Bench_json.hot) ->
+         ( h.Ldlp_report.Bench_json.h_name,
+           ( h.Ldlp_report.Bench_json.allocs_per_msg,
+             h.Ldlp_report.Bench_json.messages_per_sec ) ))
+       hots);
+  Printf.printf "allocation and throughput budgets: ok\n";
   Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
+(* Section 1c': the regression gate alone (`--alloc-gate`).            *)
+(* ------------------------------------------------------------------ *)
+
+(* One metrics-on run per configuration — allocs/msg and simulated
+   throughput are deterministic, so a single run measures them exactly;
+   skipping the best-of-5 wall-clock sampling of the full hot-path
+   report makes the gate cheap enough to sit inside `make check`. *)
+let bench_alloc_gate () =
+  let params = quick in
+  let make_source rng =
+    Ldlp_traffic.Source.limit_time
+      (Ldlp_traffic.Poisson.source ~rng ~rate:hotpath_rate
+         ~size:params.Ldlp_model.Params.msg_bytes ())
+      params.Ldlp_model.Params.seconds
+  in
+  let names = Ldlp_model.Simrun.layer_names params in
+  let duplex_names = Ldlp_core.Engine.duplex_layer_names names in
+  let measure (name, direction, discipline) =
+    let sheet_names =
+      match direction with `Duplex -> duplex_names | _ -> names
+    in
+    let m = Ldlp_obs.Metrics.create ~label:name ~layer_names:sheet_names in
+    let r =
+      Ldlp_obs.Obs.with_enabled true (fun () ->
+          Ldlp_model.Simrun.run_avg ~direction ~params ~discipline ~seed
+            ~make_source ~metrics:m ())
+    in
+    let totals = Ldlp_obs.Metrics.totals m in
+    let allocs =
+      if r.Ldlp_model.Simrun.processed = 0 then 0.0
+      else
+        float_of_int totals.Ldlp_obs.Metrics.t_minor_words
+        /. float_of_int r.Ldlp_model.Simrun.processed
+    in
+    (name, (allocs, r.Ldlp_model.Simrun.throughput))
+  in
+  let rows = List.map measure hotpath_configs in
+  Printf.printf "Allocation gate @ %.0f msg/s (seed %d)\n" hotpath_rate seed;
+  Printf.printf "%-20s %12s %12s\n" "discipline" "allocs/msg" "msg/s";
+  List.iter
+    (fun (name, (allocs, rate)) ->
+      Printf.printf "%-20s %12.2f %12.1f\n" name allocs rate)
+    rows;
+  gate_hotpath rows;
+  Printf.printf "allocation and throughput budgets: ok\n"
 
 (* ------------------------------------------------------------------ *)
 (* Section 1d: chaos-soak loss ladder -> BENCH_soak.json.              *)
@@ -645,9 +745,11 @@ let () =
   let repro_only = Array.exists (( = ) "--repro-only") Sys.argv in
   let sweeps_only = Array.exists (( = ) "--sweeps") Sys.argv in
   let hotpath_only = Array.exists (( = ) "--hotpath") Sys.argv in
+  let alloc_gate_only = Array.exists (( = ) "--alloc-gate") Sys.argv in
   let soak_only = Array.exists (( = ) "--soak") Sys.argv in
   if sweeps_only then bench_sweeps ~out:"BENCH_sweeps.json" ()
   else if hotpath_only then bench_hotpath ~out:"BENCH_hotpath.json" ()
+  else if alloc_gate_only then bench_alloc_gate ()
   else if soak_only then bench_soak ~out:"BENCH_soak.json" ()
   else begin
     if not bench_only then reproduce ();

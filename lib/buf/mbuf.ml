@@ -56,6 +56,12 @@ let capacity m = Bytes.length m.data
 
 let trailing_space m = capacity m - m.off - m.len
 
+let contiguous m n = m.len >= n
+
+let seg_data m = m.data
+
+let seg_off m = m.off
+
 let length m =
   let rec go acc = function
     | None -> acc

@@ -49,6 +49,28 @@ val nsegs : t -> int
 val to_bytes : t -> bytes
 (** Copy of the whole payload, linearised. *)
 
+(** {2 In-place cursor access}
+
+    The zero-copy window onto the head segment that the cursor-based
+    header readers ({!Ldlp_packet}'s [*_at] accessors) use: after
+    {!pullup}[ pool m n], the first [n] payload bytes sit at
+    [seg_off m] inside [seg_data m] and can be read in place, with no
+    [copy_out] and no intermediate header record.  The three accessors
+    are split (rather than returning a tuple or option) so asking for
+    the window allocates nothing. *)
+
+val contiguous : t -> int -> bool
+(** [contiguous m n] is true when the first [n] payload bytes already lie
+    in the head mbuf — the precondition for reading them in place. *)
+
+val seg_data : t -> bytes
+(** Backing store of the head mbuf.  Bytes outside
+    [[seg_off m, seg_off m + n)] (for [contiguous m n]) belong to the
+    allocator, not the payload. *)
+
+val seg_off : t -> int
+(** Offset of the first payload byte inside {!seg_data}. *)
+
 val get_byte : t -> int -> int
 (** Byte at logical offset, walking the chain. *)
 

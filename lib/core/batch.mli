@@ -23,4 +23,12 @@ val limit : policy -> sizes:int list -> int
     message is pending — a message larger than the cache must still be
     processed. *)
 
+val limit_fn : policy -> len:int -> size:(int -> int) -> int
+(** {!limit} without the intermediate list: [size k] is the byte size of
+    the [k]-th pending message (front of queue first), queried for
+    [k < len] in order until the policy stops.  Agrees with
+    [limit p ~sizes] whenever [size] enumerates [sizes] — the hot-path
+    form used by the engine so computing a batch bound allocates
+    nothing. *)
+
 val pp : Format.formatter -> policy -> unit

@@ -13,7 +13,10 @@ type 'a node = {
   up_route : target;
   to_route : string -> target;
   down_route : target;
-  queue : 'a Msg.t Queue.t;
+  queue : 'a Msg.t Rqueue.t;
+  size_at : int -> int;
+      (* Byte size of the k-th queued message — prebuilt once per node so
+         the batch-limit scan in the quantum loop allocates no closure. *)
   mutable handled : int;
   mutable runs : int;
 }
@@ -39,6 +42,7 @@ type 'a t = {
   up : 'a Msg.t -> unit;
   down : 'a Msg.t -> unit;
   on_handled : int -> 'a Layer.t -> 'a Msg.t -> unit;
+  on_consume : 'a Msg.t -> unit;
   mutable injected : int;
   mutable to_up : int;
   mutable to_down : int;
@@ -59,7 +63,8 @@ type 'a t = {
 }
 
 let create ~discipline ?(up = fun _ -> ()) ?(down = fun _ -> ())
-    ?(on_handled = fun _ _ _ -> ()) ?intake_limit ?(on_shed = fun _ -> ()) () =
+    ?(on_handled = fun _ _ _ -> ()) ?(on_consume = fun _ -> ()) ?intake_limit
+    ?(on_shed = fun _ -> ()) () =
   (match intake_limit with
   | Some n when n < 1 -> invalid_arg "Engine.create: intake_limit < 1"
   | _ -> ());
@@ -70,6 +75,7 @@ let create ~discipline ?(up = fun _ -> ()) ?(down = fun _ -> ())
     up;
     down;
     on_handled;
+    on_consume;
     injected = 0;
     to_up = 0;
     to_down = 0;
@@ -97,40 +103,31 @@ let node t i =
 
 let node_name t i = (node t i).layer.Layer.name
 
+let mk_node ~layer ~use_tx ~priority ~entry ~up_route ~to_route ~down_route =
+  let queue = Rqueue.create () in
+  {
+    layer;
+    use_tx;
+    priority;
+    entry;
+    up_route;
+    to_route;
+    down_route;
+    queue;
+    size_at = (fun k -> (Rqueue.get queue k).Msg.size);
+    handled = 0;
+    runs = 0;
+  }
+
 let add_node t ~layer ~use_tx ~priority ~entry ~up_route ~to_route ~down_route =
+  let n = mk_node ~layer ~use_tx ~priority ~entry ~up_route ~to_route ~down_route in
   if t.nnodes = Array.length t.nodes then begin
-    let grown =
-      Array.make (max 4 (2 * Array.length t.nodes))
-        {
-          layer;
-          use_tx;
-          priority;
-          entry;
-          up_route;
-          to_route;
-          down_route;
-          queue = Queue.create ();
-          handled = 0;
-          runs = 0;
-        }
-    in
+    let grown = Array.make (max 4 (2 * Array.length t.nodes)) n in
     Array.blit t.nodes 0 grown 0 t.nnodes;
     t.nodes <- grown
   end;
   let i = t.nnodes in
-  t.nodes.(i) <-
-    {
-      layer;
-      use_tx;
-      priority;
-      entry;
-      up_route;
-      to_route;
-      down_route;
-      queue = Queue.create ();
-      handled = 0;
-      runs = 0;
-    };
+  t.nodes.(i) <- n;
   t.nnodes <- i + 1;
   i
 
@@ -149,7 +146,7 @@ let attach_metrics t m =
 let try_inject t ~node:i msg =
   let n = node t i in
   match t.intake_limit with
-  | Some limit when Queue.length n.queue >= limit ->
+  | Some limit when Rqueue.length n.queue >= limit ->
     (* Overload: refuse at the door.  The message never counts as
        injected, so the idle conservation invariants are untouched; the
        owner reclaims its payload in [on_shed]. *)
@@ -160,29 +157,36 @@ let try_inject t ~node:i msg =
   | _ ->
     t.injected <- t.injected + 1;
     t.enqueued <- t.enqueued + 1;
-    Queue.push msg n.queue;
+    Rqueue.push n.queue msg;
     (match t.metrics with
     | None -> ()
     | Some mt ->
-      let d = Queue.length n.queue in
+      let d = Rqueue.length n.queue in
       Metrics.arrival mt ~depth:d;
       Metrics.queue_depth mt i d);
     true
 
 let inject t ~node msg = ignore (try_inject t ~node msg)
 
-let backlog t ~node:i = Queue.length (node t i).queue
+let backlog t ~node:i = Rqueue.length (node t i).queue
 
-let pending t =
-  let acc = ref 0 in
-  for i = 0 to t.nnodes - 1 do
-    acc := !acc + Queue.length t.nodes.(i).queue
-  done;
-  !acc
+(* Toplevel recursions, not local [let rec]s: a local recursive helper
+   that captures [t] is a fresh closure on every call, and [pending] /
+   [next_ready] run once per quantum / per step on the allocation-free
+   hot path. *)
+let rec pending_from t i acc =
+  if i >= t.nnodes then acc
+  else pending_from t (i + 1) (acc + Rqueue.length t.nodes.(i).queue)
+
+let pending t = pending_from t 0 0
 
 (* Run one message through node [i]'s handler and dispatch its actions.
    [recurse] processes [To_node] routes immediately, depth-first
-   (conventional); otherwise the target's queue receives them (LDLP). *)
+   (conventional); otherwise the target's queue receives them (LDLP).
+   The dispatch loop is hand-rolled recursion — no [List.iter] closure,
+   no per-call handler closure — so a quantum over layers that answer
+   with the static {!Layer.up_only}/[down_only] lists touches the heap
+   not at all. *)
 let rec handle t i msg ~recurse =
   let n = t.nodes.(i) in
   if t.last_ran <> i then begin
@@ -192,7 +196,6 @@ let rec handle t i msg ~recurse =
   t.on_handled i n.layer msg;
   n.handled <- n.handled + 1;
   (match t.metrics with None -> () | Some mt -> Metrics.handled mt i);
-  let call m = if n.use_tx then n.layer.Layer.handle_tx m else n.layer.Layer.handle m in
   let actions =
     (* Gc sampling around the handler only (not the dispatch below), so a
        recursive traversal in conventional mode cannot double-attribute
@@ -200,19 +203,30 @@ let rec handle t i msg ~recurse =
     match t.metrics with
     | Some mt when Obs.enabled () ->
       let w0 = Gc.minor_words () in
-      let actions = call msg in
+      let actions =
+        if n.use_tx then n.layer.Layer.handle_tx msg else n.layer.Layer.handle msg
+      in
       Metrics.alloc mt i (int_of_float (Gc.minor_words () -. w0));
       actions
-    | _ -> call msg
+    | _ ->
+      if n.use_tx then n.layer.Layer.handle_tx msg else n.layer.Layer.handle msg
   in
-  List.iter
-    (fun action ->
-      match action with
-      | Layer.Consume -> t.consumed <- t.consumed + 1
-      | Layer.Deliver_up m -> route t n.up_route m ~recurse
-      | Layer.Deliver_to (name, m) -> route t (n.to_route name) m ~recurse
-      | Layer.Send_down m -> route t n.down_route m ~recurse)
-    actions
+  dispatch t n msg actions ~recurse
+
+and dispatch t n msg actions ~recurse =
+  match actions with
+  | [] -> ()
+  | action :: rest ->
+    (match action with
+    | Layer.Consume ->
+      t.consumed <- t.consumed + 1;
+      t.on_consume msg
+    | Layer.Up -> route t n.up_route msg ~recurse
+    | Layer.Down -> route t n.down_route msg ~recurse
+    | Layer.Deliver_up m -> route t n.up_route m ~recurse
+    | Layer.Deliver_to (name, m) -> route t (n.to_route name) m ~recurse
+    | Layer.Send_down m -> route t n.down_route m ~recurse);
+    dispatch t n msg rest ~recurse
 
 and route t target m ~recurse =
   match target with
@@ -233,10 +247,10 @@ and route t target m ~recurse =
     end
     else begin
       t.enqueued <- t.enqueued + 1;
-      Queue.push m (node t j).queue;
+      Rqueue.push (node t j).queue m;
       match t.metrics with
       | None -> ()
-      | Some mt -> Metrics.queue_depth mt j (Queue.length t.nodes.(j).queue)
+      | Some mt -> Metrics.queue_depth mt j (Rqueue.length t.nodes.(j).queue)
     end
 
 let record_batch t n =
@@ -247,18 +261,23 @@ let record_batch t n =
 
 (* Non-empty node with the highest priority; ties go to the earliest
    node, so graph traversal stays deterministic. *)
-let next_ready t =
-  let best = ref (-1) in
-  for i = t.nnodes - 1 downto 0 do
-    if not (Queue.is_empty t.nodes.(i).queue) then
-      if !best < 0 || t.nodes.(i).priority >= t.nodes.(!best).priority then
-        best := i
-  done;
-  !best
+let rec next_ready_from t i best =
+  if i < 0 then best
+  else
+    let best =
+      if
+        (not (Rqueue.is_empty t.nodes.(i).queue))
+        && (best < 0 || t.nodes.(i).priority >= t.nodes.(best).priority)
+      then i
+      else best
+    in
+    next_ready_from t (i - 1) best
+
+let next_ready t = next_ready_from t (t.nnodes - 1) (-1)
 
 let pop t i =
   t.dequeued <- t.dequeued + 1;
-  Queue.pop (node t i).queue
+  Rqueue.pop (node t i).queue
 
 let step_conventional t =
   match next_ready t with
@@ -274,11 +293,10 @@ let step_ldlp t policy =
   | i when t.nodes.(i).entry ->
     (* Entry point: yield after one D-cache-sized batch so message data
        is still resident when the nodes further along run. *)
-    let q = t.nodes.(i).queue in
-    let sizes = Queue.fold (fun acc m -> m.Msg.size :: acc) [] q |> List.rev in
-    let n = Batch.limit policy ~sizes in
+    let nd = t.nodes.(i) in
+    let n = Batch.limit_fn policy ~len:(Rqueue.length nd.queue) ~size:nd.size_at in
     Invariant.check
-      (n >= 1 && n <= Queue.length q)
+      (n >= 1 && n <= Rqueue.length nd.queue)
       "Engine.step: batch limit outside [1, backlog]";
     record_batch t n;
     for _ = 1 to n do
@@ -288,7 +306,7 @@ let step_ldlp t policy =
   | i ->
     (* Run to completion: apply this node to every message it has queued
        before anything else runs. *)
-    while not (Queue.is_empty t.nodes.(i).queue) do
+    while not (Rqueue.is_empty t.nodes.(i).queue) do
       handle t i (pop t i) ~recurse:false
     done;
     true
@@ -336,11 +354,12 @@ let stats t =
 
 (* ---------- full-duplex construction ---------- *)
 
-let duplex ~discipline ~layers ?up ?(wire = fun _ -> ()) ?on_handled
+let duplex ~discipline ~layers ?up ?(wire = fun _ -> ()) ?on_handled ?on_consume
     ?intake_limit ?on_shed ?metrics () =
   if layers = [] then invalid_arg "Engine.duplex: empty stack";
   let t =
-    create ~discipline ?up ~down:wire ?on_handled ?intake_limit ?on_shed ()
+    create ~discipline ?up ~down:wire ?on_handled ?on_consume ?intake_limit
+      ?on_shed ()
   in
   let layers = Array.of_list layers in
   let n = Array.length layers in
@@ -390,9 +409,8 @@ let duplex_layer_names names = names @ List.map (fun n -> n ^ "/tx") names
 let tx_runs t =
   if t.duplex_split < 0 then 0
   else begin
-    let acc = ref 0 in
-    for i = t.duplex_split to t.nnodes - 1 do
-      acc := !acc + t.nodes.(i).runs
-    done;
-    !acc
+    let rec go i acc =
+      if i >= t.nnodes then acc else go (i + 1) (acc + t.nodes.(i).runs)
+    in
+    go t.duplex_split 0
   end

@@ -64,16 +64,20 @@ val create :
   ?up:('a Msg.t -> unit) ->
   ?down:('a Msg.t -> unit) ->
   ?on_handled:(int -> 'a Layer.t -> 'a Msg.t -> unit) ->
+  ?on_consume:('a Msg.t -> unit) ->
   ?intake_limit:int ->
   ?on_shed:('a Msg.t -> unit) ->
   unit ->
   'a t
 (** An empty engine.  [up]/[down] receive messages routed {!To_up} /
     {!To_down}; [on_handled node_index layer msg] fires before every
-    handler invocation.  [intake_limit] (≥ 1) bounds every injection
-    queue with the drop-at-the-door policy: an arrival finding the named
-    node's queue at the watermark is counted in [stats.shed], handed to
-    [on_shed], and refused without touching [injected]. *)
+    handler invocation.  [on_consume] fires when a layer answers
+    {!Layer.Consume} — the natural place to release a pooled message
+    that ends its life inside the stack.  [intake_limit] (≥ 1) bounds
+    every injection queue with the drop-at-the-door policy: an arrival
+    finding the named node's queue at the watermark is counted in
+    [stats.shed], handed to [on_shed], and refused without touching
+    [injected]. *)
 
 val add_node :
   'a t ->
@@ -168,6 +172,7 @@ val duplex :
   ?up:('a Msg.t -> unit) ->
   ?wire:('a Msg.t -> unit) ->
   ?on_handled:(int -> 'a Layer.t -> 'a Msg.t -> unit) ->
+  ?on_consume:('a Msg.t -> unit) ->
   ?intake_limit:int ->
   ?on_shed:('a Msg.t -> unit) ->
   ?metrics:Ldlp_obs.Metrics.t ->

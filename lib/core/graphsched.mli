@@ -39,6 +39,7 @@ val create :
   ?up:('a Msg.t -> unit) ->
   ?down:('a Msg.t -> unit) ->
   ?on_handled:(int -> 'a Layer.t -> 'a Msg.t -> unit) ->
+  ?on_consume:('a Msg.t -> unit) ->
   ?intake_limit:int ->
   ?on_shed:('a Msg.t -> unit) ->
   unit ->

@@ -3,6 +3,16 @@ type 'a action =
   | Deliver_to of string * 'a Msg.t
   | Send_down of 'a Msg.t
   | Consume
+  | Up
+  | Down
+
+(* Structured constants: OCaml lifts a list of constant constructors to
+   static data, so handlers returning these allocate nothing per message. *)
+let up_only = [ Up ]
+
+let down_only = [ Down ]
+
+let consume_only = [ Consume ]
 
 type footprint = {
   code_bytes : int;
@@ -26,9 +36,9 @@ type 'a t = {
   handle_tx : 'a Msg.t -> 'a action list;
 }
 
-let default_tx msg = [ Send_down msg ]
+let default_tx _ = down_only
 
 let v ~name ?(fp = footprint ()) ?(tx = default_tx) handle =
   { name; fp; handle; handle_tx = tx }
 
-let passthrough name = v ~name (fun msg -> [ Deliver_up msg ])
+let passthrough name = v ~name (fun _ -> up_only)

@@ -28,6 +28,26 @@ type 'a action =
           Receive-side scheduling forwards these to the stack's downward
           sink immediately. *)
   | Consume  (** The message terminates here (delivered, dropped, ...). *)
+  | Up
+      (** Deliver {e the message being handled} upward, unchanged —
+          equivalent to [Deliver_up msg] but a constant constructor, so
+          the common "pass it up" answer ({!up_only}) is a statically
+          allocated list and the steady-state path allocates nothing. *)
+  | Down
+      (** Send {e the message being handled} downward, unchanged — the
+          allocation-free counterpart of [Send_down msg] ({!down_only}). *)
+
+val up_only : 'a action list
+(** The static list [[Up]].  Return this (rather than writing
+    [[ Deliver_up msg ]]) from handlers that pass the message up
+    unchanged; it lives in static data, so the handler allocates zero
+    minor words. *)
+
+val down_only : 'a action list
+(** The static list [[Down]]. *)
+
+val consume_only : 'a action list
+(** The static list [[Consume]]. *)
 
 type footprint = {
   code_bytes : int;  (** Code working set per message. *)

@@ -1,15 +1,107 @@
 type 'a t = {
-  id : int;
-  arrival : float;
-  flow : int;
-  size : int;
-  payload : 'a;
+  mutable id : int;
+  mutable arrival : float;
+  mutable flow : int;
+  mutable size : int;
+  mutable payload : 'a;
+  mutable pool_state : int;
 }
+
+let heap_state = -1
+
+let live_state = 0
+
+let free_state = 1
 
 let next_id = ref 0
 
 let make ?(flow = 0) ?(arrival = 0.0) ?(size = 0) payload =
   incr next_id;
-  { id = !next_id; arrival; flow; size; payload }
+  { id = !next_id; arrival; flow; size; payload; pool_state = heap_state }
 
-let with_payload t payload ~size = { t with payload; size }
+let with_payload t payload ~size =
+  { t with payload; size; pool_state = heap_state }
+
+(* ---------- preallocated message pool ---------- *)
+
+type 'a pool = {
+  mutable free : 'a t array;
+  mutable nfree : int;
+  dummy : 'a option;
+  mutable created : int;
+  mutable acquired : int;
+  mutable released : int;
+}
+
+type pool_stats = {
+  p_created : int;
+  p_acquired : int;
+  p_released : int;
+  p_outstanding : int;
+}
+
+let blank payload =
+  { id = 0; arrival = 0.0; flow = 0; size = 0; payload; pool_state = free_state }
+
+let pool ?(capacity = 0) ?dummy () =
+  if capacity < 0 then invalid_arg "Msg.pool: negative capacity";
+  let prefill =
+    match dummy with
+    | Some d when capacity > 0 -> Array.init capacity (fun _ -> blank d)
+    | _ -> [||]
+  in
+  {
+    free = prefill;
+    nfree = Array.length prefill;
+    dummy;
+    created = Array.length prefill;
+    acquired = 0;
+    released = 0;
+  }
+
+let acquire p ?(flow = 0) ~arrival ~size payload =
+  let m =
+    if p.nfree > 0 then begin
+      p.nfree <- p.nfree - 1;
+      p.free.(p.nfree)
+    end
+    else begin
+      p.created <- p.created + 1;
+      blank payload
+    end
+  in
+  incr next_id;
+  m.id <- !next_id;
+  m.arrival <- arrival;
+  m.flow <- flow;
+  m.size <- size;
+  m.payload <- payload;
+  m.pool_state <- live_state;
+  p.acquired <- p.acquired + 1;
+  m
+
+let release p m =
+  if m.pool_state <> live_state then
+    invalid_arg
+      (if m.pool_state = free_state then "Msg.release: message already free"
+       else "Msg.release: not a pooled message");
+  m.pool_state <- free_state;
+  (* Drop the payload reference when the pool knows a neutral value, so a
+     recycled slot does not pin the previous payload. *)
+  (match p.dummy with Some d -> m.payload <- d | None -> ());
+  if p.nfree = Array.length p.free then begin
+    let grown = Array.make (max 16 (2 * Array.length p.free)) m in
+    Array.blit p.free 0 grown 0 p.nfree;
+    p.free <- grown
+  end;
+  p.free.(p.nfree) <- m;
+  p.nfree <- p.nfree + 1;
+  p.released <- p.released + 1
+
+let pool_stats p =
+  {
+    p_created = p.created;
+    p_acquired = p.acquired;
+    p_released = p.released;
+    p_outstanding = p.acquired - p.released;
+  }

@@ -21,8 +21,8 @@ type stats = {
 type 'a t = 'a Engine.t
 
 let create ~discipline ~layers ?(up = fun _ -> ()) ?(down = fun _ -> ())
-    ?(on_handled = fun _ _ _ -> ()) ?intake_limit ?(on_shed = fun _ -> ())
-    ?metrics () =
+    ?(on_handled = fun _ _ _ -> ()) ?on_consume ?intake_limit
+    ?(on_shed = fun _ -> ()) ?metrics () =
   if layers = [] then invalid_arg "Sched.create: empty stack";
   (match intake_limit with
   | Some n when n < 1 -> invalid_arg "Sched.create: intake_limit < 1"
@@ -33,7 +33,8 @@ let create ~discipline ~layers ?(up = fun _ -> ()) ?(down = fun _ -> ())
     invalid_arg "Sched.create: metrics sheet layer count mismatch"
   | _ -> ());
   let eng =
-    Engine.create ~discipline ~up ~down ~on_handled ?intake_limit ~on_shed ()
+    Engine.create ~discipline ~up ~down ~on_handled ?on_consume ?intake_limit
+      ~on_shed ()
   in
   let top = Array.length layers - 1 in
   Array.iteri
@@ -85,14 +86,18 @@ let run t =
      arrival-queue dequeues, so at idle every injected message must have
      been dequeued exactly once; conservation of terminal outcomes holds
      for any stack whose handlers emit one terminal action per message
-     (all stacks in this repo). *)
-  let s = stats t in
-  Invariant.check
-    (s.total_batched = s.injected)
-    "Sched.run: batches do not cover all injected messages";
-  Invariant.check
-    (s.injected = s.delivered + s.consumed + s.misrouted)
-    "Sched.run: injected <> delivered + consumed + misrouted at idle"
+     (all stacks in this repo).  The stats projection allocates, so it is
+     only materialised when the invariant gate is actually on — [run] on
+     the hot path must not touch the heap. *)
+  if Invariant.enabled () then begin
+    let s = stats t in
+    Invariant.check
+      (s.total_batched = s.injected)
+      "Sched.run: batches do not cover all injected messages";
+    Invariant.check
+      (s.injected = s.delivered + s.consumed + s.misrouted)
+      "Sched.run: injected <> delivered + consumed + misrouted at idle"
+  end
 
 let layer_names t =
   List.map fst (Engine.stats t).Engine.per_node

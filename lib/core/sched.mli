@@ -50,6 +50,7 @@ val create :
   ?up:('a Msg.t -> unit) ->
   ?down:('a Msg.t -> unit) ->
   ?on_handled:(int -> 'a Layer.t -> 'a Msg.t -> unit) ->
+  ?on_consume:('a Msg.t -> unit) ->
   ?intake_limit:int ->
   ?on_shed:('a Msg.t -> unit) ->
   ?metrics:Ldlp_obs.Metrics.t ->
@@ -58,7 +59,9 @@ val create :
 (** [layers] is bottom-first and must be non-empty.  [up] receives messages
     delivered above the top layer; [down] receives [Send_down] messages;
     [on_handled layer_index layer msg] fires before each handler invocation
-    (used by the cycle-accurate model to charge the memory system).
+    (used by the cycle-accurate model to charge the memory system);
+    [on_consume] fires when a layer answers [Consume], so pooled messages
+    that end their life inside the stack can be released.
 
     [intake_limit] (≥ 1) is an overload high-watermark on the arrival
     queue: an injection arriving with [backlog] already at the limit is

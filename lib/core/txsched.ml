@@ -19,8 +19,8 @@ type stats = {
 type 'a t = { eng : 'a Engine.t; entry : int }
 
 let create ~discipline ~layers ?(wire = fun _ -> ()) ?(up = fun _ -> ())
-    ?(on_handled = fun _ _ _ -> ()) ?intake_limit ?(on_shed = fun _ -> ())
-    ?metrics () =
+    ?(on_handled = fun _ _ _ -> ()) ?on_consume ?intake_limit
+    ?(on_shed = fun _ -> ()) ?metrics () =
   if layers = [] then invalid_arg "Txsched.create: empty stack";
   (match intake_limit with
   | Some n when n < 1 -> invalid_arg "Txsched.create: intake_limit < 1"
@@ -31,8 +31,8 @@ let create ~discipline ~layers ?(wire = fun _ -> ()) ?(up = fun _ -> ())
     invalid_arg "Txsched.create: metrics sheet layer count mismatch"
   | _ -> ());
   let eng =
-    Engine.create ~discipline ~up ~down:wire ~on_handled ?intake_limit
-      ~on_shed ()
+    Engine.create ~discipline ~up ~down:wire ~on_handled ?on_consume
+      ?intake_limit ~on_shed ()
   in
   let top = Array.length layers - 1 in
   Array.iteri

@@ -40,6 +40,7 @@ val create :
   ?wire:('a Msg.t -> unit) ->
   ?up:('a Msg.t -> unit) ->
   ?on_handled:(int -> 'a Layer.t -> 'a Msg.t -> unit) ->
+  ?on_consume:('a Msg.t -> unit) ->
   ?intake_limit:int ->
   ?on_shed:('a Msg.t -> unit) ->
   ?metrics:Ldlp_obs.Metrics.t ->

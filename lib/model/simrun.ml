@@ -188,6 +188,12 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
     next_slot := (!next_slot + 1) mod Array.length slots;
     slot
   in
+  (* Messages recycle through a preallocated pool sized like the buffer
+     ring: the pool is drained and refilled in lock-step with the slots,
+     so the steady-state message path never constructs a message record.
+     Recycling is LIFO and ids still come from the global counter, so
+     runs replay identically to the allocating implementation. *)
+  let msg_pool = Core.Msg.pool ~capacity:params.buffer_cap ~dummy:0 () in
   (* Under [`Duplex], the top layer answers every delivered message with a
      small reply (a TCP-ACK stand-in) that descends the transmit nodes of
      the same engine — the cross-direction traffic whose batching the
@@ -196,20 +202,26 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
   let layers =
     List.init nlayers (fun i ->
         let code_bytes, data_bytes, base_cycles = spec.(i) in
+        let handle =
+          if direction = `Duplex && i = top then
+            fun (msg : payload Core.Msg.t) ->
+            (* The reply draws from the same pool the arrivals recycle
+               through; what remains on the heap is the two-action list
+               and the [Send_down] box. *)
+            [
+              Core.Layer.Up;
+              Core.Layer.Send_down
+                (Core.Msg.acquire msg_pool ~arrival:msg.Core.Msg.arrival
+                   ~size:ack_bytes (take_slot ()));
+            ]
+          else fun _ -> Core.Layer.up_only
+        in
         Core.Layer.v ~name:(Printf.sprintf "L%d" (i + 1))
           ~fp:
             (Core.Layer.footprint ~code_bytes ~data_bytes
                ~cycles_per_msg:base_cycles
                ~cycles_per_byte:params.cycles_per_byte ())
-          (fun msg ->
-            if direction = `Duplex && i = top then
-              [
-                Core.Layer.Deliver_up msg;
-                Core.Layer.Send_down
-                  (Core.Msg.make ~arrival:msg.Core.Msg.arrival ~size:ack_bytes
-                     (take_slot ()));
-              ]
-            else [ Core.Layer.Deliver_up msg ]))
+          handle)
   in
   let driver =
     match direction with
@@ -271,6 +283,7 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
           ~discipline:(sched_discipline params discipline)
           ~layers
           ~up:(fun msg -> completed := msg :: !completed)
+          ~wire:(fun msg -> Core.Msg.release msg_pool msg)
           ~on_handled:(fun i _ msg -> charge i msg)
           ?metrics ()
       in
@@ -314,7 +327,7 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
         end
         else
           driver.d_inject
-            (Core.Msg.make ~arrival:p.Ldlp_traffic.Source.at
+            (Core.Msg.acquire msg_pool ~arrival:p.Ldlp_traffic.Source.at
                ~size:p.Ldlp_traffic.Source.size (take_slot ()));
         pull ()
       | _ -> continue := false
@@ -341,9 +354,10 @@ let run_into ?(direction = `Receive) ~(params : Params.t) ~discipline ~rng
           Ldlp_sim.Hist.add acc.hist l;
           (* Gate at the call site: passing the float to [latency_s] boxes
              it, which the disabled path must not pay. *)
-          match metrics with
+          (match metrics with
           | Some mt when Obs.enabled () -> Metrics.latency_s mt l
-          | _ -> ())
+          | _ -> ());
+          Core.Msg.release msg_pool m)
         !completed
     end
   done;

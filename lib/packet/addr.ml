@@ -28,6 +28,16 @@ module Mac = struct
 
   let is_broadcast t = String.equal t broadcast
 
+  (* Compare against 6 raw bytes in place — the hot receive path's
+     address filter must not extract a substring per frame. *)
+  let equal_at t b off =
+    let rec go i =
+      i >= 6 || (Bytes.get b (off + i) = String.unsafe_get t i && go (i + 1))
+    in
+    off >= 0 && off + 6 <= Bytes.length b && go 0
+
+  let is_broadcast_at b off = equal_at broadcast b off
+
   let equal = String.equal
 
   let compare = String.compare

@@ -20,6 +20,14 @@ module Mac : sig
 
   val equal : t -> t -> bool
 
+  val equal_at : t -> bytes -> int -> bool
+  (** [equal_at t b off] is [equal t (of_bytes b off)] without the
+      extraction (false, not an exception, when the range is out of
+      bounds) — the receive path's address filter. *)
+
+  val is_broadcast_at : bytes -> int -> bool
+  (** [equal_at broadcast]. *)
+
   val compare : t -> t -> int
 end
 

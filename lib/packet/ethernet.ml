@@ -27,6 +27,25 @@ let build h buf off =
   Bytes.set buf (off + 12) (Char.chr (h.ethertype lsr 8));
   Bytes.set buf (off + 13) (Char.chr (h.ethertype land 0xFF))
 
+(* Cursor accessors: the frame header has no variable-length parts, so
+   the only check needed before using these is [len >= header_bytes]. *)
+
+let ethertype_at buf off =
+  Char.code (Bytes.get buf (off + 12)) lsl 8
+  lor Char.code (Bytes.get buf (off + 13))
+
+(* MAC comparisons against the raw frame, without the 6-byte substring
+   [Addr.Mac.of_bytes] would allocate. *)
+let dst_equal mac buf off = Addr.Mac.equal_at mac buf off
+
+let dst_is_broadcast buf off = Addr.Mac.is_broadcast_at buf off
+
+let write ~dst ~src ~ethertype buf off =
+  Addr.Mac.write dst buf off;
+  Addr.Mac.write src buf (off + 6);
+  Bytes.set buf (off + 12) (Char.chr (ethertype lsr 8));
+  Bytes.set buf (off + 13) (Char.chr (ethertype land 0xFF))
+
 let strip m =
   let len = Ldlp_buf.Mbuf.length m in
   if len < header_bytes then Error (`Too_short len)

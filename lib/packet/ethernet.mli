@@ -26,6 +26,24 @@ val parse : bytes -> int -> int -> (header * int, error) result
 val build : header -> bytes -> int -> unit
 (** Write a header at an offset (caller supplies room). *)
 
+(** {1 Cursor access}
+
+    In-place reads and a record-free writer; the frame header is fixed
+    size, so the only precondition is [len >= header_bytes].
+    Property-tested byte-for-byte equivalent to the record API in the
+    test suite. *)
+
+val ethertype_at : bytes -> int -> int
+
+val dst_equal : Addr.Mac.t -> bytes -> int -> bool
+(** [dst_equal mac buf off] compares the destination MAC of the frame at
+    [off] against [mac] without extracting it. *)
+
+val dst_is_broadcast : bytes -> int -> bool
+
+val write : dst:Addr.Mac.t -> src:Addr.Mac.t -> ethertype:int -> bytes -> int -> unit
+(** {!build} from scalar fields. *)
+
 val strip : Ldlp_buf.Mbuf.t -> (header, error) result
 (** Parse the header at the front of the chain and trim it off. *)
 

@@ -93,6 +93,61 @@ let build h buf off =
 
 let is_fragment h = h.more_fragments || h.fragment_offset > 0
 
+(* Cursor accessors: unvalidated field reads off the wire bytes — call
+   [check_at] (same checks as [parse]) before trusting any of them. *)
+
+let ihl_at buf off = Char.code (Bytes.get buf off) land 0xF
+
+let tos_at buf off = Char.code (Bytes.get buf (off + 1))
+
+let total_length_at buf off = get16 buf (off + 2)
+
+let ident_at buf off = get16 buf (off + 4)
+
+let frag_at buf off = get16 buf (off + 6)
+
+let ttl_at buf off = Char.code (Bytes.get buf (off + 8))
+
+let protocol_at buf off = Char.code (Bytes.get buf (off + 9))
+
+let src_at buf off = Addr.Ipv4.of_bytes buf (off + 12)
+
+let dst_at buf off = Addr.Ipv4.of_bytes buf (off + 16)
+
+let check_at ?(verify_checksum = true) buf off len =
+  if len < header_bytes then Error (`Too_short len)
+  else begin
+    let b0 = Char.code (Bytes.get buf off) in
+    let version = b0 lsr 4 and ihl = b0 land 0xF in
+    if version <> 4 then Error (`Bad_version version)
+    else if ihl < 5 then Error (`Bad_field "ihl < 5")
+    else if len < ihl * 4 then Error (`Too_short len)
+    else if total_length_at buf off < ihl * 4 then
+      Error (`Bad_field "total_length < header")
+    else if verify_checksum && Cksum.simple buf off (ihl * 4) <> 0 then
+      Error `Bad_checksum
+    else Ok (off + (ihl * 4))
+  end
+
+let write ~tos ~total_length ~ident ~dont_fragment ~more_fragments
+    ~fragment_offset ~ttl ~protocol ~src ~dst buf off =
+  Bytes.set buf off (Char.chr ((4 lsl 4) lor 5));
+  Bytes.set buf (off + 1) (Char.chr (tos land 0xFF));
+  set16 buf (off + 2) total_length;
+  set16 buf (off + 4) ident;
+  let frag =
+    (if dont_fragment then 0x4000 else 0)
+    lor (if more_fragments then 0x2000 else 0)
+    lor (fragment_offset land 0x1FFF)
+  in
+  set16 buf (off + 6) frag;
+  Bytes.set buf (off + 8) (Char.chr (ttl land 0xFF));
+  Bytes.set buf (off + 9) (Char.chr (protocol land 0xFF));
+  set16 buf (off + 10) 0;
+  Addr.Ipv4.write src buf (off + 12);
+  Addr.Ipv4.write dst buf (off + 16);
+  set16 buf (off + 10) (Cksum.simple buf off header_bytes)
+
 let strip ?verify_checksum m =
   let len = Ldlp_buf.Mbuf.length m in
   if len < header_bytes then Error (`Too_short len)
@@ -122,10 +177,11 @@ let encapsulate m h =
   m
 
 let pseudo_header_sum ~src ~dst ~protocol ~len =
-  let b = Bytes.create 12 in
-  Addr.Ipv4.write src b 0;
-  Addr.Ipv4.write dst b 4;
-  Bytes.set b 8 '\000';
-  Bytes.set b 9 (Char.chr (protocol land 0xFF));
-  set16 b 10 len;
-  Cksum.partial b 0 12
+  (* Arithmetically, not via a scratch buffer: [Cksum.partial] over the
+     12 pseudo-header bytes is just the sum of its big-endian 16-bit
+     words, and this runs once per TCP segment on the checksum path. *)
+  let words a =
+    let v = Int32.to_int (Addr.Ipv4.to_int32 a) land 0xFFFFFFFF in
+    (v lsr 16) + (v land 0xFFFF)
+  in
+  words src + words dst + (protocol land 0xFF) + (len land 0xFFFF)

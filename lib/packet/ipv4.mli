@@ -42,6 +42,57 @@ val build : header -> bytes -> int -> unit
 
 val is_fragment : header -> bool
 
+(** {1 Cursor access}
+
+    Unvalidated field reads off the wire bytes and a record-free writer,
+    for hot paths that would otherwise build a [header] per datagram.
+    Call {!check_at} before trusting any [*_at] accessor; it runs
+    exactly the checks {!parse} runs.  Property-tested byte-for-byte
+    equivalent to the record API in the test suite. *)
+
+val check_at :
+  ?verify_checksum:bool -> bytes -> int -> int -> (int, error) result
+(** [check_at buf off len] validates like {!parse} (version, header
+    length, total length, checksum) and returns the payload offset
+    without building a [header]. *)
+
+val ihl_at : bytes -> int -> int
+
+val tos_at : bytes -> int -> int
+
+val total_length_at : bytes -> int -> int
+
+val ident_at : bytes -> int -> int
+
+val frag_at : bytes -> int -> int
+(** Raw fragment word: [0x4000] don't-fragment, [0x2000] more-fragments,
+    low 13 bits the fragment offset. *)
+
+val ttl_at : bytes -> int -> int
+
+val protocol_at : bytes -> int -> int
+
+val src_at : bytes -> int -> Addr.Ipv4.t
+
+val dst_at : bytes -> int -> Addr.Ipv4.t
+
+val write :
+  tos:int ->
+  total_length:int ->
+  ident:int ->
+  dont_fragment:bool ->
+  more_fragments:bool ->
+  fragment_offset:int ->
+  ttl:int ->
+  protocol:int ->
+  src:Addr.Ipv4.t ->
+  dst:Addr.Ipv4.t ->
+  bytes ->
+  int ->
+  unit
+(** {!build} from scalar fields: the same 20 bytes ([ihl] fixed at 5,
+    checksum computed in place) without an intermediate record. *)
+
 val strip : ?verify_checksum:bool -> Ldlp_buf.Mbuf.t -> (header, error) result
 (** Parse at the front of a chain, trim the header, and also trim any
     link-layer padding beyond [total_length]. *)

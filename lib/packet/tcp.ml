@@ -60,6 +60,48 @@ let parse buf off len =
           off + (data_offset * 4) )
   end
 
+(* Cursor accessors: field reads straight off the wire bytes, for hot
+   paths that would otherwise materialise a [header] record per segment.
+   No bounds or sanity checks — callers must have validated the header
+   with [check_at] (the three checks [parse] performs) first. *)
+
+let src_port_at buf off = get16 buf off
+
+let dst_port_at buf off = get16 buf (off + 2)
+
+let seq_at buf off = Bytes.get_int32_be buf (off + 4)
+
+let ack_at buf off = Bytes.get_int32_be buf (off + 8)
+
+let data_offset_at buf off = Char.code (Bytes.get buf (off + 12)) lsr 4
+
+let flags_at buf off = Char.code (Bytes.get buf (off + 13)) land 0x3F
+
+let window_at buf off = get16 buf (off + 14)
+
+let urgent_at buf off = get16 buf (off + 18)
+
+let check_at buf off len =
+  if len < header_bytes then Error (`Too_short len)
+  else begin
+    let data_offset = data_offset_at buf off in
+    if data_offset < 5 then Error (`Bad_field "data_offset < 5")
+    else if len < data_offset * 4 then Error (`Too_short len)
+    else Ok (off + (data_offset * 4))
+  end
+
+let write ~src_port ~dst_port ~seq ~ack ~data_offset ~flags ~window ~urgent buf
+    off =
+  set16 buf off src_port;
+  set16 buf (off + 2) dst_port;
+  Bytes.set_int32_be buf (off + 4) seq;
+  Bytes.set_int32_be buf (off + 8) ack;
+  Bytes.set buf (off + 12) (Char.chr ((data_offset land 0xF) lsl 4));
+  Bytes.set buf (off + 13) (Char.chr (flags land 0x3F));
+  set16 buf (off + 14) window;
+  set16 buf (off + 16) 0;
+  set16 buf (off + 18) urgent
+
 let build h buf off =
   set16 buf off h.src_port;
   set16 buf (off + 2) h.dst_port;

@@ -41,6 +41,52 @@ val build : header -> bytes -> int -> unit
 (** Write a 20-byte header with a zero checksum field; call
     {!store_checksum} afterwards. *)
 
+(** {1 Cursor access}
+
+    Field reads straight off the wire bytes and a record-free writer —
+    the hot-path alternative to {!parse}/{!build} that touches the heap
+    only for the (boxed) [int32] sequence numbers.  The [*_at] accessors
+    perform {e no} validation; call {!check_at} first (it runs exactly
+    the checks {!parse} runs) or only use them on buffers this module
+    built.  Property-tested byte-for-byte equivalent to the record API
+    in the test suite. *)
+
+val check_at : bytes -> int -> int -> (int, error) result
+(** [check_at buf off len] validates the header at [off] the way
+    {!parse} does (length, data-offset sanity) and returns the payload
+    offset, without building a [header]. *)
+
+val src_port_at : bytes -> int -> int
+
+val dst_port_at : bytes -> int -> int
+
+val seq_at : bytes -> int -> int32
+
+val ack_at : bytes -> int -> int32
+
+val data_offset_at : bytes -> int -> int
+
+val flags_at : bytes -> int -> int
+
+val window_at : bytes -> int -> int
+
+val urgent_at : bytes -> int -> int
+
+val write :
+  src_port:int ->
+  dst_port:int ->
+  seq:int32 ->
+  ack:int32 ->
+  data_offset:int ->
+  flags:int ->
+  window:int ->
+  urgent:int ->
+  bytes ->
+  int ->
+  unit
+(** {!build} from scalar fields: writes the same 20 bytes (checksum field
+    zeroed) without an intermediate [header] record. *)
+
 val checksum :
   src:Addr.Ipv4.t -> dst:Addr.Ipv4.t -> bytes -> int -> int -> int
 (** Checksum of a TCP segment (header + payload) in a flat buffer, including

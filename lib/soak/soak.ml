@@ -156,10 +156,15 @@ let run_one ?(duplex = false) ~discipline sc =
   let net = Netsim.create () in
   let engine = Netsim.engine net in
   let pool = Pool.create () in
+  (* One message pool per exchange: hosts draw their reply messages from
+     it, the schedulers release into it, and at quiesce its ledger must
+     balance exactly like the mbuf pool's. *)
+  let mpool = Core.Msg.pool () in
   let ipv4 = Ldlp_packet.Addr.Ipv4.of_string in
   let server_ip = ipv4 "10.0.0.1" and client_ip = ipv4 "10.0.0.2" in
   let mk_host ~ip ~mac =
-    Host.create ~pool ~mac:(Ldlp_packet.Addr.Mac.of_string mac) ~ip ()
+    Host.create ~pool ~msg_pool:mpool
+      ~mac:(Ldlp_packet.Addr.Mac.of_string mac) ~ip ()
   in
   let server_host = mk_host ~ip:server_ip ~mac:"02:00:00:00:00:01" in
   let client_host = mk_host ~ip:client_ip ~mac:"02:00:00:00:00:02" in
@@ -211,18 +216,20 @@ let run_one ?(duplex = false) ~discipline sc =
       Nic.create ~rx_slots:256 ~tx_slots:256 ~irq:(Nic.Coalesced 4) ()
     in
     let wrap frame =
-      Core.Msg.make
+      Core.Msg.acquire mpool
         ~arrival:(Engine.now engine)
         ~size:(Mbuf.length frame) (Host.wrap host frame)
+    in
+    let shed m =
+      Mbuf.free pool m.Core.Msg.payload.Host.buf;
+      Core.Msg.release mpool m
     in
     let drive, emit, shed_count =
       if duplex then begin
         let eng =
           Host.duplex host ~discipline
             ~wire:(fun frame -> xmit nic frame)
-            ?intake_limit:sc.intake_limit
-            ~on_shed:(fun m -> Mbuf.free pool m.Core.Msg.payload.Host.buf)
-            ()
+            ?intake_limit:sc.intake_limit ~on_shed:shed ()
         in
         let rx = Core.Engine.duplex_rx_entry eng
         and tx = Core.Engine.duplex_tx_entry eng in
@@ -239,10 +246,11 @@ let run_one ?(duplex = false) ~discipline sc =
       else begin
         let sched =
           Core.Sched.create ~discipline ~layers:(Host.layers host)
-            ~down:(fun m -> xmit nic m.Core.Msg.payload.Host.buf)
-            ?intake_limit:sc.intake_limit
-            ~on_shed:(fun m -> Mbuf.free pool m.Core.Msg.payload.Host.buf)
-            ()
+            ~down:(fun m ->
+              xmit nic m.Core.Msg.payload.Host.buf;
+              Core.Msg.release mpool m)
+            ~on_consume:(fun m -> Core.Msg.release mpool m)
+            ?intake_limit:sc.intake_limit ~on_shed:shed ()
         in
         ( (fun nic ->
             ignore (Nic.service_into nic sched ~wrap);
@@ -320,12 +328,16 @@ let run_one ?(duplex = false) ~discipline sc =
   List.iter (Mbuf.free pool) (Nic.wire_take_all server_nic);
   List.iter (Mbuf.free pool) (Nic.wire_take_all client_nic);
   let pstats = Pool.stats pool in
+  let mstats = Core.Msg.pool_stats mpool in
   let ics = Impair.stats imp_cs and isc = Impair.stats imp_sc in
   let cc = Host.counters client_host and sc_c = Host.counters server_host in
   {
     completed = !completion <> None;
     integrity = String.equal (Buffer.contents recvd) expected;
-    leak_free = pstats.Pool.small_in_use = 0 && pstats.Pool.cluster_in_use = 0;
+    leak_free =
+      pstats.Pool.small_in_use = 0
+      && pstats.Pool.cluster_in_use = 0
+      && mstats.Core.Msg.p_outstanding = 0;
     retransmits = cc.Host.retransmits + sc_c.Host.retransmits;
     shed = client_shed () + server_shed ();
     echoed_bytes = Buffer.length recvd;

@@ -22,6 +22,7 @@ type timers = {
 
 type t = {
   pool : Ldlp_buf.Pool.t;
+  msg_pool : item Ldlp_core.Msg.pool option;
   mac : Pkt.Addr.Mac.t;
   my_ip : Pkt.Addr.Ipv4.t;
   gateway_mac : Pkt.Addr.Mac.t;
@@ -40,13 +41,14 @@ type t = {
   retransmits_sc : int ref;
 }
 
-let create ~pool ~mac ~ip ?(gateway_mac = Pkt.Addr.Mac.broadcast)
+let create ~pool ?msg_pool ~mac ~ip ?(gateway_mac = Pkt.Addr.Mac.broadcast)
     ?(reassemble = false) ?metrics () =
   let sc name =
     match metrics with None -> ref 0 | Some m -> Metrics.scalar m name
   in
   {
     pool;
+    msg_pool;
     mac;
     my_ip = ip;
     gateway_mac;
@@ -81,31 +83,22 @@ let ip t = t.my_ip
 
 let counters t = t.c
 
+(* Headers are written with the cursor writers straight into the chain's
+   leading space — no scratch header buffer, no header records — and are
+   byte-identical to what the [encapsulate] record path produced. *)
 let build_frame t ~dst_ip segment =
   let m = Mbuf.of_bytes t.pool segment in
   t.ident <- (t.ident + 1) land 0xFFFF;
-  let m =
-    Pkt.Ipv4.encapsulate m
-      {
-        Pkt.Ipv4.ihl = 5;
-        tos = 0;
-        total_length = 0;
-        ident = t.ident;
-        dont_fragment = true;
-        more_fragments = false;
-        fragment_offset = 0;
-        ttl = 64;
-        protocol = Pkt.Ipv4.proto_tcp;
-        src = t.my_ip;
-        dst = dst_ip;
-      }
-  in
-  Pkt.Ethernet.encapsulate m
-    {
-      Pkt.Ethernet.dst = t.gateway_mac;
-      src = t.mac;
-      ethertype = Pkt.Ethernet.ethertype_ipv4;
-    }
+  let total_length = Mbuf.length m + Pkt.Ipv4.header_bytes in
+  let m = Mbuf.prepend m Pkt.Ipv4.header_bytes in
+  Pkt.Ipv4.write ~tos:0 ~total_length ~ident:t.ident ~dont_fragment:true
+    ~more_fragments:false ~fragment_offset:0 ~ttl:64
+    ~protocol:Pkt.Ipv4.proto_tcp ~src:t.my_ip ~dst:dst_ip (Mbuf.seg_data m)
+    (Mbuf.seg_off m);
+  let m = Mbuf.prepend m Pkt.Ethernet.header_bytes in
+  Pkt.Ethernet.write ~dst:t.gateway_mac ~src:t.mac
+    ~ethertype:Pkt.Ethernet.ethertype_ipv4 (Mbuf.seg_data m) (Mbuf.seg_off m);
+  m
 
 let reply_frame t (r : Tcp_input.reply) =
   let segment =
@@ -250,7 +243,7 @@ let recovery_frames t (pcb : Pcb.t) ~now =
 let layers t =
   let consume_bad m =
     Mbuf.free t.pool m;
-    [ Core.Layer.Consume ]
+    Core.Layer.consume_only
   in
   let ether =
     Core.Layer.v ~name:"ether"
@@ -259,29 +252,79 @@ let layers t =
         t.c <- { t.c with frames_in = t.c.frames_in + 1 };
         Metrics.add_scalar t.frames_in_sc 1;
         let m = msg.Core.Msg.payload.buf in
-        match Pkt.Ethernet.strip m with
-        | Ok h
-          when h.Pkt.Ethernet.ethertype = Pkt.Ethernet.ethertype_ipv4
-               && (Pkt.Addr.Mac.equal h.Pkt.Ethernet.dst t.mac
-                  || Pkt.Addr.Mac.is_broadcast h.Pkt.Ethernet.dst) ->
-          [ Core.Layer.Deliver_up msg ]
-        | Ok _ | Error _ ->
-          t.c <- { t.c with non_ip = t.c.non_ip + 1 };
-          Metrics.add_scalar t.non_ip_sc 1;
-          consume_bad m)
+        if Mbuf.contiguous m Pkt.Ethernet.header_bytes then begin
+          (* Cursor fast path: the header is in the head mbuf (always, for
+             frames the NIC delivers), so filter and strip it in place —
+             no header record, no MAC extraction. *)
+          let buf = Mbuf.seg_data m and off = Mbuf.seg_off m in
+          if
+            Pkt.Ethernet.ethertype_at buf off = Pkt.Ethernet.ethertype_ipv4
+            && (Pkt.Ethernet.dst_equal t.mac buf off
+               || Pkt.Ethernet.dst_is_broadcast buf off)
+          then begin
+            Mbuf.adj m Pkt.Ethernet.header_bytes;
+            Core.Layer.up_only
+          end
+          else begin
+            t.c <- { t.c with non_ip = t.c.non_ip + 1 };
+            Metrics.add_scalar t.non_ip_sc 1;
+            consume_bad m
+          end
+        end
+        else
+          (* Record path: header split across mbufs, or a runt frame. *)
+          match Pkt.Ethernet.strip m with
+          | Ok h
+            when h.Pkt.Ethernet.ethertype = Pkt.Ethernet.ethertype_ipv4
+                 && (Pkt.Addr.Mac.equal h.Pkt.Ethernet.dst t.mac
+                    || Pkt.Addr.Mac.is_broadcast h.Pkt.Ethernet.dst) ->
+            Core.Layer.up_only
+          | Ok _ | Error _ ->
+            t.c <- { t.c with non_ip = t.c.non_ip + 1 };
+            Metrics.add_scalar t.non_ip_sc 1;
+            consume_bad m)
   in
   let ip_layer =
     Core.Layer.v ~name:"ip"
       ~fp:(Core.Layer.footprint ~code_bytes:2784 ~data_bytes:480 ())
       (fun msg ->
         let m = msg.Core.Msg.payload.buf in
+        let len = Mbuf.length m in
+        let fast =
+          (* Cursor fast path: an option-free, unfragmented TCP datagram
+             for this host whose header sits in the head mbuf — checked
+             and stripped in place (same validation [Ipv4.strip] runs,
+             including the checksum).  Anything else falls through to the
+             record path untouched; [check_at] mutates nothing. *)
+          Mbuf.contiguous m Pkt.Ipv4.header_bytes
+          &&
+          let buf = Mbuf.seg_data m and off = Mbuf.seg_off m in
+          Pkt.Ipv4.ihl_at buf off = 5
+          && (match Pkt.Ipv4.check_at buf off Pkt.Ipv4.header_bytes with
+             | Ok _ -> true
+             | Error _ -> false)
+          && Pkt.Ipv4.protocol_at buf off = Pkt.Ipv4.proto_tcp
+          && Pkt.Ipv4.frag_at buf off land 0x3FFF = 0
+          && Pkt.Addr.Ipv4.equal (Pkt.Ipv4.dst_at buf off) t.my_ip
+          && Pkt.Ipv4.total_length_at buf off <= len
+        in
+        if fast then begin
+          let buf = Mbuf.seg_data m and off = Mbuf.seg_off m in
+          let total_length = Pkt.Ipv4.total_length_at buf off in
+          msg.Core.Msg.payload.src_ip <- Pkt.Ipv4.src_at buf off;
+          (* Drop link padding, then the header itself — as [strip]. *)
+          if len > total_length then Mbuf.adj m (-(len - total_length));
+          Mbuf.adj m Pkt.Ipv4.header_bytes;
+          Core.Layer.up_only
+        end
+        else
         match Pkt.Ipv4.strip m with
         | Ok h
           when h.Pkt.Ipv4.protocol = Pkt.Ipv4.proto_tcp
                && (not (Pkt.Ipv4.is_fragment h))
                && Pkt.Addr.Ipv4.equal h.Pkt.Ipv4.dst t.my_ip ->
           msg.Core.Msg.payload.src_ip <- h.Pkt.Ipv4.src;
-          [ Core.Layer.Deliver_up msg ]
+          Core.Layer.up_only
         | Ok h
           when Pkt.Ipv4.is_fragment h
                && h.Pkt.Ipv4.protocol = Pkt.Ipv4.proto_tcp
@@ -298,12 +341,12 @@ let layers t =
           | Pkt.Reasm.Complete (h, datagram) ->
             msg.Core.Msg.payload.buf <- Mbuf.of_bytes t.pool datagram;
             msg.Core.Msg.payload.src_ip <- h.Pkt.Ipv4.src;
-            [ Core.Layer.Deliver_up msg ]
-          | Pkt.Reasm.Pending -> [ Core.Layer.Consume ]
+            Core.Layer.up_only
+          | Pkt.Reasm.Pending -> Core.Layer.consume_only
           | Pkt.Reasm.Rejected _ ->
             t.c <- { t.c with bad_ip = t.c.bad_ip + 1 };
             Metrics.add_scalar t.bad_ip_sc 1;
-            [ Core.Layer.Consume ])
+            Core.Layer.consume_only)
         | Ok h when h.Pkt.Ipv4.protocol <> Pkt.Ipv4.proto_tcp ->
           t.c <- { t.c with non_tcp = t.c.non_tcp + 1 };
           Metrics.add_scalar t.non_tcp_sc 1;
@@ -326,10 +369,16 @@ let layers t =
         t.c <- { t.c with delivered_bytes = t.c.delivered_bytes + o.Tcp_input.delivered };
         Metrics.add_scalar t.delivered_bytes_sc o.Tcp_input.delivered;
         let send_down frame =
+          (* Outbound frames draw their message from the host's pool when
+             one is attached (released again at the wire/consume sinks);
+             without a pool, the pre-pooling copy-on-write behavior. *)
+          let item = { buf = frame; src_ip = t.my_ip } in
+          let size = Mbuf.length frame in
           Core.Layer.Send_down
-            (Core.Msg.with_payload msg
-               { buf = frame; src_ip = t.my_ip }
-               ~size:(Mbuf.length frame))
+            (match t.msg_pool with
+            | Some mp ->
+              Core.Msg.acquire mp ~arrival:msg.Core.Msg.arrival ~size item
+            | None -> Core.Msg.with_payload msg item ~size)
         in
         let downs =
           List.map
@@ -364,9 +413,21 @@ let layers t =
    arrangement — only the scheduling changes. *)
 let duplex t ~discipline ?(wire = fun _ -> ()) ?intake_limit
     ?(on_shed = fun _ -> ()) ?metrics () =
-  Core.Engine.duplex ~discipline ~layers:(layers t)
-    ~wire:(fun m -> wire m.Core.Msg.payload.buf)
-    ?intake_limit ~on_shed ?metrics ()
+  match t.msg_pool with
+  | Some mp ->
+    (* With a message pool attached the engine is also where messages
+       die, so the wire and consume sinks recycle them.  Messages the
+       caller sheds (refused at intake) are the caller's to release. *)
+    Core.Engine.duplex ~discipline ~layers:(layers t)
+      ~wire:(fun m ->
+        wire m.Core.Msg.payload.buf;
+        Core.Msg.release mp m)
+      ~on_consume:(fun m -> Core.Msg.release mp m)
+      ?intake_limit ~on_shed ?metrics ()
+  | None ->
+    Core.Engine.duplex ~discipline ~layers:(layers t)
+      ~wire:(fun m -> wire m.Core.Msg.payload.buf)
+      ?intake_limit ~on_shed ?metrics ()
 
 let connect t ~dst:(dst_ip, dst_port) ~src_port =
   let pcb =

@@ -19,6 +19,7 @@ type item = { mutable buf : Ldlp_buf.Mbuf.t; mutable src_ip : Ldlp_packet.Addr.I
 
 val create :
   pool:Ldlp_buf.Pool.t ->
+  ?msg_pool:item Ldlp_core.Msg.pool ->
   mac:Ldlp_packet.Addr.Mac.t ->
   ip:Ldlp_packet.Addr.Ipv4.t ->
   ?gateway_mac:Ldlp_packet.Addr.Mac.t ->
@@ -31,6 +32,14 @@ val create :
     the paper's traced fast path drops fragments), the IP layer runs the
     {!Ldlp_packet.Reasm} slow path, using message arrival times as the
     reassembly clock.
+
+    [msg_pool], when given, makes the host draw the messages it
+    originates (reply/recovery frames in the TCP layer) from that pool
+    instead of copying the incoming message, and makes {!duplex} release
+    every message back to it at the wire and consume sinks.  The caller
+    then owns the ownership discipline: inject only messages acquired
+    from the same pool, and release any message it sheds or that leaves
+    through its own sinks (see DESIGN.md, "Message-pool ownership").
 
     [metrics] mirrors {!counters} as gated scalars ("frames_in",
     "non_ip", "non_tcp", "bad_ip", "delivered_bytes"); pass the same
@@ -67,7 +76,12 @@ val duplex :
     transmit batch (cross-direction amortisation).  The wire frames are
     byte-identical to the {!layers}-under-{!Ldlp_core.Sched}
     arrangement.  [metrics] needs [2n] rows named by
-    {!Ldlp_core.Engine.duplex_layer_names}. *)
+    {!Ldlp_core.Engine.duplex_layer_names}.
+
+    When the host was created with a [msg_pool], messages are released
+    back to it after [wire] returns and when a layer consumes them;
+    [on_shed] messages are {e not} released (the injection never entered
+    the engine — the caller still owns it). *)
 
 val table : t -> Pcb.table
 

@@ -36,12 +36,17 @@ let drop ?pcb reason =
   counters := { !counters with drops = !counters.drops + 1 };
   { pcb; delivered = 0; replies = []; fastpath = false; dropped = Some reason }
 
-let reply_of ~src_ip (h : Tcp.header) (pcb : Pcb.t) ~flags =
+(* The input path reads segment fields in place off the pulled-up mbuf
+   (no intermediate [Tcp.header] record), so the state machine below
+   takes the fields it actually uses as scalars: [seg_src_port], [seq],
+   [ack] and [flags] of the arriving segment. *)
+
+let reply_of ~src_ip ~seg_src_port (pcb : Pcb.t) ~flags =
   counters := { !counters with acks_sent = !counters.acks_sent + 1 };
   {
     dst = src_ip;
     src_port = pcb.Pcb.local_port;
-    dst_port = h.Tcp.src_port;
+    dst_port = seg_src_port;
     seq = pcb.Pcb.snd_nxt;
     ack = pcb.Pcb.rcv_nxt;
     flags;
@@ -50,15 +55,15 @@ let reply_of ~src_ip (h : Tcp.header) (pcb : Pcb.t) ~flags =
 
 (* RST in answer to a segment for which no connection exists (RFC 793's
    reset generation for the CLOSED state). *)
-let rst_for ~src_ip (h : Tcp.header) ~dst_port ~payload_len =
-  if Tcp.has_flag h Tcp.flag_rst then []
-  else if Tcp.has_flag h Tcp.flag_ack then
+let rst_for ~src_ip ~seg_src_port ~seq ~ack ~seg_flags ~dst_port ~payload_len =
+  if seg_flags land Tcp.flag_rst <> 0 then []
+  else if seg_flags land Tcp.flag_ack <> 0 then
     [
       {
         dst = src_ip;
         src_port = dst_port;
-        dst_port = h.Tcp.src_port;
-        seq = h.Tcp.ack;
+        dst_port = seg_src_port;
+        seq = ack;
         ack = 0l;
         flags = Tcp.flag_rst;
         window = 0;
@@ -69,9 +74,11 @@ let rst_for ~src_ip (h : Tcp.header) ~dst_port ~payload_len =
       {
         dst = src_ip;
         src_port = dst_port;
-        dst_port = h.Tcp.src_port;
+        dst_port = seg_src_port;
         seq = 0l;
-        ack = Tcp.seq_add h.Tcp.seq (payload_len + if Tcp.has_flag h Tcp.flag_syn then 1 else 0);
+        ack =
+          Tcp.seq_add seq
+            (payload_len + if seg_flags land Tcp.flag_syn <> 0 then 1 else 0);
         flags = Tcp.flag_rst lor Tcp.flag_ack;
         window = 0;
       };
@@ -81,21 +88,22 @@ let rst_for ~src_ip (h : Tcp.header) ~dst_port ~payload_len =
    ACK for [snd_una] while data is outstanding is a dup-ACK; the third in
    a row requests a fast retransmit (flagged on the PCB — the host's
    recovery driver, when timers are attached, emits the segment). *)
-let process_ack pcb ~now (h : Tcp.header) ~len =
-  if Tcp.has_flag h Tcp.flag_ack then
-    match Pcb.on_ack pcb ~now h.Tcp.ack with
+let process_ack pcb ~now ~ack ~seg_flags ~len =
+  if seg_flags land Tcp.flag_ack <> 0 then
+    match Pcb.on_ack pcb ~now ack with
     | Pcb.Ack_new sample -> Option.iter (Rto.observe pcb.Pcb.rto) sample
     | Pcb.Ack_duplicate
       when len = 0 && pcb.Pcb.retx <> []
-           && not (Tcp.has_flag h (Tcp.flag_syn lor Tcp.flag_fin)) ->
+           && seg_flags land (Tcp.flag_syn lor Tcp.flag_fin) = 0 ->
       pcb.Pcb.dupacks <- pcb.Pcb.dupacks + 1;
       if pcb.Pcb.dupacks = 3 then pcb.Pcb.fast_retx_pending <- true
     | Pcb.Ack_duplicate | Pcb.Ack_old -> ()
 
-let established_input table ~src_ip ~now pcb (h : Tcp.header) payload =
+let established_input _table ~src_ip ~now pcb ~seg_src_port ~seq ~ack ~seg_flags
+    payload =
   let len = Bytes.length payload in
-  if Tcp.has_flag h Tcp.flag_rst then begin
-    Pcb.drop table pcb;
+  if seg_flags land Tcp.flag_rst <> 0 then begin
+    Pcb.drop _table pcb;
     { pcb = Some pcb; delivered = 0; replies = []; fastpath = false; dropped = None }
   end
   else if
@@ -103,20 +111,20 @@ let established_input table ~src_ip ~now pcb (h : Tcp.header) payload =
        established state, nothing but ACK/PSH set, exactly the expected
        sequence number, data present, room in the buffer. *)
     pcb.Pcb.state = Pcb.Established
-    && h.Tcp.flags land lnot (Tcp.flag_ack lor Tcp.flag_psh) = 0
-    && Int32.equal h.Tcp.seq pcb.Pcb.rcv_nxt
+    && seg_flags land lnot (Tcp.flag_ack lor Tcp.flag_psh) = 0
+    && Int32.equal seq pcb.Pcb.rcv_nxt
     && len > 0
     && Sockbuf.space pcb.Pcb.sockbuf >= len
   then begin
     counters := { !counters with fastpath_hits = !counters.fastpath_hits + 1 };
-    process_ack pcb ~now h ~len;
+    process_ack pcb ~now ~ack ~seg_flags ~len;
     let accepted = Sockbuf.append pcb.Pcb.sockbuf payload in
     pcb.Pcb.rcv_nxt <- Tcp.seq_add pcb.Pcb.rcv_nxt accepted;
     pcb.Pcb.delayed_ack <- pcb.Pcb.delayed_ack + 1;
     let replies =
       if pcb.Pcb.delayed_ack >= 2 then begin
         pcb.Pcb.delayed_ack <- 0;
-        [ reply_of ~src_ip h pcb ~flags:Tcp.flag_ack ]
+        [ reply_of ~src_ip ~seg_src_port pcb ~flags:Tcp.flag_ack ]
       end
       else []
     in
@@ -124,9 +132,9 @@ let established_input table ~src_ip ~now pcb (h : Tcp.header) payload =
   end
   else begin
     counters := { !counters with slowpath = !counters.slowpath + 1 };
-    process_ack pcb ~now h ~len;
+    process_ack pcb ~now ~ack ~seg_flags ~len;
     (* Slow path: in-order FIN, out-of-order data, window probes... *)
-    let in_order = Int32.equal h.Tcp.seq pcb.Pcb.rcv_nxt in
+    let in_order = Int32.equal seq pcb.Pcb.rcv_nxt in
     let delivered =
       if in_order && len > 0 && pcb.Pcb.state = Pcb.Established then begin
         let accepted = Sockbuf.append pcb.Pcb.sockbuf payload in
@@ -136,7 +144,8 @@ let established_input table ~src_ip ~now pcb (h : Tcp.header) payload =
       else 0
     in
     let fin_processed =
-      in_order && Tcp.has_flag h Tcp.flag_fin
+      in_order
+      && seg_flags land Tcp.flag_fin <> 0
       && pcb.Pcb.state = Pcb.Established
       && delivered = len
     in
@@ -149,12 +158,14 @@ let established_input table ~src_ip ~now pcb (h : Tcp.header) payload =
        occupy sequence space.  A pure ACK must never be ACKed back, or two
        hosts volley acknowledgments forever. *)
     let occupies =
-      len > 0 || Tcp.has_flag h Tcp.flag_syn || Tcp.has_flag h Tcp.flag_fin
+      len > 0
+      || seg_flags land Tcp.flag_syn <> 0
+      || seg_flags land Tcp.flag_fin <> 0
     in
     let replies =
       if occupies then begin
         pcb.Pcb.delayed_ack <- 0;
-        [ reply_of ~src_ip h pcb ~flags:Tcp.flag_ack ]
+        [ reply_of ~src_ip ~seg_src_port pcb ~flags:Tcp.flag_ack ]
       end
       else []
     in
@@ -169,38 +180,51 @@ let segment_arrived table ~my_ip ~src_ip ~pool ?(now = 0.0) m =
   else begin
     let m = Mbuf.pullup pool m (min (Mbuf.length m) Tcp.header_bytes) in
     let hdr_len = min (Mbuf.length m) Tcp.header_bytes in
-    let hdr = Mbuf.copy_out m ~pos:0 ~len:hdr_len in
-    match Tcp.parse hdr 0 hdr_len with
+    let buf = Mbuf.seg_data m and boff = Mbuf.seg_off m in
+    (* Same validation [Tcp.parse] performed on the copied-out header —
+       including its quirk that [hdr_len] is capped at 20 bytes, so a
+       segment advertising options never passes — but against the
+       pulled-up bytes in place. *)
+    match Tcp.check_at buf boff hdr_len with
     | Error _ ->
       Mbuf.free pool m;
       drop `Parse_failed
-    | Ok (h, _) ->
-      Mbuf.adj m (min (Mbuf.length m) (h.Tcp.data_offset * 4));
+    | Ok _ ->
+      let seg_src_port = Tcp.src_port_at buf boff in
+      let dst_port = Tcp.dst_port_at buf boff in
+      let seq = Tcp.seq_at buf boff in
+      let ack = Tcp.ack_at buf boff in
+      let seg_flags = Tcp.flags_at buf boff in
+      let data_offset = Tcp.data_offset_at buf boff in
+      Mbuf.adj m (min (Mbuf.length m) (data_offset * 4));
       let payload = Mbuf.to_bytes m in
       Mbuf.free pool m;
-      let remote = (src_ip, h.Tcp.src_port) in
-      (match Pcb.lookup table ~local_port:h.Tcp.dst_port ~remote with
+      let remote = (src_ip, seg_src_port) in
+      (match Pcb.lookup table ~local_port:dst_port ~remote with
       | None ->
         let o = drop `No_pcb in
         {
           o with
           replies =
-            rst_for ~src_ip h ~dst_port:h.Tcp.dst_port
+            rst_for ~src_ip ~seg_src_port ~seq ~ack ~seg_flags ~dst_port
               ~payload_len:(Bytes.length payload);
         }
       | Some pcb -> (
         match pcb.Pcb.state with
         | Pcb.Listen ->
-          if Tcp.has_flag h Tcp.flag_syn && not (Tcp.has_flag h Tcp.flag_ack)
+          if
+            seg_flags land Tcp.flag_syn <> 0
+            && seg_flags land Tcp.flag_ack = 0
           then begin
             counters := { !counters with slowpath = !counters.slowpath + 1 };
             let conn = Pcb.insert_connection table ~listener:pcb ~remote in
-            conn.Pcb.irs <- h.Tcp.seq;
-            conn.Pcb.rcv_nxt <- Tcp.seq_add h.Tcp.seq 1;
+            conn.Pcb.irs <- seq;
+            conn.Pcb.rcv_nxt <- Tcp.seq_add seq 1;
             conn.Pcb.snd_nxt <- initial_send_seq;
             conn.Pcb.snd_una <- initial_send_seq;
             let reply =
-              reply_of ~src_ip h conn ~flags:(Tcp.flag_syn lor Tcp.flag_ack)
+              reply_of ~src_ip ~seg_src_port conn
+                ~flags:(Tcp.flag_syn lor Tcp.flag_ack)
             in
             conn.Pcb.snd_nxt <- Tcp.seq_add conn.Pcb.snd_nxt 1;
             {
@@ -216,37 +240,41 @@ let segment_arrived table ~my_ip ~src_ip ~pool ?(now = 0.0) m =
             {
               o with
               replies =
-                rst_for ~src_ip h ~dst_port:h.Tcp.dst_port
+                rst_for ~src_ip ~seg_src_port ~seq ~ack ~seg_flags ~dst_port
                   ~payload_len:(Bytes.length payload);
             }
           end
         | Pcb.Syn_received ->
           counters := { !counters with slowpath = !counters.slowpath + 1 };
-          if Tcp.has_flag h Tcp.flag_rst then begin
+          if seg_flags land Tcp.flag_rst <> 0 then begin
             Pcb.drop table pcb;
             { pcb = Some pcb; delivered = 0; replies = []; fastpath = false; dropped = None }
           end
           else if
-            Tcp.has_flag h Tcp.flag_ack
-            && Int32.equal h.Tcp.ack pcb.Pcb.snd_nxt
+            seg_flags land Tcp.flag_ack <> 0
+            && Int32.equal ack pcb.Pcb.snd_nxt
           then begin
-            process_ack pcb ~now h ~len:(Bytes.length payload);
+            process_ack pcb ~now ~ack ~seg_flags ~len:(Bytes.length payload);
             pcb.Pcb.state <- Pcb.Established;
             (* The handshake ACK may carry data; reprocess it through the
                established path. *)
             if Bytes.length payload > 0 then
-              established_input table ~src_ip ~now pcb h payload
+              established_input table ~src_ip ~now pcb ~seg_src_port ~seq ~ack
+                ~seg_flags payload
             else
               { pcb = Some pcb; delivered = 0; replies = []; fastpath = false; dropped = None }
           end
           else if
-            Tcp.has_flag h Tcp.flag_syn
-            && (not (Tcp.has_flag h Tcp.flag_ack))
-            && Int32.equal h.Tcp.seq pcb.Pcb.irs
+            seg_flags land Tcp.flag_syn <> 0
+            && seg_flags land Tcp.flag_ack = 0
+            && Int32.equal seq pcb.Pcb.irs
           then begin
             (* Retransmitted SYN: our SYN-ACK was lost; repeat it with the
                original sequence number (snd_nxt already consumed it). *)
-            let r = reply_of ~src_ip h pcb ~flags:(Tcp.flag_syn lor Tcp.flag_ack) in
+            let r =
+              reply_of ~src_ip ~seg_src_port pcb
+                ~flags:(Tcp.flag_syn lor Tcp.flag_ack)
+            in
             {
               pcb = Some pcb;
               delivered = 0;
@@ -258,30 +286,31 @@ let segment_arrived table ~my_ip ~src_ip ~pool ?(now = 0.0) m =
           else drop ~pcb `Bad_state
         | Pcb.Syn_sent ->
           counters := { !counters with slowpath = !counters.slowpath + 1 };
-          if Tcp.has_flag h Tcp.flag_rst then begin
+          if seg_flags land Tcp.flag_rst <> 0 then begin
             Pcb.drop table pcb;
             { pcb = Some pcb; delivered = 0; replies = []; fastpath = false; dropped = None }
           end
           else if
-            Tcp.has_flag h Tcp.flag_syn
-            && Tcp.has_flag h Tcp.flag_ack
-            && Int32.equal h.Tcp.ack pcb.Pcb.snd_nxt
+            seg_flags land Tcp.flag_syn <> 0
+            && seg_flags land Tcp.flag_ack <> 0
+            && Int32.equal ack pcb.Pcb.snd_nxt
           then begin
             (* Active open completes: record the server's ISN and ack it. *)
-            process_ack pcb ~now h ~len:0;
-            pcb.Pcb.irs <- h.Tcp.seq;
-            pcb.Pcb.rcv_nxt <- Tcp.seq_add h.Tcp.seq 1;
+            process_ack pcb ~now ~ack ~seg_flags ~len:0;
+            pcb.Pcb.irs <- seq;
+            pcb.Pcb.rcv_nxt <- Tcp.seq_add seq 1;
             pcb.Pcb.state <- Pcb.Established;
             {
               pcb = Some pcb;
               delivered = 0;
-              replies = [ reply_of ~src_ip h pcb ~flags:Tcp.flag_ack ];
+              replies = [ reply_of ~src_ip ~seg_src_port pcb ~flags:Tcp.flag_ack ];
               fastpath = false;
               dropped = None;
             }
           end
           else drop ~pcb `Bad_state
         | Pcb.Established | Pcb.Close_wait ->
-          established_input table ~src_ip ~now pcb h payload
+          established_input table ~src_ip ~now pcb ~seg_src_port ~seq ~ack
+            ~seg_flags payload
         | Pcb.Closed -> drop ~pcb `Bad_state))
   end

@@ -4,18 +4,8 @@ let build ~src ~dst ~src_port ~dst_port ~seq ~ack ~flags ~window
     ?(payload = Bytes.empty) () =
   let len = Tcp.header_bytes + Bytes.length payload in
   let seg = Bytes.create len in
-  Tcp.build
-    {
-      Tcp.src_port;
-      dst_port;
-      seq;
-      ack;
-      data_offset = 5;
-      flags;
-      window = min window 0xFFFF;
-      urgent = 0;
-    }
-    seg 0;
+  Tcp.write ~src_port ~dst_port ~seq ~ack ~data_offset:5 ~flags
+    ~window:(min window 0xFFFF) ~urgent:0 seg 0;
   Bytes.blit payload 0 seg Tcp.header_bytes (Bytes.length payload);
   Tcp.store_checksum ~src ~dst seg 0 len;
   seg

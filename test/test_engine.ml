@@ -343,6 +343,60 @@ let test_duplex_metrics_rows () =
     (Ldlp_obs.Metrics.create ~label:"ok"
        ~layer_names:(Engine.duplex_layer_names [ "a"; "b" ]))
 
+(* ---------- steady-state quantum allocates nothing ---------- *)
+
+(* The whole point of the pooled hot path: once the pool, the ring
+   buffers and the free list are warm, an inject+run quantum of
+   constant-action layers must not touch the minor heap at all (metrics
+   and invariants off).  We run many quanta between two [Gc.minor_words]
+   probes and allow less than one word per quantum, which only a
+   genuinely allocation-free path can meet — the slack absorbs the boxed
+   float the probe itself allocates. *)
+let test_zero_alloc_quantum () =
+  let quanta = 64 and batch = 16 in
+  let run_discipline discipline =
+    let layers =
+      [
+        Layer.passthrough "ether";
+        Layer.passthrough "ip";
+        Layer.v ~name:"sink" (fun _ -> Layer.consume_only);
+      ]
+    in
+    let mpool = Msg.pool () in
+    let sched =
+      Sched.create ~discipline ~layers
+        ~on_consume:(fun m -> Msg.release mpool m)
+        ()
+    in
+    let quantum () =
+      for _ = 1 to batch do
+        Sched.inject sched (Msg.acquire mpool ~arrival:0.0 ~size:64 0)
+      done;
+      Sched.run sched
+    in
+    (* Warm the pool, the free list and the node ring buffers. *)
+    for _ = 1 to 4 do
+      quantum ()
+    done;
+    let before = Gc.minor_words () in
+    for _ = 1 to quanta do
+      quantum ()
+    done;
+    let delta = Gc.minor_words () -. before in
+    if delta >= float_of_int quanta then
+      Alcotest.failf
+        "steady-state quantum allocates: %.0f minor words over %d quanta"
+        delta quanta
+  in
+  let was = Invariant.enabled () in
+  Invariant.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Invariant.set_enabled was)
+    (fun () ->
+      run_discipline Sched.Conventional;
+      run_discipline (Sched.Ldlp Batch.All);
+      run_discipline (Sched.Ldlp Batch.paper_default))
+
 let qcheck t = QCheck_alcotest.to_alcotest t
 
 let suite =
@@ -366,4 +420,6 @@ let suite =
       test_duplex_shed_both_entries;
     Alcotest.test_case "duplex metrics row shape" `Quick
       test_duplex_metrics_rows;
+    Alcotest.test_case "zero-alloc steady-state quantum" `Quick
+      test_zero_alloc_quantum;
   ]

@@ -571,6 +571,73 @@ let prop_fragment_reassemble_roundtrip =
       in
       match result with Some out -> Bytes.equal out payload | None -> false)
 
+(* ---------- cursor API: byte-for-byte against the record codecs ---------- *)
+
+(* The receive fast path and the transmit builders use the cursor API
+   ([*_at] reads, [check_at], [write]); the slow path and the tests use
+   the record codecs.  These properties are what licenses mixing them:
+   [write] emits exactly the bytes [build] does (the scratch buffer is
+   pre-poisoned so an untouched byte can't pass), and every [*_at]
+   accessor agrees with the corresponding [parse] field. *)
+
+let prop_ethernet_cursor_equiv =
+  QCheck.Test.make ~name:"ethernet cursor write/reads = record build/parse"
+    ~count:300 eth_arb (fun h ->
+      let b1 = Bytes.create 14 and b2 = Bytes.make 14 '\xAA' in
+      Ethernet.build h b1 0;
+      Ethernet.write ~dst:h.Ethernet.dst ~src:h.Ethernet.src
+        ~ethertype:h.Ethernet.ethertype b2 0;
+      Bytes.equal b1 b2
+      && Ethernet.ethertype_at b1 0 = h.Ethernet.ethertype
+      && Ethernet.dst_equal h.Ethernet.dst b1 0
+      && Ethernet.dst_is_broadcast b1 0 = Addr.Mac.is_broadcast h.Ethernet.dst)
+
+let prop_ipv4_cursor_equiv =
+  QCheck.Test.make ~name:"ipv4 cursor write/reads = record build/parse"
+    ~count:300 ipv4_arb (fun h ->
+      let b1 = Bytes.create 20 and b2 = Bytes.make 20 '\xAA' in
+      Ipv4.build h b1 0;
+      Ipv4.write ~tos:h.Ipv4.tos ~total_length:h.Ipv4.total_length
+        ~ident:h.Ipv4.ident ~dont_fragment:h.Ipv4.dont_fragment
+        ~more_fragments:h.Ipv4.more_fragments
+        ~fragment_offset:h.Ipv4.fragment_offset ~ttl:h.Ipv4.ttl
+        ~protocol:h.Ipv4.protocol ~src:h.Ipv4.src ~dst:h.Ipv4.dst b2 0;
+      let frag =
+        (if h.Ipv4.dont_fragment then 0x4000 else 0)
+        lor (if h.Ipv4.more_fragments then 0x2000 else 0)
+        lor h.Ipv4.fragment_offset
+      in
+      Bytes.equal b1 b2
+      && Ipv4.check_at b1 0 20 = Ok 20
+      && Ipv4.ihl_at b1 0 = 5
+      && Ipv4.tos_at b1 0 = h.Ipv4.tos
+      && Ipv4.total_length_at b1 0 = h.Ipv4.total_length
+      && Ipv4.ident_at b1 0 = h.Ipv4.ident
+      && Ipv4.frag_at b1 0 = frag
+      && Ipv4.ttl_at b1 0 = h.Ipv4.ttl
+      && Ipv4.protocol_at b1 0 = h.Ipv4.protocol
+      && Addr.Ipv4.equal (Ipv4.src_at b1 0) h.Ipv4.src
+      && Addr.Ipv4.equal (Ipv4.dst_at b1 0) h.Ipv4.dst)
+
+let prop_tcp_cursor_equiv =
+  QCheck.Test.make ~name:"tcp cursor write/reads = record build/parse"
+    ~count:300 tcp_arb (fun h ->
+      let b1 = Bytes.create 20 and b2 = Bytes.make 20 '\xAA' in
+      Tcp.build h b1 0;
+      Tcp.write ~src_port:h.Tcp.src_port ~dst_port:h.Tcp.dst_port
+        ~seq:h.Tcp.seq ~ack:h.Tcp.ack ~data_offset:h.Tcp.data_offset
+        ~flags:h.Tcp.flags ~window:h.Tcp.window ~urgent:h.Tcp.urgent b2 0;
+      Bytes.equal b1 b2
+      && Tcp.check_at b1 0 64 = Ok (h.Tcp.data_offset * 4)
+      && Tcp.src_port_at b1 0 = h.Tcp.src_port
+      && Tcp.dst_port_at b1 0 = h.Tcp.dst_port
+      && Int32.equal (Tcp.seq_at b1 0) h.Tcp.seq
+      && Int32.equal (Tcp.ack_at b1 0) h.Tcp.ack
+      && Tcp.data_offset_at b1 0 = h.Tcp.data_offset
+      && Tcp.flags_at b1 0 = h.Tcp.flags
+      && Tcp.window_at b1 0 = h.Tcp.window
+      && Tcp.urgent_at b1 0 = h.Tcp.urgent)
+
 let suite =
   [
     Alcotest.test_case "cksum rfc1071 example" `Quick test_cksum_rfc1071_example;
@@ -598,6 +665,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_ethernet_build_parse;
     QCheck_alcotest.to_alcotest prop_ipv4_build_parse;
     QCheck_alcotest.to_alcotest prop_tcp_build_parse;
+    QCheck_alcotest.to_alcotest prop_ethernet_cursor_equiv;
+    QCheck_alcotest.to_alcotest prop_ipv4_cursor_equiv;
+    QCheck_alcotest.to_alcotest prop_tcp_cursor_equiv;
     QCheck_alcotest.to_alcotest prop_udp_build_parse;
     Alcotest.test_case "udp roundtrip" `Quick test_udp_roundtrip;
     Alcotest.test_case "udp too short" `Quick test_udp_too_short;
