@@ -4,7 +4,7 @@
 
 DOMAINS ?= 2
 
-.PHONY: all build test fmt promote selftest oracle engine-parity soak soak-duplex bench-sweeps bench-hotpath bench-alloc bench-soak check
+.PHONY: all build test fmt promote selftest oracle engine-parity soak soak-duplex mesh bench-sweeps bench-hotpath bench-alloc bench-soak bench-mesh check
 
 all: build
 
@@ -50,6 +50,14 @@ soak: build
 soak-duplex: build
 	dune exec bin/ldlp_repro.exe -- soak --seed 1996 --scenarios 25 --duplex
 
+# Many-host mesh figure: N hosts over a seeded random-regular topology,
+# broadcast/relay spread under all three wirings (conv / LDLP / duplex)
+# plus a Q.93B call storm; per-discipline arrival-latency CDFs and
+# BENCH_mesh.json, gated on conservation, cross-wiring equivalence and
+# the message-pool leak audit.
+mesh: build
+	dune exec bin/ldlp_repro.exe -- mesh --seed 1996 --domains $(DOMAINS)
+
 # Times every sweep at 1 domain and at N domains; writes BENCH_sweeps.json.
 bench-sweeps: build
 	dune exec bench/main.exe -- --sweeps
@@ -70,5 +78,11 @@ bench-alloc: build
 bench-soak: build
 	dune exec bench/main.exe -- --soak
 
-check: build fmt test selftest oracle engine-parity bench-alloc soak soak-duplex
+# Mesh host-count sweep (64/256/1024 hosts, pristine + chaos + storms);
+# writes BENCH_mesh.json and fails on any conservation, equivalence or
+# reload-gate violation.
+bench-mesh: build
+	dune exec bench/main.exe -- --mesh
+
+check: build fmt test selftest oracle engine-parity bench-alloc soak soak-duplex mesh
 	@echo "check OK"

@@ -502,6 +502,157 @@ let bench_soak ~out () =
   Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* Section 1e: mesh sweep -> BENCH_mesh.json.                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Host-count sweep of the many-host mesh: pristine spread rows at each
+   size, one chaos row (the soak rung — faults active, leak audit on the
+   message pool) at the middle size, and a Q.93B call-storm row per size
+   against the paper's 10,000 pairs/s goal.  Everything runs on the
+   simulator's two clocks, so the sweep is deterministic and the gates
+   below are exact, not statistical. *)
+
+let mesh_hosts = [ 64; 256; 1024 ]
+let mesh_chaos_hosts = 256
+
+let bench_mesh ~out () =
+  let module Mesh = Ldlp_mesh.Mesh in
+  let degree = 4 in
+  let spread_row tag (s : Mesh.spread) =
+    let cfg = s.Mesh.s_config in
+    {
+      Ldlp_report.Bench_json.mr_hosts = cfg.Mesh.hosts;
+      mr_wiring = Mesh.wiring_name s.Mesh.s_wiring ^ tag;
+      mr_delivered = s.Mesh.reach;
+      mr_p50_s = Ldlp_sim.Hist.percentile s.Mesh.latency 0.50;
+      mr_p90_s = Ldlp_sim.Hist.percentile s.Mesh.latency 0.90;
+      mr_p99_s = Ldlp_sim.Hist.percentile s.Mesh.latency 0.99;
+      mr_max_s = Ldlp_sim.Hist.max s.Mesh.latency;
+      mr_mean_s = Ldlp_sim.Hist.mean s.Mesh.latency;
+      mr_reloads = s.Mesh.reloads;
+      mr_mean_batch = s.Mesh.mean_batch;
+      mr_cpu_s = s.Mesh.cpu_seconds;
+      mr_ok = s.Mesh.s_conserved && s.Mesh.leak_free;
+    }
+  in
+  let storm_row hosts (t : Mesh.storm) =
+    {
+      Ldlp_report.Bench_json.ms_hosts = hosts;
+      ms_wiring = Mesh.wiring_name t.Mesh.t_wiring;
+      ms_pairs = t.Mesh.pairs;
+      ms_calls = t.Mesh.calls_requested;
+      ms_completed = t.Mesh.calls_completed;
+      ms_wire_pairs_per_s = Mesh.storm_wire_rate t;
+      ms_cpu_us_per_pair = Mesh.storm_cpu_us_per_pair t;
+      ms_cpu_pairs_per_s = Mesh.storm_cpu_rate t;
+      ms_ok = t.Mesh.t_conserved && t.Mesh.t_leak_free;
+    }
+  in
+  let failed = ref false in
+  let fail fmt = Printf.ksprintf (fun s -> Printf.eprintf "FAIL: %s\n" s;
+                                   failed := true) fmt in
+  let reloads_of wiring spreads =
+    match
+      List.find_opt (fun (s : Mesh.spread) -> s.Mesh.s_wiring = wiring) spreads
+    with
+    | Some s -> s.Mesh.reloads
+    | None -> 0
+  in
+  let check_spreads what spreads =
+    List.iter
+      (fun (s : Mesh.spread) ->
+        match Ldlp_check.Mesh_oracle.conservation s with
+        | Ok () -> ()
+        | Error d ->
+          fail "%s [%s] conservation: %s" what
+            (Mesh.wiring_name s.Mesh.s_wiring)
+            (Format.asprintf "%a" Ldlp_check.Mesh_oracle.pp_divergence d))
+      spreads;
+    (match Ldlp_check.Mesh_oracle.equivalence spreads with
+    | Ok () -> ()
+    | Error d ->
+      fail "%s equivalence: %s" what
+        (Format.asprintf "%a" Ldlp_check.Mesh_oracle.pp_divergence d));
+    let conv = reloads_of Mesh.Conv spreads
+    and ldlp = reloads_of Mesh.Ldlp spreads in
+    if ldlp >= conv then
+      fail "%s: LDLP reloads %d not below conventional %d" what ldlp conv
+  in
+  let sweep hosts =
+    let cfg = Mesh.config ~hosts ~degree ~seed () in
+    let pristine = Mesh.compare_spread cfg in
+    check_spreads (Printf.sprintf "mesh %d-host pristine" hosts) pristine;
+    let chaos =
+      if hosts <> mesh_chaos_hosts then []
+      else begin
+        let c = Mesh.compare_spread { cfg with Mesh.plan = Mesh.chaos_plan } in
+        check_spreads (Printf.sprintf "mesh %d-host chaos" hosts) c;
+        c
+      end
+    in
+    let storms = Mesh.compare_storm cfg in
+    List.iter
+      (fun (t : Mesh.storm) ->
+        if not (t.Mesh.t_conserved && t.Mesh.t_leak_free) then
+          fail "mesh %d-host storm [%s] conservation/leak audit" hosts
+            (Mesh.wiring_name t.Mesh.t_wiring))
+      storms;
+    ( List.map (spread_row "") pristine @ List.map (spread_row "+chaos") chaos,
+      List.map (storm_row hosts) storms )
+  in
+  let swept = List.map sweep mesh_hosts in
+  let spread = List.concat_map fst swept in
+  let storm = List.concat_map snd swept in
+  let json =
+    Ldlp_report.Bench_json.render_mesh ~seed ~degree
+      ~goal_pairs_per_s:Mesh.goal_pairs_per_sec ~spread ~storm
+  in
+  (match Ldlp_report.Bench_json.parse_mesh json with
+  | Ok _ -> ()
+  | Error e -> failwith ("BENCH_mesh.json fails its own schema: " ^ e));
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "Mesh sweep (degree %d, seed %d; chaos row at %d hosts)\n"
+    degree seed mesh_chaos_hosts;
+  Printf.printf "%-6s %-12s %9s %8s %8s %8s %9s %7s %10s %4s\n" "hosts"
+    "wiring" "delivered" "p50" "p90" "p99" "reloads" "batch" "cpu" "ok";
+  List.iter
+    (fun (r : Ldlp_report.Bench_json.mesh_row) ->
+      Printf.printf "%-6d %-12s %9d %7ss %7ss %7ss %9d %7.1f %9ss %4s\n"
+        r.Ldlp_report.Bench_json.mr_hosts r.Ldlp_report.Bench_json.mr_wiring
+        r.Ldlp_report.Bench_json.mr_delivered
+        (Ldlp_sim.Table.fmt_si r.Ldlp_report.Bench_json.mr_p50_s)
+        (Ldlp_sim.Table.fmt_si r.Ldlp_report.Bench_json.mr_p90_s)
+        (Ldlp_sim.Table.fmt_si r.Ldlp_report.Bench_json.mr_p99_s)
+        r.Ldlp_report.Bench_json.mr_reloads
+        r.Ldlp_report.Bench_json.mr_mean_batch
+        (Ldlp_sim.Table.fmt_si r.Ldlp_report.Bench_json.mr_cpu_s)
+        (if r.Ldlp_report.Bench_json.mr_ok then "ok" else "FAIL"))
+    spread;
+  Printf.printf "\nQ.93B call storms (goal %.0f pairs/s)\n"
+    Mesh.goal_pairs_per_sec;
+  Printf.printf "%-6s %-8s %6s %6s %5s %13s %12s %12s %4s\n" "hosts" "wiring"
+    "pairs" "calls" "done" "wire-pairs/s" "cpu-us/pair" "cpu-pairs/s" "ok";
+  List.iter
+    (fun (r : Ldlp_report.Bench_json.mesh_storm_row) ->
+      Printf.printf "%-6d %-8s %6d %6d %5d %13.0f %12.1f %12.0f %4s\n"
+        r.Ldlp_report.Bench_json.ms_hosts r.Ldlp_report.Bench_json.ms_wiring
+        r.Ldlp_report.Bench_json.ms_pairs r.Ldlp_report.Bench_json.ms_calls
+        r.Ldlp_report.Bench_json.ms_completed
+        r.Ldlp_report.Bench_json.ms_wire_pairs_per_s
+        r.Ldlp_report.Bench_json.ms_cpu_us_per_pair
+        r.Ldlp_report.Bench_json.ms_cpu_pairs_per_s
+        (if r.Ldlp_report.Bench_json.ms_ok then "ok" else "FAIL"))
+    storm;
+  if !failed then begin
+    prerr_endline "FAIL: mesh sweep gates did not hold";
+    exit 1
+  end;
+  Printf.printf "conservation, equivalence and reload gates: ok\n";
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* Section 2: Bechamel tests.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -747,7 +898,9 @@ let () =
   let hotpath_only = Array.exists (( = ) "--hotpath") Sys.argv in
   let alloc_gate_only = Array.exists (( = ) "--alloc-gate") Sys.argv in
   let soak_only = Array.exists (( = ) "--soak") Sys.argv in
-  if sweeps_only then bench_sweeps ~out:"BENCH_sweeps.json" ()
+  let mesh_only = Array.exists (( = ) "--mesh") Sys.argv in
+  if mesh_only then bench_mesh ~out:"BENCH_mesh.json" ()
+  else if sweeps_only then bench_sweeps ~out:"BENCH_sweeps.json" ()
   else if hotpath_only then bench_hotpath ~out:"BENCH_hotpath.json" ()
   else if alloc_gate_only then bench_alloc_gate ()
   else if soak_only then bench_soak ~out:"BENCH_soak.json" ()

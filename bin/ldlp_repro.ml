@@ -176,6 +176,91 @@ let run_soak ?domains ~duplex seed count =
     exit 1
   end
 
+let run_mesh ?domains ~hosts ~degree ~broadcasts ~json_path seed =
+  let module Mesh = Ldlp_mesh.Mesh in
+  let base = Mesh.config ~hosts ~degree ~seed ~broadcasts () in
+  let pristine = Mesh.compare_spread ?domains base in
+  let ccfg = { base with Mesh.plan = Mesh.chaos_plan } in
+  let chaos = Mesh.compare_spread ?domains ccfg in
+  let storms = Mesh.compare_storm ?domains base in
+  print_string (Mesh.render base ~pristine ~chaos ~storms);
+  let spread_row tag (s : Mesh.spread) =
+    {
+      Ldlp_report.Bench_json.mr_hosts = hosts;
+      mr_wiring = Mesh.wiring_name s.Mesh.s_wiring ^ tag;
+      mr_delivered = s.Mesh.reach;
+      mr_p50_s = Ldlp_sim.Hist.percentile s.Mesh.latency 0.50;
+      mr_p90_s = Ldlp_sim.Hist.percentile s.Mesh.latency 0.90;
+      mr_p99_s = Ldlp_sim.Hist.percentile s.Mesh.latency 0.99;
+      mr_max_s = Ldlp_sim.Hist.max s.Mesh.latency;
+      mr_mean_s = Ldlp_sim.Hist.mean s.Mesh.latency;
+      mr_reloads = s.Mesh.reloads;
+      mr_mean_batch = s.Mesh.mean_batch;
+      mr_cpu_s = s.Mesh.cpu_seconds;
+      mr_ok = s.Mesh.s_conserved && s.Mesh.leak_free;
+    }
+  in
+  let storm_row (t : Mesh.storm) =
+    {
+      Ldlp_report.Bench_json.ms_hosts = hosts;
+      ms_wiring = Mesh.wiring_name t.Mesh.t_wiring;
+      ms_pairs = t.Mesh.pairs;
+      ms_calls = t.Mesh.calls_requested;
+      ms_completed = t.Mesh.calls_completed;
+      ms_wire_pairs_per_s = Mesh.storm_wire_rate t;
+      ms_cpu_us_per_pair = Mesh.storm_cpu_us_per_pair t;
+      ms_cpu_pairs_per_s = Mesh.storm_cpu_rate t;
+      ms_ok = t.Mesh.t_conserved && t.Mesh.t_leak_free;
+    }
+  in
+  let json =
+    Ldlp_report.Bench_json.render_mesh ~seed ~degree
+      ~goal_pairs_per_s:Mesh.goal_pairs_per_sec
+      ~spread:
+        (List.map (spread_row "") pristine @ List.map (spread_row "+chaos") chaos)
+      ~storm:(List.map storm_row storms)
+  in
+  (match Ldlp_report.Bench_json.parse_mesh json with
+  | Ok _ -> ()
+  | Error e ->
+    prerr_endline ("BENCH_mesh.json failed its own schema check: " ^ e);
+    exit 1);
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" json_path;
+  (* Oracles: conservation per wiring and cross-wiring equivalence on the
+     chaos run (the interesting one — faults active). *)
+  let ok = ref true in
+  List.iter
+    (fun (s : Mesh.spread) ->
+      match Ldlp_check.Mesh_oracle.conservation s with
+      | Ok () -> ()
+      | Error d ->
+        ok := false;
+        Format.eprintf "mesh conservation [%s] FAILED: %a@."
+          (Mesh.wiring_name s.Mesh.s_wiring)
+          Ldlp_check.Mesh_oracle.pp_divergence d)
+    (pristine @ chaos);
+  (match Ldlp_check.Mesh_oracle.equivalence chaos with
+  | Ok () -> ()
+  | Error d ->
+    ok := false;
+    Format.eprintf "mesh equivalence FAILED: %a@."
+      Ldlp_check.Mesh_oracle.pp_divergence d);
+  List.iter
+    (fun (t : Mesh.storm) ->
+      if not (t.Mesh.t_conserved && t.Mesh.t_leak_free) then begin
+        ok := false;
+        Printf.eprintf "mesh storm [%s] conservation/leak FAILED\n"
+          (Mesh.wiring_name t.Mesh.t_wiring)
+      end)
+    storms;
+  if not !ok then begin
+    prerr_endline "mesh FAILED: see above";
+    exit 1
+  end
+
 let run_check seed =
   let fail fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt in
   (* 1. Differential replay: production cache vs the naive LRU oracle. *)
@@ -356,6 +441,29 @@ let cmds =
       "Assert that the parallel sweep engine reproduces the sequential \
        results exactly (same seeds, same tables)."
       Term.(const run_selftest $ domains_t);
+    cmd "mesh"
+      "Many-host mesh simulation: flood seeded broadcasts over a \
+       random-regular topology of full protocol stacks under all three \
+       wirings (conventional, LDLP, full-duplex LDLP), print the \
+       arrival-latency CDF figure (pristine and chaos-impaired), run the \
+       Q.93B call storm against the paper's 10 000 pairs/s goal, write \
+       BENCH_mesh.json, and assert the conservation + cross-wiring \
+       equivalence oracles.  Nonzero exit on any failure."
+      Term.(
+        const (fun seed domains hosts degree broadcasts json_path ->
+            run_mesh ?domains ~hosts ~degree ~broadcasts ~json_path seed)
+        $ seed_t $ domains_t
+        $ Arg.(value & opt int 64 & info [ "hosts" ] ~doc:"Number of hosts.")
+        $ Arg.(
+            value & opt int 4
+            & info [ "degree" ] ~doc:"Links per host (regular topology).")
+        $ Arg.(
+            value & opt int 16
+            & info [ "broadcasts" ] ~doc:"Broadcasts to flood through the mesh.")
+        $ Arg.(
+            value
+            & opt string "BENCH_mesh.json"
+            & info [ "o"; "json" ] ~doc:"Where to write the mesh JSON document."));
     cmd "soak"
       "Chaos soak: run the tcpmini echo exchange over seeded impaired \
        links (loss, duplication, corruption, reordering, down episodes, \

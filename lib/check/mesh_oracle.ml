@@ -1,0 +1,119 @@
+module Mesh = Ldlp_mesh.Mesh
+
+type divergence = { d_what : string; d_left : string; d_right : string }
+
+let pp_divergence fmt d =
+  Format.fprintf fmt "%s: %s vs %s" d.d_what d.d_left d.d_right
+
+let fail what left right = Error { d_what = what; d_left = left; d_right = right }
+
+let ints a = String.concat "," (List.map string_of_int (Array.to_list a))
+
+let conservation (s : Mesh.spread) =
+  let c = s.Mesh.s_causes in
+  let sent = c.Mesh.offered + c.Mesh.duplicated in
+  let accounted =
+    c.Mesh.arrived + c.Mesh.fault_dropped + c.Mesh.down_dropped + c.Mesh.flushed
+  in
+  if sent <> accounted then
+    fail "wire conservation (offered+dup = arrived+dropped+down+flushed)"
+      (string_of_int sent) (string_of_int accounted)
+  else
+    let handled =
+      c.Mesh.delivered + c.Mesh.sig_delivered + c.Mesh.dup_dropped
+      + c.Mesh.corrupt_dropped
+    in
+    if c.Mesh.arrived <> handled then
+      fail "host conservation (arrived = delivered+sig+dupdrop+badframe)"
+        (string_of_int c.Mesh.arrived)
+        (string_of_int handled)
+    else if not s.Mesh.s_conserved then
+      fail "s_conserved flag" "true (re-derived)" "false (recorded)"
+    else if not s.Mesh.leak_free then
+      fail "msg-pool leak audit" "0 outstanding" "non-zero outstanding"
+    else
+      let ph = Array.fold_left ( + ) 0 s.Mesh.per_host in
+      if ph <> c.Mesh.delivered then
+        fail "per-host total vs delivered" (string_of_int ph)
+          (string_of_int c.Mesh.delivered)
+      else
+        let pb = Array.fold_left ( + ) 0 s.Mesh.per_broadcast in
+        if pb <> c.Mesh.delivered then
+          fail "per-broadcast total vs delivered" (string_of_int pb)
+            (string_of_int c.Mesh.delivered)
+        else Ok ()
+
+let causes_fields (c : Mesh.causes) =
+  [
+    ("offered", c.Mesh.offered);
+    ("fault_dropped", c.Mesh.fault_dropped);
+    ("down_dropped", c.Mesh.down_dropped);
+    ("duplicated", c.Mesh.duplicated);
+    ("corrupted", c.Mesh.corrupted);
+    ("reordered", c.Mesh.reordered);
+    ("flushed", c.Mesh.flushed);
+    ("arrived", c.Mesh.arrived);
+    ("corrupt_dropped", c.Mesh.corrupt_dropped);
+    ("dup_dropped", c.Mesh.dup_dropped);
+    ("delivered", c.Mesh.delivered);
+    ("sig_delivered", c.Mesh.sig_delivered);
+  ]
+
+let equivalence spreads =
+  match spreads with
+  | [] | [ _ ] -> Ok ()
+  | first :: rest ->
+    let name (s : Mesh.spread) = Mesh.wiring_name s.Mesh.s_wiring in
+    let rec check = function
+      | [] -> Ok ()
+      | (s : Mesh.spread) :: tl ->
+        let tag what =
+          Printf.sprintf "%s (%s vs %s)" what (name first) (name s)
+        in
+        if s.Mesh.per_host <> first.Mesh.per_host then
+          fail (tag "per-host delivery multiset")
+            (ints first.Mesh.per_host) (ints s.Mesh.per_host)
+        else if s.Mesh.per_broadcast <> first.Mesh.per_broadcast then
+          fail (tag "per-broadcast reach")
+            (ints first.Mesh.per_broadcast)
+            (ints s.Mesh.per_broadcast)
+        else begin
+          let rec fields = function
+            | [] -> check tl
+            | ((k, a), (_, b)) :: more ->
+              if a <> b then
+                fail (tag ("cause ledger field " ^ k)) (string_of_int a)
+                  (string_of_int b)
+              else fields more
+          in
+          fields
+            (List.combine
+               (causes_fields first.Mesh.s_causes)
+               (causes_fields s.Mesh.s_causes))
+        end
+    in
+    check rest
+
+let run ?domains cfg =
+  let spreads = Mesh.compare_spread ?domains cfg in
+  let rec each n = function
+    | [] -> Ok n
+    | s :: tl -> (
+      match conservation s with
+      | Error d ->
+        Error
+          {
+            d with
+            d_what =
+              Printf.sprintf "[%s] %s"
+                (Mesh.wiring_name s.Mesh.s_wiring)
+                d.d_what;
+          }
+      | Ok () -> each (n + 1) tl)
+  in
+  match each 0 spreads with
+  | Error _ as e -> e
+  | Ok n -> (
+    match equivalence spreads with
+    | Error _ as e -> e
+    | Ok () -> Ok (n + 1))

@@ -1,0 +1,38 @@
+(** Oracles for the many-host mesh simulator.
+
+    Two claims the mesh makes by construction, asserted here from the
+    outside:
+
+    - {b conservation}: every copy a host offers to a link is delivered,
+      dropped with a recorded cause, or flushed at teardown, and the
+      message pool is empty at quiescence — no message lost silently and
+      no message leaked;
+    - {b equivalence}: because the wire clock is discipline-invariant,
+      the conv, LDLP and duplex wirings of the same [(config, seed)]
+      deliver {e identical} per-host message multisets (same first
+      deliveries at every host, same hosts reached per broadcast, same
+      cause ledger).  Only the modeled-CPU latency figures may differ. *)
+
+type divergence = {
+  d_what : string;  (** Which quantity diverged. *)
+  d_left : string;  (** conv-side rendering. *)
+  d_right : string;  (** other-side rendering. *)
+}
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+val conservation : Ldlp_mesh.Mesh.spread -> (unit, divergence) result
+(** Re-derive the delivered-or-dropped identity from the cause ledger
+    (rather than trusting [s_conserved]) and check the leak audit and
+    per-host/per-broadcast totals against the delivered count. *)
+
+val equivalence :
+  Ldlp_mesh.Mesh.spread list -> (unit, divergence) result
+(** All spreads must come from the same config; per-host delivery
+    multisets, per-broadcast reach and the full cause ledger must agree
+    pairwise across wirings. *)
+
+val run : ?domains:int -> Ldlp_mesh.Mesh.config -> (int, divergence) result
+(** Run every wiring over the config (through [Ldlp_par.Pool.map]),
+    check {!conservation} on each and {!equivalence} across them;
+    returns the number of checks passed. *)

@@ -1,0 +1,874 @@
+module Msg = Ldlp_core.Msg
+module Layer = Ldlp_core.Layer
+module Engine = Ldlp_core.Engine
+module Sched = Ldlp_core.Sched
+module Batch = Ldlp_core.Batch
+module Plan = Ldlp_fault.Plan
+module Impair = Ldlp_fault.Impair
+module Sim = Ldlp_sim.Engine
+module Rng = Ldlp_sim.Rng
+module Hist = Ldlp_sim.Hist
+module Table = Ldlp_sim.Table
+module Chart = Ldlp_sim.Chart
+module Uni = Ldlp_sigproto.Uni
+module Ie = Ldlp_sigproto.Ie
+
+type wiring = Conv | Ldlp | Duplex
+
+let wiring_name = function Conv -> "conv" | Ldlp -> "ldlp" | Duplex -> "duplex"
+
+let all_wirings = [ Conv; Ldlp; Duplex ]
+
+type config = {
+  hosts : int;
+  degree : int;
+  seed : int;
+  broadcasts : int;
+  payload_bytes : int;
+  plan : Plan.t;
+  link_latency : float;
+}
+
+let config ?(hosts = 64) ?(degree = 4) ?(seed = 1996) ?(broadcasts = 16)
+    ?(payload_bytes = 64) ?(plan = Plan.none) ?(link_latency = 1e-4) () =
+  Plan.validate plan;
+  if hosts < 2 then invalid_arg "Mesh.config: hosts < 2";
+  if degree < 1 || degree >= hosts then
+    invalid_arg "Mesh.config: need 1 <= degree < hosts";
+  if hosts * degree mod 2 <> 0 then
+    invalid_arg "Mesh.config: hosts * degree must be even";
+  if broadcasts < 0 then invalid_arg "Mesh.config: broadcasts < 0";
+  if payload_bytes < 0 then invalid_arg "Mesh.config: payload_bytes < 0";
+  if link_latency <= 0.0 then invalid_arg "Mesh.config: link_latency <= 0";
+  { hosts; degree; seed; broadcasts; payload_bytes; plan; link_latency }
+
+let chaos_plan =
+  Plan.v ~drop:0.05 ~dup:0.02 ~corrupt:0.001 ~reorder:0.1 ~reorder_window:4 ()
+
+(* Modeled CPU cost: the paper's memory system (8 KB caches, 32 B lines,
+   20-cycle miss) at a 100 MHz clock.  A scheduling switch into a layer
+   refetches its code working set line by line; a handler invocation pays
+   its footprint's execution cycles. *)
+let clock_hz = 1e8
+
+let line_bytes = 32
+
+let miss_cycles = 20
+
+(* Interrupt-coalescing window between a frame's arrival at a host's NIC
+   and the service quantum that drains it — identical for every wiring,
+   so the wire clock stays discipline-invariant. *)
+let service_delay = 25e-6
+
+let mac_fp =
+  Layer.footprint ~code_bytes:4096 ~data_bytes:256 ~cycles_per_msg:900
+    ~cycles_per_byte:0.25 ()
+
+let relay_fp = Layer.footprint ()
+
+let reload_seconds (fp : Layer.footprint) =
+  float_of_int (fp.Layer.code_bytes / line_bytes * miss_cycles) /. clock_hz
+
+let exec_seconds (fp : Layer.footprint) size =
+  (float_of_int fp.Layer.cycles_per_msg
+  +. (fp.Layer.cycles_per_byte *. float_of_int size))
+  /. clock_hz
+
+type causes = {
+  offered : int;
+  fault_dropped : int;
+  down_dropped : int;
+  duplicated : int;
+  corrupted : int;
+  reordered : int;
+  flushed : int;
+  arrived : int;
+  corrupt_dropped : int;
+  dup_dropped : int;
+  delivered : int;
+  sig_delivered : int;
+}
+
+let conserved c =
+  c.offered + c.duplicated
+  = c.arrived + c.fault_dropped + c.down_dropped + c.flushed
+  && c.arrived
+     = c.delivered + c.sig_delivered + c.dup_dropped + c.corrupt_dropped
+
+type kind = Bcast of int | Sig of int
+
+(* One per-link copy of a message.  [pbase] is the modeled CPU penalty the
+   frame carried into the host currently processing it; [penalty] is
+   [pbase] plus the service time elapsed when the frame left that host's
+   stack — set at the wire exit, and turned back into [pbase] when the
+   copy is injected at the next hop. *)
+type frame = {
+  kind : kind;
+  from_host : int;  (* previous hop, -1 at origination *)
+  dst : int;  (* unicast target, -1 = flood *)
+  born : float;
+  hops : int;
+  fbytes : int;
+  mutable corrupt : bool;
+  mutable pbase : float;
+  mutable penalty : float;
+  data : bytes;
+}
+
+type hostm = {
+  h_eng : frame Engine.t;
+  h_inject : frame Msg.t -> unit;
+  h_submit : now:float -> frame -> unit;
+  h_run : unit -> unit;
+  mutable h_service_due : bool;
+  mutable h_last_node : int;
+}
+
+type net = {
+  topo : Topology.t;
+  cfg : config;
+  sim : Sim.t;
+  pool : frame Msg.pool;
+  impairs : frame Impair.t array;  (* one per directed link *)
+  link_dst : int array;
+  flush_at : float array;  (* armed reorder-flush deadline, infinity = none *)
+  mutable hosts_arr : hostm array;
+  mutable elapsed : float;  (* modeled CPU time in the current quantum *)
+  mutable cpu : float;
+  mutable reloads : int;
+  mutable handled : int;
+  mutable arrived : int;
+  mutable corrupt_dropped : int;
+  mutable dup_dropped : int;
+  mutable delivered : int;
+  mutable sig_delivered : int;
+  mutable flushed : int;
+  hist : Hist.t;
+  seen : Bytes.t array;  (* per-host bitset over broadcast ids *)
+  per_host : int array;
+  per_broadcast : int array;
+  mutable on_sig : int -> int -> float -> frame -> unit;
+}
+
+let seen_get net h b =
+  Char.code (Bytes.get net.seen.(h) (b lsr 3)) land (1 lsl (b land 7)) <> 0
+
+let seen_set net h b =
+  let i = b lsr 3 in
+  Bytes.set net.seen.(h) i
+    (Char.chr (Char.code (Bytes.get net.seen.(h) i) lor (1 lsl (b land 7))))
+
+let make_impair cfg li =
+  let clone f = { f with corrupt = f.corrupt } in
+  let corrupt f =
+    f.corrupt <- true;
+    f
+  in
+  Impair.create ~clone ~corrupt ~seed:(cfg.seed + (7919 * (li + 1))) cfg.plan
+
+(* Wire-side plumbing.  Everything here advances only the wire clock, so
+   the event timeline — and with it each link's impairment stream — is
+   identical for every wiring of the same config. *)
+let rec transmit net ~src f =
+  Array.iter
+    (fun d ->
+      if d <> f.from_host && (f.dst < 0 || f.dst = d) then begin
+        let li = Topology.directed_index net.topo ~src ~dst:d in
+        let copy = { f with from_host = src; hops = f.hops + 1; pbase = f.penalty } in
+        let ems = Impair.send net.impairs.(li) ~now:(Sim.now net.sim) copy in
+        schedule_emissions net d ems;
+        arm_flush net li
+      end)
+    (Topology.neighbors net.topo src)
+
+and schedule_emissions net d ems =
+  let now = Sim.now net.sim in
+  List.iter
+    (fun (e : frame Impair.emission) ->
+      Sim.at net.sim
+        (now +. net.cfg.link_latency +. e.Impair.delay)
+        (fun () -> deliver net d e.Impair.frame))
+    ems
+
+and arm_flush net li =
+  match Impair.next_deadline net.impairs.(li) with
+  | None -> ()
+  | Some dl ->
+    if dl < net.flush_at.(li) then begin
+      net.flush_at.(li) <- dl;
+      Sim.at net.sim
+        (Float.max dl (Sim.now net.sim))
+        (fun () -> fire_flush net li)
+    end
+
+and fire_flush net li =
+  net.flush_at.(li) <- infinity;
+  let ems = Impair.release_due net.impairs.(li) ~now:(Sim.now net.sim) in
+  schedule_emissions net net.link_dst.(li) ems;
+  arm_flush net li
+
+and deliver net d g =
+  net.arrived <- net.arrived + 1;
+  g.pbase <- g.penalty;
+  let h = net.hosts_arr.(d) in
+  let m = Msg.acquire net.pool ~arrival:(Sim.now net.sim) ~size:g.fbytes g in
+  h.h_inject m;
+  if not h.h_service_due then begin
+    h.h_service_due <- true;
+    Sim.after net.sim service_delay (fun () -> service net d)
+  end
+
+and service net d =
+  let h = net.hosts_arr.(d) in
+  h.h_service_due <- false;
+  h.h_last_node <- -1;
+  net.elapsed <- 0.0;
+  h.h_run ();
+  net.cpu <- net.cpu +. net.elapsed
+
+(* A CPU quantum that is not triggered by frame arrival (origination,
+   protocol timer): charge whatever [k] submits plus the engine drain. *)
+let with_service net d k =
+  let h = net.hosts_arr.(d) in
+  h.h_last_node <- -1;
+  net.elapsed <- 0.0;
+  k ();
+  h.h_run ();
+  net.cpu <- net.cpu +. net.elapsed
+
+let mac_layer net =
+  Layer.v ~name:"mac" ~fp:mac_fp (fun m ->
+      if m.Msg.payload.corrupt then begin
+        net.corrupt_dropped <- net.corrupt_dropped + 1;
+        Layer.consume_only
+      end
+      else Layer.up_only)
+
+let relay_layer net h =
+  Layer.v ~name:"relay" ~fp:relay_fp (fun m ->
+      let f = m.Msg.payload in
+      match f.kind with
+      | Sig _ -> Layer.up_only
+      | Bcast b ->
+        if seen_get net h b then begin
+          net.dup_dropped <- net.dup_dropped + 1;
+          Layer.consume_only
+        end
+        else begin
+          seen_set net h b;
+          if net.cfg.degree > 1 then begin
+            (* Relay copy continues in the same service quantum, so it
+               inherits the penalty base the original carried in. *)
+            let copy = { f with corrupt = false } in
+            let m2 =
+              Msg.acquire net.pool ~arrival:m.Msg.arrival ~size:m.Msg.size copy
+            in
+            [ Layer.Send_down m2; Layer.Up ]
+          end
+          else Layer.up_only
+        end)
+
+let app_sink net h m =
+  let f = m.Msg.payload in
+  let now = Sim.now net.sim in
+  (match f.kind with
+  | Bcast b ->
+    net.delivered <- net.delivered + 1;
+    net.per_host.(h) <- net.per_host.(h) + 1;
+    net.per_broadcast.(b) <- net.per_broadcast.(b) + 1;
+    Hist.add net.hist (now -. f.born +. f.pbase +. net.elapsed)
+  | Sig pid ->
+    net.sig_delivered <- net.sig_delivered + 1;
+    net.on_sig pid h now f);
+  Msg.release net.pool m
+
+let on_handled net h node (layer : frame Layer.t) m =
+  let hh = net.hosts_arr.(h) in
+  if node <> hh.h_last_node then begin
+    hh.h_last_node <- node;
+    net.reloads <- net.reloads + 1;
+    net.elapsed <- net.elapsed +. reload_seconds layer.Layer.fp
+  end;
+  net.handled <- net.handled + 1;
+  net.elapsed <- net.elapsed +. exec_seconds layer.Layer.fp m.Msg.size
+
+(* The classic wirings transmit per message: every wire-bound message
+   traverses relay and mac transmit code afresh. *)
+let classic_tx_charge net size =
+  net.reloads <- net.reloads + 2;
+  net.handled <- net.handled + 2;
+  net.elapsed <-
+    net.elapsed +. reload_seconds relay_fp +. exec_seconds relay_fp size
+    +. reload_seconds mac_fp +. exec_seconds mac_fp size
+
+let wire_exit net src m =
+  let f = m.Msg.payload in
+  f.penalty <- f.pbase +. net.elapsed;
+  Msg.release net.pool m;
+  transmit net ~src f
+
+let make_host net wiring h =
+  let layers = [ mac_layer net; relay_layer net h ] in
+  let on_handled = on_handled net h in
+  let on_consume m = Msg.release net.pool m in
+  let up m = app_sink net h m in
+  match wiring with
+  | Conv | Ldlp ->
+    let discipline =
+      match wiring with
+      | Conv -> Engine.Conventional
+      | _ -> Engine.Ldlp Batch.paper_default
+    in
+    let down m =
+      classic_tx_charge net m.Msg.size;
+      wire_exit net h m
+    in
+    let s = Sched.create ~discipline ~layers ~up ~down ~on_handled ~on_consume () in
+    {
+      h_eng = Sched.engine s;
+      h_inject = (fun m -> Sched.inject s m);
+      h_submit =
+        (fun ~now:_ f ->
+          classic_tx_charge net f.fbytes;
+          f.penalty <- f.pbase +. net.elapsed;
+          transmit net ~src:h f);
+      h_run = (fun () -> Sched.run s);
+      h_service_due = false;
+      h_last_node = -1;
+    }
+  | Duplex ->
+    let e =
+      Engine.duplex
+        ~discipline:(Engine.Ldlp Batch.paper_default)
+        ~layers ~up
+        ~wire:(fun m -> wire_exit net h m)
+        ~on_handled ~on_consume ()
+    in
+    let rx = Engine.duplex_rx_entry e and tx = Engine.duplex_tx_entry e in
+    {
+      h_eng = e;
+      h_inject = (fun m -> Engine.inject e ~node:rx m);
+      h_submit =
+        (fun ~now f ->
+          let m = Msg.acquire net.pool ~arrival:now ~size:f.fbytes f in
+          Engine.inject e ~node:tx m);
+      h_run = (fun () -> Engine.run e);
+      h_service_due = false;
+      h_last_node = -1;
+    }
+
+let make_net ~wiring cfg =
+  let topo = Topology.generate ~hosts:cfg.hosts ~degree:cfg.degree ~seed:cfg.seed in
+  let nl = 2 * Topology.edge_count topo in
+  let link_dst = Array.make nl 0 in
+  Array.iteri
+    (fun p (u, v) ->
+      link_dst.(2 * p) <- v;
+      link_dst.((2 * p) + 1) <- u)
+    topo.Topology.edges;
+  let net =
+    {
+      topo;
+      cfg;
+      sim = Sim.create ();
+      pool = Msg.pool ();
+      impairs = Array.init nl (fun li -> make_impair cfg li);
+      link_dst;
+      flush_at = Array.make nl infinity;
+      hosts_arr = [||];
+      elapsed = 0.0;
+      cpu = 0.0;
+      reloads = 0;
+      handled = 0;
+      arrived = 0;
+      corrupt_dropped = 0;
+      dup_dropped = 0;
+      delivered = 0;
+      sig_delivered = 0;
+      flushed = 0;
+      hist = Hist.create ();
+      seen =
+        Array.init cfg.hosts (fun _ ->
+            Bytes.make (max 1 ((cfg.broadcasts + 7) / 8)) '\000');
+      per_host = Array.make cfg.hosts 0;
+      per_broadcast = Array.make (max 1 cfg.broadcasts) 0;
+      on_sig = (fun _ _ _ _ -> ());
+    }
+  in
+  net.hosts_arr <- Array.init cfg.hosts (fun h -> make_host net wiring h);
+  net
+
+let teardown net =
+  Array.iter
+    (fun imp -> net.flushed <- net.flushed + List.length (Impair.flush imp))
+    net.impairs
+
+let collect_causes net =
+  let off = ref 0
+  and drp = ref 0
+  and dwn = ref 0
+  and dup = ref 0
+  and cor = ref 0
+  and reo = ref 0 in
+  Array.iter
+    (fun imp ->
+      let s = Impair.stats imp in
+      off := !off + s.Impair.offered;
+      drp := !drp + s.Impair.dropped;
+      dwn := !dwn + s.Impair.down_dropped;
+      dup := !dup + s.Impair.duplicated;
+      cor := !cor + s.Impair.corrupted;
+      reo := !reo + s.Impair.reordered)
+    net.impairs;
+  {
+    offered = !off;
+    fault_dropped = !drp;
+    down_dropped = !dwn;
+    duplicated = !dup;
+    corrupted = !cor;
+    reordered = !reo;
+    flushed = net.flushed;
+    arrived = net.arrived;
+    corrupt_dropped = net.corrupt_dropped;
+    dup_dropped = net.dup_dropped;
+    delivered = net.delivered;
+    sig_delivered = net.sig_delivered;
+  }
+
+let batch_mean net =
+  let b = ref 0 and t = ref 0 in
+  Array.iter
+    (fun h ->
+      let s = Engine.stats h.h_eng in
+      b := !b + s.Engine.batches;
+      t := !t + s.Engine.total_batched)
+    net.hosts_arr;
+  if !b = 0 then 0.0 else float_of_int !t /. float_of_int !b
+
+type spread = {
+  s_wiring : wiring;
+  s_config : config;
+  ecc0 : int;
+  reach : int;
+  reach_full : int;
+  s_causes : causes;
+  s_conserved : bool;
+  leak_free : bool;
+  latency : Hist.t;
+  per_host : int array;
+  per_broadcast : int array;
+  handled : int;
+  reloads : int;
+  mean_batch : float;
+  cpu_seconds : float;
+  wire_seconds : float;
+}
+
+let run_spread ~wiring cfg =
+  let net = make_net ~wiring cfg in
+  let rng = Rng.create ~seed:(cfg.seed lxor 0x6d657368) in
+  for b = 0 to cfg.broadcasts - 1 do
+    let origin = Rng.int rng cfg.hosts in
+    let t = (float_of_int b *. 2e-5) +. Rng.float rng 1e-5 in
+    Sim.at net.sim t (fun () ->
+        seen_set net origin b;
+        with_service net origin (fun () ->
+            let f =
+              {
+                kind = Bcast b;
+                from_host = -1;
+                dst = -1;
+                born = t;
+                hops = 0;
+                fbytes = cfg.payload_bytes;
+                corrupt = false;
+                pbase = 0.0;
+                penalty = 0.0;
+                data = Bytes.empty;
+              }
+            in
+            net.hosts_arr.(origin).h_submit ~now:t f))
+  done;
+  Sim.run net.sim;
+  teardown net;
+  let causes = collect_causes net in
+  let pstats = Msg.pool_stats net.pool in
+  let pb = Array.sub net.per_broadcast 0 cfg.broadcasts in
+  {
+    s_wiring = wiring;
+    s_config = cfg;
+    ecc0 = Topology.eccentricity net.topo 0;
+    reach = net.delivered;
+    reach_full =
+      Array.fold_left
+        (fun acc n -> if n = cfg.hosts - 1 then acc + 1 else acc)
+        0 pb;
+    s_causes = causes;
+    s_conserved = conserved causes;
+    leak_free = pstats.Msg.p_outstanding = 0;
+    latency = net.hist;
+    per_host = net.per_host;
+    per_broadcast = pb;
+    handled = net.handled;
+    reloads = net.reloads;
+    mean_batch = batch_mean net;
+    cpu_seconds = net.cpu;
+    wire_seconds = Sim.now net.sim;
+  }
+
+let compare_spread ?domains cfg =
+  Ldlp_par.Pool.map ?domains (fun w -> run_spread ~wiring:w cfg) all_wirings
+
+(* Q.93B call storm: Uni endpoints on adjacent host pairs, every SSCOP
+   frame traveling through both hosts' engines and the impaired link like
+   any other mesh traffic.  Side A originates, B answers; A hangs up as
+   soon as the call connects — one setup/teardown pair. *)
+
+type side = A | B
+
+type endpoint = {
+  uni : Uni.t;
+  pair_id : int;
+  e_side : side;
+  e_host : int;
+  e_peer : int;
+  mutable tick_at : float;  (* armed timer event, infinity = none *)
+  mutable stop_ticks : bool;
+}
+
+type pairst = {
+  ea : endpoint;
+  eb : endpoint;
+  mutable todo : int;
+  mutable next_ref : int;
+  mutable completed : int;
+  mutable last_done : float;
+}
+
+type storm = {
+  t_wiring : wiring;
+  pairs : int;
+  calls_requested : int;
+  calls_completed : int;
+  calls_failed : int;
+  t_causes : causes;
+  t_conserved : bool;
+  t_leak_free : bool;
+  storm_wire_seconds : float;
+  storm_cpu_seconds : float;
+}
+
+let goal_pairs_per_sec = 10_000.0
+
+let run_storm ~wiring ?pairs ?(calls_per_pair = 4) cfg =
+  let net = make_net ~wiring cfg in
+  let ne = Topology.edge_count net.topo in
+  let np =
+    match pairs with
+    | Some p -> max 1 (min p ne)
+    | None -> max 1 (min (cfg.hosts / 8) ne)
+  in
+  let prs =
+    Array.init np (fun k ->
+        let u, v = net.topo.Topology.edges.(k * ne / np) in
+        let mk e_side e_host e_peer =
+          {
+            uni = Uni.create ();
+            pair_id = k;
+            e_side;
+            e_host;
+            e_peer;
+            tick_at = infinity;
+            stop_ticks = false;
+          }
+        in
+        {
+          ea = mk A u v;
+          eb = mk B v u;
+          todo = calls_per_pair;
+          next_ref = 1;
+          completed = 0;
+          last_done = 0.0;
+        })
+  in
+  let submit_sig ep ~now data =
+    let f =
+      {
+        kind = Sig ep.pair_id;
+        from_host = -1;
+        dst = ep.e_peer;
+        born = now;
+        hops = 0;
+        fbytes = Bytes.length data;
+        corrupt = false;
+        pbase = 0.0;
+        penalty = 0.0;
+        data;
+      }
+    in
+    net.hosts_arr.(ep.e_host).h_submit ~now f
+  in
+  let finish pr =
+    pr.ea.stop_ticks <- true;
+    pr.eb.stop_ticks <- true
+  in
+  let rec kick pr now =
+    if pr.todo > 0 then begin
+      if Uni.link_ready pr.ea.uni then begin
+        pr.todo <- pr.todo - 1;
+        let cr = pr.next_ref in
+        pr.next_ref <- pr.next_ref + 1;
+        match Uni.originate pr.ea.uni ~now ~call_ref:cr [ Ie.called_party "mesh" ] with
+        | Ok o -> handle pr pr.ea now o
+        | Error _ -> kick pr now
+      end
+    end
+    else if Uni.active_calls pr.ea.uni = 0 then finish pr
+
+  and handle pr ep now (o : Uni.outcome) =
+    List.iter (fun data -> submit_sig ep ~now data) o.Uni.to_wire;
+    List.iter
+      (fun ev ->
+        match ev with
+        | Uni.Link_up -> if ep.e_side = A then kick pr now
+        | Uni.Link_down _ -> if ep.e_side = A then finish pr
+        | Uni.Call_offered (cr, _) ->
+          if ep.e_side = B then begin
+            match Uni.accept ep.uni ~now ~call_ref:cr with
+            | Ok o2 -> handle pr ep now o2
+            | Error `No_call -> ()
+          end
+        | Uni.Call_connected cr ->
+          if ep.e_side = A then begin
+            match Uni.hangup ep.uni ~now ~call_ref:cr with
+            | Ok o2 -> handle pr ep now o2
+            | Error `No_call -> ()
+          end
+        | Uni.Call_released _ ->
+          if ep.e_side = A then begin
+            pr.completed <- pr.completed + 1;
+            pr.last_done <- now;
+            kick pr now
+          end
+        | Uni.Call_failed _ -> if ep.e_side = A then kick pr now)
+      o.Uni.events;
+    arm_tick pr ep
+
+  and arm_tick pr ep =
+    if not ep.stop_ticks then
+      match Uni.next_deadline ep.uni with
+      | None -> ()
+      | Some d ->
+        if d < ep.tick_at -. 1e-9 then begin
+          ep.tick_at <- d;
+          Sim.at net.sim
+            (Float.max d (Sim.now net.sim))
+            (fun () -> fire_tick pr ep)
+        end
+
+  and fire_tick pr ep =
+    ep.tick_at <- infinity;
+    if not ep.stop_ticks then begin
+      with_service net ep.e_host (fun () ->
+          let now = Sim.now net.sim in
+          match Uni.next_deadline ep.uni with
+          | Some d when d <= now +. 1e-9 -> handle pr ep now (Uni.tick ep.uni ~now)
+          | _ -> ());
+      arm_tick pr ep
+    end
+  in
+  net.on_sig <-
+    (fun pid h now f ->
+      let pr = prs.(pid) in
+      let ep = if pr.ea.e_host = h then pr.ea else pr.eb in
+      handle pr ep now (Uni.on_wire ep.uni ~now f.data));
+  Array.iteri
+    (fun k pr ->
+      let t = float_of_int k *. 1e-4 in
+      Sim.at net.sim t (fun () ->
+          with_service net pr.ea.e_host (fun () ->
+              handle pr pr.ea t (Uni.link_up pr.ea.uni ~now:t))))
+    prs;
+  (* The horizon is a backstop only: an intact storm quiesces in wire
+     milliseconds, and even a fully starved pair gives up (T303 twice,
+     then T308 twice) well inside it. *)
+  Sim.run ~until:600.0 net.sim;
+  teardown net;
+  let causes = collect_causes net in
+  let pstats = Msg.pool_stats net.pool in
+  let completed = Array.fold_left (fun a pr -> a + pr.completed) 0 prs in
+  let requested = np * calls_per_pair in
+  {
+    t_wiring = wiring;
+    pairs = np;
+    calls_requested = requested;
+    calls_completed = completed;
+    calls_failed = requested - completed;
+    t_causes = causes;
+    t_conserved = conserved causes;
+    t_leak_free = pstats.Msg.p_outstanding = 0;
+    storm_wire_seconds =
+      Array.fold_left (fun a pr -> Float.max a pr.last_done) 0.0 prs;
+    storm_cpu_seconds = net.cpu;
+  }
+
+let compare_storm ?domains ?pairs ?calls_per_pair cfg =
+  Ldlp_par.Pool.map ?domains
+    (fun w -> run_storm ~wiring:w ?pairs ?calls_per_pair cfg)
+    all_wirings
+
+let storm_wire_rate t =
+  if t.storm_wire_seconds <= 0.0 then 0.0
+  else float_of_int t.calls_completed /. t.storm_wire_seconds
+
+let storm_cpu_us_per_pair t =
+  if t.calls_completed = 0 then 0.0
+  else t.storm_cpu_seconds *. 1e6 /. float_of_int t.calls_completed
+
+let storm_cpu_rate t =
+  if t.storm_cpu_seconds <= 0.0 then 0.0
+  else float_of_int t.calls_completed /. t.storm_cpu_seconds
+
+(* Rendering: everything below is byte-deterministic (fixed formats, no
+   wall clock, no hashing) — the golden snapshot diffs it verbatim. *)
+
+let latency_percentiles s =
+  [
+    ("p10", Hist.percentile s.latency 0.10);
+    ("p25", Hist.percentile s.latency 0.25);
+    ("p50", Hist.percentile s.latency 0.50);
+    ("p75", Hist.percentile s.latency 0.75);
+    ("p90", Hist.percentile s.latency 0.90);
+    ("p99", Hist.percentile s.latency 0.99);
+    ("max", Hist.max s.latency);
+  ]
+
+let ok_cell b = if b then "ok" else "FAIL"
+
+let spread_table sl =
+  let header =
+    [
+      "wiring"; "delivered"; "full"; "p50"; "p90"; "p99"; "max"; "mean";
+      "reloads"; "batch"; "cpu-ms"; "ok";
+    ]
+  in
+  let rows =
+    List.map
+      (fun s ->
+        [
+          wiring_name s.s_wiring;
+          string_of_int s.reach;
+          Printf.sprintf "%d/%d" s.reach_full s.s_config.broadcasts;
+          Table.fmt_si (Hist.percentile s.latency 0.50);
+          Table.fmt_si (Hist.percentile s.latency 0.90);
+          Table.fmt_si (Hist.percentile s.latency 0.99);
+          Table.fmt_si (Hist.max s.latency);
+          Table.fmt_si (Hist.mean s.latency);
+          string_of_int s.reloads;
+          Printf.sprintf "%.1f" s.mean_batch;
+          Printf.sprintf "%.3f" (s.cpu_seconds *. 1e3);
+          ok_cell (s.s_conserved && s.leak_free);
+        ])
+      sl
+  in
+  Table.render ~header rows
+
+let cdf_series s =
+  let total = float_of_int (Hist.count s.latency) in
+  let points =
+    if total = 0.0 then []
+    else begin
+      let acc = ref 0 in
+      List.map
+        (fun (ub, c) ->
+          acc := !acc + c;
+          (ub *. 1e3, float_of_int !acc /. total))
+        (Hist.buckets s.latency)
+    end
+  in
+  { Chart.label = wiring_name s.s_wiring; points }
+
+let cdf_chart sl =
+  Chart.plot ~width:64 ~height:16 ~x_label:"latency (ms)" ~y_label:"P(l<=x)"
+    (List.map cdf_series sl)
+
+let causes_line tag c =
+  Printf.sprintf
+    "%-6s offered=%d dropped=%d down=%d dup=%d corrupt=%d reorder=%d \
+     flushed=%d arrived=%d badframe=%d dupdrop=%d delivered=%d sig=%d \
+     conserved=%s"
+    tag c.offered c.fault_dropped c.down_dropped c.duplicated c.corrupted
+    c.reordered c.flushed c.arrived c.corrupt_dropped c.dup_dropped
+    c.delivered c.sig_delivered
+    (ok_cell (conserved c))
+
+let storm_table ts =
+  let header =
+    [
+      "wiring"; "pairs"; "calls"; "done"; "failed"; "wire-pairs/s";
+      "cpu-us/pair"; "cpu-pairs/s"; "vs-goal"; "ok";
+    ]
+  in
+  let rows =
+    List.map
+      (fun t ->
+        [
+          wiring_name t.t_wiring;
+          string_of_int t.pairs;
+          string_of_int t.calls_requested;
+          string_of_int t.calls_completed;
+          string_of_int t.calls_failed;
+          Printf.sprintf "%.0f" (storm_wire_rate t);
+          Printf.sprintf "%.1f" (storm_cpu_us_per_pair t);
+          Printf.sprintf "%.0f" (storm_cpu_rate t);
+          Printf.sprintf "%.2fx" (storm_cpu_rate t /. goal_pairs_per_sec);
+          ok_cell (t.t_conserved && t.t_leak_free);
+        ])
+      ts
+  in
+  Table.render ~header rows
+
+let render cfg ~pristine ~chaos ~storms =
+  let b = Buffer.create 4096 in
+  let ecc =
+    match (pristine, chaos) with
+    | s :: _, _ | [], s :: _ -> s.ecc0
+    | [], [] -> 0
+  in
+  Buffer.add_string b
+    (Printf.sprintf "== mesh: %d hosts, degree %d, seed %d ==\n" cfg.hosts
+       cfg.degree cfg.seed);
+  Buffer.add_string b
+    (Printf.sprintf
+       "topology: %d edges, ecc(host0)=%d; link %ss; payload %dB; %d \
+        broadcasts\n"
+       (cfg.hosts * cfg.degree / 2)
+       ecc
+       (Table.fmt_si cfg.link_latency)
+       cfg.payload_bytes cfg.broadcasts);
+  if pristine <> [] then begin
+    Buffer.add_string b "\n-- spread: pristine --\n";
+    Buffer.add_string b (spread_table pristine);
+    Buffer.add_string b "\narrival-latency CDF (pristine):\n";
+    Buffer.add_string b (cdf_chart pristine)
+  end;
+  (match chaos with
+  | [] -> ()
+  | s :: _ ->
+    Buffer.add_string b
+      (Printf.sprintf "\n-- spread: chaos (%s) --\n"
+         (Plan.describe s.s_config.plan));
+    Buffer.add_string b (spread_table chaos);
+    Buffer.add_string b "\ndelivered-or-dropped ledger:\n";
+    List.iter
+      (fun s ->
+        Buffer.add_string b (causes_line (wiring_name s.s_wiring) s.s_causes);
+        Buffer.add_char b '\n')
+      chaos);
+  if storms <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "\n-- Q.93B call storm (goal %.0f pairs/s) --\n"
+         goal_pairs_per_sec);
+    Buffer.add_string b (storm_table storms)
+  end;
+  Buffer.contents b

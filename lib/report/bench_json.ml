@@ -616,3 +616,177 @@ let parse_soak text =
         soak_rows = List.map row_of (arr_field root "ladder");
       }
   with Bad msg -> Error msg
+
+(* ---------- mesh spread + call storm (bench --mesh) ---------- *)
+
+type mesh_row = {
+  mr_hosts : int;
+  mr_wiring : string;
+  mr_delivered : int;
+  mr_p50_s : float;
+  mr_p90_s : float;
+  mr_p99_s : float;
+  mr_max_s : float;
+  mr_mean_s : float;
+  mr_reloads : int;
+  mr_mean_batch : float;
+  mr_cpu_s : float;
+  mr_ok : bool;
+}
+
+type mesh_storm_row = {
+  ms_hosts : int;
+  ms_wiring : string;
+  ms_pairs : int;
+  ms_calls : int;
+  ms_completed : int;
+  ms_wire_pairs_per_s : float;
+  ms_cpu_us_per_pair : float;
+  ms_cpu_pairs_per_s : float;
+  ms_ok : bool;
+}
+
+type mesh_doc = {
+  md_seed : int;
+  md_degree : int;
+  md_goal_pairs_per_s : float;
+  mesh_rows : mesh_row list;
+  mesh_storms : mesh_storm_row list;
+}
+
+let mesh_schema = "ldlp-bench-mesh/1"
+
+let mesh_row_json r =
+  Printf.sprintf
+    "    {\n\
+    \      \"hosts\": %d,\n\
+    \      \"wiring\": \"%s\",\n\
+    \      \"delivered\": %d,\n\
+    \      \"p50_s\": %.9f,\n\
+    \      \"p90_s\": %.9f,\n\
+    \      \"p99_s\": %.9f,\n\
+    \      \"max_s\": %.9f,\n\
+    \      \"mean_s\": %.9f,\n\
+    \      \"reloads\": %d,\n\
+    \      \"mean_batch\": %.3f,\n\
+    \      \"cpu_s\": %.9f,\n\
+    \      \"ok\": %b\n\
+    \    }"
+    r.mr_hosts (escape r.mr_wiring) r.mr_delivered r.mr_p50_s r.mr_p90_s
+    r.mr_p99_s r.mr_max_s r.mr_mean_s r.mr_reloads r.mr_mean_batch r.mr_cpu_s
+    r.mr_ok
+
+let mesh_storm_row_json r =
+  Printf.sprintf
+    "    {\n\
+    \      \"hosts\": %d,\n\
+    \      \"wiring\": \"%s\",\n\
+    \      \"pairs\": %d,\n\
+    \      \"calls\": %d,\n\
+    \      \"completed\": %d,\n\
+    \      \"wire_pairs_per_s\": %.3f,\n\
+    \      \"cpu_us_per_pair\": %.3f,\n\
+    \      \"cpu_pairs_per_s\": %.3f,\n\
+    \      \"ok\": %b\n\
+    \    }"
+    r.ms_hosts (escape r.ms_wiring) r.ms_pairs r.ms_calls r.ms_completed
+    r.ms_wire_pairs_per_s r.ms_cpu_us_per_pair r.ms_cpu_pairs_per_s r.ms_ok
+
+let render_mesh ~seed ~degree ~goal_pairs_per_s ~spread ~storm =
+  Printf.sprintf
+    "{\n\
+    \  \"schema\": \"%s\",\n\
+    \  \"seed\": %d,\n\
+    \  \"degree\": %d,\n\
+    \  \"goal_pairs_per_s\": %.1f,\n\
+    \  \"spread\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"storm\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    mesh_schema seed degree goal_pairs_per_s
+    (String.concat ",\n" (List.map mesh_row_json spread))
+    (String.concat ",\n" (List.map mesh_storm_row_json storm))
+
+let parse_mesh text =
+  try
+    let root =
+      match parse_json text with
+      | Obj o -> o
+      | _ -> raise (Bad "top level is not an object")
+    in
+    let tag = str_field root "schema" in
+    if tag <> mesh_schema then
+      raise (Bad (Printf.sprintf "schema %S, expected %S" tag mesh_schema));
+    let spread_of entry =
+      let o = obj_entry entry in
+      let r =
+        {
+          mr_hosts = int_field o "hosts";
+          mr_wiring = str_field o "wiring";
+          mr_delivered = int_field o "delivered";
+          mr_p50_s = num_field o "p50_s";
+          mr_p90_s = num_field o "p90_s";
+          mr_p99_s = num_field o "p99_s";
+          mr_max_s = num_field o "max_s";
+          mr_mean_s = num_field o "mean_s";
+          mr_reloads = int_field o "reloads";
+          mr_mean_batch = num_field o "mean_batch";
+          mr_cpu_s = num_field o "cpu_s";
+          mr_ok = bool_field o "ok";
+        }
+      in
+      if r.mr_wiring = "" then raise (Bad "spread row: empty wiring");
+      if
+        r.mr_hosts < 2 || r.mr_delivered < 0 || r.mr_p50_s < 0.0
+        || r.mr_p90_s < 0.0 || r.mr_p99_s < 0.0 || r.mr_max_s < 0.0
+        || r.mr_mean_s < 0.0 || r.mr_reloads < 0 || r.mr_mean_batch < 0.0
+        || r.mr_cpu_s < 0.0
+      then
+        raise
+          (Bad
+             (Printf.sprintf "spread row %s/%d: negative measure" r.mr_wiring
+                r.mr_hosts));
+      r
+    in
+    let storm_of entry =
+      let o = obj_entry entry in
+      let r =
+        {
+          ms_hosts = int_field o "hosts";
+          ms_wiring = str_field o "wiring";
+          ms_pairs = int_field o "pairs";
+          ms_calls = int_field o "calls";
+          ms_completed = int_field o "completed";
+          ms_wire_pairs_per_s = num_field o "wire_pairs_per_s";
+          ms_cpu_us_per_pair = num_field o "cpu_us_per_pair";
+          ms_cpu_pairs_per_s = num_field o "cpu_pairs_per_s";
+          ms_ok = bool_field o "ok";
+        }
+      in
+      if r.ms_wiring = "" then raise (Bad "storm row: empty wiring");
+      if
+        r.ms_hosts < 2 || r.ms_pairs < 1 || r.ms_calls < 0
+        || r.ms_completed < 0
+        || r.ms_completed > r.ms_calls
+        || r.ms_wire_pairs_per_s < 0.0
+        || r.ms_cpu_us_per_pair < 0.0
+        || r.ms_cpu_pairs_per_s < 0.0
+      then
+        raise
+          (Bad
+             (Printf.sprintf "storm row %s/%d: inconsistent measure"
+                r.ms_wiring r.ms_hosts));
+      r
+    in
+    Ok
+      {
+        md_seed = int_field root "seed";
+        md_degree = int_field root "degree";
+        md_goal_pairs_per_s = num_field root "goal_pairs_per_s";
+        mesh_rows = List.map spread_of (arr_field root "spread");
+        mesh_storms = List.map storm_of (arr_field root "storm");
+      }
+  with Bad msg -> Error msg

@@ -134,3 +134,61 @@ val render_soak :
 val parse_soak : string -> (soak_doc, string) result
 (** Read {!render_soak} output back; validates the schema tag, all fields,
     loss in [0, 1) and non-negative measures. *)
+
+(** {1 Mesh spread + call storm ([bench --mesh] -> [BENCH_mesh.json])}
+
+    One row per (host count, wiring) of the mesh spread experiment —
+    arrival-latency percentiles with the modeled CPU penalty included —
+    plus the Q.93B call-storm rows against the paper's 10 000
+    setup/teardown pairs/s goal.  Rows are plain data so the schema does
+    not depend on [lib/mesh]. *)
+
+type mesh_row = {
+  mr_hosts : int;
+  mr_wiring : string;  (** ["conv"] / ["ldlp"] / ["duplex"]. *)
+  mr_delivered : int;  (** First deliveries across the mesh. *)
+  mr_p50_s : float;  (** Arrival-latency percentiles, seconds. *)
+  mr_p90_s : float;
+  mr_p99_s : float;
+  mr_max_s : float;
+  mr_mean_s : float;
+  mr_reloads : int;  (** Modeled code working-set reloads. *)
+  mr_mean_batch : float;
+  mr_cpu_s : float;  (** Modeled CPU busy time, all hosts. *)
+  mr_ok : bool;  (** Conservation + leak audit held. *)
+}
+
+type mesh_storm_row = {
+  ms_hosts : int;
+  ms_wiring : string;
+  ms_pairs : int;  (** Endpoint pairs. *)
+  ms_calls : int;  (** Setup/teardown pairs requested. *)
+  ms_completed : int;
+  ms_wire_pairs_per_s : float;
+  ms_cpu_us_per_pair : float;
+  ms_cpu_pairs_per_s : float;
+  ms_ok : bool;
+}
+
+type mesh_doc = {
+  md_seed : int;
+  md_degree : int;
+  md_goal_pairs_per_s : float;
+  mesh_rows : mesh_row list;
+  mesh_storms : mesh_storm_row list;
+}
+
+val mesh_schema : string
+(** ["ldlp-bench-mesh/1"]. *)
+
+val render_mesh :
+  seed:int ->
+  degree:int ->
+  goal_pairs_per_s:float ->
+  spread:mesh_row list ->
+  storm:mesh_storm_row list ->
+  string
+
+val parse_mesh : string -> (mesh_doc, string) result
+(** Read {!render_mesh} output back; validates the schema tag, every
+    field, non-negative measures and [completed <= calls]. *)

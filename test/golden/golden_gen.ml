@@ -78,4 +78,14 @@ let () =
   write "soak"
     (Ldlp_soak.Soak.render
        (Ldlp_soak.Soak.run_all ~domains
-          (Ldlp_soak.Soak.scenarios ~seed ~count:6)))
+          (Ldlp_soak.Soak.scenarios ~seed ~count:6)));
+  (let module Mesh = Ldlp_mesh.Mesh in
+   (* Small enough to run in milliseconds, large enough that relays span
+      several hops and the chaos plan actually drops/reorders frames. *)
+   let cfg = Mesh.config ~hosts:12 ~degree:3 ~seed ~broadcasts:6 () in
+   let pristine = Mesh.compare_spread ~domains cfg in
+   let chaos =
+     Mesh.compare_spread ~domains { cfg with Mesh.plan = Mesh.chaos_plan }
+   in
+   let storms = Mesh.compare_storm ~domains cfg in
+   write "mesh" (Mesh.render cfg ~pristine ~chaos ~storms))

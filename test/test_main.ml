@@ -9,6 +9,8 @@ let () =
       ("traffic", Test_traffic.suite);
       ("trace", Test_trace.suite);
       ("core", Test_core.suite);
+      ("rqueue", Test_rqueue.suite);
+      ("msgpool", Test_msgpool.suite);
       ("engine", Test_engine.suite);
       ("graphsched", Test_graphsched.suite);
       ("nic", Test_nic.suite);
@@ -24,4 +26,5 @@ let () =
       ("report", Test_report.suite);
       ("integration", Test_integration.suite);
       ("check", Test_check.suite);
+      ("mesh", Test_mesh.suite);
     ]

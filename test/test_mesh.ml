@@ -1,0 +1,291 @@
+(* Tests for the many-host mesh simulator and its topology generator.
+
+   The battery leans on two invariants the mesh is designed around:
+   every run is a pure function of [(config, seed)] — so two runs (at
+   any parallel domain count) must be byte-identical — and the wire
+   clock is discipline-invariant — so the conv/LDLP/duplex wirings must
+   agree on every delivery and every cause-ledger entry. *)
+
+open Ldlp_mesh
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Topology generator.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Valid (hosts, degree, seed) triples: degree < hosts and an even
+   degree sum, the feasibility conditions [generate] enforces. *)
+let arb_topo_params =
+  let gen =
+    QCheck.Gen.(
+      int_range 4 40 >>= fun hosts0 ->
+      int_range 2 5 >>= fun degree0 ->
+      int_range 0 10_000 >>= fun seed ->
+      let degree = min degree0 (hosts0 - 1) in
+      let hosts = if hosts0 * degree mod 2 = 1 then hosts0 + 1 else hosts0 in
+      return (hosts, degree, seed))
+  in
+  QCheck.make
+    ~print:(fun (h, d, s) -> Printf.sprintf "hosts=%d degree=%d seed=%d" h d s)
+    gen
+
+let prop_topology_well_formed =
+  QCheck.Test.make ~name:"topology: connected, degree-exact, canonical"
+    ~count:150 arb_topo_params (fun (hosts, degree, seed) ->
+      let t = Topology.generate ~hosts ~degree ~seed in
+      let degs = Array.make hosts 0 in
+      Array.iter
+        (fun (u, v) ->
+          degs.(u) <- degs.(u) + 1;
+          degs.(v) <- degs.(v) + 1)
+        t.Topology.edges;
+      Array.for_all (( = ) degree) degs
+      && Array.length t.Topology.edges = hosts * degree / 2
+      && Array.for_all (fun (u, v) -> u < v) t.Topology.edges
+      && Topology.is_connected t)
+
+let prop_topology_deterministic =
+  QCheck.Test.make ~name:"topology: same seed, same graph" ~count:100
+    arb_topo_params (fun (hosts, degree, seed) ->
+      let a = Topology.generate ~hosts ~degree ~seed in
+      let b = Topology.generate ~hosts ~degree ~seed in
+      a.Topology.edges = b.Topology.edges)
+
+let prop_topology_domain_invariant =
+  QCheck.Test.make ~name:"topology: identical edge set at 1 vs 3 domains"
+    ~count:40 arb_topo_params (fun (hosts, degree, seed) ->
+      (* Generate the same graph inside worker domains and sequentially;
+         parallelism must not leak into the seeded draw. *)
+      let par =
+        Ldlp_par.Pool.map ~domains:3
+          (fun _ -> (Topology.generate ~hosts ~degree ~seed).Topology.edges)
+          [ 0; 1; 2 ]
+      in
+      let seq = (Topology.generate ~hosts ~degree ~seed).Topology.edges in
+      List.for_all (( = ) seq) par)
+
+let prop_directed_index =
+  QCheck.Test.make ~name:"topology: directed_index is a 2E bijection"
+    ~count:60 arb_topo_params (fun (hosts, degree, seed) ->
+      let t = Topology.generate ~hosts ~degree ~seed in
+      Array.to_list t.Topology.edges
+      |> List.mapi (fun p (u, v) ->
+             Topology.directed_index t ~src:u ~dst:v = (2 * p)
+             && Topology.directed_index t ~src:v ~dst:u = (2 * p) + 1)
+      |> List.for_all Fun.id)
+
+let test_topology_rejects_infeasible () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  checkb "degree >= hosts" true (raises (fun () ->
+      ignore (Topology.generate ~hosts:4 ~degree:4 ~seed:1)));
+  checkb "odd degree sum" true (raises (fun () ->
+      ignore (Topology.generate ~hosts:5 ~degree:3 ~seed:1)));
+  checkb "degree zero disconnects" true (raises (fun () ->
+      ignore (Topology.generate ~hosts:4 ~degree:0 ~seed:1)))
+
+(* ------------------------------------------------------------------ *)
+(* Mesh determinism: byte-identical renders.                           *)
+(* ------------------------------------------------------------------ *)
+
+let small = Mesh.config ~hosts:16 ~degree:3 ~seed:1996 ~broadcasts:4 ()
+
+let figure ?domains cfg =
+  let pristine = Mesh.compare_spread ?domains cfg in
+  let chaos = Mesh.compare_spread ?domains { cfg with Mesh.plan = Mesh.chaos_plan } in
+  let storms = Mesh.compare_storm ?domains cfg in
+  Mesh.render cfg ~pristine ~chaos ~storms
+
+let test_render_byte_identical () =
+  Alcotest.(check string)
+    "two same-seed runs render identically" (figure ~domains:1 small)
+    (figure ~domains:1 small)
+
+let test_render_domain_invariant () =
+  Alcotest.(check string)
+    "1-domain and 3-domain runs render identically" (figure ~domains:1 small)
+    (figure ~domains:3 small)
+
+let test_render_seed_sensitive () =
+  checkb "a different seed changes the figure" true
+    (figure ~domains:1 small
+    <> figure ~domains:1 { small with Mesh.seed = 1997 })
+
+(* ------------------------------------------------------------------ *)
+(* Conservation + equivalence oracles.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_ok what cfg =
+  match Ldlp_check.Mesh_oracle.run ~domains:1 cfg with
+  | Ok n -> checkb (what ^ ": some checks ran") true (n > 0)
+  | Error d ->
+    Alcotest.failf "%s: %s" what
+      (Format.asprintf "%a" Ldlp_check.Mesh_oracle.pp_divergence d)
+
+let test_oracle_pristine () = oracle_ok "pristine" small
+
+let test_oracle_chaos () =
+  oracle_ok "chaos" { small with Mesh.plan = Mesh.chaos_plan }
+
+let prop_oracle_over_seeds =
+  QCheck.Test.make ~name:"oracle holds over random seeds (chaos plan)"
+    ~count:15
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let cfg =
+        Mesh.config ~hosts:12 ~degree:3 ~seed ~broadcasts:3
+          ~plan:Mesh.chaos_plan ()
+      in
+      match Ldlp_check.Mesh_oracle.run ~domains:1 cfg with
+      | Ok _ -> true
+      | Error d ->
+        QCheck.Test.fail_reportf "seed %d: %a" seed
+          Ldlp_check.Mesh_oracle.pp_divergence d)
+
+let test_pristine_full_reach () =
+  let s = Mesh.run_spread ~wiring:Mesh.Duplex small in
+  checki "every broadcast reaches every other host" small.Mesh.broadcasts
+    s.Mesh.reach_full;
+  checki "reach = broadcasts * (hosts - 1)"
+    (small.Mesh.broadcasts * (small.Mesh.hosts - 1))
+    s.Mesh.reach;
+  checkb "pool empty at quiescence" true s.Mesh.leak_free
+
+let test_ldlp_batches_beat_conv () =
+  let conv = Mesh.run_spread ~wiring:Mesh.Conv small in
+  let ldlp = Mesh.run_spread ~wiring:Mesh.Ldlp small in
+  checkb "LDLP reloads below conventional" true
+    (ldlp.Mesh.reloads < conv.Mesh.reloads);
+  checkb "LDLP batches above 1" true (ldlp.Mesh.mean_batch > 1.0);
+  checkb "LDLP modeled CPU below conventional" true
+    (ldlp.Mesh.cpu_seconds < conv.Mesh.cpu_seconds)
+
+(* ------------------------------------------------------------------ *)
+(* Call storm.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_storm_completes () =
+  List.iter
+    (fun wiring ->
+      let t = Mesh.run_storm ~wiring small in
+      let name = Mesh.wiring_name wiring in
+      checki (name ^ ": all calls complete") t.Mesh.calls_requested
+        t.Mesh.calls_completed;
+      checki (name ^ ": no failures") 0 t.Mesh.calls_failed;
+      checkb (name ^ ": conserved") true t.Mesh.t_conserved;
+      checkb (name ^ ": leak-free") true t.Mesh.t_leak_free;
+      checkb (name ^ ": positive cpu rate") true (Mesh.storm_cpu_rate t > 0.0))
+    Mesh.all_wirings
+
+let test_storm_deterministic () =
+  let a = Mesh.run_storm ~wiring:Mesh.Duplex small in
+  let b = Mesh.run_storm ~wiring:Mesh.Duplex small in
+  checkb "same storm twice" true (a = b)
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_mesh.json schema roundtrip.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sample_rows =
+  [
+    {
+      Ldlp_report.Bench_json.mr_hosts = 64;
+      mr_wiring = "ldlp+chaos";
+      mr_delivered = 1008;
+      mr_p50_s = 1.26e-3;
+      mr_p90_s = 2.0e-3;
+      mr_p99_s = 2.51e-3;
+      mr_max_s = 3.2e-3;
+      mr_mean_s = 1.3e-3;
+      mr_reloads = 3988;
+      mr_mean_batch = 3.2;
+      mr_cpu_s = 0.235;
+      mr_ok = true;
+    };
+  ]
+
+let sample_storms =
+  [
+    {
+      Ldlp_report.Bench_json.ms_hosts = 64;
+      ms_wiring = "duplex";
+      ms_pairs = 8;
+      ms_calls = 32;
+      ms_completed = 32;
+      ms_wire_pairs_per_s = 10847.0;
+      ms_cpu_us_per_pair = 1213.6;
+      ms_cpu_pairs_per_s = 824.0;
+      ms_ok = true;
+    };
+  ]
+
+let test_mesh_json_roundtrip () =
+  let json =
+    Ldlp_report.Bench_json.render_mesh ~seed:1996 ~degree:4
+      ~goal_pairs_per_s:10_000.0 ~spread:sample_rows ~storm:sample_storms
+  in
+  match Ldlp_report.Bench_json.parse_mesh json with
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Ok doc ->
+    checki "seed" 1996 doc.Ldlp_report.Bench_json.md_seed;
+    checki "degree" 4 doc.Ldlp_report.Bench_json.md_degree;
+    Alcotest.(check (float 1e-9))
+      "goal" 10_000.0 doc.Ldlp_report.Bench_json.md_goal_pairs_per_s;
+    (match (doc.Ldlp_report.Bench_json.mesh_rows, sample_rows) with
+    | [ got ], [ want ] ->
+      checkb "spread row survives" true (got = want)
+    | _ -> Alcotest.fail "row count");
+    (match (doc.Ldlp_report.Bench_json.mesh_storms, sample_storms) with
+    | [ got ], [ want ] -> checkb "storm row survives" true (got = want)
+    | _ -> Alcotest.fail "storm count")
+
+let test_mesh_json_rejects_bad () =
+  let is_err = function Error _ -> true | Ok _ -> false in
+  checkb "empty doc rejected" true
+    (is_err (Ldlp_report.Bench_json.parse_mesh "{}"));
+  checkb "wrong schema tag rejected" true
+    (is_err
+       (Ldlp_report.Bench_json.parse_mesh
+          {|{"schema": "ldlp-bench-soak/1", "seed": 1, "degree": 4,
+             "goal_pairs_per_s": 10000, "spread": [], "storm": []}|}));
+  let bad_row =
+    Ldlp_report.Bench_json.render_mesh ~seed:1 ~degree:4
+      ~goal_pairs_per_s:10_000.0
+      ~spread:
+        [ { (List.hd sample_rows) with Ldlp_report.Bench_json.mr_wiring = "" } ]
+      ~storm:[]
+  in
+  checkb "empty wiring rejected" true
+    (is_err (Ldlp_report.Bench_json.parse_mesh bad_row))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_topology_well_formed;
+    QCheck_alcotest.to_alcotest prop_topology_deterministic;
+    QCheck_alcotest.to_alcotest prop_topology_domain_invariant;
+    QCheck_alcotest.to_alcotest prop_directed_index;
+    Alcotest.test_case "topology rejects infeasible params" `Quick
+      test_topology_rejects_infeasible;
+    Alcotest.test_case "render is byte-identical across runs" `Quick
+      test_render_byte_identical;
+    Alcotest.test_case "render is domain-count invariant" `Quick
+      test_render_domain_invariant;
+    Alcotest.test_case "render is seed-sensitive" `Quick
+      test_render_seed_sensitive;
+    Alcotest.test_case "oracle: pristine" `Quick test_oracle_pristine;
+    Alcotest.test_case "oracle: chaos" `Quick test_oracle_chaos;
+    QCheck_alcotest.to_alcotest prop_oracle_over_seeds;
+    Alcotest.test_case "pristine spread reaches everyone" `Quick
+      test_pristine_full_reach;
+    Alcotest.test_case "LDLP batches beat conventional" `Quick
+      test_ldlp_batches_beat_conv;
+    Alcotest.test_case "call storm completes on every wiring" `Quick
+      test_storm_completes;
+    Alcotest.test_case "call storm is deterministic" `Quick
+      test_storm_deterministic;
+    Alcotest.test_case "BENCH_mesh.json roundtrip" `Quick
+      test_mesh_json_roundtrip;
+    Alcotest.test_case "BENCH_mesh.json rejects bad docs" `Quick
+      test_mesh_json_rejects_bad;
+  ]

@@ -1,0 +1,140 @@
+(* Differential tests for the ring-buffer queue behind the engine's
+   per-node backlogs: every observable behaviour is checked against
+   [Stdlib.Queue] as the reference model over random operation traces,
+   so wraparound and the doubling growth step cannot drift from plain
+   FIFO semantics. *)
+
+open Ldlp_core
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* A trace step: [Push x] or [Pop].  Pops on an empty queue are skipped
+   rather than generated away, so traces drain aggressively and the head
+   index wraps many times within one trace. *)
+type step = Push of int | Pop
+
+let gen_step =
+  QCheck.Gen.(
+    frequency [ (3, map (fun x -> Push x) (int_bound 10_000)); (2, return Pop) ])
+
+let pp_step = function
+  | Push x -> Printf.sprintf "Push %d" x
+  | Pop -> "Pop"
+
+let arb_trace =
+  QCheck.make
+    ~print:(fun t -> String.concat "; " (List.map pp_step t))
+    QCheck.Gen.(list_size (int_range 0 600) gen_step)
+
+(* Apply one step to both queues and compare what each observer can see:
+   pop results, lengths, emptiness and the full indexed peek window. *)
+let agree_after_each_step trace =
+  let q = Rqueue.create () and m = Queue.create () in
+  List.for_all
+    (fun step ->
+      (match step with
+      | Push x ->
+        Rqueue.push q x;
+        Queue.add x m
+      | Pop ->
+        if Queue.is_empty m then ()
+        else begin
+          let a = Rqueue.pop q and b = Queue.pop m in
+          if a <> b then failwith "pop mismatch"
+        end);
+      Rqueue.length q = Queue.length m
+      && Rqueue.is_empty q = Queue.is_empty m
+      && List.for_all2 ( = )
+           (List.init (Rqueue.length q) (Rqueue.get q))
+           (List.of_seq (Queue.to_seq m)))
+    trace
+
+let prop_differential =
+  QCheck.Test.make ~name:"rqueue = Stdlib.Queue on random traces" ~count:300
+    arb_trace agree_after_each_step
+
+(* Force the doubling path several times over: more pushes than
+   [initial_capacity] with interleaved pops, so growth happens while the
+   ring is wrapped (head > 0), the copy-out case that a naive resize
+   gets wrong. *)
+let prop_growth_while_wrapped =
+  QCheck.Test.make ~name:"growth preserves order while wrapped" ~count:100
+    QCheck.(pair (int_range 1 60) (int_range 200 900))
+    (fun (drain, total) ->
+      let drain = min drain total in
+      let q = Rqueue.create () in
+      for i = 0 to drain - 1 do
+        Rqueue.push q i
+      done;
+      for _ = 1 to drain do
+        ignore (Rqueue.pop q)
+      done;
+      (* Head is now at [drain mod capacity]; fill far past capacity. *)
+      for i = 0 to total - 1 do
+        Rqueue.push q i
+      done;
+      List.init total (fun _ -> Rqueue.pop q) |> List.mapi (fun i v -> i = v)
+      |> List.for_all Fun.id)
+
+let test_empty_pop_raises () =
+  let q = Rqueue.create () in
+  checkb "pop on empty raises" true
+    (try
+       ignore (Rqueue.pop q);
+       false
+     with Invalid_argument _ -> true);
+  Rqueue.push q 7;
+  ignore (Rqueue.pop q);
+  checkb "pop after drain raises" true
+    (try
+       ignore (Rqueue.pop q);
+       false
+     with Invalid_argument _ -> true)
+
+let test_get_bounds () =
+  let q = Rqueue.create () in
+  Rqueue.push q 10;
+  Rqueue.push q 20;
+  checki "get 0 is head" 10 (Rqueue.get q 0);
+  checki "get 1 is next" 20 (Rqueue.get q 1);
+  checkb "get out of range raises" true
+    (try
+       ignore (Rqueue.get q 2);
+       false
+     with Invalid_argument _ -> true);
+  checkb "negative index raises" true
+    (try
+       ignore (Rqueue.get q (-1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_wraparound_exact_capacity () =
+  (* Fill to exactly the initial capacity, drain half, refill: length
+     accounting must survive the head wrapping to index 0. *)
+  let cap = Rqueue.initial_capacity in
+  let q = Rqueue.create () in
+  for i = 0 to cap - 1 do
+    Rqueue.push q i
+  done;
+  for i = 0 to (cap / 2) - 1 do
+    checki "first half FIFO" i (Rqueue.pop q)
+  done;
+  for i = 0 to (cap / 2) - 1 do
+    Rqueue.push q (cap + i)
+  done;
+  checki "length after wrap" cap (Rqueue.length q);
+  for i = cap / 2 to cap + (cap / 2) - 1 do
+    checki "second half FIFO" i (Rqueue.pop q)
+  done;
+  checkb "empty at end" true (Rqueue.is_empty q)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_differential;
+    QCheck_alcotest.to_alcotest prop_growth_while_wrapped;
+    Alcotest.test_case "pop on empty raises" `Quick test_empty_pop_raises;
+    Alcotest.test_case "indexed peek bounds" `Quick test_get_bounds;
+    Alcotest.test_case "wraparound at exact capacity" `Quick
+      test_wraparound_exact_capacity;
+  ]
