@@ -4,7 +4,7 @@
 
 DOMAINS ?= 2
 
-.PHONY: all build test fmt promote selftest oracle engine-parity soak soak-duplex mesh bench-sweeps bench-hotpath bench-alloc bench-soak bench-mesh check
+.PHONY: all build test fmt promote selftest oracle engine-parity soak soak-duplex mesh shards bench-sweeps bench-hotpath bench-alloc bench-soak bench-mesh bench-shards check
 
 all: build
 
@@ -58,6 +58,14 @@ soak-duplex: build
 mesh: build
 	dune exec bin/ldlp_repro.exe -- mesh --seed 1996 --domains $(DOMAINS)
 
+# Sharded data path: the placement/replay figure, the cross-shard
+# differential oracle over random workloads (delivered streams, wire
+# multisets, conservation ledgers identical at every shard count), and
+# the 4-shard call storm checked for exact equality with the
+# single-domain run.
+shards: build
+	dune exec bin/ldlp_repro.exe -- shards --seed 1996
+
 # Times every sweep at 1 domain and at N domains; writes BENCH_sweeps.json.
 bench-sweeps: build
 	dune exec bench/main.exe -- --sweeps
@@ -84,5 +92,12 @@ bench-soak: build
 bench-mesh: build
 	dune exec bench/main.exe -- --mesh
 
-check: build fmt test selftest oracle engine-parity bench-alloc soak soak-duplex mesh
+# Sharded call storm at 1/2/4 shards; writes BENCH_shards.json (kept even
+# on gate failure) and fails unless every sharded row equals the
+# single-domain reference and the aggregate CPU-limited rate improves
+# with shard count (wall clock additionally gated on multi-core hosts).
+bench-shards: build
+	dune exec bench/main.exe -- --shards
+
+check: build fmt test selftest oracle engine-parity bench-alloc soak soak-duplex mesh shards
 	@echo "check OK"

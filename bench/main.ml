@@ -442,6 +442,44 @@ let bench_alloc_gate () =
       Printf.printf "%-20s %12.2f %12.1f\n" name allocs rate)
     rows;
   gate_hotpath rows;
+  (* Sharded pipeline: minor words per delivered message through the full
+     per-group stack + handoff path, run inline on this domain so the GC
+     counter sees every allocation.  The budget covers the whole pipeline
+     (pooled messages, handoff items, digest strings, report) — at ~133
+     words/msg today, 192 leaves headroom while still catching a lost
+     pool or a boxing regression. *)
+  let shard_alloc_budget = 192.0 in
+  let shard_spec =
+    let groups = 4 in
+    {
+      Ldlp_shard.Stackwork.sp_groups = groups;
+      sp_layers =
+        Array.init groups (fun _ ->
+            Ldlp_shard.Stackwork.[ Pass; Reply_every 4; Pass ]);
+      sp_policy = Ldlp_core.Batch.paper_default;
+      sp_init =
+        Array.init groups (fun g -> List.init 128 (fun i -> ((g * 1000) + i, 3)));
+      sp_seed = seed;
+    }
+  in
+  ignore (Ldlp_shard.Stackwork.run ~shards:1 shard_spec);
+  let w0 = Gc.minor_words () in
+  let r = Ldlp_shard.Stackwork.run ~shards:1 shard_spec in
+  let w1 = Gc.minor_words () in
+  let _, delivered, _ = Ldlp_shard.Stackwork.totals r in
+  let shard_allocs = (w1 -. w0) /. float_of_int (max 1 delivered) in
+  Printf.printf "%-20s %12.2f %12s\n" "shard-pipeline" shard_allocs "-";
+  if not (Ldlp_shard.Stackwork.ledger_ok r) then begin
+    Printf.eprintf "FAIL: shard-pipeline gate run broke its own ledger\n";
+    exit 1
+  end;
+  if shard_allocs >= shard_alloc_budget then begin
+    Printf.eprintf
+      "FAIL: shard pipeline allocates %.2f minor words per delivered message \
+       (budget < %.0f)\n"
+      shard_allocs shard_alloc_budget;
+    exit 1
+  end;
   Printf.printf "allocation and throughput budgets: ok\n"
 
 (* ------------------------------------------------------------------ *)
@@ -650,6 +688,135 @@ let bench_mesh ~out () =
     exit 1
   end;
   Printf.printf "conservation, equivalence and reload gates: ok\n";
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
+(* Section 1f: sharded call storm -> BENCH_shards.json.                *)
+(* ------------------------------------------------------------------ *)
+
+(* The same Q.93B call storm at 1, 2 and 4 shards.  Two rates per row:
+   the wall clock (machine-dependent, so the speedup gate only fires on
+   multi-core hosts) and the deterministic aggregate CPU-limited rate,
+   completed pairs over the busiest shard's modeled CPU seconds — the
+   placement-invariant number that must improve with shard count on any
+   machine.  Every sharded row is checked for exact equality with the
+   single-domain reference before any rate is trusted, and the JSON is
+   written even when a gate fails so CI keeps the artifact. *)
+
+let shards_hosts = 256
+let shards_degree = 4
+let shards_counts = [ 1; 2; 4 ]
+
+let bench_shards ~out () =
+  let module Mesh = Ldlp_mesh.Mesh in
+  let cfg = Mesh.config ~hosts:shards_hosts ~degree:shards_degree ~seed () in
+  let wiring = Mesh.Duplex in
+  let base = Mesh.run_storm ~wiring cfg in
+  let time_best f =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let row shards =
+    let sh, wall = time_best (fun () -> Mesh.run_storm_sharded ~wiring ~shards cfg) in
+    let s = sh.Mesh.ss_storm in
+    let cpu_max = Array.fold_left Float.max 0.0 sh.Mesh.ss_cpu_per_shard in
+    {
+      Ldlp_report.Bench_json.sh_shards = shards;
+      sh_components = sh.Mesh.ss_components;
+      sh_completed = s.Mesh.calls_completed;
+      sh_wall_s = wall;
+      sh_wall_pairs_per_s =
+        (if wall > 0.0 then float_of_int s.Mesh.calls_completed /. wall else 0.0);
+      sh_cpu_s_max = cpu_max;
+      sh_cpu_pairs_per_s =
+        (if cpu_max > 0.0 then float_of_int s.Mesh.calls_completed /. cpu_max
+         else 0.0);
+      sh_ok = s = base && s.Mesh.t_conserved && s.Mesh.t_leak_free;
+    }
+  in
+  let rows = List.map row shards_counts in
+  let cores = Domain.recommended_domain_count () in
+  let json =
+    Ldlp_report.Bench_json.render_shards ~seed ~hosts:shards_hosts
+      ~degree:shards_degree ~pairs:base.Mesh.pairs ~host_cores:cores rows
+  in
+  (match Ldlp_report.Bench_json.parse_shards json with
+  | Ok _ -> ()
+  | Error e -> failwith ("BENCH_shards.json fails its own schema: " ^ e));
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "Sharded call storm: %d hosts, %d pairs, %d calls, %s wiring (seed %d, %d \
+     cores)\n"
+    shards_hosts base.Mesh.pairs base.Mesh.calls_requested
+    (Mesh.wiring_name wiring) seed cores;
+  Printf.printf "%-7s %11s %5s %10s %13s %13s %4s\n" "shards" "components"
+    "done" "wall" "wall-pairs/s" "cpu-pairs/s" "ok";
+  List.iter
+    (fun (r : Ldlp_report.Bench_json.shard_row) ->
+      Printf.printf "%-7d %11d %5d %9ss %13.0f %13.0f %4s\n"
+        r.Ldlp_report.Bench_json.sh_shards r.Ldlp_report.Bench_json.sh_components
+        r.Ldlp_report.Bench_json.sh_completed
+        (Ldlp_sim.Table.fmt_si r.Ldlp_report.Bench_json.sh_wall_s)
+        r.Ldlp_report.Bench_json.sh_wall_pairs_per_s
+        r.Ldlp_report.Bench_json.sh_cpu_pairs_per_s
+        (if r.Ldlp_report.Bench_json.sh_ok then "ok" else "FAIL"))
+    rows;
+  let failed = ref false in
+  let fail fmt =
+    Printf.ksprintf (fun s -> Printf.eprintf "FAIL: %s\n" s; failed := true) fmt
+  in
+  List.iter
+    (fun (r : Ldlp_report.Bench_json.shard_row) ->
+      if not r.Ldlp_report.Bench_json.sh_ok then
+        fail "shards=%d diverged from the single-domain reference"
+          r.Ldlp_report.Bench_json.sh_shards)
+    rows;
+  (match rows with
+  | one :: rest ->
+    List.iter
+      (fun (r : Ldlp_report.Bench_json.shard_row) ->
+        if
+          r.Ldlp_report.Bench_json.sh_cpu_pairs_per_s
+          <= one.Ldlp_report.Bench_json.sh_cpu_pairs_per_s
+        then
+          fail
+            "shards=%d aggregate CPU rate %.0f pairs/s not above the \
+             single-shard %.0f"
+            r.Ldlp_report.Bench_json.sh_shards
+            r.Ldlp_report.Bench_json.sh_cpu_pairs_per_s
+            one.Ldlp_report.Bench_json.sh_cpu_pairs_per_s)
+      rest;
+    (* Wall clock is only meaningful with real parallel hardware; on a
+       single-core runner the sharded run adds domain overhead for no
+       wall-time return, so the gate stays off. *)
+    if cores >= 2 && rest <> [] then begin
+      let best_wall =
+        List.fold_left
+          (fun a (r : Ldlp_report.Bench_json.shard_row) ->
+            Float.min a r.Ldlp_report.Bench_json.sh_wall_s)
+          infinity rest
+      in
+      if best_wall >= one.Ldlp_report.Bench_json.sh_wall_s *. 1.05 then
+        fail
+          "no sharded wall-clock win on a %d-core host: best %.4f s vs %.4f s \
+           single-shard"
+          cores best_wall one.Ldlp_report.Bench_json.sh_wall_s
+    end
+  | [] -> fail "no rows");
+  if !failed then begin
+    prerr_endline "FAIL: sharded storm gates did not hold (JSON still written)";
+    exit 1
+  end;
+  Printf.printf "equality, conservation and scaling gates: ok\n";
   Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
@@ -899,7 +1066,9 @@ let () =
   let alloc_gate_only = Array.exists (( = ) "--alloc-gate") Sys.argv in
   let soak_only = Array.exists (( = ) "--soak") Sys.argv in
   let mesh_only = Array.exists (( = ) "--mesh") Sys.argv in
-  if mesh_only then bench_mesh ~out:"BENCH_mesh.json" ()
+  let shards_only = Array.exists (( = ) "--shards") Sys.argv in
+  if shards_only then bench_shards ~out:"BENCH_shards.json" ()
+  else if mesh_only then bench_mesh ~out:"BENCH_mesh.json" ()
   else if sweeps_only then bench_sweeps ~out:"BENCH_sweeps.json" ()
   else if hotpath_only then bench_hotpath ~out:"BENCH_hotpath.json" ()
   else if alloc_gate_only then bench_alloc_gate ()

@@ -312,7 +312,41 @@ let run_check seed =
          ("ldlp", Ldlp_model.Simrun.Ldlp);
        ]
    with Ldlp_core.Invariant.Violation what -> fail "invariant VIOLATED: %s" what);
+  (* 4. Sharded data path: placement invariance over random workloads. *)
+  (match Ldlp_check.Shard_oracle.run_random ~seed ~cases:30 with
+  | Ok n ->
+    Printf.printf
+      "shard differential: %d random workloads + echo replay, no divergence\n" n
+  | Error e -> fail "shard differential FAILED: %s" e);
   print_endline "check OK"
+
+let run_shards seed =
+  print_string (Ldlp_shard.Demo.render ~seed);
+  print_newline ();
+  (* Differential oracle: placement invariance over random workloads. *)
+  (match Ldlp_check.Shard_oracle.run_random ~seed ~cases:10 with
+  | Ok n ->
+    Printf.printf "shard differential: %d random workloads, no divergence\n" n
+  | Error e ->
+    Printf.eprintf "shard differential FAILED: %s\n" e;
+    exit 1);
+  (* Sharded call storm: the merged 4-shard result must equal the
+     single-domain run, field for field. *)
+  let module Mesh = Ldlp_mesh.Mesh in
+  let cfg = Mesh.config ~hosts:32 ~degree:4 ~seed () in
+  let base = Mesh.run_storm ~wiring:Mesh.Duplex cfg in
+  let sh = Mesh.run_storm_sharded ~wiring:Mesh.Duplex ~shards:4 cfg in
+  let s = sh.Mesh.ss_storm in
+  if s <> base then begin
+    Printf.eprintf "sharded storm diverged from the single-domain run\n";
+    exit 1
+  end;
+  Printf.printf
+    "sharded storm: %d pairs over %d components, shards=4 equals shards=1 \
+     (completed=%d conserved=%b leak_free=%b)\n"
+    s.Mesh.pairs sh.Mesh.ss_components s.Mesh.calls_completed s.Mesh.t_conserved
+    s.Mesh.t_leak_free;
+  print_endline "shards OK"
 
 let run_selfsim seed seconds path =
   let rng = Ldlp_sim.Rng.create ~seed in
@@ -464,6 +498,12 @@ let cmds =
             value
             & opt string "BENCH_mesh.json"
             & info [ "o"; "json" ] ~doc:"Where to write the mesh JSON document."));
+    cmd "shards"
+      "Sharded data path: print the deterministic placement/replay figure, \
+       run the cross-shard differential oracle over random workloads, and \
+       assert the 4-shard call storm merges to exactly the single-domain \
+       result.  Nonzero exit on any failure."
+      Term.(const run_shards $ seed_t);
     cmd "soak"
       "Chaos soak: run the tcpmini echo exchange over seeded impaired \
        links (loss, duplication, corruption, reordering, down episodes, \

@@ -9,22 +9,38 @@ type 'a t = {
 
 let heap_state = -1
 
-let live_state = 0
+(* Message ids are drawn from a per-domain counter (Domain.DLS), so the
+   id sequence each domain observes is deterministic regardless of what
+   other domains do — a process-global counter would be a data race the
+   moment two shards acquire concurrently, and its interleaving would
+   differ run to run.  Ids are unique within a domain, which is all the
+   engine ever relies on (scheduling is by queue position and priority,
+   never by id); nothing compares ids across domains. *)
+let id_counter = Domain.DLS.new_key (fun () -> ref 0)
 
-let free_state = 1
-
-let next_id = ref 0
+let fresh_id () =
+  let c = Domain.DLS.get id_counter in
+  incr c;
+  !c
 
 let make ?(flow = 0) ?(arrival = 0.0) ?(size = 0) payload =
-  incr next_id;
-  { id = !next_id; arrival; flow; size; payload; pool_state = heap_state }
+  { id = fresh_id (); arrival; flow; size; payload; pool_state = heap_state }
 
 let with_payload t payload ~size =
   { t with payload; size; pool_state = heap_state }
 
 (* ---------- preallocated message pool ---------- *)
 
+(* Ownership is encoded in [pool_state]: heap messages are [-1]; a
+   message owned by the pool with tag [k] is [2k] while live and
+   [2k + 1] while free.  Tags come from one atomic counter (pool
+   creation is cold), so pools created on different domains never share
+   an encoding and a cross-pool release is detected instead of silently
+   splicing a record into the wrong freelist. *)
+let next_pool_tag = Atomic.make 1
+
 type 'a pool = {
+  tag : int;
   mutable free : 'a t array;
   mutable nfree : int;
   dummy : 'a option;
@@ -40,17 +56,20 @@ type pool_stats = {
   p_outstanding : int;
 }
 
-let blank payload =
-  { id = 0; arrival = 0.0; flow = 0; size = 0; payload; pool_state = free_state }
+let blank ~state payload =
+  { id = 0; arrival = 0.0; flow = 0; size = 0; payload; pool_state = state }
 
 let pool ?(capacity = 0) ?dummy () =
   if capacity < 0 then invalid_arg "Msg.pool: negative capacity";
+  let tag = Atomic.fetch_and_add next_pool_tag 1 in
   let prefill =
     match dummy with
-    | Some d when capacity > 0 -> Array.init capacity (fun _ -> blank d)
+    | Some d when capacity > 0 ->
+      Array.init capacity (fun _ -> blank ~state:((2 * tag) + 1) d)
     | _ -> [||]
   in
   {
+    tag;
     free = prefill;
     nfree = Array.length prefill;
     dummy;
@@ -67,25 +86,27 @@ let acquire p ?(flow = 0) ~arrival ~size payload =
     end
     else begin
       p.created <- p.created + 1;
-      blank payload
+      blank ~state:((2 * p.tag) + 1) payload
     end
   in
-  incr next_id;
-  m.id <- !next_id;
+  m.id <- fresh_id ();
   m.arrival <- arrival;
   m.flow <- flow;
   m.size <- size;
   m.payload <- payload;
-  m.pool_state <- live_state;
+  m.pool_state <- 2 * p.tag;
   p.acquired <- p.acquired + 1;
   m
 
 let release p m =
-  if m.pool_state <> live_state then
+  let live = 2 * p.tag in
+  if m.pool_state <> live then
     invalid_arg
-      (if m.pool_state = free_state then "Msg.release: message already free"
-       else "Msg.release: not a pooled message");
-  m.pool_state <- free_state;
+      (if m.pool_state = live + 1 then "Msg.release: message already free"
+       else if m.pool_state = heap_state then
+         "Msg.release: not a pooled message"
+       else "Msg.release: message owned by another pool");
+  m.pool_state <- live + 1;
   (* Drop the payload reference when the pool knows a neutral value, so a
      recycled slot does not pin the previous payload. *)
   (match p.dummy with Some d -> m.payload <- d | None -> ());

@@ -20,12 +20,16 @@ type 'a t = {
   mutable payload : 'a;
   mutable pool_state : int;
       (** Pool-freelist bookkeeping, internal to {!acquire}/{!release}:
-          [-1] heap message ({!make}/{!with_payload}), [0] pooled and
-          live, [1] pooled and free.  Never touch it directly. *)
+          [-1] heap message ({!make}/{!with_payload}); a message owned by
+          the pool with tag [k] is [2k] while live and [2k + 1] while
+          free, so a release to the wrong pool is detected.  Never touch
+          it directly. *)
 }
 
 val make : ?flow:int -> ?arrival:float -> ?size:int -> 'a -> 'a t
-(** Fresh heap message with a unique id.  [size] defaults to 0
+(** Fresh heap message with an id unique within the calling domain (ids
+    are per-domain counters, so a domain's id sequence is deterministic
+    no matter what other domains do).  [size] defaults to 0
     ([Dcache_fit] then counts only per-message overhead); [flow] defaults
     to 0. *)
 
@@ -69,7 +73,9 @@ val acquire : 'a pool -> ?flow:int -> arrival:float -> size:int -> 'a -> 'a t
 
 val release : 'a pool -> 'a t -> unit
 (** Return a message to the freelist.  Raises [Invalid_argument] on a
-    heap message or a double release.  The message must not be used
-    afterwards. *)
+    heap message, a double release, or a message owned by a different
+    pool (pools are single-domain structures; in a sharded data path
+    every shard owns its own pool and a cross-shard release is a bug,
+    not a transfer).  The message must not be used afterwards. *)
 
 val pool_stats : 'a pool -> pool_stats

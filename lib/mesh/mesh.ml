@@ -122,6 +122,12 @@ type hostm = {
   h_run : unit -> unit;
   mutable h_service_due : bool;
   mutable h_last_node : int;
+  mutable h_cpu : float;
+      (* Modeled CPU charged to this host.  Folding these in host order
+         gives a shard-count-independent total: a host runs entirely on
+         one shard, so the per-host value is exact, and the fold order is
+         fixed — unlike [net.cpu], whose event-order accumulation is not
+         FP-associative across a shard split. *)
 }
 
 type net = {
@@ -224,7 +230,8 @@ and service net d =
   h.h_last_node <- -1;
   net.elapsed <- 0.0;
   h.h_run ();
-  net.cpu <- net.cpu +. net.elapsed
+  net.cpu <- net.cpu +. net.elapsed;
+  h.h_cpu <- h.h_cpu +. net.elapsed
 
 (* A CPU quantum that is not triggered by frame arrival (origination,
    protocol timer): charge whatever [k] submits plus the engine drain. *)
@@ -234,7 +241,8 @@ let with_service net d k =
   net.elapsed <- 0.0;
   k ();
   h.h_run ();
-  net.cpu <- net.cpu +. net.elapsed
+  net.cpu <- net.cpu +. net.elapsed;
+  h.h_cpu <- h.h_cpu +. net.elapsed
 
 let mac_layer net =
   Layer.v ~name:"mac" ~fp:mac_fp (fun m ->
@@ -335,6 +343,7 @@ let make_host net wiring h =
       h_run = (fun () -> Sched.run s);
       h_service_due = false;
       h_last_node = -1;
+      h_cpu = 0.0;
     }
   | Duplex ->
     let e =
@@ -355,6 +364,7 @@ let make_host net wiring h =
       h_run = (fun () -> Engine.run e);
       h_service_due = false;
       h_last_node = -1;
+      h_cpu = 0.0;
     }
 
 let make_net ~wiring cfg =
@@ -560,14 +570,26 @@ type storm = {
 
 let goal_pairs_per_sec = 10_000.0
 
-let run_storm ~wiring ?pairs ?(calls_per_pair = 4) cfg =
+let storm_pair_count ~topo ?pairs cfg =
+  let ne = Topology.edge_count topo in
+  match pairs with
+  | Some p -> max 1 (min p ne)
+  | None -> max 1 (min (cfg.hosts / 8) ne)
+
+(* [sel] filters which of the canonical [np] pairs this run actually
+   drives; unselected pairs exist but never link up, never tick and are
+   excluded from the request count.  Because a Sig frame travels only
+   its own pair's directed links (each with an independent seeded
+   impairment stream), and pairs interact solely through shared hosts
+   (service-quantum co-batching), a run over any host-disjoint selection
+   is byte-identical to that selection's slice of the full storm — the
+   fact {!run_storm_sharded} exploits. *)
+(* Returns the storm plus the per-host modeled-CPU vector the sharded
+   merge needs for an FP-exact total. *)
+let run_storm_core ~wiring ~sel ?pairs ?(calls_per_pair = 4) cfg =
   let net = make_net ~wiring cfg in
   let ne = Topology.edge_count net.topo in
-  let np =
-    match pairs with
-    | Some p -> max 1 (min p ne)
-    | None -> max 1 (min (cfg.hosts / 8) ne)
-  in
+  let np = storm_pair_count ~topo:net.topo ?pairs cfg in
   let prs =
     Array.init np (fun k ->
         let u, v = net.topo.Topology.edges.(k * ne / np) in
@@ -684,10 +706,11 @@ let run_storm ~wiring ?pairs ?(calls_per_pair = 4) cfg =
       handle pr ep now (Uni.on_wire ep.uni ~now f.data));
   Array.iteri
     (fun k pr ->
-      let t = float_of_int k *. 1e-4 in
-      Sim.at net.sim t (fun () ->
-          with_service net pr.ea.e_host (fun () ->
-              handle pr pr.ea t (Uni.link_up pr.ea.uni ~now:t))))
+      if sel k then
+        let t = float_of_int k *. 1e-4 in
+        Sim.at net.sim t (fun () ->
+            with_service net pr.ea.e_host (fun () ->
+                handle pr pr.ea t (Uni.link_up pr.ea.uni ~now:t))))
     prs;
   (* The horizon is a backstop only: an intact storm quiesces in wire
      milliseconds, and even a fully starved pair gives up (T303 twice,
@@ -697,10 +720,14 @@ let run_storm ~wiring ?pairs ?(calls_per_pair = 4) cfg =
   let causes = collect_causes net in
   let pstats = Msg.pool_stats net.pool in
   let completed = Array.fold_left (fun a pr -> a + pr.completed) 0 prs in
-  let requested = np * calls_per_pair in
+  let selected = ref 0 in
+  for k = 0 to np - 1 do
+    if sel k then incr selected
+  done;
+  let requested = !selected * calls_per_pair in
   {
     t_wiring = wiring;
-    pairs = np;
+    pairs = !selected;
     calls_requested = requested;
     calls_completed = completed;
     calls_failed = requested - completed;
@@ -709,13 +736,158 @@ let run_storm ~wiring ?pairs ?(calls_per_pair = 4) cfg =
     t_leak_free = pstats.Msg.p_outstanding = 0;
     storm_wire_seconds =
       Array.fold_left (fun a pr -> Float.max a pr.last_done) 0.0 prs;
-    storm_cpu_seconds = net.cpu;
-  }
+    storm_cpu_seconds =
+      Array.fold_left (fun a h -> a +. h.h_cpu) 0.0 net.hosts_arr;
+  },
+  Array.map (fun h -> h.h_cpu) net.hosts_arr
+
+let run_storm ~wiring ?pairs ?calls_per_pair cfg =
+  fst (run_storm_core ~wiring ~sel:(fun _ -> true) ?pairs ?calls_per_pair cfg)
 
 let compare_storm ?domains ?pairs ?calls_per_pair cfg =
   Ldlp_par.Pool.map ?domains
     (fun w -> run_storm ~wiring:w ?pairs ?calls_per_pair cfg)
     all_wirings
+
+(* ---------- sharded storm ---------- *)
+
+type storm_sharded = {
+  ss_storm : storm;
+  ss_shards : int;
+  ss_components : int;
+  ss_cpu_per_shard : float array;
+}
+
+(* Union-find over pair ids, united when two pairs share a host. *)
+let storm_components ~topo ~np =
+  let parent = Array.init np Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(max ri rj) <- min ri rj
+  in
+  let ne = Topology.edge_count topo in
+  let by_host = Hashtbl.create 64 in
+  for k = 0 to np - 1 do
+    let u, v = topo.Topology.edges.(k * ne / np) in
+    List.iter
+      (fun h ->
+        match Hashtbl.find_opt by_host h with
+        | Some k0 -> union k0 k
+        | None -> Hashtbl.add by_host h k)
+      [ u; v ]
+  done;
+  (* Components in min-pair-id order, so the shard assignment is a pure
+     function of the topology. *)
+  let roots = Hashtbl.create 16 in
+  for k = 0 to np - 1 do
+    let r = find k in
+    if not (Hashtbl.mem roots r) then Hashtbl.add roots r (Hashtbl.length roots)
+  done;
+  let comp_of = Array.init np (fun k -> Hashtbl.find roots (find k)) in
+  (comp_of, Hashtbl.length roots)
+
+let merge_causes a b =
+  {
+    offered = a.offered + b.offered;
+    fault_dropped = a.fault_dropped + b.fault_dropped;
+    down_dropped = a.down_dropped + b.down_dropped;
+    duplicated = a.duplicated + b.duplicated;
+    corrupted = a.corrupted + b.corrupted;
+    reordered = a.reordered + b.reordered;
+    flushed = a.flushed + b.flushed;
+    arrived = a.arrived + b.arrived;
+    corrupt_dropped = a.corrupt_dropped + b.corrupt_dropped;
+    dup_dropped = a.dup_dropped + b.dup_dropped;
+    delivered = a.delivered + b.delivered;
+    sig_delivered = a.sig_delivered + b.sig_delivered;
+  }
+
+let run_storm_sharded ~wiring ~shards ?pairs ?calls_per_pair cfg =
+  if shards < 1 then invalid_arg "Mesh.run_storm_sharded: shards < 1";
+  let topo =
+    Topology.generate ~hosts:cfg.hosts ~degree:cfg.degree ~seed:cfg.seed
+  in
+  let np = storm_pair_count ~topo ?pairs cfg in
+  let comp_of, ncomps = storm_components ~topo ~np in
+  (* Whole components go to one shard: two pairs sharing a host co-batch
+     service quanta and must stay together; host-disjoint components are
+     independent down to the per-link impairment streams. *)
+  let shard_of_pair k = comp_of.(k) * shards / ncomps in
+  let parts =
+    Ldlp_par.Pool.map_array ~domains:shards
+      (fun s ->
+        run_storm_core ~wiring
+          ~sel:(fun k -> shard_of_pair k = s)
+          ?pairs ?calls_per_pair cfg)
+      (Array.init shards Fun.id)
+  in
+  let storms = Array.map fst parts in
+  (* A host's pairs all live on one shard; every other shard charged it
+     exactly 0.0, so the elementwise sum reproduces the full run's
+     per-host value and the host-order fold its exact total. *)
+  let host_cpu = Array.make cfg.hosts 0.0 in
+  Array.iter
+    (fun (_, hc) ->
+      Array.iteri (fun h c -> host_cpu.(h) <- host_cpu.(h) +. c) hc)
+    parts;
+  let merged =
+    Array.fold_left
+      (fun acc st ->
+        {
+          t_wiring = wiring;
+          pairs = acc.pairs + st.pairs;
+          calls_requested = acc.calls_requested + st.calls_requested;
+          calls_completed = acc.calls_completed + st.calls_completed;
+          calls_failed = acc.calls_failed + st.calls_failed;
+          t_causes = merge_causes acc.t_causes st.t_causes;
+          t_conserved = true;
+          t_leak_free = acc.t_leak_free && st.t_leak_free;
+          storm_wire_seconds =
+            Float.max acc.storm_wire_seconds st.storm_wire_seconds;
+          storm_cpu_seconds = acc.storm_cpu_seconds +. st.storm_cpu_seconds;
+        })
+      {
+        t_wiring = wiring;
+        pairs = 0;
+        calls_requested = 0;
+        calls_completed = 0;
+        calls_failed = 0;
+        t_causes =
+          {
+            offered = 0;
+            fault_dropped = 0;
+            down_dropped = 0;
+            duplicated = 0;
+            corrupted = 0;
+            reordered = 0;
+            flushed = 0;
+            arrived = 0;
+            corrupt_dropped = 0;
+            dup_dropped = 0;
+            delivered = 0;
+            sig_delivered = 0;
+          };
+        t_conserved = true;
+        t_leak_free = true;
+        storm_wire_seconds = 0.0;
+        storm_cpu_seconds = 0.0;
+      }
+      storms
+  in
+  let merged =
+    {
+      merged with
+      t_conserved = conserved merged.t_causes;
+      storm_cpu_seconds = Array.fold_left ( +. ) 0.0 host_cpu;
+    }
+  in
+  {
+    ss_storm = merged;
+    ss_shards = shards;
+    ss_components = ncomps;
+    ss_cpu_per_shard = Array.map (fun st -> st.storm_cpu_seconds) storms;
+  }
 
 let storm_wire_rate t =
   if t.storm_wire_seconds <= 0.0 then 0.0

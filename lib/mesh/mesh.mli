@@ -162,6 +162,30 @@ val run_storm :
 val compare_storm :
   ?domains:int -> ?pairs:int -> ?calls_per_pair:int -> config -> storm list
 
+type storm_sharded = {
+  ss_storm : storm;  (** Merged result — equal to {!run_storm}'s. *)
+  ss_shards : int;
+  ss_components : int;  (** Host-disjoint pair components found. *)
+  ss_cpu_per_shard : float array;
+      (** Modeled CPU seconds per shard; the aggregate CPU-limited rate
+          is [completed / max] over this array. *)
+}
+
+val run_storm_sharded :
+  wiring:wiring ->
+  shards:int ->
+  ?pairs:int ->
+  ?calls_per_pair:int ->
+  config ->
+  storm_sharded
+(** The same storm partitioned across [shards] domains.  Pairs are
+    grouped into host-disjoint components (pairs sharing a host co-batch
+    service quanta and must stay together); each component's pairs, links
+    and impairment streams are private to its shard, so the merged
+    result — counts, causes, conservation, wire time — is {e equal} to
+    {!run_storm} on the same config, for any shard count.
+    [shards = 1] runs on the calling domain alone. *)
+
 val goal_pairs_per_sec : float
 (** The paper's Section 1 target: 10 000 setup/teardown pairs/s. *)
 

@@ -34,11 +34,12 @@ val resolve_domains : ?domains:int -> unit -> int
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ?domains f xs] computes [List.map f xs] with up to [domains]
-    domains (the caller's included) pulling tasks from a shared queue.
+    domains (the caller's included), each owning a contiguous block of
+    the input — one shared-state touch per worker, not one per task.
     Results are returned in input order.  If one or more tasks raise, all
     remaining tasks still run, the workers are joined, and then the
     exception of the {e lowest-indexed} failing task is re-raised with its
-    backtrace — deterministic even under racy schedules. *)
+    backtrace — deterministic regardless of scheduling. *)
 
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Array counterpart of {!map}. *)

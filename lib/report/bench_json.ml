@@ -790,3 +790,116 @@ let parse_mesh text =
         mesh_storms = List.map storm_of (arr_field root "storm");
       }
   with Bad msg -> Error msg
+
+(* ---------- sharded call storm (bench --shards) ---------- *)
+
+type shard_row = {
+  sh_shards : int;
+  sh_components : int;
+  sh_completed : int;
+  sh_wall_s : float;
+  sh_wall_pairs_per_s : float;
+  sh_cpu_s_max : float;
+  sh_cpu_pairs_per_s : float;
+  sh_ok : bool;
+}
+
+type shards_doc = {
+  shd_seed : int;
+  shd_hosts : int;
+  shd_degree : int;
+  shd_pairs : int;
+  shd_host_cores : int;
+  shard_rows : shard_row list;
+}
+
+let shards_schema = "ldlp-bench-shards/1"
+
+let shard_row_json r =
+  Printf.sprintf
+    "    {\n\
+    \      \"shards\": %d,\n\
+    \      \"components\": %d,\n\
+    \      \"completed\": %d,\n\
+    \      \"wall_s\": %.6f,\n\
+    \      \"wall_pairs_per_s\": %.3f,\n\
+    \      \"cpu_s_max\": %.9f,\n\
+    \      \"cpu_pairs_per_s\": %.3f,\n\
+    \      \"ok\": %b\n\
+    \    }"
+    r.sh_shards r.sh_components r.sh_completed r.sh_wall_s
+    r.sh_wall_pairs_per_s r.sh_cpu_s_max r.sh_cpu_pairs_per_s r.sh_ok
+
+let render_shards ~seed ~hosts ~degree ~pairs ~host_cores rows =
+  Printf.sprintf
+    "{\n\
+    \  \"schema\": \"%s\",\n\
+    \  \"seed\": %d,\n\
+    \  \"hosts\": %d,\n\
+    \  \"degree\": %d,\n\
+    \  \"pairs\": %d,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    shards_schema seed hosts degree pairs host_cores
+    (String.concat ",\n" (List.map shard_row_json rows))
+
+let parse_shards text =
+  try
+    let root =
+      match parse_json text with
+      | Obj o -> o
+      | _ -> raise (Bad "top level is not an object")
+    in
+    let tag = str_field root "schema" in
+    if tag <> shards_schema then
+      raise (Bad (Printf.sprintf "schema %S, expected %S" tag shards_schema));
+    let row_of entry =
+      let o = obj_entry entry in
+      let r =
+        {
+          sh_shards = int_field o "shards";
+          sh_components = int_field o "components";
+          sh_completed = int_field o "completed";
+          sh_wall_s = num_field o "wall_s";
+          sh_wall_pairs_per_s = num_field o "wall_pairs_per_s";
+          sh_cpu_s_max = num_field o "cpu_s_max";
+          sh_cpu_pairs_per_s = num_field o "cpu_pairs_per_s";
+          sh_ok = bool_field o "ok";
+        }
+      in
+      if
+        r.sh_shards < 1 || r.sh_components < 1 || r.sh_completed < 0
+        || r.sh_wall_s < 0.0
+        || r.sh_wall_pairs_per_s < 0.0
+        || r.sh_cpu_s_max < 0.0
+        || r.sh_cpu_pairs_per_s < 0.0
+      then
+        raise
+          (Bad (Printf.sprintf "shard row %d: negative measure" r.sh_shards));
+      (if r.sh_cpu_s_max > 0.0 then
+         let expect = float_of_int r.sh_completed /. r.sh_cpu_s_max in
+         if abs_float (r.sh_cpu_pairs_per_s -. expect) > 0.5 +. (0.001 *. expect)
+         then
+           raise
+             (Bad
+                (Printf.sprintf "shard row %d: cpu rate %.3f, expected %.3f"
+                   r.sh_shards r.sh_cpu_pairs_per_s expect)));
+      r
+    in
+    let doc =
+      {
+        shd_seed = int_field root "seed";
+        shd_hosts = int_field root "hosts";
+        shd_degree = int_field root "degree";
+        shd_pairs = int_field root "pairs";
+        shd_host_cores = int_field root "host_cores";
+        shard_rows = List.map row_of (arr_field root "rows");
+      }
+    in
+    if doc.shd_hosts < 2 || doc.shd_pairs < 1 || doc.shd_host_cores < 1 then
+      raise (Bad "header: inconsistent hosts/pairs/host_cores");
+    Ok doc
+  with Bad msg -> Error msg

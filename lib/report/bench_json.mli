@@ -192,3 +192,50 @@ val render_mesh :
 val parse_mesh : string -> (mesh_doc, string) result
 (** Read {!render_mesh} output back; validates the schema tag, every
     field, non-negative measures and [completed <= calls]. *)
+
+(** {1 Sharded call storm ([bench --shards] -> [BENCH_shards.json])}
+
+    One row per shard count of the same Q.93B call storm run through
+    [Ldlp_mesh.Mesh.run_storm_sharded]: wall clock, the deterministic
+    aggregate CPU-limited rate ([completed / max] modeled CPU seconds
+    over the shards — the number that must improve with shard count),
+    and whether the merged result matched the single-domain reference
+    exactly. *)
+
+type shard_row = {
+  sh_shards : int;
+  sh_components : int;  (** Host-disjoint pair components available. *)
+  sh_completed : int;  (** Setup/teardown pairs completed (merged). *)
+  sh_wall_s : float;  (** Host wall clock (machine-dependent). *)
+  sh_wall_pairs_per_s : float;
+  sh_cpu_s_max : float;  (** Max modeled CPU seconds over the shards. *)
+  sh_cpu_pairs_per_s : float;
+      (** [completed /. sh_cpu_s_max] — deterministic aggregate rate. *)
+  sh_ok : bool;  (** Merged storm equal to shards=1, conserved, leak-free. *)
+}
+
+type shards_doc = {
+  shd_seed : int;
+  shd_hosts : int;
+  shd_degree : int;
+  shd_pairs : int;
+  shd_host_cores : int;  (** [Domain.recommended_domain_count ()]. *)
+  shard_rows : shard_row list;
+}
+
+val shards_schema : string
+(** ["ldlp-bench-shards/1"]. *)
+
+val render_shards :
+  seed:int ->
+  hosts:int ->
+  degree:int ->
+  pairs:int ->
+  host_cores:int ->
+  shard_row list ->
+  string
+
+val parse_shards : string -> (shards_doc, string) result
+(** Read {!render_shards} output back; validates the schema tag, every
+    field, non-negative measures, [shards >= 1] and that
+    [cpu_pairs_per_s] matches [completed / cpu_s_max]. *)

@@ -1,0 +1,70 @@
+(* SPSC ring over a fixed array of options.  [head] is the next index to
+   pop, [tail] the next to fill; both grow without bound and are reduced
+   mod capacity on access, so emptiness is [head = tail] and fullness is
+   [tail - head = capacity] with no reserved slot.
+
+   Memory ordering: the producer writes the slot and then publishes it
+   with the (sequentially consistent) [Atomic.set] on [tail]; the
+   consumer observes the new [tail] before it reads the slot, and
+   conversely publishes its consumption through [head] before the
+   producer may overwrite the slot.  Each slot is therefore never
+   accessed concurrently from both sides — the standard SPSC argument,
+   and the reason the item path needs no lock. *)
+
+type 'a t = {
+  slots : 'a option array;
+  cap : int;
+  head : int Atomic.t;
+  tail : int Atomic.t;
+  mutable n_pushes : int;
+  mutable n_refusals : int;
+  mutable max_occ : int;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Ring.create: capacity < 1";
+  {
+    slots = Array.make capacity None;
+    cap = capacity;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    n_pushes = 0;
+    n_refusals = 0;
+    max_occ = 0;
+  }
+
+let capacity t = t.cap
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  let occ = tail - Atomic.get t.head in
+  if occ >= t.cap then begin
+    t.n_refusals <- t.n_refusals + 1;
+    false
+  end
+  else begin
+    t.slots.(tail mod t.cap) <- Some x;
+    Atomic.set t.tail (tail + 1);
+    t.n_pushes <- t.n_pushes + 1;
+    if occ + 1 > t.max_occ then t.max_occ <- occ + 1;
+    true
+  end
+
+let pop_opt t =
+  let head = Atomic.get t.head in
+  if head = Atomic.get t.tail then None
+  else begin
+    let i = head mod t.cap in
+    let x = t.slots.(i) in
+    t.slots.(i) <- None;
+    Atomic.set t.head (head + 1);
+    x
+  end
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let pushes t = t.n_pushes
+
+let refusals t = t.n_refusals
+
+let max_occupancy t = t.max_occ

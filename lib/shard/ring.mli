@@ -1,0 +1,39 @@
+(** Bounded single-producer / single-consumer ring.
+
+    The inter-domain handoff lane of the sharded data path: exactly one
+    domain pushes and exactly one domain pops, synchronised only through
+    the atomic head/tail indices (no locks on the item path).  A full
+    ring {e refuses} the push — backpressure, never loss; the producer
+    keeps the item (the {!Handoff} layer parks it in an overflow list
+    that drains at the next barrier).
+
+    Producer-side statistics ([pushes], [refusals], [max_occupancy]) are
+    plain fields written only by the producer; read them from the
+    producer's domain, or after a synchronisation point (barrier/join). *)
+
+type 'a t
+
+val create : capacity:int -> unit -> 'a t
+(** Raises [Invalid_argument] unless [capacity >= 1]. *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side.  [false] when the ring is full — the item is {e not}
+    taken and the refusal is counted. *)
+
+val pop_opt : 'a t -> 'a option
+(** Consumer side.  [None] when empty. *)
+
+val length : 'a t -> int
+(** Items currently queued.  Exact when producer and consumer are
+    quiescent (e.g. at a barrier); a racy snapshot otherwise. *)
+
+val pushes : 'a t -> int
+(** Successful pushes so far (producer-side counter). *)
+
+val refusals : 'a t -> int
+(** Pushes refused because the ring was full (producer-side counter). *)
+
+val max_occupancy : 'a t -> int
+(** High-watermark of [length] as observed by the producer. *)

@@ -1,0 +1,83 @@
+(** Randomised multi-group stack workload over the sharded driver — the
+    subject of the cross-shard differential oracle.
+
+    Each {e group} owns a full private pipeline: a {!Ldlp_core.Msg.pool}
+    and an LDLP {!Ldlp_core.Sched} over a randomly drawn stack of layer
+    behaviours.  Groups seed themselves with an initial burst; every
+    delivered message whose TTL is positive is re-emitted through the
+    {!Handoff} to the next group, so traffic keeps crossing shard
+    boundaries until the TTLs drain.
+
+    Everything observable — per-group delivered-stream digests, the
+    emitted wire multiset, the conservation ledger, pool leak counts —
+    is a pure function of [(spec, shards … any)].  {!run} with different
+    shard counts must produce identical {!report}s (modulo
+    [r_stats]); the oracle in [lib/check] and the QCheck suite both pin
+    exactly that. *)
+
+type behaviour = Pass | Consume_every of int | Reply_every of int
+
+type spec = {
+  sp_groups : int;
+  sp_layers : behaviour list array;  (** Per-group stack, bottom first. *)
+  sp_policy : Ldlp_core.Batch.policy;
+  sp_init : (int * int) list array;
+      (** Per-group initial burst, [(tag, ttl)] in injection order. *)
+  sp_seed : int;  (** The seed that drew this spec (for reporting). *)
+}
+
+val random_spec : ?groups:int -> seed:int -> unit -> spec
+(** Deterministic in [seed].  [groups] defaults to a seed-drawn value in
+    2–6. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+
+type group_report = {
+  gr_group : int;
+  gr_digest : string list;
+      (** Delivered stream, in delivery order — the byte-replayable
+          output of the group's pipeline. *)
+  gr_emits : (int * int * int) list;
+      (** Handoff emissions [(dst_group, tag, ttl)] in emission order
+          (per-group order is placement-invariant). *)
+  gr_injected : int;
+  gr_delivered : int;
+  gr_consumed : int;
+  gr_sent_down : int;
+  gr_pool_outstanding : int;  (** Must be 0 — per-shard leak audit. *)
+}
+
+type report = {
+  r_groups : group_report array;  (** Group-indexed, all groups. *)
+  r_stats : Shard.run_stats;
+}
+
+val run :
+  ?policy:Shard.Policy.t ->
+  ?shard_seed:int ->
+  ?capacity:int ->
+  shards:int ->
+  spec ->
+  report
+(** Execute the workload on [shards] domains ([1] = inline).
+    [shard_seed]/[capacity] vary only the handoff's internal drain
+    rotation and ring bound — the report must not change with them. *)
+
+val wire_multiset : report -> (int * int * int * int) list
+(** Sorted multiset of [(src_group, dst_group, tag, ttl)] over every
+    handoff emission. *)
+
+val ledger_ok : report -> bool
+(** Conservation per group: injected = delivered + consumed, emissions
+    equal deliveries with positive TTL, and no pooled message leaked. *)
+
+val totals : report -> int * int * int
+(** [(injected, delivered, consumed)] summed over groups. *)
+
+val equal_reports : report -> report -> bool
+(** Placement-invariant equality: digests, emits and ledgers per group
+    (ignores [r_stats], which legitimately varies with shard count). *)
+
+val diff_reports : report -> report -> string option
+(** [None] when {!equal_reports}; otherwise a human-readable first
+    difference, for oracle output. *)

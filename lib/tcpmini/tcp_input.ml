@@ -23,17 +23,27 @@ type outcome = {
 
 type stats = { fastpath_hits : int; slowpath : int; acks_sent : int; drops : int }
 
-let counters = ref { fastpath_hits = 0; slowpath = 0; acks_sent = 0; drops = 0 }
+(* Per-domain counters (Domain.DLS): a sharded data path runs one host
+   group per domain, and a shared ref here would be both racy and
+   misleading (counts smeared across shards).  Each domain sees exactly
+   its own stack's counts; [stats]/[reset_stats] act on the calling
+   domain. *)
+let counters_key =
+  Domain.DLS.new_key (fun () ->
+      ref { fastpath_hits = 0; slowpath = 0; acks_sent = 0; drops = 0 })
 
-let stats () = !counters
+let counters () = Domain.DLS.get counters_key
+
+let stats () = !(counters ())
 
 let reset_stats () =
-  counters := { fastpath_hits = 0; slowpath = 0; acks_sent = 0; drops = 0 }
+  counters () := { fastpath_hits = 0; slowpath = 0; acks_sent = 0; drops = 0 }
 
 let initial_send_seq = 1000l
 
 let drop ?pcb reason =
-  counters := { !counters with drops = !counters.drops + 1 };
+  (let c = counters () in
+   c := { !c with drops = !c.drops + 1 });
   { pcb; delivered = 0; replies = []; fastpath = false; dropped = Some reason }
 
 (* The input path reads segment fields in place off the pulled-up mbuf
@@ -42,7 +52,8 @@ let drop ?pcb reason =
    [ack] and [flags] of the arriving segment. *)
 
 let reply_of ~src_ip ~seg_src_port (pcb : Pcb.t) ~flags =
-  counters := { !counters with acks_sent = !counters.acks_sent + 1 };
+  (let c = counters () in
+   c := { !c with acks_sent = !c.acks_sent + 1 });
   {
     dst = src_ip;
     src_port = pcb.Pcb.local_port;
@@ -116,7 +127,8 @@ let established_input _table ~src_ip ~now pcb ~seg_src_port ~seq ~ack ~seg_flags
     && len > 0
     && Sockbuf.space pcb.Pcb.sockbuf >= len
   then begin
-    counters := { !counters with fastpath_hits = !counters.fastpath_hits + 1 };
+    (let c = counters () in
+   c := { !c with fastpath_hits = !c.fastpath_hits + 1 });
     process_ack pcb ~now ~ack ~seg_flags ~len;
     let accepted = Sockbuf.append pcb.Pcb.sockbuf payload in
     pcb.Pcb.rcv_nxt <- Tcp.seq_add pcb.Pcb.rcv_nxt accepted;
@@ -131,7 +143,8 @@ let established_input _table ~src_ip ~now pcb ~seg_src_port ~seq ~ack ~seg_flags
     { pcb = Some pcb; delivered = accepted; replies; fastpath = true; dropped = None }
   end
   else begin
-    counters := { !counters with slowpath = !counters.slowpath + 1 };
+    (let c = counters () in
+   c := { !c with slowpath = !c.slowpath + 1 });
     process_ack pcb ~now ~ack ~seg_flags ~len;
     (* Slow path: in-order FIN, out-of-order data, window probes... *)
     let in_order = Int32.equal seq pcb.Pcb.rcv_nxt in
@@ -216,7 +229,8 @@ let segment_arrived table ~my_ip ~src_ip ~pool ?(now = 0.0) m =
             seg_flags land Tcp.flag_syn <> 0
             && seg_flags land Tcp.flag_ack = 0
           then begin
-            counters := { !counters with slowpath = !counters.slowpath + 1 };
+            (let c = counters () in
+   c := { !c with slowpath = !c.slowpath + 1 });
             let conn = Pcb.insert_connection table ~listener:pcb ~remote in
             conn.Pcb.irs <- seq;
             conn.Pcb.rcv_nxt <- Tcp.seq_add seq 1;
@@ -245,7 +259,8 @@ let segment_arrived table ~my_ip ~src_ip ~pool ?(now = 0.0) m =
             }
           end
         | Pcb.Syn_received ->
-          counters := { !counters with slowpath = !counters.slowpath + 1 };
+          (let c = counters () in
+   c := { !c with slowpath = !c.slowpath + 1 });
           if seg_flags land Tcp.flag_rst <> 0 then begin
             Pcb.drop table pcb;
             { pcb = Some pcb; delivered = 0; replies = []; fastpath = false; dropped = None }
@@ -285,7 +300,8 @@ let segment_arrived table ~my_ip ~src_ip ~pool ?(now = 0.0) m =
           end
           else drop ~pcb `Bad_state
         | Pcb.Syn_sent ->
-          counters := { !counters with slowpath = !counters.slowpath + 1 };
+          (let c = counters () in
+   c := { !c with slowpath = !c.slowpath + 1 });
           if seg_flags land Tcp.flag_rst <> 0 then begin
             Pcb.drop table pcb;
             { pcb = Some pcb; delivered = 0; replies = []; fastpath = false; dropped = None }

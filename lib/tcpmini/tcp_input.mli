@@ -62,7 +62,8 @@ val segment_arrived :
 type stats = { fastpath_hits : int; slowpath : int; acks_sent : int; drops : int }
 
 val stats : unit -> stats
-(** Process-wide counters (reset with {!reset_stats}); coarse but handy
+(** Per-domain counters (reset with {!reset_stats}) — each domain of a
+    sharded data path sees only its own stack's counts; coarse but handy
     for examples and tests. *)
 
 val reset_stats : unit -> unit

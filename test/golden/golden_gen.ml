@@ -87,5 +87,23 @@ let () =
    let chaos =
      Mesh.compare_spread ~domains { cfg with Mesh.plan = Mesh.chaos_plan }
    in
-   let storms = Mesh.compare_storm ~domains cfg in
-   write "mesh" (Mesh.render cfg ~pristine ~chaos ~storms))
+   (* The storm rows go through the sharded engine at shards = 1: the
+      figure is the regression pin that the sharded path reproduces the
+      pre-sharding storm byte for byte. *)
+   let storms =
+     List.map
+       (fun wiring ->
+         (Mesh.run_storm_sharded ~wiring ~shards:1 cfg).Mesh.ss_storm)
+       Mesh.all_wirings
+   in
+   write "mesh" (Mesh.render cfg ~pristine ~chaos ~storms));
+  (* Sharded data path: placement plan + fixed-seed replays. *)
+  let shards_fig = Ldlp_shard.Demo.render ~seed in
+  let shards_fig =
+    (* [write] adds the final newline itself. *)
+    if String.length shards_fig > 0
+       && shards_fig.[String.length shards_fig - 1] = '\n'
+    then String.sub shards_fig 0 (String.length shards_fig - 1)
+    else shards_fig
+  in
+  write "shards" shards_fig

@@ -183,6 +183,38 @@ let test_storm_deterministic () =
   let b = Mesh.run_storm ~wiring:Mesh.Duplex small in
   checkb "same storm twice" true (a = b)
 
+let test_storm_sharded_equals_single () =
+  (* The sharded merge must reproduce the single-domain storm exactly —
+     every count, cause, the wire clock and the host-order CPU sum. *)
+  List.iter
+    (fun wiring ->
+      let base = Mesh.run_storm ~wiring small in
+      List.iter
+        (fun shards ->
+          let sh = Mesh.run_storm_sharded ~wiring ~shards small in
+          checkb
+            (Printf.sprintf "%s shards=%d equals shards=1"
+               (Mesh.wiring_name wiring) shards)
+            true
+            (sh.Mesh.ss_storm = base);
+          checki
+            (Printf.sprintf "%s shards=%d cpu vector length"
+               (Mesh.wiring_name wiring) shards)
+            shards
+            (Array.length sh.Mesh.ss_cpu_per_shard);
+          checkb "per-shard cpu sums to the storm's" true
+            (Float.abs
+               (Array.fold_left ( +. ) 0.0 sh.Mesh.ss_cpu_per_shard
+               -. base.Mesh.storm_cpu_seconds)
+            < 1e-9))
+        [ 1; 2; 3 ])
+    [ Mesh.Ldlp; Mesh.Duplex ];
+  (* Sharding also holds under active fault injection. *)
+  let chaotic = { small with Mesh.plan = Mesh.chaos_plan } in
+  let base = Mesh.run_storm ~wiring:Mesh.Duplex chaotic in
+  let sh = Mesh.run_storm_sharded ~wiring:Mesh.Duplex ~shards:3 chaotic in
+  checkb "chaos storm shards equal" true (sh.Mesh.ss_storm = base)
+
 (* ------------------------------------------------------------------ *)
 (* BENCH_mesh.json schema roundtrip.                                   *)
 (* ------------------------------------------------------------------ *)
@@ -284,6 +316,8 @@ let suite =
       test_storm_completes;
     Alcotest.test_case "call storm is deterministic" `Quick
       test_storm_deterministic;
+    Alcotest.test_case "sharded storm equals single-domain" `Quick
+      test_storm_sharded_equals_single;
     Alcotest.test_case "BENCH_mesh.json roundtrip" `Quick
       test_mesh_json_roundtrip;
     Alcotest.test_case "BENCH_mesh.json rejects bad docs" `Quick

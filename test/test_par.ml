@@ -89,6 +89,37 @@ let test_map_array () =
     "array map" [| 1; 4; 9 |]
     (Pool.map_array ~domains:2 (fun x -> x * x) [| 1; 2; 3 |])
 
+let test_coarse_work_not_slower () =
+  (* Regression pin for the sweep-speedup fix: with coarse tasks (>= 10 ms
+     each) a 2-domain map must not lose to sequential.  Wall clock on a
+     single-core host says nothing about the chunking, so the assertion
+     only fires with real parallel hardware; the result equality always
+     runs. *)
+  let busy_ms = 12.0 in
+  let spin _ =
+    let t0 = Unix.gettimeofday () in
+    let acc = ref 0 in
+    while (Unix.gettimeofday () -. t0) *. 1e3 < busy_ms do
+      acc := !acc + 1
+    done;
+    !acc > 0
+  in
+  let items = List.init 6 Fun.id in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq, seq_s = time (fun () -> Pool.map ~domains:1 spin items) in
+  let par, par_s = time (fun () -> Pool.map ~domains:2 spin items) in
+  check "parallel computed everything" true (List.for_all Fun.id (seq @ par));
+  if Domain.recommended_domain_count () >= 2 then
+    check
+      (Printf.sprintf "2-domain map (%.0f ms/item) not slower: %.3fs vs %.3fs"
+         busy_ms par_s seq_s)
+      true
+      (par_s <= seq_s *. 1.10)
+
 let suite =
   [
     Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
@@ -102,4 +133,6 @@ let suite =
       test_explicit_domains_validation;
     Alcotest.test_case "map_reduce input order" `Quick test_map_reduce_ordered;
     Alcotest.test_case "map_array" `Quick test_map_array;
+    Alcotest.test_case "coarse 2-domain map not slower" `Slow
+      test_coarse_work_not_slower;
   ]
