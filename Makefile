@@ -4,7 +4,7 @@
 
 DOMAINS ?= 2
 
-.PHONY: all build test fmt promote selftest oracle engine-parity soak soak-duplex mesh shards bench-sweeps bench-hotpath bench-alloc bench-soak bench-mesh bench-shards check
+.PHONY: all build test fmt promote selftest oracle engine-parity soak soak-duplex mesh shards recovery bench-sweeps bench-hotpath bench-alloc bench-soak bench-mesh bench-shards bench-recovery check
 
 all: build
 
@@ -66,6 +66,13 @@ mesh: build
 shards: build
 	dune exec bin/ldlp_repro.exe -- shards --seed 1996
 
+# Crash/restart recovery: the Q.93B call storm under a seeded host
+# lifecycle plan with the deterministic retry/backoff/admission engine,
+# audited by the recovery oracle (extended conservation, eventual
+# completion, cross-wiring equivalence, determinism, shard merge).
+recovery: build
+	dune exec bin/ldlp_repro.exe -- recovery --seed 1996
+
 # Times every sweep at 1 domain and at N domains; writes BENCH_sweeps.json.
 bench-sweeps: build
 	dune exec bench/main.exe -- --sweeps
@@ -99,5 +106,12 @@ bench-mesh: build
 bench-shards: build
 	dune exec bench/main.exe -- --shards
 
-check: build fmt test selftest oracle engine-parity bench-alloc soak soak-duplex mesh shards
+# Call storm under a crash-severity ladder (25% / 50% / 100% of hosts
+# crashing twice); writes BENCH_recovery.json (kept even on gate
+# failure) and fails on any conservation, completion, cross-wiring
+# equivalence or goodput-floor violation.
+bench-recovery: build
+	dune exec bench/main.exe -- --recovery
+
+check: build fmt test selftest oracle engine-parity bench-alloc soak soak-duplex mesh shards recovery
 	@echo "check OK"

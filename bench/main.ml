@@ -460,6 +460,7 @@ let bench_alloc_gate () =
       sp_init =
         Array.init groups (fun g -> List.init 128 (fun i -> ((g * 1000) + i, 3)));
       sp_seed = seed;
+      sp_crash = [];
     }
   in
   ignore (Ldlp_shard.Stackwork.run ~shards:1 shard_spec);
@@ -820,6 +821,140 @@ let bench_shards ~out () =
   Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* Section 1g: crash/restart recovery -> BENCH_recovery.json.          *)
+(* ------------------------------------------------------------------ *)
+
+(* The Q.93B call storm under a crash-rate ladder: every wiring runs
+   the same seeded lifecycle plan per rung (25%, 50%, 100% of hosts
+   crashing twice inside the horizon) through the deterministic
+   retry/backoff/admission engine.  Gates: extended conservation + leak
+   freedom + eventual completion per row, cross-wiring agreement on the
+   outcome multisets per rung, and a goodput floor under the heaviest
+   rung.  The JSON is written before the gates exit so CI keeps the
+   artifact on failure. *)
+
+let recovery_hosts = 32
+let recovery_degree = 4
+let recovery_victims = [ (0.25, "+v25"); (0.5, "+v50"); (1.0, "+v100") ]
+
+let bench_recovery ~out () =
+  let module Mesh = Ldlp_mesh.Mesh in
+  let module Plan = Ldlp_fault.Plan in
+  let rung (victims, tag) =
+    let lifecycle =
+      Plan.lifecycle ~victims ~episodes:2 ~min_outage:0.002 ~mean_outage:0.01
+        ~flap:0.25 ~seed:(seed lxor 0x6c696665) ~hosts:recovery_hosts
+        ~horizon:0.02 ()
+    in
+    let cfg =
+      Mesh.config ~hosts:recovery_hosts ~degree:recovery_degree ~seed
+        ~lifecycle ()
+    in
+    let storms = Mesh.compare_storm ~calls_per_pair:6 cfg in
+    let episodes = Plan.lifecycle_episodes lifecycle in
+    let row (t : Mesh.storm) =
+      let ttr = Mesh.storm_ttr_sorted t in
+      {
+        Ldlp_report.Bench_json.rr_wiring = Mesh.wiring_name t.Mesh.t_wiring ^ tag;
+        rr_crash_episodes = episodes;
+        rr_calls = t.Mesh.calls_requested;
+        rr_completed = t.Mesh.calls_completed;
+        rr_abandoned = t.Mesh.calls_abandoned;
+        rr_retried = t.Mesh.calls_retried;
+        rr_deferred = t.Mesh.setups_deferred;
+        rr_goodput_pairs_per_s = Mesh.storm_goodput t;
+        rr_retry_amplification = Mesh.storm_retry_amplification t;
+        rr_ttr_p50_s = Mesh.ttr_percentile ttr 0.50;
+        rr_ttr_p99_s = Mesh.ttr_percentile ttr 0.99;
+        rr_ok = t.Mesh.t_conserved && t.Mesh.t_leak_free && Mesh.storm_complete t;
+      }
+    in
+    (tag, storms, List.map row storms)
+  in
+  let rungs = List.map rung recovery_victims in
+  let rows = List.concat_map (fun (_, _, rs) -> rs) rungs in
+  let json =
+    Ldlp_report.Bench_json.render_recovery ~seed ~hosts:recovery_hosts
+      ~degree:recovery_degree rows
+  in
+  (match Ldlp_report.Bench_json.parse_recovery json with
+  | Ok _ -> ()
+  | Error e -> failwith ("BENCH_recovery.json fails its own schema: " ^ e));
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "Crash/restart recovery: %d hosts, degree %d, seed %d, %d crash rungs\n"
+    recovery_hosts recovery_degree seed (List.length recovery_victims);
+  Printf.printf "%-13s %8s %6s %5s %9s %7s %8s %10s %6s %8s %8s %4s\n" "wiring"
+    "episodes" "calls" "done" "abandoned" "retries" "deferred" "goodput/s"
+    "amp" "ttr-p50" "ttr-p99" "ok";
+  List.iter
+    (fun (r : Ldlp_report.Bench_json.recovery_row) ->
+      Printf.printf "%-13s %8d %6d %5d %9d %7d %8d %10.0f %5.2fx %7ss %7ss %4s\n"
+        r.Ldlp_report.Bench_json.rr_wiring
+        r.Ldlp_report.Bench_json.rr_crash_episodes
+        r.Ldlp_report.Bench_json.rr_calls r.Ldlp_report.Bench_json.rr_completed
+        r.Ldlp_report.Bench_json.rr_abandoned
+        r.Ldlp_report.Bench_json.rr_retried
+        r.Ldlp_report.Bench_json.rr_deferred
+        r.Ldlp_report.Bench_json.rr_goodput_pairs_per_s
+        r.Ldlp_report.Bench_json.rr_retry_amplification
+        (Ldlp_sim.Table.fmt_si r.Ldlp_report.Bench_json.rr_ttr_p50_s)
+        (Ldlp_sim.Table.fmt_si r.Ldlp_report.Bench_json.rr_ttr_p99_s)
+        (if r.Ldlp_report.Bench_json.rr_ok then "ok" else "FAIL"))
+    rows;
+  let failed = ref false in
+  let fail fmt =
+    Printf.ksprintf (fun s -> Printf.eprintf "FAIL: %s\n" s; failed := true) fmt
+  in
+  List.iter
+    (fun (r : Ldlp_report.Bench_json.recovery_row) ->
+      if not r.Ldlp_report.Bench_json.rr_ok then
+        fail "%s: conservation/leak/completion gate"
+          r.Ldlp_report.Bench_json.rr_wiring)
+    rows;
+  (* Cross-wiring agreement per rung: same outcome multiset, retries and
+     deferrals whatever the scheduling discipline. *)
+  List.iter
+    (fun (tag, storms, _) ->
+      match storms with
+      | (first : Mesh.storm) :: rest ->
+        List.iter
+          (fun (t : Mesh.storm) ->
+            if
+              t.Mesh.pair_done <> first.Mesh.pair_done
+              || t.Mesh.pair_abandoned <> first.Mesh.pair_abandoned
+              || t.Mesh.calls_retried <> first.Mesh.calls_retried
+              || t.Mesh.setups_deferred <> first.Mesh.setups_deferred
+            then
+              fail "rung %s: %s disagrees with %s on the recovery outcome" tag
+                (Mesh.wiring_name t.Mesh.t_wiring)
+                (Mesh.wiring_name first.Mesh.t_wiring))
+          rest
+      | [] -> fail "rung %s: no storms" tag)
+    rungs;
+  (* Goodput floor: even with every host crashing twice, at least half
+     the offered calls must complete and goodput must stay positive. *)
+  List.iter
+    (fun (r : Ldlp_report.Bench_json.recovery_row) ->
+      if 2 * r.Ldlp_report.Bench_json.rr_completed < r.Ldlp_report.Bench_json.rr_calls
+      then
+        fail "%s: only %d/%d calls completed under crashes"
+          r.Ldlp_report.Bench_json.rr_wiring
+          r.Ldlp_report.Bench_json.rr_completed
+          r.Ldlp_report.Bench_json.rr_calls;
+      if r.Ldlp_report.Bench_json.rr_goodput_pairs_per_s <= 0.0 then
+        fail "%s: zero goodput under crashes" r.Ldlp_report.Bench_json.rr_wiring)
+    rows;
+  if !failed then begin
+    prerr_endline "FAIL: recovery gates did not hold (JSON still written)";
+    exit 1
+  end;
+  Printf.printf "conservation, equivalence, completion and goodput gates: ok\n";
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* Section 2: Bechamel tests.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1067,7 +1202,9 @@ let () =
   let soak_only = Array.exists (( = ) "--soak") Sys.argv in
   let mesh_only = Array.exists (( = ) "--mesh") Sys.argv in
   let shards_only = Array.exists (( = ) "--shards") Sys.argv in
-  if shards_only then bench_shards ~out:"BENCH_shards.json" ()
+  let recovery_only = Array.exists (( = ) "--recovery") Sys.argv in
+  if recovery_only then bench_recovery ~out:"BENCH_recovery.json" ()
+  else if shards_only then bench_shards ~out:"BENCH_shards.json" ()
   else if mesh_only then bench_mesh ~out:"BENCH_mesh.json" ()
   else if sweeps_only then bench_sweeps ~out:"BENCH_sweeps.json" ()
   else if hotpath_only then bench_hotpath ~out:"BENCH_hotpath.json" ()

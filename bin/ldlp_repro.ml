@@ -261,6 +261,31 @@ let run_mesh ?domains ~hosts ~degree ~broadcasts ~json_path seed =
     exit 1
   end
 
+(* The canonical crash plan for the recovery figure, oracle and bench:
+   half the hosts die twice inside a 20 ms horizon, outages 2-20 ms —
+   long enough to kill attempts mid-flight, short enough that the retry
+   budget usually outlives them. *)
+let recovery_config ~hosts ~degree ~seed =
+  Ldlp_mesh.Mesh.config ~hosts ~degree ~seed
+    ~lifecycle:
+      (Ldlp_fault.Plan.lifecycle ~victims:0.5 ~episodes:2 ~min_outage:0.002
+         ~mean_outage:0.01 ~flap:0.25 ~seed:(seed lxor 0x6c696665) ~hosts
+         ~horizon:0.02 ())
+    ()
+
+let run_recovery ?domains ~hosts ~degree seed =
+  let module Mesh = Ldlp_mesh.Mesh in
+  let cfg = recovery_config ~hosts ~degree ~seed in
+  let storms = Mesh.compare_storm ?domains ~calls_per_pair:6 cfg in
+  print_string (Mesh.render_recovery cfg ~storms);
+  match Ldlp_check.Recovery_oracle.run ?domains ~calls_per_pair:6 cfg with
+  | Ok n ->
+    Printf.printf "recovery oracle: %d checks, no divergence\nrecovery OK\n" n
+  | Error d ->
+    Format.eprintf "recovery oracle FAILED: %a@."
+      Ldlp_check.Recovery_oracle.pp_divergence d;
+    exit 1
+
 let run_check seed =
   let fail fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt in
   (* 1. Differential replay: production cache vs the naive LRU oracle. *)
@@ -318,6 +343,16 @@ let run_check seed =
     Printf.printf
       "shard differential: %d random workloads + echo replay, no divergence\n" n
   | Error e -> fail "shard differential FAILED: %s" e);
+  (* 5. Crash/restart recovery: conservation, eventual completion,
+     cross-wiring equivalence and shard-merge exactness under a seeded
+     host lifecycle plan. *)
+  (match
+     Ldlp_check.Recovery_oracle.run ~calls_per_pair:6
+       (recovery_config ~hosts:16 ~degree:3 ~seed)
+   with
+  | Ok n -> Printf.printf "recovery oracle: %d checks, no divergence\n" n
+  | Error d ->
+    fail "recovery oracle FAILED: %a" Ldlp_check.Recovery_oracle.pp_divergence d);
   print_endline "check OK"
 
 let run_shards seed =
@@ -498,6 +533,22 @@ let cmds =
             value
             & opt string "BENCH_mesh.json"
             & info [ "o"; "json" ] ~doc:"Where to write the mesh JSON document."));
+    cmd "recovery"
+      "Crash/restart fault injection: run the Q.93B call storm under a \
+       seeded host lifecycle plan (crashes, restarts, flapping) with the \
+       deterministic retry/backoff/admission engine, print the recovery \
+       figure (goodput, retry amplification, time-to-recover), and assert \
+       the recovery oracle: extended conservation, eventual completion, \
+       cross-wiring equivalence, leak freedom, determinism and shard-merge \
+       exactness.  Nonzero exit on any failure."
+      Term.(
+        const (fun seed domains hosts degree ->
+            run_recovery ?domains ~hosts ~degree seed)
+        $ seed_t $ domains_t
+        $ Arg.(value & opt int 32 & info [ "hosts" ] ~doc:"Number of hosts.")
+        $ Arg.(
+            value & opt int 4
+            & info [ "degree" ] ~doc:"Links per host (regular topology)."));
     cmd "shards"
       "Sharded data path: print the deterministic placement/replay figure, \
        run the cross-shard differential oracle over random workloads, and \

@@ -14,14 +14,15 @@ let conservation (s : Mesh.spread) =
   let sent = c.Mesh.offered + c.Mesh.duplicated in
   let accounted =
     c.Mesh.arrived + c.Mesh.fault_dropped + c.Mesh.down_dropped + c.Mesh.flushed
+    + c.Mesh.crashed
   in
   if sent <> accounted then
-    fail "wire conservation (offered+dup = arrived+dropped+down+flushed)"
+    fail "wire conservation (offered+dup = arrived+dropped+down+flushed+crashed)"
       (string_of_int sent) (string_of_int accounted)
   else
     let handled =
       c.Mesh.delivered + c.Mesh.sig_delivered + c.Mesh.dup_dropped
-      + c.Mesh.corrupt_dropped
+      + c.Mesh.corrupt_dropped + c.Mesh.lost_in_crash
     in
     if c.Mesh.arrived <> handled then
       fail "host conservation (arrived = delivered+sig+dupdrop+badframe)"
@@ -52,9 +53,11 @@ let causes_fields (c : Mesh.causes) =
     ("corrupted", c.Mesh.corrupted);
     ("reordered", c.Mesh.reordered);
     ("flushed", c.Mesh.flushed);
+    ("crashed", c.Mesh.crashed);
     ("arrived", c.Mesh.arrived);
     ("corrupt_dropped", c.Mesh.corrupt_dropped);
     ("dup_dropped", c.Mesh.dup_dropped);
+    ("lost_in_crash", c.Mesh.lost_in_crash);
     ("delivered", c.Mesh.delivered);
     ("sig_delivered", c.Mesh.sig_delivered);
   ]

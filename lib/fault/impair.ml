@@ -10,6 +10,7 @@ type stats = {
   corrupted : int;
   reordered : int;
   down_dropped : int;
+  flushed : int;
 }
 
 let zero_stats =
@@ -21,6 +22,7 @@ let zero_stats =
     corrupted = 0;
     reordered = 0;
     down_dropped = 0;
+    flushed = 0;
   }
 
 module Reorder = struct
@@ -156,8 +158,28 @@ let release_due t ~now =
   count_delivered t (List.length out);
   out
 
-let flush t = Reorder.flush t.reorder
+let flush t =
+  let out = Reorder.flush t.reorder in
+  t.s <- { t.s with flushed = t.s.flushed + List.length out };
+  out
 
 let drop_frame t frame =
   t.s <- { t.s with dropped = t.s.dropped + 1 };
   t.free frame
+
+(* Per-cause counters as an Obs.Metrics scalar sheet: a no-op unless the
+   observability gate is on (add_scalar is gated), so chaos runs cost
+   nothing extra in normal operation. *)
+let metrics_scalars ?(prefix = "fault.") m t =
+  let put name v =
+    Ldlp_obs.Metrics.add_scalar (Ldlp_obs.Metrics.scalar m (prefix ^ name)) v
+  in
+  put "offered" t.s.offered;
+  put "delivered" t.s.delivered;
+  put "dropped" t.s.dropped;
+  put "duplicated" t.s.duplicated;
+  put "corrupted" t.s.corrupted;
+  put "reorder_held" t.s.reordered;
+  put "down_dropped" t.s.down_dropped;
+  put "flushed" t.s.flushed;
+  put "still_held" (held t)

@@ -29,6 +29,7 @@ type stats = {
   corrupted : int;
   reordered : int;  (** Frames held back for reordering. *)
   down_dropped : int;  (** Frames sent into a down episode. *)
+  flushed : int;  (** Held frames removed by {!flush} (teardown). *)
 }
 
 val create :
@@ -67,6 +68,13 @@ val drop_frame : 'a t -> 'a -> unit
     at delivery time): frees it and counts it in [dropped]. *)
 
 val stats : 'a t -> stats
+
+val metrics_scalars : ?prefix:string -> Ldlp_obs.Metrics.t -> 'a t -> unit
+(** Publish the per-cause counters (drops, duplicates, corruptions,
+    reorder holds, down-episode drops, teardown flushes, frames still
+    held) as scalars on an observability sheet, each named
+    [prefix ^ cause] ([prefix] defaults to ["fault."]).  Gated like every
+    metric: a no-op unless observability is enabled. *)
 
 (** The reorder window by itself, for differential testing against a
     reference replay: a held value is released after [window] subsequent

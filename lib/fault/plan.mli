@@ -59,3 +59,63 @@ val describe : t -> string
 (** Compact one-line summary, e.g. ["drop=5% dup=2% corrupt=0.1%
     reorder=10%/w4"]; ["pristine"] for {!none}.  Deterministic — used in
     golden-snapshotted tables. *)
+
+(** {1 Host lifecycle plans}
+
+    A lifecycle plan schedules when a {e host} (not a link) is dead:
+    during a crash episode the host loses its volatile state — parked
+    frames, signalling state — and frames delivered to it are ledgered,
+    never silently lost.  Like link plans, a lifecycle is pure data;
+    combined with the mesh seed it is byte-replayable at any domain
+    count. *)
+
+type host = {
+  crash : (float * float) list;
+      (** Crash episodes [(down_at, up_at)); the host is dead for
+          [down_at <= now < up_at].  Must be sorted and disjoint. *)
+}
+
+val host_none : host
+(** An immortal host: no crash episodes. *)
+
+val host_v : ?crash:(float * float) list -> unit -> host
+(** Build and {!validate_host} a lifecycle. *)
+
+val validate_host : host -> unit
+(** Raises [Invalid_argument] on unsorted, overlapping or empty
+    episodes. *)
+
+val host_is_none : host -> bool
+
+val host_up : host -> float -> bool
+(** Whether the host is alive at the given time. *)
+
+val describe_host : host -> string
+(** Compact summary, e.g. ["crash@0.1s+50ms"]; ["immortal"] for
+    {!host_none}.  Deterministic — used in golden-snapshotted tables. *)
+
+val lifecycle :
+  ?victims:float ->
+  ?episodes:int ->
+  ?min_outage:float ->
+  ?mean_outage:float ->
+  ?flap:float ->
+  seed:int ->
+  hosts:int ->
+  horizon:float ->
+  unit ->
+  host array
+(** Seeded lifecycle generator: each host is independently a victim with
+    probability [victims] (default 0.25); a victim gets [episodes]
+    (default 1) crash episodes, one per equal slice of [horizon], with
+    outages drawn uniformly around [mean_outage] (default 50 ms, at
+    least [min_outage]).  With probability [flap] an episode splits into
+    two (the host comes back briefly, then dies again).  A pure function
+    of its arguments: hosts are drawn in index order from a single
+    private stream.  Every generated host validates. *)
+
+val lifecycle_episodes : host array -> int
+(** Total crash episodes across all hosts. *)
+
+val describe_lifecycle : host array -> string
+(** One-line summary, e.g. ["8/32 hosts crash (9 episodes)"]. *)

@@ -27,10 +27,12 @@ type config = {
   payload_bytes : int;
   plan : Plan.t;
   link_latency : float;
+  lifecycle : Plan.host array;
 }
 
 let config ?(hosts = 64) ?(degree = 4) ?(seed = 1996) ?(broadcasts = 16)
-    ?(payload_bytes = 64) ?(plan = Plan.none) ?(link_latency = 1e-4) () =
+    ?(payload_bytes = 64) ?(plan = Plan.none) ?(link_latency = 1e-4)
+    ?(lifecycle = [||]) () =
   Plan.validate plan;
   if hosts < 2 then invalid_arg "Mesh.config: hosts < 2";
   if degree < 1 || degree >= hosts then
@@ -40,7 +42,11 @@ let config ?(hosts = 64) ?(degree = 4) ?(seed = 1996) ?(broadcasts = 16)
   if broadcasts < 0 then invalid_arg "Mesh.config: broadcasts < 0";
   if payload_bytes < 0 then invalid_arg "Mesh.config: payload_bytes < 0";
   if link_latency <= 0.0 then invalid_arg "Mesh.config: link_latency <= 0";
-  { hosts; degree; seed; broadcasts; payload_bytes; plan; link_latency }
+  if Array.length lifecycle <> 0 && Array.length lifecycle <> hosts then
+    invalid_arg "Mesh.config: lifecycle must cover all hosts (or be empty)";
+  Array.iter Plan.validate_host lifecycle;
+  { hosts; degree; seed; broadcasts; payload_bytes; plan; link_latency;
+    lifecycle }
 
 let chaos_plan =
   Plan.v ~drop:0.05 ~dup:0.02 ~corrupt:0.001 ~reorder:0.1 ~reorder_window:4 ()
@@ -82,18 +88,21 @@ type causes = {
   corrupted : int;
   reordered : int;
   flushed : int;
+  crashed : int;  (* wire emissions whose destination host was dead *)
   arrived : int;
   corrupt_dropped : int;
   dup_dropped : int;
+  lost_in_crash : int;  (* parked frames lost with a host's volatile state *)
   delivered : int;
   sig_delivered : int;
 }
 
 let conserved c =
   c.offered + c.duplicated
-  = c.arrived + c.fault_dropped + c.down_dropped + c.flushed
+  = c.arrived + c.fault_dropped + c.down_dropped + c.flushed + c.crashed
   && c.arrived
      = c.delivered + c.sig_delivered + c.dup_dropped + c.corrupt_dropped
+       + c.lost_in_crash
 
 type kind = Bcast of int | Sig of int
 
@@ -120,6 +129,12 @@ type hostm = {
   h_inject : frame Msg.t -> unit;
   h_submit : now:float -> frame -> unit;
   h_run : unit -> unit;
+  h_parked : frame Msg.t Queue.t;
+      (* Frames accepted by the NIC but not yet drained into the stack —
+         the volatile state a crash wipes.  Parked at {!deliver}, drained
+         at the head of every service quantum, so the drain order (and
+         with it every golden) is exactly the old inject-at-delivery
+         behaviour when no host ever crashes. *)
   mutable h_service_due : bool;
   mutable h_last_node : int;
   mutable h_cpu : float;
@@ -149,11 +164,16 @@ type net = {
   mutable delivered : int;
   mutable sig_delivered : int;
   mutable flushed : int;
+  mutable crashed : int;
+  mutable lost_in_crash : int;
+  alive : bool array;  (* per-host liveness under the lifecycle plan *)
   hist : Hist.t;
   seen : Bytes.t array;  (* per-host bitset over broadcast ids *)
   per_host : int array;
   per_broadcast : int array;
   mutable on_sig : int -> int -> float -> frame -> unit;
+  mutable on_crash : int -> float -> unit;
+  mutable on_restart : int -> float -> unit;
 }
 
 let seen_get net h b =
@@ -214,21 +234,33 @@ and fire_flush net li =
   arm_flush net li
 
 and deliver net d g =
-  net.arrived <- net.arrived + 1;
-  g.pbase <- g.penalty;
-  let h = net.hosts_arr.(d) in
-  let m = Msg.acquire net.pool ~arrival:(Sim.now net.sim) ~size:g.fbytes g in
-  h.h_inject m;
-  if not h.h_service_due then begin
-    h.h_service_due <- true;
-    Sim.after net.sim service_delay (fun () -> service net d)
+  if not net.alive.(d) then
+    (* The destination died with the frame on the wire: ledgered, never
+       injected (the frame was never acquired from the pool). *)
+    net.crashed <- net.crashed + 1
+  else begin
+    net.arrived <- net.arrived + 1;
+    g.pbase <- g.penalty;
+    let h = net.hosts_arr.(d) in
+    let m = Msg.acquire net.pool ~arrival:(Sim.now net.sim) ~size:g.fbytes g in
+    Queue.push m h.h_parked;
+    if not h.h_service_due then begin
+      h.h_service_due <- true;
+      Sim.after net.sim service_delay (fun () -> service net d)
+    end
   end
+
+and drain_parked h =
+  while not (Queue.is_empty h.h_parked) do
+    h.h_inject (Queue.pop h.h_parked)
+  done
 
 and service net d =
   let h = net.hosts_arr.(d) in
   h.h_service_due <- false;
   h.h_last_node <- -1;
   net.elapsed <- 0.0;
+  drain_parked h;
   h.h_run ();
   net.cpu <- net.cpu +. net.elapsed;
   h.h_cpu <- h.h_cpu +. net.elapsed
@@ -239,10 +271,30 @@ let with_service net d k =
   let h = net.hosts_arr.(d) in
   h.h_last_node <- -1;
   net.elapsed <- 0.0;
+  drain_parked h;
   k ();
   h.h_run ();
   net.cpu <- net.cpu +. net.elapsed;
   h.h_cpu <- h.h_cpu +. net.elapsed
+
+(* Crash: liveness off, parked frames (the NIC's volatile state) are
+   ledgered and their pool slots reclaimed, the duplicate-suppression
+   bitset — also volatile — is wiped.  The host's engine is empty between
+   quanta, so nothing else survives to lose. *)
+let crash_host net h now =
+  net.alive.(h) <- false;
+  let hm = net.hosts_arr.(h) in
+  while not (Queue.is_empty hm.h_parked) do
+    let m = Queue.pop hm.h_parked in
+    net.lost_in_crash <- net.lost_in_crash + 1;
+    Msg.release net.pool m
+  done;
+  Bytes.fill net.seen.(h) 0 (Bytes.length net.seen.(h)) '\000';
+  net.on_crash h now
+
+let restart_host net h now =
+  net.alive.(h) <- true;
+  net.on_restart h now
 
 let mac_layer net =
   Layer.v ~name:"mac" ~fp:mac_fp (fun m ->
@@ -341,6 +393,7 @@ let make_host net wiring h =
           f.penalty <- f.pbase +. net.elapsed;
           transmit net ~src:h f);
       h_run = (fun () -> Sched.run s);
+      h_parked = Queue.create ();
       h_service_due = false;
       h_last_node = -1;
       h_cpu = 0.0;
@@ -362,6 +415,7 @@ let make_host net wiring h =
           let m = Msg.acquire net.pool ~arrival:now ~size:f.fbytes f in
           Engine.inject e ~node:tx m);
       h_run = (fun () -> Engine.run e);
+      h_parked = Queue.create ();
       h_service_due = false;
       h_last_node = -1;
       h_cpu = 0.0;
@@ -396,6 +450,9 @@ let make_net ~wiring cfg =
       delivered = 0;
       sig_delivered = 0;
       flushed = 0;
+      crashed = 0;
+      lost_in_crash = 0;
+      alive = Array.make cfg.hosts true;
       hist = Hist.create ();
       seen =
         Array.init cfg.hosts (fun _ ->
@@ -403,9 +460,21 @@ let make_net ~wiring cfg =
       per_host = Array.make cfg.hosts 0;
       per_broadcast = Array.make (max 1 cfg.broadcasts) 0;
       on_sig = (fun _ _ _ _ -> ());
+      on_crash = (fun _ _ -> ());
+      on_restart = (fun _ _ -> ());
     }
   in
   net.hosts_arr <- Array.init cfg.hosts (fun h -> make_host net wiring h);
+  (* Lifecycle events are armed up front, before any traffic, so the
+     crash/restart timeline is identical on every shard and wiring. *)
+  Array.iteri
+    (fun h lp ->
+      List.iter
+        (fun (a, b) ->
+          Sim.at net.sim a (fun () -> crash_host net h a);
+          Sim.at net.sim b (fun () -> restart_host net h b))
+        lp.Plan.crash)
+    cfg.lifecycle;
   net
 
 let teardown net =
@@ -443,6 +512,8 @@ let collect_causes net =
     dup_dropped = net.dup_dropped;
     delivered = net.delivered;
     sig_delivered = net.sig_delivered;
+    crashed = net.crashed;
+    lost_in_crash = net.lost_in_crash;
   }
 
 let batch_mean net =
@@ -481,6 +552,7 @@ let run_spread ~wiring cfg =
     let origin = Rng.int rng cfg.hosts in
     let t = (float_of_int b *. 2e-5) +. Rng.float rng 1e-5 in
     Sim.at net.sim t (fun () ->
+      if net.alive.(origin) then begin
         seen_set net origin b;
         with_service net origin (fun () ->
             let f =
@@ -497,7 +569,8 @@ let run_spread ~wiring cfg =
                 data = Bytes.empty;
               }
             in
-            net.hosts_arr.(origin).h_submit ~now:t f))
+            net.hosts_arr.(origin).h_submit ~now:t f)
+      end)
   done;
   Sim.run net.sim;
   teardown net;
@@ -537,7 +610,12 @@ let compare_spread ?domains cfg =
 type side = A | B
 
 type endpoint = {
-  uni : Uni.t;
+  mutable uni : Uni.t;
+      (* Replaced wholesale when either host of the pair crashes: the
+         crashed side loses its volatile signalling state, and the
+         survivor's SSCOP core holds sequence numbers the restarted peer
+         no longer shares — the only way back to Ready is a fresh
+         connection on both ends. *)
   pair_id : int;
   e_side : side;
   e_host : int;
@@ -553,7 +631,43 @@ type pairst = {
   mutable next_ref : int;
   mutable completed : int;
   mutable last_done : float;
+  (* Recovery-mode state (untouched on the legacy path). *)
+  mutable inflight : int;  (* outstanding attempt's call_ref, 0 = none *)
+  mutable attempts : int;  (* failures charged to the current logical call *)
+  mutable abandoned : int;
+  mutable retried : int;
+  mutable deferred : int;
+  mutable orig_armed : bool;
+  mutable relink_armed : bool;
+  mutable outage_from : float;  (* first failure of the ongoing outage *)
+  mutable ttr : float list;  (* reversed time-to-recover samples *)
+  p_rng : Rng.t;  (* private backoff-jitter stream *)
 }
+
+(* Deterministic retry/backoff + admission-control parameters.  All
+   decisions depend only on wire-clock events and per-pair private RNG
+   streams, so the retry timeline is identical across wirings and shard
+   counts. *)
+type recovery = {
+  attempt_timeout : float;  (* give up on one attempt after this long *)
+  backoff_base : float;  (* first retry delay; doubles per failure *)
+  backoff_max : float;  (* exponential backoff clamp *)
+  backoff_jitter : float;  (* uniform extra delay in [0, jitter) *)
+  retry_budget : int;  (* failures tolerated before abandoning the call *)
+  admit_limit : int;  (* per-host outstanding-attempt cap for new setups *)
+  admit_delay : float;  (* re-try a refused admission after this long *)
+}
+
+let default_recovery =
+  {
+    attempt_timeout = 0.01;
+    backoff_base = 0.002;
+    backoff_max = 0.05;
+    backoff_jitter = 0.001;
+    retry_budget = 6;
+    admit_limit = 2;
+    admit_delay = 0.002;
+  }
 
 type storm = {
   t_wiring : wiring;
@@ -561,11 +675,19 @@ type storm = {
   calls_requested : int;
   calls_completed : int;
   calls_failed : int;
+  calls_abandoned : int;
+  calls_retried : int;
+  setups_deferred : int;
   t_causes : causes;
   t_conserved : bool;
   t_leak_free : bool;
   storm_wire_seconds : float;
   storm_cpu_seconds : float;
+  pair_done : int array;  (* per canonical pair: calls completed *)
+  pair_abandoned : int array;  (* per canonical pair: calls abandoned *)
+  ttr_samples : float list array;
+      (* per canonical pair, completion order: wire seconds from the
+         first failure of an outage to the next completed call *)
 }
 
 let goal_pairs_per_sec = 10_000.0
@@ -586,7 +708,12 @@ let storm_pair_count ~topo ?pairs cfg =
    fact {!run_storm_sharded} exploits. *)
 (* Returns the storm plus the per-host modeled-CPU vector the sharded
    merge needs for an FP-exact total. *)
-let run_storm_core ~wiring ~sel ?pairs ?(calls_per_pair = 4) cfg =
+let run_storm_core ~wiring ~sel ?recovery ?pairs ?(calls_per_pair = 4) cfg =
+  (* The retry engine turns on with an explicit policy or whenever hosts
+     can die; the legacy driver below is untouched otherwise, so every
+     pre-crash golden stays byte-identical. *)
+  let rec_on = recovery <> None || Array.length cfg.lifecycle > 0 in
+  let rc = Option.value recovery ~default:default_recovery in
   let net = make_net ~wiring cfg in
   let ne = Topology.edge_count net.topo in
   let np = storm_pair_count ~topo:net.topo ?pairs cfg in
@@ -611,8 +738,23 @@ let run_storm_core ~wiring ~sel ?pairs ?(calls_per_pair = 4) cfg =
           next_ref = 1;
           completed = 0;
           last_done = 0.0;
+          inflight = 0;
+          attempts = 0;
+          abandoned = 0;
+          retried = 0;
+          deferred = 0;
+          orig_armed = false;
+          relink_armed = false;
+          outage_from = infinity;
+          ttr = [];
+          p_rng = Rng.create ~seed:(cfg.seed lxor 0x72657472 + (8191 * (k + 1)));
         })
   in
+  (* Admission control: outstanding setup attempts per host.  New calls
+     are refused (and re-tried after [admit_delay]) when either endpoint
+     host is at its cap; retries of in-progress calls bypass the gate, so
+     overload sheds fresh load before abandoning work already under way. *)
+  let adm = Array.make cfg.hosts 0 in
   let submit_sig ep ~now data =
     let f =
       {
@@ -634,6 +776,7 @@ let run_storm_core ~wiring ~sel ?pairs ?(calls_per_pair = 4) cfg =
     pr.ea.stop_ticks <- true;
     pr.eb.stop_ticks <- true
   in
+  let pair_alive pr = net.alive.(pr.ea.e_host) && net.alive.(pr.eb.e_host) in
   let rec kick pr now =
     if pr.todo > 0 then begin
       if Uni.link_ready pr.ea.uni then begin
@@ -647,13 +790,153 @@ let run_storm_core ~wiring ~sel ?pairs ?(calls_per_pair = 4) cfg =
     end
     else if Uni.active_calls pr.ea.uni = 0 then finish pr
 
+  (* -- recovery-mode driver -------------------------------------------
+     One logical call at a time per pair; each attempt is supervised by
+     an [attempt_timeout] event, failures back off exponentially with
+     seeded per-pair jitter, and after [retry_budget] failures the call
+     is explicitly abandoned.  Originations run in their own events at
+     pair-unique times (a 1 ns pair offset), so admission decisions are
+     serialized identically under every wiring and shard count. *)
+  and rkick pr _now =
+    (* [attempts > 0] is a consumed call mid-retry (its origination was
+       swallowed by a dark link): still outstanding work, not done. *)
+    if pr.todo > 0 || pr.attempts > 0 then begin
+      if pr.inflight = 0 then arm_orig pr 0.0
+    end
+    else if pr.inflight = 0 && not pr.orig_armed then finish pr
+
+  and arm_orig pr delay =
+    if not pr.orig_armed then begin
+      pr.orig_armed <- true;
+      let t =
+        Sim.now net.sim +. delay
+        +. (1e-9 *. float_of_int (pr.ea.pair_id + 1))
+      in
+      Sim.at net.sim t (fun () -> fire_orig pr)
+    end
+
+  and fire_orig pr =
+    pr.orig_armed <- false;
+    let now = Sim.now net.sim in
+    if
+      (not pr.ea.stop_ticks)
+      && pr.inflight = 0
+      && (pr.attempts > 0 || pr.todo > 0)
+    then begin
+      if (not (pair_alive pr)) || not (Uni.link_ready pr.ea.uni) then
+        (* Dark: the restart/relink path re-kicks once the link is back. *)
+        ()
+      else if
+        pr.attempts = 0
+        && (adm.(pr.ea.e_host) >= rc.admit_limit
+           || adm.(pr.eb.e_host) >= rc.admit_limit)
+      then begin
+        pr.deferred <- pr.deferred + 1;
+        arm_orig pr rc.admit_delay
+      end
+      else begin
+        if pr.attempts = 0 then pr.todo <- pr.todo - 1;
+        with_service net pr.ea.e_host (fun () -> originate_attempt pr now)
+      end
+    end
+
+  and originate_attempt pr now =
+    let cr = pr.next_ref in
+    pr.next_ref <- cr + 1;
+    pr.inflight <- cr;
+    adm.(pr.ea.e_host) <- adm.(pr.ea.e_host) + 1;
+    adm.(pr.eb.e_host) <- adm.(pr.eb.e_host) + 1;
+    match Uni.originate pr.ea.uni ~now ~call_ref:cr [ Ie.called_party "mesh" ] with
+    | Ok o ->
+      Sim.at net.sim
+        (now +. rc.attempt_timeout)
+        (fun () ->
+          if pr.inflight = cr then attempt_fail pr (Sim.now net.sim));
+      handle pr pr.ea now o
+    | Error _ -> attempt_fail pr now
+
+  and end_attempt pr =
+    let cr = pr.inflight in
+    pr.inflight <- 0;
+    adm.(pr.ea.e_host) <- adm.(pr.ea.e_host) - 1;
+    adm.(pr.eb.e_host) <- adm.(pr.eb.e_host) - 1;
+    cr
+
+  and attempt_fail pr now =
+    if pr.inflight <> 0 then begin
+      let cr = end_attempt pr in
+      (* Give up on this attempt at both ends: pure state removal, no
+         RELEASE handshake — the wire may still carry its frames, and
+         any stray reply steps a fresh Null call into one STATUS, which
+         the peer absorbs silently. *)
+      ignore (Uni.abort pr.ea.uni ~call_ref:cr);
+      ignore (Uni.abort pr.eb.uni ~call_ref:cr);
+      fail_step pr now
+    end
+
+  and fail_step pr now =
+    if pr.outage_from = infinity then pr.outage_from <- now;
+    if pr.attempts >= rc.retry_budget then begin
+      pr.attempts <- 0;
+      pr.abandoned <- pr.abandoned + 1;
+      rkick pr now
+    end
+    else begin
+      pr.attempts <- pr.attempts + 1;
+      pr.retried <- pr.retried + 1;
+      let back =
+        Float.min rc.backoff_max
+          (rc.backoff_base *. (2.0 ** float_of_int (pr.attempts - 1)))
+      in
+      arm_orig pr (back +. Rng.float pr.p_rng rc.backoff_jitter)
+    end
+
+  and complete pr now =
+    ignore (end_attempt pr);
+    pr.attempts <- 0;
+    pr.completed <- pr.completed + 1;
+    pr.last_done <- now;
+    if pr.outage_from < infinity then begin
+      pr.ttr <- (now -. pr.outage_from) :: pr.ttr;
+      pr.outage_from <- infinity
+    end;
+    rkick pr now
+
+  and arm_relink pr =
+    if not pr.relink_armed then begin
+      pr.relink_armed <- true;
+      let t =
+        Sim.now net.sim +. rc.backoff_base
+        +. (1e-9 *. float_of_int (pr.ea.pair_id + 1))
+      in
+      Sim.at net.sim t (fun () -> fire_relink pr)
+    end
+
+  and fire_relink pr =
+    pr.relink_armed <- false;
+    if (not pr.ea.stop_ticks) && pair_alive pr then begin
+      if not (Uni.link_ready pr.ea.uni) then begin
+        let now = Sim.now net.sim in
+        with_service net pr.ea.e_host (fun () ->
+            handle pr pr.ea now (Uni.link_up pr.ea.uni ~now))
+      end
+    end
+    (* else: dead pair — the restart hook relinks once both sides live *)
+
   and handle pr ep now (o : Uni.outcome) =
     List.iter (fun data -> submit_sig ep ~now data) o.Uni.to_wire;
     List.iter
       (fun ev ->
         match ev with
-        | Uni.Link_up -> if ep.e_side = A then kick pr now
-        | Uni.Link_down _ -> if ep.e_side = A then finish pr
+        | Uni.Link_up ->
+          if ep.e_side = A then if rec_on then rkick pr now else kick pr now
+        | Uni.Link_down _ ->
+          if ep.e_side = A then
+            if rec_on then begin
+              attempt_fail pr now;
+              arm_relink pr
+            end
+            else finish pr
         | Uni.Call_offered (cr, _) ->
           if ep.e_side = B then begin
             match Uni.accept ep.uni ~now ~call_ref:cr with
@@ -666,13 +949,22 @@ let run_storm_core ~wiring ~sel ?pairs ?(calls_per_pair = 4) cfg =
             | Ok o2 -> handle pr ep now o2
             | Error `No_call -> ()
           end
-        | Uni.Call_released _ ->
-          if ep.e_side = A then begin
-            pr.completed <- pr.completed + 1;
-            pr.last_done <- now;
-            kick pr now
-          end
-        | Uni.Call_failed _ -> if ep.e_side = A then kick pr now)
+        | Uni.Call_released cr ->
+          if ep.e_side = A then
+            if rec_on then begin
+              if cr = pr.inflight then complete pr now
+            end
+            else begin
+              pr.completed <- pr.completed + 1;
+              pr.last_done <- now;
+              kick pr now
+            end
+        | Uni.Call_failed (cr, _) ->
+          if ep.e_side = A then
+            if rec_on then begin
+              if cr = pr.inflight then attempt_fail pr now
+            end
+            else kick pr now)
       o.Uni.events;
     arm_tick pr ep
 
@@ -704,13 +996,53 @@ let run_storm_core ~wiring ~sel ?pairs ?(calls_per_pair = 4) cfg =
       let pr = prs.(pid) in
       let ep = if pr.ea.e_host = h then pr.ea else pr.eb in
       handle pr ep now (Uni.on_wire ep.uni ~now f.data));
+  if rec_on then begin
+    (* A crash wipes the signalling state on the dead host; the survivor's
+       SSCOP core holds sequence state the restarted peer no longer
+       shares, so both endpoints of every affected pair start over.  The
+       outstanding attempt (if any) fails immediately — its frames on the
+       wire are already ledgered as [crashed]/[lost_in_crash]. *)
+    net.on_crash <-
+      (fun h now ->
+        Array.iter
+          (fun pr ->
+            if
+              sel pr.ea.pair_id
+              && (pr.ea.e_host = h || pr.eb.e_host = h)
+              && not pr.ea.stop_ticks
+            then begin
+              pr.ea.uni <- Uni.create ();
+              pr.eb.uni <- Uni.create ();
+              if pr.inflight <> 0 then attempt_fail pr now
+              else if pr.outage_from = infinity then pr.outage_from <- now
+            end)
+          prs);
+    net.on_restart <-
+      (fun h now ->
+        Array.iter
+          (fun pr ->
+            if
+              sel pr.ea.pair_id
+              && (pr.ea.e_host = h || pr.eb.e_host = h)
+              && (not pr.ea.stop_ticks)
+              && pair_alive pr
+              && not (Uni.link_ready pr.ea.uni)
+            then
+              with_service net pr.ea.e_host (fun () ->
+                  handle pr pr.ea now (Uni.link_up pr.ea.uni ~now)))
+          prs)
+  end;
   Array.iteri
     (fun k pr ->
       if sel k then
         let t = float_of_int k *. 1e-4 in
         Sim.at net.sim t (fun () ->
-            with_service net pr.ea.e_host (fun () ->
-                handle pr pr.ea t (Uni.link_up pr.ea.uni ~now:t))))
+            if rec_on && not (pair_alive pr) then
+              (* Born dark: the restart hook brings the pair up. *)
+              pr.outage_from <- t
+            else
+              with_service net pr.ea.e_host (fun () ->
+                  handle pr pr.ea t (Uni.link_up pr.ea.uni ~now:t))))
     prs;
   (* The horizon is a backstop only: an intact storm quiesces in wire
      milliseconds, and even a fully starved pair gives up (T303 twice,
@@ -725,12 +1057,16 @@ let run_storm_core ~wiring ~sel ?pairs ?(calls_per_pair = 4) cfg =
     if sel k then incr selected
   done;
   let requested = !selected * calls_per_pair in
+  let sum f = Array.fold_left (fun a pr -> a + f pr) 0 prs in
   {
     t_wiring = wiring;
     pairs = !selected;
     calls_requested = requested;
     calls_completed = completed;
     calls_failed = requested - completed;
+    calls_abandoned = sum (fun pr -> pr.abandoned);
+    calls_retried = sum (fun pr -> pr.retried);
+    setups_deferred = sum (fun pr -> pr.deferred);
     t_causes = causes;
     t_conserved = conserved causes;
     t_leak_free = pstats.Msg.p_outstanding = 0;
@@ -738,15 +1074,21 @@ let run_storm_core ~wiring ~sel ?pairs ?(calls_per_pair = 4) cfg =
       Array.fold_left (fun a pr -> Float.max a pr.last_done) 0.0 prs;
     storm_cpu_seconds =
       Array.fold_left (fun a h -> a +. h.h_cpu) 0.0 net.hosts_arr;
+    pair_done = Array.map (fun pr -> pr.completed) prs;
+    pair_abandoned = Array.map (fun pr -> pr.abandoned) prs;
+    ttr_samples = Array.map (fun pr -> List.rev pr.ttr) prs;
   },
   Array.map (fun h -> h.h_cpu) net.hosts_arr
 
-let run_storm ~wiring ?pairs ?calls_per_pair cfg =
-  fst (run_storm_core ~wiring ~sel:(fun _ -> true) ?pairs ?calls_per_pair cfg)
+let run_storm ~wiring ?recovery ?pairs ?calls_per_pair cfg =
+  fst
+    (run_storm_core ~wiring
+       ~sel:(fun _ -> true)
+       ?recovery ?pairs ?calls_per_pair cfg)
 
-let compare_storm ?domains ?pairs ?calls_per_pair cfg =
+let compare_storm ?domains ?recovery ?pairs ?calls_per_pair cfg =
   Ldlp_par.Pool.map ?domains
-    (fun w -> run_storm ~wiring:w ?pairs ?calls_per_pair cfg)
+    (fun w -> run_storm ~wiring:w ?recovery ?pairs ?calls_per_pair cfg)
     all_wirings
 
 (* ---------- sharded storm ---------- *)
@@ -801,9 +1143,11 @@ let merge_causes a b =
     dup_dropped = a.dup_dropped + b.dup_dropped;
     delivered = a.delivered + b.delivered;
     sig_delivered = a.sig_delivered + b.sig_delivered;
+    crashed = a.crashed + b.crashed;
+    lost_in_crash = a.lost_in_crash + b.lost_in_crash;
   }
 
-let run_storm_sharded ~wiring ~shards ?pairs ?calls_per_pair cfg =
+let run_storm_sharded ~wiring ~shards ?recovery ?pairs ?calls_per_pair cfg =
   if shards < 1 then invalid_arg "Mesh.run_storm_sharded: shards < 1";
   let topo =
     Topology.generate ~hosts:cfg.hosts ~degree:cfg.degree ~seed:cfg.seed
@@ -812,14 +1156,16 @@ let run_storm_sharded ~wiring ~shards ?pairs ?calls_per_pair cfg =
   let comp_of, ncomps = storm_components ~topo ~np in
   (* Whole components go to one shard: two pairs sharing a host co-batch
      service quanta and must stay together; host-disjoint components are
-     independent down to the per-link impairment streams. *)
+     independent down to the per-link impairment streams.  Crash events
+     fire on every shard, but only touch counters through a shard's own
+     traffic and selected pairs, so the merge below stays exact. *)
   let shard_of_pair k = comp_of.(k) * shards / ncomps in
   let parts =
     Ldlp_par.Pool.map_array ~domains:shards
       (fun s ->
         run_storm_core ~wiring
           ~sel:(fun k -> shard_of_pair k = s)
-          ?pairs ?calls_per_pair cfg)
+          ?recovery ?pairs ?calls_per_pair cfg)
       (Array.init shards Fun.id)
   in
   let storms = Array.map fst parts in
@@ -840,12 +1186,25 @@ let run_storm_sharded ~wiring ~shards ?pairs ?calls_per_pair cfg =
           calls_requested = acc.calls_requested + st.calls_requested;
           calls_completed = acc.calls_completed + st.calls_completed;
           calls_failed = acc.calls_failed + st.calls_failed;
+          calls_abandoned = acc.calls_abandoned + st.calls_abandoned;
+          calls_retried = acc.calls_retried + st.calls_retried;
+          setups_deferred = acc.setups_deferred + st.setups_deferred;
           t_causes = merge_causes acc.t_causes st.t_causes;
           t_conserved = true;
           t_leak_free = acc.t_leak_free && st.t_leak_free;
           storm_wire_seconds =
             Float.max acc.storm_wire_seconds st.storm_wire_seconds;
           storm_cpu_seconds = acc.storm_cpu_seconds +. st.storm_cpu_seconds;
+          (* Pair-indexed state is shard-disjoint: every unselected pair
+             contributed a zero / empty cell, so elementwise merge equals
+             the single-domain run exactly. *)
+          pair_done =
+            Array.init np (fun i -> acc.pair_done.(i) + st.pair_done.(i));
+          pair_abandoned =
+            Array.init np (fun i ->
+                acc.pair_abandoned.(i) + st.pair_abandoned.(i));
+          ttr_samples =
+            Array.init np (fun i -> acc.ttr_samples.(i) @ st.ttr_samples.(i));
         })
       {
         t_wiring = wiring;
@@ -853,6 +1212,9 @@ let run_storm_sharded ~wiring ~shards ?pairs ?calls_per_pair cfg =
         calls_requested = 0;
         calls_completed = 0;
         calls_failed = 0;
+        calls_abandoned = 0;
+        calls_retried = 0;
+        setups_deferred = 0;
         t_causes =
           {
             offered = 0;
@@ -867,11 +1229,16 @@ let run_storm_sharded ~wiring ~shards ?pairs ?calls_per_pair cfg =
             dup_dropped = 0;
             delivered = 0;
             sig_delivered = 0;
+            crashed = 0;
+            lost_in_crash = 0;
           };
         t_conserved = true;
         t_leak_free = true;
         storm_wire_seconds = 0.0;
         storm_cpu_seconds = 0.0;
+        pair_done = Array.make np 0;
+        pair_abandoned = Array.make np 0;
+        ttr_samples = Array.make np [];
       }
       storms
   in
@@ -900,6 +1267,33 @@ let storm_cpu_us_per_pair t =
 let storm_cpu_rate t =
   if t.storm_cpu_seconds <= 0.0 then 0.0
   else float_of_int t.calls_completed /. t.storm_cpu_seconds
+
+(* Goodput under crash: completed setups per wire second — the same
+   clock as {!storm_wire_rate}, kept as its own name so recovery tables
+   read naturally. *)
+let storm_goodput = storm_wire_rate
+
+let storm_retry_amplification t =
+  if t.calls_requested = 0 then 1.0
+  else
+    1.0 +. (float_of_int t.calls_retried /. float_of_int t.calls_requested)
+
+let storm_ttr_sorted t =
+  let all = Array.fold_left (fun acc l -> List.rev_append l acc) [] t.ttr_samples in
+  List.sort compare all
+
+let ttr_percentile sorted q =
+  match sorted with
+  | [] -> 0.0
+  | l ->
+    let n = List.length l in
+    let i = Float.to_int (Float.of_int (n - 1) *. q) in
+    List.nth l (max 0 (min (n - 1) i))
+
+(* Every offered call accounted: delivered or explicitly abandoned,
+   nothing hanging — the recovery oracle's eventual-completion check. *)
+let storm_complete t =
+  t.calls_completed + t.calls_abandoned = t.calls_requested
 
 (* Rendering: everything below is byte-deterministic (fixed formats, no
    wall clock, no hashing) — the golden snapshot diffs it verbatim. *)
@@ -964,14 +1358,20 @@ let cdf_chart sl =
   Chart.plot ~width:64 ~height:16 ~x_label:"latency (ms)" ~y_label:"P(l<=x)"
     (List.map cdf_series sl)
 
-let causes_line tag c =
+let causes_line tag (c : causes) =
+  (* Crash causes print only when present, so pre-crash goldens stay
+     byte-identical. *)
+  let crash =
+    if c.crashed = 0 && c.lost_in_crash = 0 then ""
+    else Printf.sprintf " crashed=%d lost=%d" c.crashed c.lost_in_crash
+  in
   Printf.sprintf
     "%-6s offered=%d dropped=%d down=%d dup=%d corrupt=%d reorder=%d \
-     flushed=%d arrived=%d badframe=%d dupdrop=%d delivered=%d sig=%d \
+     flushed=%d arrived=%d badframe=%d dupdrop=%d delivered=%d sig=%d%s \
      conserved=%s"
     tag c.offered c.fault_dropped c.down_dropped c.duplicated c.corrupted
     c.reordered c.flushed c.arrived c.corrupt_dropped c.dup_dropped
-    c.delivered c.sig_delivered
+    c.delivered c.sig_delivered crash
     (ok_cell (conserved c))
 
 let storm_table ts =
@@ -1043,4 +1443,53 @@ let render cfg ~pristine ~chaos ~storms =
          goal_pairs_per_sec);
     Buffer.add_string b (storm_table storms)
   end;
+  Buffer.contents b
+
+let recovery_table ts =
+  let header =
+    [
+      "wiring"; "pairs"; "calls"; "done"; "abandoned"; "retries"; "deferred";
+      "goodput/s"; "amp"; "ttr-p50"; "ttr-p99"; "ok";
+    ]
+  in
+  let rows =
+    List.map
+      (fun t ->
+        let sorted = storm_ttr_sorted t in
+        [
+          wiring_name t.t_wiring;
+          string_of_int t.pairs;
+          string_of_int t.calls_requested;
+          string_of_int t.calls_completed;
+          string_of_int t.calls_abandoned;
+          string_of_int t.calls_retried;
+          string_of_int t.setups_deferred;
+          Printf.sprintf "%.0f" (storm_goodput t);
+          Printf.sprintf "%.2fx" (storm_retry_amplification t);
+          Table.fmt_si (ttr_percentile sorted 0.50);
+          Table.fmt_si (ttr_percentile sorted 0.99);
+          ok_cell (t.t_conserved && t.t_leak_free && storm_complete t);
+        ])
+      ts
+  in
+  Table.render ~header rows
+
+let render_recovery cfg ~storms =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (Printf.sprintf "== recovery: %d hosts, degree %d, seed %d ==\n" cfg.hosts
+       cfg.degree cfg.seed);
+  Buffer.add_string b
+    (Printf.sprintf "lifecycle: %s; links: %s\n"
+       (Plan.describe_lifecycle cfg.lifecycle)
+       (Plan.describe cfg.plan));
+  Buffer.add_string b
+    "\n-- Q.93B call storm under crash/restart (retry + admission) --\n";
+  Buffer.add_string b (recovery_table storms);
+  Buffer.add_string b "\ndelivered-or-abandoned ledger:\n";
+  List.iter
+    (fun t ->
+      Buffer.add_string b (causes_line (wiring_name t.t_wiring) t.t_causes);
+      Buffer.add_char b '\n')
+    storms;
   Buffer.contents b

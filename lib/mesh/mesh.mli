@@ -56,6 +56,9 @@ type config = {
   payload_bytes : int;  (** Broadcast frame payload size. *)
   plan : Ldlp_fault.Plan.t;  (** Applied to every link, both directions. *)
   link_latency : float;  (** Per-hop propagation delay, seconds. *)
+  lifecycle : Ldlp_fault.Plan.host array;
+      (** Per-host crash/restart schedule; [[||]] = every host immortal.
+          When non-empty, must have one entry per host. *)
 }
 
 val config :
@@ -66,11 +69,12 @@ val config :
   ?payload_bytes:int ->
   ?plan:Ldlp_fault.Plan.t ->
   ?link_latency:float ->
+  ?lifecycle:Ldlp_fault.Plan.host array ->
   unit ->
   config
 (** Defaults: 64 hosts, degree 4, seed 1996, 16 broadcasts, 64-byte
-    payloads, pristine plan, 100 us links.  Validates the plan and the
-    topology constraints. *)
+    payloads, pristine plan, 100 us links, no crashes.  Validates the
+    plan, the lifecycle and the topology constraints. *)
 
 val chaos_plan : Ldlp_fault.Plan.t
 (** The acceptance chaos mix shared with the soak matrix: 5% loss, 2%
@@ -87,9 +91,12 @@ type causes = {
   corrupted : int;
   reordered : int;
   flushed : int;  (** Still held by a reorder buffer at teardown. *)
+  crashed : int;  (** Emissions arriving at a host that is down. *)
   arrived : int;  (** Emissions delivered into receive engines. *)
   corrupt_dropped : int;  (** Dropped by the mac layer (bad frame). *)
   dup_dropped : int;  (** Relay dedup: copy of an already-seen message. *)
+  lost_in_crash : int;
+      (** Frames parked at a NIC and wiped by the owner's crash. *)
   delivered : int;  (** First deliveries to the application layer. *)
   sig_delivered : int;  (** Call-storm frames handed to an endpoint. *)
 }
@@ -98,10 +105,10 @@ val conserved : causes -> bool
 (** No copy lost silently: every copy offered to a link is delivered,
     dropped with a recorded cause, or flushed at teardown
     ([offered + duplicated
-      = arrived + fault_dropped + down_dropped + flushed]), and every
-    arrived copy is delivered or dropped with a recorded cause
+      = arrived + fault_dropped + down_dropped + flushed + crashed]),
+    and every arrived copy is delivered or dropped with a recorded cause
     ([arrived = delivered + sig_delivered + dup_dropped
-      + corrupt_dropped]). *)
+      + corrupt_dropped + lost_in_crash]). *)
 
 type spread = {
   s_wiring : wiring;
@@ -141,26 +148,68 @@ val compare_spread : ?domains:int -> config -> spread list
     sequential setup/teardown pairs: SETUP, CONNECT, immediate RELEASE —
     the workload behind the paper's 10 000 pairs/s goal. *)
 
+(** Retry/backoff/admission policy for the recovery driver.  The driver
+    turns on when a policy is passed explicitly or the config carries a
+    non-empty lifecycle; otherwise storms run the legacy
+    fire-and-supervise driver, byte-identical to previous releases. *)
+type recovery = {
+  attempt_timeout : float;  (** Give up on one attempt after this long. *)
+  backoff_base : float;  (** First retry delay; doubles per failure. *)
+  backoff_max : float;  (** Exponential backoff clamp. *)
+  backoff_jitter : float;
+      (** Uniform extra delay in [[0, jitter)], drawn from a private
+          per-pair stream so the retry timeline is wiring-invariant. *)
+  retry_budget : int;
+      (** Failures tolerated before the call is abandoned for good. *)
+  admit_limit : int;
+      (** Per-host outstanding-attempt cap: new setups beyond it are
+          deferred (shed at intake), never dropped mid-flight. *)
+  admit_delay : float;  (** Re-offer a refused admission after this. *)
+}
+
+val default_recovery : recovery
+(** 10 ms attempts, 2 ms..50 ms backoff with 1 ms jitter, 6 retries,
+    2 outstanding attempts per host, 2 ms admission retry. *)
+
 type storm = {
   t_wiring : wiring;
   pairs : int;  (** Endpoint pairs (distinct mesh links). *)
   calls_requested : int;
   calls_completed : int;  (** Full setup/teardown round trips. *)
-  calls_failed : int;  (** Supervision-timer abandons. *)
+  calls_failed : int;  (** Supervision-timer abandons (legacy driver). *)
+  calls_abandoned : int;  (** Retry budget exhausted (recovery driver). *)
+  calls_retried : int;  (** Re-originations after a failed attempt. *)
+  setups_deferred : int;  (** Admission-control intake refusals. *)
   t_causes : causes;
   t_conserved : bool;
   t_leak_free : bool;
   storm_wire_seconds : float;  (** Wire time of the last completion. *)
   storm_cpu_seconds : float;  (** Modeled CPU busy time, all hosts. *)
+  pair_done : int array;  (** Per canonical pair: calls completed. *)
+  pair_abandoned : int array;  (** Per canonical pair: calls abandoned. *)
+  ttr_samples : float list array;
+      (** Per canonical pair, in completion order: wire seconds from the
+          first failure of an outage to the next completed call —
+          time-to-recover. *)
 }
 
 val run_storm :
-  wiring:wiring -> ?pairs:int -> ?calls_per_pair:int -> config -> storm
+  wiring:wiring ->
+  ?recovery:recovery ->
+  ?pairs:int ->
+  ?calls_per_pair:int ->
+  config ->
+  storm
 (** Defaults: [max 1 (hosts / 8)] pairs, 4 calls per pair.  The pairs
     are spread evenly over the canonical edge list. *)
 
 val compare_storm :
-  ?domains:int -> ?pairs:int -> ?calls_per_pair:int -> config -> storm list
+  ?domains:int ->
+  ?recovery:recovery ->
+  ?pairs:int ->
+  ?calls_per_pair:int ->
+  config ->
+  storm list
 
 type storm_sharded = {
   ss_storm : storm;  (** Merged result — equal to {!run_storm}'s. *)
@@ -174,6 +223,7 @@ type storm_sharded = {
 val run_storm_sharded :
   wiring:wiring ->
   shards:int ->
+  ?recovery:recovery ->
   ?pairs:int ->
   ?calls_per_pair:int ->
   config ->
@@ -201,6 +251,29 @@ val storm_cpu_rate : storm -> float
     {!storm_cpu_us_per_pair} — the number to hold against
     {!goal_pairs_per_sec}. *)
 
+(** {1 Recovery metrics} *)
+
+val storm_goodput : storm -> float
+(** Completed pairs per wire-clock second — {!storm_wire_rate} under its
+    recovery name: work the callers actually got, crashes included. *)
+
+val storm_retry_amplification : storm -> float
+(** [1 + retried / requested]: mean setup attempts per offered call.
+    [1.0] on a pristine run. *)
+
+val storm_ttr_sorted : storm -> float list
+(** All time-to-recover samples, merged across pairs and sorted. *)
+
+val ttr_percentile : float list -> float -> float
+(** [ttr_percentile sorted q] with [q] in [[0, 1]]; [0.] when empty. *)
+
+val storm_complete : storm -> bool
+(** Eventual completion under the recovery driver: every requested call
+    was either completed or explicitly abandoned — nothing hangs
+    ([completed + abandoned = requested]).  Holds for pristine legacy
+    runs too; a legacy run with supervision failures reports them in
+    [calls_failed] instead and does not satisfy this identity. *)
+
 (** {1 Rendering} *)
 
 val latency_percentiles : spread -> (string * float) list
@@ -218,3 +291,13 @@ val render :
     the same table under {!chaos_plan} fault injection with the
     delivered-or-dropped cause ledger, and the call-storm table against
     the 10 000 pairs/s goal.  Deterministic — keep it so. *)
+
+val recovery_table : storm list -> string
+(** Per-wiring recovery summary: completions, abandonments, retries,
+    deferred admissions, goodput, retry amplification, TTR p50/p99 and
+    an [ok] column ([conserved && leak_free && complete]). *)
+
+val render_recovery : config -> storms:storm list -> string
+(** The golden-snapshotted recovery figure: lifecycle and link-plan
+    description, {!recovery_table}, and the delivered-or-abandoned
+    cause ledger per wiring.  Deterministic — keep it so. *)

@@ -791,6 +791,118 @@ let parse_mesh text =
       }
   with Bad msg -> Error msg
 
+(* ---------- crash/restart recovery (bench --recovery) ---------- *)
+
+type recovery_row = {
+  rr_wiring : string;
+  rr_crash_episodes : int;
+  rr_calls : int;
+  rr_completed : int;
+  rr_abandoned : int;
+  rr_retried : int;
+  rr_deferred : int;
+  rr_goodput_pairs_per_s : float;
+  rr_retry_amplification : float;
+  rr_ttr_p50_s : float;
+  rr_ttr_p99_s : float;
+  rr_ok : bool;
+}
+
+type recovery_doc = {
+  rd_seed : int;
+  rd_hosts : int;
+  rd_degree : int;
+  recovery_rows : recovery_row list;
+}
+
+let recovery_schema = "ldlp-bench-recovery/1"
+
+let recovery_row_json r =
+  Printf.sprintf
+    "    {\n\
+    \      \"wiring\": \"%s\",\n\
+    \      \"crash_episodes\": %d,\n\
+    \      \"calls\": %d,\n\
+    \      \"completed\": %d,\n\
+    \      \"abandoned\": %d,\n\
+    \      \"retried\": %d,\n\
+    \      \"deferred\": %d,\n\
+    \      \"goodput_pairs_per_s\": %.3f,\n\
+    \      \"retry_amplification\": %.4f,\n\
+    \      \"ttr_p50_s\": %.9f,\n\
+    \      \"ttr_p99_s\": %.9f,\n\
+    \      \"ok\": %b\n\
+    \    }"
+    (escape r.rr_wiring) r.rr_crash_episodes r.rr_calls r.rr_completed
+    r.rr_abandoned r.rr_retried r.rr_deferred r.rr_goodput_pairs_per_s
+    r.rr_retry_amplification r.rr_ttr_p50_s r.rr_ttr_p99_s r.rr_ok
+
+let render_recovery ~seed ~hosts ~degree rows =
+  Printf.sprintf
+    "{\n\
+    \  \"schema\": \"%s\",\n\
+    \  \"seed\": %d,\n\
+    \  \"hosts\": %d,\n\
+    \  \"degree\": %d,\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    recovery_schema seed hosts degree
+    (String.concat ",\n" (List.map recovery_row_json rows))
+
+let parse_recovery text =
+  try
+    let root =
+      match parse_json text with
+      | Obj o -> o
+      | _ -> raise (Bad "top level is not an object")
+    in
+    let tag = str_field root "schema" in
+    if tag <> recovery_schema then
+      raise (Bad (Printf.sprintf "schema %S, expected %S" tag recovery_schema));
+    let row_of entry =
+      let o = obj_entry entry in
+      let r =
+        {
+          rr_wiring = str_field o "wiring";
+          rr_crash_episodes = int_field o "crash_episodes";
+          rr_calls = int_field o "calls";
+          rr_completed = int_field o "completed";
+          rr_abandoned = int_field o "abandoned";
+          rr_retried = int_field o "retried";
+          rr_deferred = int_field o "deferred";
+          rr_goodput_pairs_per_s = num_field o "goodput_pairs_per_s";
+          rr_retry_amplification = num_field o "retry_amplification";
+          rr_ttr_p50_s = num_field o "ttr_p50_s";
+          rr_ttr_p99_s = num_field o "ttr_p99_s";
+          rr_ok = bool_field o "ok";
+        }
+      in
+      if r.rr_wiring = "" then raise (Bad "recovery row: empty wiring");
+      if
+        r.rr_crash_episodes < 0 || r.rr_calls < 0 || r.rr_completed < 0
+        || r.rr_abandoned < 0 || r.rr_retried < 0 || r.rr_deferred < 0
+        || r.rr_completed + r.rr_abandoned > r.rr_calls
+        || r.rr_goodput_pairs_per_s < 0.0
+        || r.rr_retry_amplification < 1.0
+        || r.rr_ttr_p50_s < 0.0 || r.rr_ttr_p99_s < 0.0
+      then
+        raise
+          (Bad
+             (Printf.sprintf "recovery row %s: inconsistent measure"
+                r.rr_wiring));
+      r
+    in
+    Ok
+      {
+        rd_seed = int_field root "seed";
+        rd_hosts = int_field root "hosts";
+        rd_degree = int_field root "degree";
+        recovery_rows = List.map row_of (arr_field root "rows");
+      }
+  with Bad msg -> Error msg
+
 (* ---------- sharded call storm (bench --shards) ---------- *)
 
 type shard_row = {

@@ -193,6 +193,47 @@ val parse_mesh : string -> (mesh_doc, string) result
 (** Read {!render_mesh} output back; validates the schema tag, every
     field, non-negative measures and [completed <= calls]. *)
 
+(** {1 Crash/restart recovery ([bench --recovery] -> [BENCH_recovery.json])}
+
+    One row per wiring of the Q.93B call storm under a seeded host
+    lifecycle plan with the deterministic retry/backoff/admission
+    engine: goodput under crashes, retry amplification and
+    time-to-recover percentiles.  [rr_ok] records whether conservation,
+    leak freedom and eventual completion all held. *)
+
+type recovery_row = {
+  rr_wiring : string;  (** ["conv"] / ["ldlp"] / ["duplex"]. *)
+  rr_crash_episodes : int;  (** Crash episodes in the lifecycle plan. *)
+  rr_calls : int;  (** Setup/teardown pairs requested. *)
+  rr_completed : int;
+  rr_abandoned : int;  (** Retry budget exhausted — explicit, not lost. *)
+  rr_retried : int;
+  rr_deferred : int;  (** Admission-control intake refusals. *)
+  rr_goodput_pairs_per_s : float;
+  rr_retry_amplification : float;  (** [>= 1.0]. *)
+  rr_ttr_p50_s : float;  (** Time-to-recover percentiles, seconds. *)
+  rr_ttr_p99_s : float;
+  rr_ok : bool;
+}
+
+type recovery_doc = {
+  rd_seed : int;
+  rd_hosts : int;
+  rd_degree : int;
+  recovery_rows : recovery_row list;
+}
+
+val recovery_schema : string
+(** ["ldlp-bench-recovery/1"]. *)
+
+val render_recovery :
+  seed:int -> hosts:int -> degree:int -> recovery_row list -> string
+
+val parse_recovery : string -> (recovery_doc, string) result
+(** Read {!render_recovery} output back; validates the schema tag, every
+    field, non-negative measures, [completed + abandoned <= calls] and
+    [retry_amplification >= 1]. *)
+
 (** {1 Sharded call storm ([bench --shards] -> [BENCH_shards.json])}
 
     One row per shard count of the same Q.93B call storm run through

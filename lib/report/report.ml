@@ -562,6 +562,31 @@ module Params = Ldlp_model.Params
    for [Ldlp_par.Pool].  The gate is forced on for the duration so the
    output (all simulated counters) is identical whether or not
    LDLP_METRICS is set in the environment. *)
+
+(* The impairment engine's per-cause counters as a scalar sheet: one
+   deterministic chaos replay (plan + seed), published through
+   [Impair.metrics_scalars] so the stats command shows the same ledger
+   the fault oracles audit.  All simulated — identical on any host. *)
+let fault_sheet ~seed =
+  let plan =
+    Ldlp_fault.Plan.v ~drop:0.05 ~dup:0.02 ~corrupt:0.01 ~reorder:0.1
+      ~reorder_window:4 ~down:[ (0.04, 0.05) ] ()
+  in
+  let imp = Ldlp_fault.Impair.create ~seed plan in
+  let frames = 2000 in
+  for i = 0 to frames - 1 do
+    ignore (Ldlp_fault.Impair.send imp ~now:(float i *. 5e-5) i)
+  done;
+  ignore (Ldlp_fault.Impair.flush imp);
+  let label =
+    Printf.sprintf "fault replay: %s, %d frames"
+      (Ldlp_fault.Plan.describe plan)
+      frames
+  in
+  let m = Metrics.create ~label ~layer_names:[] in
+  Ldlp_fault.Impair.metrics_scalars m imp;
+  m
+
 let observability_sheets ?domains ?(params = Params.quick) ?(seed = 1996)
     ?(rate = 9000.0) () =
   Ldlp_obs.Obs.with_enabled true (fun () ->
@@ -596,7 +621,7 @@ let observability_sheets ?domains ?(params = Params.quick) ?(seed = 1996)
         List.iter (fun src -> Metrics.merge_into ~dst src) per_run;
         dst
       in
-      [ sheet_of Simrun.Conventional; sheet_of Simrun.Ldlp ])
+      [ sheet_of Simrun.Conventional; sheet_of Simrun.Ldlp; fault_sheet ~seed ])
 
 let observability ?domains ?(params = Params.quick) ?(seed = 1996)
     ?(rate = 9000.0) () =

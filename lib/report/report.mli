@@ -70,11 +70,14 @@ val observability_sheets :
 (** The [stats] command's data: one merged metric sheet per discipline
     ([Conventional; Ldlp]), collected from [params.runs] independent
     {!Ldlp_model.Simrun} runs under Poisson load at [rate] (default 9000
-    msg/s — well into the region where batching matters).  Run indices
-    derive independent seeds and execute on the {!Ldlp_par.Pool}, so the
-    merged sheets are identical for any [domains].  The {!Ldlp_obs.Obs}
-    gate is forced on for the duration; the sheets hold only simulated
-    counters, so the result is deterministic per seed. *)
+    msg/s — well into the region where batching matters), plus a scalar
+    sheet of {!Ldlp_fault.Impair} per-cause counters from one
+    deterministic chaos replay (drops, duplicates, corruptions, reorder
+    holds, down-episode drops, teardown flushes).  Run indices derive
+    independent seeds and execute on the {!Ldlp_par.Pool}, so the merged
+    sheets are identical for any [domains].  The {!Ldlp_obs.Obs} gate is
+    forced on for the duration; the sheets hold only simulated counters,
+    so the result is deterministic per seed. *)
 
 val observability :
   ?domains:int ->

@@ -8,7 +8,35 @@ type spec = {
   sp_policy : Batch.policy;
   sp_init : (int * int) list array;
   sp_seed : int;
+  sp_crash : (int * int * int) list;
 }
+
+let validate_crash spec =
+  List.iter
+    (fun (g, down, up) ->
+      if g < 0 || g >= spec.sp_groups then
+        invalid_arg "Stackwork: crash group out of range";
+      if down < 1 then invalid_arg "Stackwork: crash before round 1";
+      if up <= down then invalid_arg "Stackwork: empty crash window")
+    spec.sp_crash;
+  let by_group =
+    List.sort compare
+      (List.map (fun (g, d, u) -> (g, d, u)) spec.sp_crash)
+  in
+  ignore
+    (List.fold_left
+       (fun prev (g, d, u) ->
+         (match prev with
+         | Some (g', _, u') when g' = g && d < u' ->
+           invalid_arg "Stackwork: overlapping crash windows"
+         | _ -> ());
+         Some (g, d, u))
+       None by_group)
+
+let dead_at spec ~group ~round =
+  List.exists
+    (fun (g, down, up) -> g = group && down <= round && round < up)
+    spec.sp_crash
 
 (* A self-contained LCG (Numerical Recipes constants) so spec drawing
    never touches the global [Random] state. *)
@@ -18,7 +46,7 @@ let lcg state =
 
 let rand_int state bound = lcg state mod bound
 
-let random_spec ?groups ~seed () =
+let random_spec ?groups ?(crash = false) ~seed () =
   let st = ref (seed land 0x3FFFFFFF) in
   ignore (lcg st);
   let groups =
@@ -46,8 +74,24 @@ let random_spec ?groups ~seed () =
           (1 + rand_int st 8)
           (fun i -> ((g * 100) + i + rand_int st 50, rand_int st 4)))
   in
-  { sp_groups = groups; sp_layers = layers; sp_policy = policy;
-    sp_init = init; sp_seed = seed }
+  (* Crash windows draw after every legacy field, so [(seed, groups)]
+     keeps producing byte-identical crash-free specs. *)
+  let crashes =
+    if not crash then []
+    else
+      List.filter_map Fun.id
+        (List.init groups (fun g ->
+             if rand_int st 3 <> 0 then None
+             else
+               let down = 1 + rand_int st 3 in
+               Some (g, down, down + 1 + rand_int st 2)))
+  in
+  let spec =
+    { sp_groups = groups; sp_layers = layers; sp_policy = policy;
+      sp_init = init; sp_seed = seed; sp_crash = crashes }
+  in
+  validate_crash spec;
+  spec
 
 let pp_behaviour ppf = function
   | Pass -> Format.fprintf ppf "pass"
@@ -55,7 +99,7 @@ let pp_behaviour ppf = function
   | Reply_every k -> Format.fprintf ppf "reply/%d" k
 
 let pp_spec ppf s =
-  Format.fprintf ppf "seed=%d groups=%d policy=%a stacks=[%s]" s.sp_seed
+  Format.fprintf ppf "seed=%d groups=%d policy=%a stacks=[%s]%s" s.sp_seed
     s.sp_groups Batch.pp s.sp_policy
     (String.concat " | "
        (Array.to_list
@@ -64,6 +108,12 @@ let pp_spec ppf s =
                String.concat ";"
                  (List.map (Format.asprintf "%a" pp_behaviour) ls))
              s.sp_layers)))
+    (match s.sp_crash with
+    | [] -> ""
+    | cs ->
+      " crash="
+      ^ String.concat ","
+          (List.map (fun (g, d, u) -> Printf.sprintf "g%d@%d-%d" g d u) cs))
 
 type group_report = {
   gr_group : int;
@@ -74,6 +124,8 @@ type group_report = {
   gr_consumed : int;
   gr_sent_down : int;
   gr_pool_outstanding : int;
+  gr_handoff_in : int;
+  gr_crashed : int;
 }
 
 type report = {
@@ -93,6 +145,8 @@ type gstate = {
   mutable digest : string list;  (* reversed *)
   mutable emits : (int * int * int) list;  (* reversed *)
   mutable seeded : bool;
+  mutable handoff_in : int;  (* handoff deliveries accepted while alive *)
+  mutable crashed_in : int;  (* handoff deliveries dropped while dead *)
 }
 
 let divides k n = k > 0 && n mod k = 0
@@ -117,6 +171,7 @@ let layer_of_behaviour i behaviour =
 
 let run ?(policy = Shard.Policy.Affinity) ?(shard_seed = 0) ?(capacity = 64)
     ~shards spec =
+  validate_crash spec;
   let groups = spec.sp_groups in
   let make ~shard:_ ~groups:mine ~emit =
     let dummy = { v_tag = 0; v_ttl = 0 } in
@@ -146,7 +201,8 @@ let run ?(policy = Shard.Policy.Affinity) ?(shard_seed = 0) ?(capacity = 64)
           ()
       in
       let gs =
-        { g; pool; sched; digest = []; emits = []; seeded = false }
+        { g; pool; sched; digest = []; emits = []; seeded = false;
+          handoff_in = 0; crashed_in = 0 }
       in
       gs_ref := Some gs;
       gs
@@ -157,20 +213,36 @@ let run ?(policy = Shard.Policy.Affinity) ?(shard_seed = 0) ?(capacity = 64)
       Sched.inject gs.sched
         (Msg.acquire gs.pool ~flow:v.v_tag ~arrival:0.0 ~size:64 v)
     in
+    (* [w_deliver] carries no round, but every delivery sits between
+       step [r - 1] and step [r] of its destination, so the round a
+       delivery belongs to is the last stepped round plus one — a global
+       property of the barrier (and of the inline path), independent of
+       where the groups are placed. *)
+    let last_step = ref (-1) in
     {
       Shard.w_deliver =
-        (fun ~src_group:_ ~dst_group v -> inject (find dst_group) v);
+        (fun ~src_group:_ ~dst_group v ->
+          let gs = find dst_group in
+          if dead_at spec ~group:dst_group ~round:(!last_step + 1) then
+            gs.crashed_in <- gs.crashed_in + 1
+          else begin
+            gs.handoff_in <- gs.handoff_in + 1;
+            inject gs v
+          end);
       w_step =
-        (fun ~round:_ ->
+        (fun ~round ->
+          last_step := round;
           List.iter
             (fun (g, gs) ->
-              if not gs.seeded then begin
-                gs.seeded <- true;
-                List.iter
-                  (fun (tag, ttl) -> inject gs { v_tag = tag; v_ttl = ttl })
-                  spec.sp_init.(g)
-              end;
-              Sched.run gs.sched)
+              if not (dead_at spec ~group:g ~round) then begin
+                if not gs.seeded then begin
+                  gs.seeded <- true;
+                  List.iter
+                    (fun (tag, ttl) -> inject gs { v_tag = tag; v_ttl = ttl })
+                    spec.sp_init.(g)
+                end;
+                Sched.run gs.sched
+              end)
             states;
           false);
       w_finish =
@@ -188,6 +260,8 @@ let run ?(policy = Shard.Policy.Affinity) ?(shard_seed = 0) ?(capacity = 64)
                 gr_consumed = st.Sched.consumed;
                 gr_sent_down = st.Sched.sent_down;
                 gr_pool_outstanding = ps.Msg.p_outstanding;
+                gr_handoff_in = gs.handoff_in;
+                gr_crashed = gs.crashed_in;
               })
             states);
     }
@@ -218,6 +292,9 @@ let wire_multiset r =
            gr.gr_emits)
   |> List.sort compare
 
+let crashed_total r =
+  Array.fold_left (fun acc gr -> acc + gr.gr_crashed) 0 r.r_groups
+
 let ledger_ok r =
   Array.for_all
     (fun gr ->
@@ -226,6 +303,22 @@ let ledger_ok r =
          = List.length (List.filter (fun d -> not (String.ends_with ~suffix:"~0" d)) gr.gr_digest)
       && gr.gr_pool_outstanding = 0)
     r.r_groups
+  (* Crash conservation: every handoff emission addressed to a group was
+     either accepted by it or ledgered against its outage — none lost
+     silently. *)
+  && Array.for_all
+       (fun gr ->
+         let addressed =
+           Array.fold_left
+             (fun acc src ->
+               acc
+               + List.length
+                   (List.filter (fun (dst, _, _) -> dst = gr.gr_group)
+                      src.gr_emits))
+             0 r.r_groups
+         in
+         addressed = gr.gr_handoff_in + gr.gr_crashed)
+       r.r_groups
 
 let totals r =
   Array.fold_left
@@ -235,7 +328,8 @@ let totals r =
 
 let strip gr =
   ( gr.gr_group, gr.gr_digest, gr.gr_emits, gr.gr_injected, gr.gr_delivered,
-    gr.gr_consumed, gr.gr_sent_down, gr.gr_pool_outstanding )
+    gr.gr_consumed, gr.gr_sent_down, gr.gr_pool_outstanding,
+    (gr.gr_handoff_in, gr.gr_crashed) )
 
 let equal_reports a b =
   Array.length a.r_groups = Array.length b.r_groups

@@ -24,11 +24,32 @@ type spec = {
   sp_init : (int * int) list array;
       (** Per-group initial burst, [(tag, ttl)] in injection order. *)
   sp_seed : int;  (** The seed that drew this spec (for reporting). *)
+  sp_crash : (int * int * int) list;
+      (** Crash windows [(group, down_round, up_round)]: the group is
+          dead for rounds [down <= r < up].  While dead it processes
+          nothing and every handoff delivery addressed to it is dropped
+          and ledgered in [gr_crashed]; siblings on the same shard are
+          untouched.  Because the BSP loop fully drains every pipeline
+          each round, a group carries no volatile state between rounds —
+          so deadness keyed by the (placement-invariant) round number is
+          exactly a crash that wipes the in-flight work addressed to it,
+          and reports stay identical at any shard count.  Windows must
+          start at round >= 1 (seeding runs in round 0) and be disjoint
+          per group. *)
 }
 
-val random_spec : ?groups:int -> seed:int -> unit -> spec
+val validate_crash : spec -> unit
+(** @raise Invalid_argument on out-of-range groups, windows starting
+    before round 1, empty or overlapping windows.  Run by {!run}. *)
+
+val dead_at : spec -> group:int -> round:int -> bool
+
+val random_spec : ?groups:int -> ?crash:bool -> seed:int -> unit -> spec
 (** Deterministic in [seed].  [groups] defaults to a seed-drawn value in
-    2–6. *)
+    2–6.  [crash] (default [false]) additionally draws crash windows for
+    roughly a third of the groups; the crash draw happens after every
+    legacy field, so [(seed, groups)] produce byte-identical crash-free
+    specs whether or not the flag exists. *)
 
 val pp_spec : Format.formatter -> spec -> unit
 
@@ -45,6 +66,8 @@ type group_report = {
   gr_consumed : int;
   gr_sent_down : int;
   gr_pool_outstanding : int;  (** Must be 0 — per-shard leak audit. *)
+  gr_handoff_in : int;  (** Handoff deliveries accepted while alive. *)
+  gr_crashed : int;  (** Handoff deliveries dropped by a crash window. *)
 }
 
 type report = {
@@ -69,7 +92,12 @@ val wire_multiset : report -> (int * int * int * int) list
 
 val ledger_ok : report -> bool
 (** Conservation per group: injected = delivered + consumed, emissions
-    equal deliveries with positive TTL, and no pooled message leaked. *)
+    equal deliveries with positive TTL, no pooled message leaked, and
+    every emission addressed to a group was accepted by it or ledgered
+    against its crash window ([addressed = handoff_in + crashed]). *)
+
+val crashed_total : report -> int
+(** Handoff deliveries lost to crash windows, summed over groups. *)
 
 val totals : report -> int * int * int
 (** [(injected, delivered, consumed)] summed over groups. *)

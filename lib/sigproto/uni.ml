@@ -108,6 +108,11 @@ let originate t ~now ~call_ref ies =
     Ok out
   end
 
+let abort t ~call_ref =
+  let existed = Hashtbl.mem t.calls call_ref in
+  Hashtbl.remove t.calls call_ref;
+  existed
+
 let accept t ~now ~call_ref =
   match Hashtbl.find_opt t.calls call_ref with
   | None -> Error `No_call

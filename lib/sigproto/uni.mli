@@ -40,6 +40,13 @@ val link_ready : t -> bool
 val originate : t -> now:float -> call_ref:int -> Ie.t list -> (outcome, [ `Link_down | `Busy_ref ]) result
 (** Place a call: sends SETUP (assured), arms T303. *)
 
+val abort : t -> call_ref:int -> bool
+(** Drop all local state for a call without signalling the peer: no
+    RELEASE, no events, supervision timer disarmed.  For a retry engine
+    abandoning an attempt it has already given up on (the peer's
+    half-open state, if any, dies with its own timers).  Returns whether
+    the call existed. *)
+
 val accept : t -> now:float -> call_ref:int -> (outcome, [ `No_call ]) result
 (** Answer a call previously reported by {!Call_offered}. *)
 

@@ -18,6 +18,7 @@ type scenario = {
   chunks : int;
   chunk_bytes : int;
   intake_limit : int option;
+  crash : (float * float) list;
 }
 
 let acceptance_plan =
@@ -25,12 +26,15 @@ let acceptance_plan =
 
 let scenarios ~seed ~count =
   let rng = Rng.create ~seed in
+  (* Crash episodes come from a separate stream so adding them did not
+     reshuffle the fault plans the soak table already pins. *)
+  let crng = Rng.create ~seed:(seed lxor 0xdead) in
   let rec go id acc =
     if id >= count then List.rev acc
     else
       let base =
         { id; seed = seed + (id * 7919); plan = Plan.none; chunks = 32;
-          chunk_bytes = 64; intake_limit = None }
+          chunk_bytes = 64; intake_limit = None; crash = [] }
       in
       let sc =
         if id = 0 then base
@@ -59,7 +63,21 @@ let scenarios ~seed ~count =
           let plan =
             Plan.v ~drop ~dup ~corrupt ~reorder ~reorder_window ~jitter ~down ()
           in
-          { base with plan; intake_limit }
+          let crash =
+            let round q v = Float.round (v /. q) *. q in
+            if Rng.bool crng 0.3 then begin
+              let start = round 1e-2 (0.15 +. Rng.float crng 0.5) in
+              [ (start, start +. round 1e-2 (0.05 +. Rng.float crng 0.1)) ]
+            end
+            else begin
+              (* Keep the stream in lockstep whether or not this
+                 scenario crashes. *)
+              ignore (Rng.float crng 1.0);
+              ignore (Rng.float crng 1.0);
+              []
+            end
+          in
+          { base with plan; intake_limit; crash }
         end
       in
       go (id + 1) (sc :: acc)
@@ -82,7 +100,7 @@ type outcome = {
 
 let outcome_ok sc o =
   o.completed && o.integrity && o.leak_free
-  && ((not (Plan.is_none sc.plan)) || o.retransmits = 0)
+  && ((not (Plan.is_none sc.plan && sc.crash = [])) || o.retransmits = 0)
 
 type report = {
   scenario : scenario;
@@ -147,7 +165,28 @@ let client_port = 40007
 
 let client_window = 4
 
+(* Union of two sorted-disjoint interval lists, overlaps coalesced. *)
+let merge_intervals a b =
+  let rec go = function
+    | (s1, e1) :: (s2, e2) :: tl when s2 <= e1 ->
+      go ((s1, Float.max e1 e2) :: tl)
+    | h :: tl -> h :: go tl
+    | [] -> []
+  in
+  go (List.sort compare (a @ b))
+
 let run_one ?(duplex = false) ~discipline sc =
+  ignore (Plan.host_v ~crash:sc.crash ());
+  (* A server crash episode kills the link in both directions for its
+     duration (a dead host neither sends nor receives); the frames
+     sitting in its NIC rings at crash time are volatile state and are
+     wiped below.  Socket state survives (stable storage), so TCP
+     retransmission must recover the stream after the restart. *)
+  let wire_plan =
+    if sc.crash = [] then sc.plan
+    else
+      { sc.plan with Plan.down = merge_intervals sc.plan.Plan.down sc.crash }
+  in
   let payload = payloads sc in
   let total_bytes = sc.chunks * sc.chunk_bytes in
   let expected =
@@ -287,12 +326,21 @@ let run_one ?(duplex = false) ~discipline sc =
       ~clone:(fun m -> Mbuf.of_bytes pool (Mbuf.to_bytes m))
       ~corrupt:(corruptor ~seed:(seed lxor 0xc0ffee))
       ~free:(fun m -> Mbuf.free pool m)
-      ~seed sc.plan
+      ~seed wire_plan
   in
   let imp_cs = mk_impair ~seed:((2 * sc.seed) + 1) in
   let imp_sc = mk_impair ~seed:((2 * sc.seed) + 2) in
   Netsim.connect net client_node server_node ~latency:1e-3 ~impair_ab:imp_cs
     ~impair_ba:imp_sc ();
+  (* Crash instants: wipe the server's volatile ring state.  Scheduled
+     before the exchange starts, so [Engine.after] delays are absolute
+     times. *)
+  List.iter
+    (fun (down_at, _) ->
+      Engine.after engine down_at (fun () ->
+          List.iter (Mbuf.free pool) (Nic.take_all server_nic);
+          List.iter (Mbuf.free pool) (Nic.wire_take_all server_nic)))
+    sc.crash;
   (* Active open, then run to quiescence: every armed timer is conditional
      on unacknowledged state, so the engine drains exactly when recovery
      is complete. *)
@@ -376,8 +424,14 @@ let render reports =
     "rexmt" "shed" "bytes" "equiv";
   List.iter
     (fun r ->
-      add "%3d  %-44s %6s %6s %5d %5d %8d %6s\n" r.scenario.id
-        (Plan.describe r.scenario.plan)
+      let plan_s =
+        Plan.describe r.scenario.plan
+        ^
+        if r.scenario.crash = [] then ""
+        else
+          " " ^ Plan.describe_host (Plan.host_v ~crash:r.scenario.crash ())
+      in
+      add "%3d  %-44s %6s %6s %5d %5d %8d %6s\n" r.scenario.id plan_s
         (b2s (outcome_ok r.scenario r.conventional))
         (b2s (outcome_ok r.scenario r.ldlp))
         r.ldlp.retransmits r.ldlp.shed r.ldlp.echoed_bytes
@@ -404,7 +458,7 @@ let loss_ladder ~seed ~rates =
       let plan = if loss <= 0.0 then Plan.none else Plan.v ~drop:loss () in
       let sc =
         { id = 0; seed; plan; chunks = 32; chunk_bytes = 64;
-          intake_limit = None }
+          intake_limit = None; crash = [] }
       in
       let o = run_one ~discipline:(Core.Sched.Ldlp Core.Batch.paper_default) sc in
       {

@@ -30,6 +30,14 @@ type scenario = {
       (** Overload watermark for both hosts' schedulers (see
           {!Ldlp_core.Sched.create}); shed frames must be recovered by
           retransmission like wire drops. *)
+  crash : (float * float) list;
+      (** Server crash/restart episodes [(down_at, up_at)), sorted and
+          disjoint (validated as a {!Ldlp_fault.Plan.host} lifecycle).
+          While down the host neither sends nor receives — the link is
+          dark in both directions — and at [down_at] the frames in its
+          NIC rings (volatile state) are wiped.  Socket state survives
+          the restart, so TCP retransmission must recover the byte
+          stream, under both disciplines, with full integrity. *)
 }
 
 val scenarios : seed:int -> count:int -> scenario list
@@ -37,8 +45,10 @@ val scenarios : seed:int -> count:int -> scenario list
     must complete with zero retransmissions), scenario 1 is the
     acceptance chaos mix (5% loss + 2% duplication + 0.1% corruption +
     10% reordering over a 4-frame window), and the rest draw impairments
-    (and occasional intake limits and down episodes) from a PRNG seeded
-    by [seed]. *)
+    (and occasional intake limits, down episodes and mid-transfer server
+    crash/restart episodes) from a PRNG seeded by [seed].  Crash episodes
+    come from an independent stream, so the fault plans drawn for a given
+    (seed, count) are unchanged from the pre-crash matrix. *)
 
 type outcome = {
   completed : bool;  (** Every echoed byte arrived before quiescence. *)
@@ -56,7 +66,7 @@ type outcome = {
 
 val outcome_ok : scenario -> outcome -> bool
 (** [completed && integrity && leak_free], plus zero retransmissions when
-    the plan is pristine. *)
+    the plan is pristine and no crash episode is scheduled. *)
 
 type report = {
   scenario : scenario;

@@ -97,6 +97,61 @@ let () =
        Mesh.all_wirings
    in
    write "mesh" (Mesh.render cfg ~pristine ~chaos ~storms));
+  (* Fault plans: the one-line describe forms are part of every
+     golden-snapshotted table, so pin them directly over a spread of
+     link plans, host lifecycles and a seeded lifecycle draw. *)
+  (let module Plan = Ldlp_fault.Plan in
+   let link_plans =
+     [
+       ("none", Plan.none);
+       ("drop only", Plan.v ~drop:0.05 ());
+       ( "chaos",
+         Plan.v ~drop:0.05 ~dup:0.02 ~corrupt:0.01 ~reorder:0.1
+           ~reorder_window:4 ~jitter:1e-4 () );
+       ("down episode", Plan.v ~down:[ (0.01, 0.02); (0.05, 0.055) ] ());
+     ]
+   in
+   let hosts =
+     [
+       ("immortal", Plan.host_none);
+       ("one crash", Plan.host_v ~crash:[ (0.1, 0.15) ] ());
+       ("flapping", Plan.host_v ~crash:[ (0.01, 0.02); (0.03, 0.05) ] ());
+     ]
+   in
+   let b = Buffer.create 512 in
+   Buffer.add_string b "Fault plans — describe forms\n";
+   List.iter
+     (fun (tag, p) ->
+       Buffer.add_string b (Printf.sprintf "  link %-13s %s\n" tag (Plan.describe p)))
+     link_plans;
+   List.iter
+     (fun (tag, h) ->
+       Buffer.add_string b
+         (Printf.sprintf "  host %-13s %s\n" tag (Plan.describe_host h)))
+     hosts;
+   let lc =
+     Plan.lifecycle ~victims:0.5 ~episodes:2 ~min_outage:0.002
+       ~mean_outage:0.01 ~flap:0.25 ~seed ~hosts:16 ~horizon:0.02 ()
+   in
+   Buffer.add_string b
+     (Printf.sprintf "  lifecycle (seed %d, 16 hosts): %s\n" seed
+        (Plan.describe_lifecycle lc));
+   Array.iteri
+     (fun i h ->
+       if not (Plan.host_is_none h) then
+         Buffer.add_string b
+           (Printf.sprintf "    host %2d: %s\n" i (Plan.describe_host h)))
+     lc;
+   write "plans" (String.trim (Buffer.contents b)));
+  (* Crash/restart recovery: the storm-under-crashes figure. *)
+  (let module Mesh = Ldlp_mesh.Mesh in
+   let lifecycle =
+     Ldlp_fault.Plan.lifecycle ~victims:1.0 ~episodes:2 ~min_outage:0.002
+       ~mean_outage:0.01 ~seed:7 ~hosts:16 ~horizon:0.02 ()
+   in
+   let cfg = Mesh.config ~hosts:16 ~degree:3 ~seed ~lifecycle () in
+   let storms = Mesh.compare_storm ~domains ~calls_per_pair:6 cfg in
+   write "recovery" (String.trim (Mesh.render_recovery cfg ~storms)));
   (* Sharded data path: placement plan + fixed-seed replays. *)
   let shards_fig = Ldlp_shard.Demo.render ~seed in
   let shards_fig =

@@ -62,6 +62,66 @@ let test_plan_describe () =
   checks "jitter and down" "drop=1% jitter=100us down=1"
     (Plan.describe (Plan.v ~drop:0.01 ~jitter:1e-4 ~down:[ (0.1, 0.2) ] ()))
 
+(* ---------- Plan: host lifecycles ---------- *)
+
+let test_host_validation () =
+  check "empty episode" true
+    (raises_invalid (fun () -> Plan.host_v ~crash:[ (1.0, 1.0) ] ()));
+  check "unsorted episodes" true
+    (raises_invalid (fun () -> Plan.host_v ~crash:[ (2.0, 3.0); (0.0, 1.0) ] ()));
+  check "overlapping episodes" true
+    (raises_invalid (fun () -> Plan.host_v ~crash:[ (0.0, 2.0); (1.0, 3.0) ] ()));
+  ignore (Plan.host_v ~crash:[ (0.0, 1.0); (2.0, 3.0) ] ())
+
+let test_host_up_and_describe () =
+  check "immortal is none" true (Plan.host_is_none Plan.host_none);
+  checks "immortal describe" "immortal" (Plan.describe_host Plan.host_none);
+  let h = Plan.host_v ~crash:[ (1.0, 2.0); (5.0, 6.0) ] () in
+  check "not none" false (Plan.host_is_none h);
+  check "up before" true (Plan.host_up h 0.5);
+  check "dead at down_at (inclusive)" false (Plan.host_up h 1.0);
+  check "dead inside" false (Plan.host_up h 1.5);
+  check "up at up_at (exclusive)" true (Plan.host_up h 2.0);
+  check "dead in second episode" false (Plan.host_up h 5.5);
+  checks "describe" "crash@1s+1000ms crash@5s+1000ms" (Plan.describe_host h)
+
+let prop_lifecycle_generates_valid_hosts =
+  (* Whatever the knobs, every host a lifecycle draw produces must pass
+     its own validator — the generator and the validator agree on what a
+     well-formed plan is — and stay inside the horizon. *)
+  QCheck.Test.make ~name:"lifecycle generates only valid host plans" ~count:200
+    QCheck.(
+      quad (float_bound_inclusive 1.0) (1 -- 4) (float_bound_inclusive 1.0)
+        (pair small_nat (1 -- 32)))
+    (fun (victims, episodes, flap, (seed, hosts)) ->
+      let horizon = 0.02 in
+      let lc =
+        Plan.lifecycle ~victims ~episodes ~min_outage:0.001
+          ~mean_outage:0.005 ~flap ~seed ~hosts ~horizon ()
+      in
+      Array.length lc = hosts
+      && Array.for_all
+           (fun h ->
+             Plan.validate_host h;
+             List.for_all
+               (fun (d, u) -> d >= 0.0 && u > d && d <= horizon)
+               h.Plan.crash)
+           lc)
+
+let test_lifecycle_deterministic () =
+  let draw () =
+    Plan.lifecycle ~victims:0.5 ~episodes:2 ~flap:0.25 ~seed:11 ~hosts:24
+      ~horizon:0.05 ()
+  in
+  check "same knobs, same plans" true (draw () = draw ());
+  let other =
+    Plan.lifecycle ~victims:0.5 ~episodes:2 ~flap:0.25 ~seed:12 ~hosts:24
+      ~horizon:0.05 ()
+  in
+  check "seed-sensitive" false (draw () = other);
+  checki "episode count consistent" (Plan.lifecycle_episodes (draw ()))
+    (Plan.lifecycle_episodes (draw ()))
+
 (* ---------- Impair: basic behaviour ---------- *)
 
 let chaotic_plan =
@@ -238,6 +298,35 @@ module Ref_reorder = struct
     List.map (fun (v, _, _) -> v) out
 end
 
+let test_impair_metrics_scalars () =
+  (* The per-cause counters surface as a scalar sheet (gated on the
+     observability switch), and teardown flushes are counted. *)
+  let imp = Impair.create ~seed:42 chaotic_plan in
+  for i = 1 to 500 do
+    ignore (Impair.send imp ~now:(float_of_int i *. 1e-3) i)
+  done;
+  let held = Impair.held imp in
+  check "something held" true (held > 0);
+  checki "flush returns the held frames" held (List.length (Impair.flush imp));
+  let s = Impair.stats imp in
+  checki "flushed counter" held s.Impair.flushed;
+  Ldlp_obs.Obs.with_enabled true (fun () ->
+      let m = Ldlp_obs.Metrics.create ~label:"fault" ~layer_names:[] in
+      Impair.metrics_scalars m imp;
+      let scalars = Ldlp_obs.Metrics.scalars m in
+      let get k =
+        match List.assoc_opt k scalars with
+        | Some v -> v
+        | None -> Alcotest.failf "missing scalar %s" k
+      in
+      checki "offered scalar" s.Impair.offered (get "fault.offered");
+      checki "dropped scalar" s.Impair.dropped (get "fault.dropped");
+      checki "duplicated scalar" s.Impair.duplicated (get "fault.duplicated");
+      checki "corrupted scalar" s.Impair.corrupted (get "fault.corrupted");
+      checki "down scalar" s.Impair.down_dropped (get "fault.down_dropped");
+      checki "flushed scalar" s.Impair.flushed (get "fault.flushed");
+      checki "still-held scalar" 0 (get "fault.still_held"))
+
 let prop_reorder_matches_reference =
   (* Random hold pattern + interleaved release_due calls: the production
      buffer and the reference must agree on every release, in order. *)
@@ -283,6 +372,11 @@ let suite =
     Alcotest.test_case "plan validation" `Quick test_plan_validation;
     Alcotest.test_case "plan none / link_up" `Quick test_plan_none_and_link_up;
     Alcotest.test_case "plan describe" `Quick test_plan_describe;
+    Alcotest.test_case "host lifecycle validation" `Quick test_host_validation;
+    Alcotest.test_case "host up / describe" `Quick test_host_up_and_describe;
+    QCheck_alcotest.to_alcotest prop_lifecycle_generates_valid_hosts;
+    Alcotest.test_case "lifecycle deterministic" `Quick
+      test_lifecycle_deterministic;
     Alcotest.test_case "impair passthrough" `Quick test_impair_passthrough;
     Alcotest.test_case "impair down episode" `Quick test_impair_down_episode;
     Alcotest.test_case "impair conservation" `Quick test_impair_conservation;
@@ -293,6 +387,8 @@ let suite =
       test_impair_deterministic_replay;
     Alcotest.test_case "impair deterministic across domains" `Quick
       test_impair_deterministic_across_domains;
+    Alcotest.test_case "impair metrics scalars + flushed" `Quick
+      test_impair_metrics_scalars;
     QCheck_alcotest.to_alcotest prop_reorder_matches_reference;
     Alcotest.test_case "reorder window exact" `Quick test_reorder_window_exact;
   ]

@@ -216,6 +216,97 @@ let test_storm_sharded_equals_single () =
   checkb "chaos storm shards equal" true (sh.Mesh.ss_storm = base)
 
 (* ------------------------------------------------------------------ *)
+(* Crash/restart recovery.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let crash_cfg =
+  Mesh.config ~hosts:16 ~degree:3 ~seed:1996 ~broadcasts:4
+    ~lifecycle:
+      (Ldlp_fault.Plan.lifecycle ~victims:1.0 ~episodes:2 ~min_outage:0.002
+         ~mean_outage:0.01 ~seed:7 ~hosts:16 ~horizon:0.02 ())
+    ()
+
+let test_recovery_eventual_completion () =
+  List.iter
+    (fun wiring ->
+      let t = Mesh.run_storm ~wiring ~calls_per_pair:6 crash_cfg in
+      let name = Mesh.wiring_name wiring in
+      checkb (name ^ ": complete-or-abandoned") true (Mesh.storm_complete t);
+      checkb (name ^ ": conserved") true t.Mesh.t_conserved;
+      checkb (name ^ ": leak-free across crashes") true t.Mesh.t_leak_free;
+      checki (name ^ ": legacy failure path unused") 0 t.Mesh.calls_failed)
+    Mesh.all_wirings
+
+let test_recovery_exercises_crashes () =
+  (* The chosen plan must actually kill traffic, or the battery proves
+     nothing: at least one wire emission hits a dead host or dies parked,
+     and at least one attempt is retried. *)
+  let t = Mesh.run_storm ~wiring:Mesh.Duplex ~calls_per_pair:6 crash_cfg in
+  checkb "some frames crashed or were lost parked" true
+    (t.Mesh.t_causes.Mesh.crashed + t.Mesh.t_causes.Mesh.lost_in_crash > 0);
+  checkb "some attempts retried" true (t.Mesh.calls_retried > 0);
+  checkb "retry amplification > 1" true
+    (Mesh.storm_retry_amplification t > 1.0);
+  checkb "goodput positive" true (Mesh.storm_goodput t > 0.0)
+
+let test_recovery_cross_wiring_equivalent () =
+  (* The retry timeline depends only on wire-clock events and private
+     per-pair RNG streams, so every wiring must agree on who completed,
+     who was abandoned and how many attempts it took. *)
+  let storms =
+    List.map
+      (fun w -> Mesh.run_storm ~wiring:w ~calls_per_pair:6 crash_cfg)
+      Mesh.all_wirings
+  in
+  match storms with
+  | base :: rest ->
+    List.iter
+      (fun t ->
+        let name = Mesh.wiring_name t.Mesh.t_wiring in
+        checkb (name ^ ": pair_done matches conv") true
+          (t.Mesh.pair_done = base.Mesh.pair_done);
+        checkb (name ^ ": pair_abandoned matches conv") true
+          (t.Mesh.pair_abandoned = base.Mesh.pair_abandoned);
+        checki (name ^ ": retries match conv") base.Mesh.calls_retried
+          t.Mesh.calls_retried;
+        checki (name ^ ": deferrals match conv") base.Mesh.setups_deferred
+          t.Mesh.setups_deferred;
+        checkb (name ^ ": ttr samples match conv") true
+          (t.Mesh.ttr_samples = base.Mesh.ttr_samples))
+      rest
+  | [] -> Alcotest.fail "no wirings"
+
+let test_recovery_deterministic () =
+  let a = Mesh.run_storm ~wiring:Mesh.Ldlp ~calls_per_pair:6 crash_cfg in
+  let b = Mesh.run_storm ~wiring:Mesh.Ldlp ~calls_per_pair:6 crash_cfg in
+  checkb "same crash storm twice" true (a = b)
+
+let test_recovery_sharded_equals_single () =
+  List.iter
+    (fun shards ->
+      let base = Mesh.run_storm ~wiring:Mesh.Duplex ~calls_per_pair:6 crash_cfg in
+      let sh =
+        Mesh.run_storm_sharded ~wiring:Mesh.Duplex ~shards ~calls_per_pair:6
+          crash_cfg
+      in
+      checkb
+        (Printf.sprintf "crash storm shards=%d equals shards=1" shards)
+        true
+        (sh.Mesh.ss_storm = base))
+    [ 1; 2; 3 ]
+
+let test_recovery_on_pristine_all_complete () =
+  (* An explicit policy with no crashes must behave like a pristine
+     storm: nothing abandoned, nothing retried, everything done. *)
+  let t =
+    Mesh.run_storm ~wiring:Mesh.Duplex ~recovery:Mesh.default_recovery small
+  in
+  checki "all calls complete" t.Mesh.calls_requested t.Mesh.calls_completed;
+  checki "nothing abandoned" 0 t.Mesh.calls_abandoned;
+  checki "nothing retried" 0 t.Mesh.calls_retried;
+  checkb "complete" true (Mesh.storm_complete t)
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_mesh.json schema roundtrip.                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -291,6 +382,71 @@ let test_mesh_json_rejects_bad () =
   checkb "empty wiring rejected" true
     (is_err (Ldlp_report.Bench_json.parse_mesh bad_row))
 
+(* ------------------------------------------------------------------ *)
+(* BENCH_recovery.json schema roundtrip.                               *)
+(* ------------------------------------------------------------------ *)
+
+let sample_recovery =
+  [
+    {
+      Ldlp_report.Bench_json.rr_wiring = "duplex+v100";
+      rr_crash_episodes = 88;
+      rr_calls = 24;
+      rr_completed = 24;
+      rr_abandoned = 0;
+      rr_retried = 9;
+      rr_deferred = 2;
+      rr_goodput_pairs_per_s = 1103.0;
+      rr_retry_amplification = 1.375;
+      rr_ttr_p50_s = 9.03e-3;
+      rr_ttr_p99_s = 9.5e-3;
+      rr_ok = true;
+    };
+  ]
+
+let test_recovery_json_roundtrip () =
+  let json =
+    Ldlp_report.Bench_json.render_recovery ~seed:1996 ~hosts:32 ~degree:4
+      sample_recovery
+  in
+  match Ldlp_report.Bench_json.parse_recovery json with
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Ok doc ->
+    checki "seed" 1996 doc.Ldlp_report.Bench_json.rd_seed;
+    checki "hosts" 32 doc.Ldlp_report.Bench_json.rd_hosts;
+    checki "degree" 4 doc.Ldlp_report.Bench_json.rd_degree;
+    (match (doc.Ldlp_report.Bench_json.recovery_rows, sample_recovery) with
+    | [ got ], [ want ] -> checkb "recovery row survives" true (got = want)
+    | _ -> Alcotest.fail "row count")
+
+let test_recovery_json_rejects_bad () =
+  let is_err = function Error _ -> true | Ok _ -> false in
+  checkb "empty doc rejected" true
+    (is_err (Ldlp_report.Bench_json.parse_recovery "{}"));
+  checkb "wrong schema tag rejected" true
+    (is_err
+       (Ldlp_report.Bench_json.parse_recovery
+          {|{"schema": "ldlp-bench-mesh/1", "seed": 1, "hosts": 32,
+             "degree": 4, "rows": []}|}));
+  let forged f =
+    Ldlp_report.Bench_json.render_recovery ~seed:1 ~hosts:32 ~degree:4
+      [ f (List.hd sample_recovery) ]
+  in
+  checkb "overfull outcome rejected" true
+    (is_err
+       (Ldlp_report.Bench_json.parse_recovery
+          (forged (fun r ->
+               { r with Ldlp_report.Bench_json.rr_completed = 20; rr_abandoned = 5 }))));
+  checkb "amplification below one rejected" true
+    (is_err
+       (Ldlp_report.Bench_json.parse_recovery
+          (forged (fun r ->
+               { r with Ldlp_report.Bench_json.rr_retry_amplification = 0.5 }))));
+  checkb "empty wiring rejected" true
+    (is_err
+       (Ldlp_report.Bench_json.parse_recovery
+          (forged (fun r -> { r with Ldlp_report.Bench_json.rr_wiring = "" }))))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_topology_well_formed;
@@ -318,8 +474,24 @@ let suite =
       test_storm_deterministic;
     Alcotest.test_case "sharded storm equals single-domain" `Quick
       test_storm_sharded_equals_single;
+    Alcotest.test_case "recovery: every call completes or is abandoned" `Quick
+      test_recovery_eventual_completion;
+    Alcotest.test_case "recovery: crash plan injects real failures" `Quick
+      test_recovery_exercises_crashes;
+    Alcotest.test_case "recovery: wirings agree on outcome multiset" `Quick
+      test_recovery_cross_wiring_equivalent;
+    Alcotest.test_case "recovery: crash storm is deterministic" `Quick
+      test_recovery_deterministic;
+    Alcotest.test_case "recovery: sharded crash storm equals single" `Quick
+      test_recovery_sharded_equals_single;
+    Alcotest.test_case "recovery: pristine policy run completes all" `Quick
+      test_recovery_on_pristine_all_complete;
     Alcotest.test_case "BENCH_mesh.json roundtrip" `Quick
       test_mesh_json_roundtrip;
     Alcotest.test_case "BENCH_mesh.json rejects bad docs" `Quick
       test_mesh_json_rejects_bad;
+    Alcotest.test_case "BENCH_recovery.json roundtrip" `Quick
+      test_recovery_json_roundtrip;
+    Alcotest.test_case "BENCH_recovery.json rejects bad docs" `Quick
+      test_recovery_json_rejects_bad;
   ]

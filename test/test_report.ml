@@ -177,8 +177,9 @@ let test_stats_json_roundtrip () =
   match Ldlp_report.Bench_json.parse_stats text with
   | Error e -> Alcotest.failf "render_stats output failed its schema: %s" e
   | Ok doc ->
+    (* Two discipline sheets plus the fault-replay scalar sheet. *)
     Alcotest.(check int)
-      "one sheet per discipline" 2
+      "one sheet per discipline plus the fault sheet" 3
       (List.length doc.Ldlp_report.Bench_json.stats_sheets);
     List.iter2
       (fun m (s : Ldlp_report.Bench_json.stats_sheet) ->

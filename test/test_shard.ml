@@ -217,6 +217,78 @@ let test_stackwork_leak_audit () =
         r.Stackwork.r_groups)
     [ 1; 2; 3 ]
 
+(* ---------- Stackwork: crash windows ---------- *)
+
+(* A hand-built ring that keeps traffic flowing long enough for the
+   crash window to intercept it: every delivery with positive TTL hops
+   to the next group, so killing group 1 for rounds 1-2 must drop
+   something on the floor — and ledger it. *)
+let crash_spec =
+  {
+    Stackwork.sp_groups = 3;
+    sp_layers = Array.make 3 [ Stackwork.Pass; Stackwork.Pass ];
+    sp_policy = Ldlp_core.Batch.paper_default;
+    sp_init = Array.init 3 (fun g -> List.init 6 (fun i -> ((g * 100) + i, 4)));
+    sp_seed = 0;
+    sp_crash = [ (1, 1, 3) ];
+  }
+
+let test_stackwork_crash_ledgered () =
+  let r = Stackwork.run ~shards:1 crash_spec in
+  check "crash window drops traffic" true (Stackwork.crashed_total r > 0);
+  check "extended ledger holds under crash" true (Stackwork.ledger_ok r);
+  Array.iter
+    (fun g ->
+      checki
+        (Printf.sprintf "group %d pool balanced across crash"
+           g.Stackwork.gr_group)
+        0 g.Stackwork.gr_pool_outstanding)
+    r.Stackwork.r_groups;
+  (* Only the dead group's ledger carries the loss. *)
+  Array.iter
+    (fun g ->
+      if g.Stackwork.gr_group <> 1 then
+        checki
+          (Printf.sprintf "group %d untouched by sibling crash"
+             g.Stackwork.gr_group)
+          0 g.Stackwork.gr_crashed)
+    r.Stackwork.r_groups
+
+let prop_stackwork_crash_placement_invariant =
+  QCheck.Test.make
+    ~name:"stackwork crash plans are invariant to shards/placement"
+    ~count:60
+    QCheck.(
+      quad (int_bound 100_000) (int_range 2 5) (int_range 1 3) (int_bound 50))
+    (fun (seed, shards, capacity, shard_seed) ->
+      let spec = Stackwork.random_spec ~crash:true ~seed () in
+      let base = Stackwork.run ~shards:1 spec in
+      if not (Stackwork.ledger_ok base) then
+        QCheck.Test.fail_report "reference crash ledger broken";
+      let policy =
+        if seed land 1 = 0 then Shard.Policy.Affinity else Shard.Policy.Hash
+      in
+      let r = Stackwork.run ~policy ~shard_seed ~capacity ~shards spec in
+      (match Stackwork.diff_reports base r with
+      | None -> ()
+      | Some d -> QCheck.Test.fail_reportf "%s" d);
+      if not (Stackwork.ledger_ok r) then
+        QCheck.Test.fail_report "sharded crash ledger broken";
+      Stackwork.wire_multiset base = Stackwork.wire_multiset r)
+
+let test_stackwork_crash_validation () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  let with_crash c = { crash_spec with Stackwork.sp_crash = c } in
+  check "group out of range" true
+    (raises (fun () -> ignore (Stackwork.run ~shards:1 (with_crash [ (9, 1, 2) ]))));
+  check "crash at round 0" true
+    (raises (fun () -> ignore (Stackwork.run ~shards:1 (with_crash [ (0, 0, 2) ]))));
+  check "empty window" true
+    (raises (fun () -> ignore (Stackwork.run ~shards:1 (with_crash [ (0, 2, 2) ]))));
+  check "overlapping windows" true
+    (raises (fun () ->
+         ignore (Stackwork.run ~shards:1 (with_crash [ (0, 1, 3); (0, 2, 4) ]))))
+
 let test_shard_driver_error_propagates () =
   (* A worker raising on a non-zero shard must surface on the caller. *)
   let boom shards =
@@ -365,6 +437,11 @@ let suite =
     QCheck_alcotest.to_alcotest prop_stackwork_placement_invariant;
     Alcotest.test_case "stackwork pools balanced per shard" `Quick
       test_stackwork_leak_audit;
+    Alcotest.test_case "stackwork crash drops are ledgered" `Quick
+      test_stackwork_crash_ledgered;
+    QCheck_alcotest.to_alcotest prop_stackwork_crash_placement_invariant;
+    Alcotest.test_case "stackwork crash plans validate" `Quick
+      test_stackwork_crash_validation;
     Alcotest.test_case "worker exceptions propagate" `Quick
       test_shard_driver_error_propagates;
     Alcotest.test_case "echo byte-identical across shard counts" `Quick

@@ -76,6 +76,44 @@ let test_run_all_deterministic_across_domains () =
     "identical rendered table" (Soak.render a) (Soak.render b);
   check "all ok" true (List.for_all Soak.report_ok a)
 
+(* A server crash/restart in the middle of an otherwise pristine
+   transfer: the outage plus the wiped NIC rings force retransmission,
+   and the byte stream must still arrive intact under both disciplines. *)
+let crash_scenario =
+  {
+    (List.hd (Soak.scenarios ~seed:1996 ~count:1)) with
+    (* The pristine exchange finishes in ~20 ms of sim time, so the
+       outage starts at 8 ms to land mid-transfer. *)
+    Soak.crash = [ (0.008, 0.05) ];
+  }
+
+let test_crash_restart_recovers () =
+  let r = Soak.run_scenario crash_scenario in
+  check "completed (conventional)" true r.Soak.conventional.Soak.completed;
+  check "completed (ldlp)" true r.Soak.ldlp.Soak.completed;
+  check "byte-stream integrity (conventional)" true
+    r.Soak.conventional.Soak.integrity;
+  check "byte-stream integrity (ldlp)" true r.Soak.ldlp.Soak.integrity;
+  check "no leak (conventional)" true r.Soak.conventional.Soak.leak_free;
+  check "no leak (ldlp)" true r.Soak.ldlp.Soak.leak_free;
+  check "disciplines equivalent" true r.Soak.equivalent;
+  check "report ok" true (Soak.report_ok r);
+  check "crash cost retransmits" true (r.Soak.ldlp.Soak.retransmits > 0)
+
+let test_crash_restart_duplex () =
+  let r = Soak.run_scenario ~duplex:true crash_scenario in
+  check "report ok (duplex)" true (Soak.report_ok r);
+  check "crash cost retransmits (duplex)" true
+    (r.Soak.ldlp.Soak.retransmits > 0)
+
+let test_crash_validation () =
+  let bad = { crash_scenario with Soak.crash = [ (0.008, 0.008) ] } in
+  check "empty crash episode rejected" true
+    (try
+       ignore (Soak.run_scenario bad);
+       false
+     with Invalid_argument _ -> true)
+
 let test_loss_ladder () =
   let rows = Soak.loss_ladder ~seed:1996 ~rates:[ 0.0; 0.05 ] in
   match rows with
@@ -99,5 +137,10 @@ let suite =
       test_equivalence_includes_fault_sequence;
     Alcotest.test_case "run_all deterministic across domains" `Quick
       test_run_all_deterministic_across_domains;
+    Alcotest.test_case "crash/restart mid-transfer recovers" `Quick
+      test_crash_restart_recovers;
+    Alcotest.test_case "crash/restart under duplex hosts" `Quick
+      test_crash_restart_duplex;
+    Alcotest.test_case "crash episodes validated" `Quick test_crash_validation;
     Alcotest.test_case "loss ladder" `Quick test_loss_ladder;
   ]

@@ -486,6 +486,62 @@ let test_rto_backoff () =
   done;
   checkf "max clamp" Rto.max_rto (Rto.rto r)
 
+(* Arbitrary RTT histories (LAN-scale to WAN-scale samples): the
+   estimator's invariants must hold on every one. *)
+let rto_samples =
+  QCheck.(list_of_size Gen.(0 -- 20) (float_bound_exclusive 2.0))
+
+let prop_rto_backoff_doubles_to_clamp =
+  QCheck.Test.make ~name:"rto: backoff doubles exactly until the RFC clamp"
+    ~count:300
+    QCheck.(pair rto_samples (int_bound 24))
+    (fun (samples, backoffs) ->
+      let r = Rto.create () in
+      List.iter (Rto.observe r) samples;
+      let ok = ref (Rto.rto r >= Rto.min_rto && Rto.rto r <= Rto.max_rto) in
+      for _ = 1 to backoffs do
+        let before = Rto.rto r in
+        Rto.backoff r;
+        (* Doubling a binary float is exact, so so is the clamp. *)
+        ok := !ok && Rto.rto r = Float.min Rto.max_rto (2.0 *. before)
+      done;
+      !ok)
+
+let prop_rto_never_decreases_under_backoff =
+  QCheck.Test.make ~name:"rto: backoff never decreases the timeout" ~count:300
+    QCheck.(pair rto_samples (int_bound 24))
+    (fun (samples, backoffs) ->
+      let r = Rto.create () in
+      List.iter (Rto.observe r) samples;
+      let ok = ref true in
+      for _ = 1 to backoffs do
+        let before = Rto.rto r in
+        Rto.backoff r;
+        ok := !ok && Rto.rto r >= before && Rto.rto r <= Rto.max_rto
+      done;
+      !ok)
+
+let prop_rto_reset_restores_base =
+  QCheck.Test.make
+    ~name:"rto: reset after fresh samples restores the unbacked-off base"
+    ~count:300
+    QCheck.(pair (pair rto_samples rto_samples) (int_bound 24))
+    (fun ((samples, fresh), backoffs) ->
+      (* A connection that timed out [backoffs] times then saw fresh
+         acks must quote the same timeout as one that never backed off
+         but observed the same RTT history. *)
+      let r = Rto.create () in
+      List.iter (Rto.observe r) samples;
+      for _ = 1 to backoffs do
+        Rto.backoff r
+      done;
+      List.iter (Rto.observe r) fresh;
+      Rto.reset_backoff r;
+      let reference = Rto.create () in
+      List.iter (Rto.observe reference) samples;
+      List.iter (Rto.observe reference) fresh;
+      Rto.backoff_count r = 0 && Rto.rto r = Rto.rto reference)
+
 (* ---------- Pcb segment tracking and Karn's rule ---------- *)
 
 let test_pcb_track_and_karn () =
@@ -790,6 +846,9 @@ let suite =
       test_fragments_dropped_without_reassembly;
     Alcotest.test_case "rto estimator" `Quick test_rto_estimator;
     Alcotest.test_case "rto backoff" `Quick test_rto_backoff;
+    QCheck_alcotest.to_alcotest prop_rto_backoff_doubles_to_clamp;
+    QCheck_alcotest.to_alcotest prop_rto_never_decreases_under_backoff;
+    QCheck_alcotest.to_alcotest prop_rto_reset_restores_base;
     Alcotest.test_case "pcb tracking + Karn's rule" `Quick
       test_pcb_track_and_karn;
     Alcotest.test_case "retransmission timeout + backoff" `Quick
