@@ -4,7 +4,7 @@
 
 DOMAINS ?= 2
 
-.PHONY: all build test fmt promote selftest oracle engine-parity soak soak-duplex mesh shards recovery bench-sweeps bench-hotpath bench-alloc bench-soak bench-mesh bench-shards bench-recovery check
+.PHONY: all build test fmt promote selftest oracle engine-parity soak soak-duplex mesh shards recovery flows bench-sweeps bench-hotpath bench-alloc bench-soak bench-mesh bench-shards bench-recovery bench-flows check
 
 all: build
 
@@ -73,6 +73,12 @@ shards: build
 recovery: build
 	dune exec bin/ldlp_repro.exe -- recovery --seed 1996
 
+# Flow-table locality: the Jain-style scheme comparison (conv vs LDLP
+# batch-sorted lookups at 10k/100k flows), the flowtable differential
+# oracle, and the cross-discipline digest + D-miss gates.
+flows: build
+	dune exec bin/ldlp_repro.exe -- flows --seed 1996
+
 # Times every sweep at 1 domain and at N domains; writes BENCH_sweeps.json.
 bench-sweeps: build
 	dune exec bench/main.exe -- --sweeps
@@ -113,5 +119,12 @@ bench-shards: build
 bench-recovery: build
 	dune exec bench/main.exe -- --recovery
 
-check: build fmt test selftest oracle engine-parity bench-alloc soak soak-duplex mesh shards recovery
+# Flow-count ladder at 10k/100k/1M flows per scheme; writes
+# BENCH_flows.json (kept even on gate failure) and fails unless LDLP
+# batch-sorting strictly beats conventional lookup order on modeled
+# D-misses at 100k and 1M flows with identical delivered-state digests.
+bench-flows: build
+	dune exec bench/main.exe -- --flows
+
+check: build fmt test selftest oracle engine-parity bench-alloc soak soak-duplex mesh shards recovery flows
 	@echo "check OK"

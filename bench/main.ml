@@ -821,6 +821,103 @@ let bench_shards ~out () =
   Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* Section 1g2: flow-table locality study -> BENCH_flows.json.         *)
+(* ------------------------------------------------------------------ *)
+
+(* The Jain-style destination-locality study at scale: one Flowmix
+   arrival stream per flow count (10k / 100k / 1M concurrent flows),
+   replayed against the unified flow table under every replacement
+   scheme, conventionally and LDLP batch-sorted.  Gates: the flowtable
+   differential oracle, cross-scheme + cross-discipline delivered-state
+   equivalence (digests), counter conservation, and strictly fewer
+   modeled D-misses/lookup for LDLP at 100k and 1M flows.  The JSON is
+   written before the gates run so CI keeps the artifact on failure. *)
+
+let flows_counts = [ 10_000; 100_000; 1_000_000 ]
+
+let bench_flows ~out () =
+  let module Study = Ldlp_flowtable.Study in
+  let module Ft = Ldlp_flowtable.Flowtable in
+  let config = Study.bench in
+  let rows =
+    List.concat_map
+      (fun flows -> Study.run ~config ~flows ~seed ())
+      flows_counts
+  in
+  let conv_of r =
+    List.find
+      (fun c ->
+        c.Study.r_flows = r.Study.r_flows
+        && c.Study.r_scheme = r.Study.r_scheme
+        && not c.Study.r_ldlp)
+      rows
+  in
+  let row_ok r =
+    let conv = conv_of r in
+    let conserved =
+      r.Study.r_found = r.Study.r_lookups
+      && r.Study.r_model_hits + r.Study.r_model_misses = r.Study.r_lookups
+    in
+    let equivalent = r.Study.r_digest = conv.Study.r_digest in
+    let wins =
+      (not r.Study.r_ldlp)
+      || r.Study.r_flows < 100_000
+      || r.Study.r_model_misses < conv.Study.r_model_misses
+    in
+    conserved && equivalent && wins
+  in
+  let jrows =
+    List.map
+      (fun r ->
+        {
+          Ldlp_report.Bench_json.fl_flows = r.Study.r_flows;
+          fl_scheme = Ft.scheme_name r.Study.r_scheme;
+          fl_ldlp = r.Study.r_ldlp;
+          fl_lookups = r.Study.r_lookups;
+          fl_model_misses = r.Study.r_model_misses;
+          fl_misses_per_lookup = Study.misses_per_lookup r;
+          fl_evictions = r.Study.r_model_evictions;
+          fl_digest = r.Study.r_digest;
+          fl_ok = row_ok r;
+        })
+      rows
+  in
+  let json =
+    Ldlp_report.Bench_json.render_flows ~seed ~slots:config.Study.slots
+      ~batch:config.Study.batch jrows
+  in
+  (match Ldlp_report.Bench_json.parse_flows json with
+  | Ok _ -> ()
+  | Error e -> failwith ("BENCH_flows.json fails its own schema: " ^ e));
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  print_endline (Study.render ~config ~rows ~seed ());
+  print_newline ();
+  let failed = ref false in
+  let fail fmt =
+    Printf.ksprintf (fun s -> Printf.eprintf "FAIL: %s\n" s; failed := true) fmt
+  in
+  (match Ldlp_check.Flowtable_oracle.run ~seed ~cases:25 with
+  | Ok n -> Printf.printf "flowtable differential: %d random workloads OK\n" n
+  | Error e -> fail "flowtable oracle: %s" e);
+  List.iter
+    (fun (r : Ldlp_report.Bench_json.flow_row) ->
+      if not r.Ldlp_report.Bench_json.fl_ok then
+        fail "%s/%s at %d flows failed its row gate"
+          r.Ldlp_report.Bench_json.fl_scheme
+          (if r.Ldlp_report.Bench_json.fl_ldlp then "ldlp" else "conv")
+          r.Ldlp_report.Bench_json.fl_flows)
+    jrows;
+  if !failed then begin
+    prerr_endline "FAIL: flow-table gates did not hold (JSON still written)";
+    exit 1
+  end;
+  Printf.printf
+    "equivalence, conservation and LDLP D-miss gates: ok (100k and 1M flows)\n";
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* Section 1g: crash/restart recovery -> BENCH_recovery.json.          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1203,7 +1300,9 @@ let () =
   let mesh_only = Array.exists (( = ) "--mesh") Sys.argv in
   let shards_only = Array.exists (( = ) "--shards") Sys.argv in
   let recovery_only = Array.exists (( = ) "--recovery") Sys.argv in
-  if recovery_only then bench_recovery ~out:"BENCH_recovery.json" ()
+  let flows_only = Array.exists (( = ) "--flows") Sys.argv in
+  if flows_only then bench_flows ~out:"BENCH_flows.json" ()
+  else if recovery_only then bench_recovery ~out:"BENCH_recovery.json" ()
   else if shards_only then bench_shards ~out:"BENCH_shards.json" ()
   else if mesh_only then bench_mesh ~out:"BENCH_mesh.json" ()
   else if sweeps_only then bench_sweeps ~out:"BENCH_sweeps.json" ()

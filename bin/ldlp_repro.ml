@@ -307,7 +307,21 @@ let run_check seed =
       ("direct-mapped", Ldlp_cache.Config.paper_default);
       ("2-way", Ldlp_cache.Config.v ~size_bytes:8192 ~line_bytes:32 ~associativity:2 ());
       ("4-way", Ldlp_cache.Config.v ~size_bytes:8192 ~line_bytes:32 ~associativity:4 ());
+      (* One set, LRU over all lines: the shared Replace machinery's
+         LRU-stack geometry (the flowtable's third scheme), covered by the
+         same naive reference. *)
+      ("full-LRU", Ldlp_cache.Config.v ~size_bytes:8192 ~line_bytes:32 ~associativity:256 ());
     ];
+  (* 1b. The unified flow table against its naive references: model
+     fidelity per scheme, exact delivered state, charge accounting and
+     cross-scheme equivalence. *)
+  (match Ldlp_check.Flowtable_oracle.run ~seed ~cases:25 with
+  | Ok n ->
+    Printf.printf
+      "flowtable differential: %d random workloads + trace replay, all \
+       schemes, no divergence\n"
+      n
+  | Error e -> fail "flowtable differential FAILED: %s" e);
   (* 2. Scheduler equivalence: Conventional vs LDLP over random stacks. *)
   let cases = 200 in
   (match Ldlp_check.Sched_oracle.run_random ~seed ~cases with
@@ -354,6 +368,49 @@ let run_check seed =
   | Error d ->
     fail "recovery oracle FAILED: %a" Ldlp_check.Recovery_oracle.pp_divergence d);
   print_endline "check OK"
+
+let run_flows seed =
+  let module Study = Ldlp_flowtable.Study in
+  let fail fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt in
+  let config = Study.quick in
+  let rows =
+    List.concat_map
+      (fun flows -> Study.run ~config ~flows ~seed ())
+      [ 10_000; 100_000 ]
+  in
+  print_endline (Study.render ~config ~rows ~seed ());
+  print_newline ();
+  (* Oracle: model fidelity, exactness, charging, cross-scheme laws. *)
+  (match Ldlp_check.Flowtable_oracle.run ~seed ~cases:25 with
+  | Ok n -> Printf.printf "flowtable differential: %d random workloads OK\n" n
+  | Error e -> fail "flowtable differential FAILED: %s" e);
+  (* Equivalence and the locality gate at the largest figure point: the
+     full 10k/100k/1M bench gate lives in `bench --flows`. *)
+  List.iter
+    (fun r ->
+      let conv =
+        List.find
+          (fun c ->
+            c.Study.r_flows = r.Study.r_flows
+            && c.Study.r_scheme = r.Study.r_scheme
+            && not c.Study.r_ldlp)
+          rows
+      in
+      if r.Study.r_ldlp then begin
+        if r.Study.r_digest <> conv.Study.r_digest then
+          fail "flows: delivered-state digest differs (%s, %d flows)"
+            (Ldlp_flowtable.Flowtable.scheme_name r.Study.r_scheme)
+            r.Study.r_flows;
+        if
+          r.Study.r_flows >= 100_000
+          && r.Study.r_model_misses >= conv.Study.r_model_misses
+        then
+          fail "flows: LDLP not winning on D-misses (%s, %d flows)"
+            (Ldlp_flowtable.Flowtable.scheme_name r.Study.r_scheme)
+            r.Study.r_flows
+      end)
+    rows;
+  print_endline "flows OK"
 
 let run_shards seed =
   print_string (Ldlp_shard.Demo.render ~seed);
@@ -555,6 +612,13 @@ let cmds =
        assert the 4-shard call storm merges to exactly the single-domain \
        result.  Nonzero exit on any failure."
       Term.(const run_shards $ seed_t);
+    cmd "flows"
+      "Flow-table data-locality study: print the Jain-style misses/lookup \
+       figure (conventional vs LDLP batch-sorted lookup per replacement \
+       scheme at 10k/100k flows), run the flowtable differential oracle, \
+       and assert cross-scheme delivered-state equivalence plus the LDLP \
+       D-miss win at 100k flows.  Nonzero exit on any failure."
+      Term.(const run_flows $ seed_t);
     cmd "soak"
       "Chaos soak: run the tcpmini echo exchange over seeded impaired \
        links (loss, duplication, corruption, reordering, down episodes, \

@@ -1,14 +1,11 @@
-(* Tags are stored per way as line numbers (-1 = invalid).  For the
-   direct-mapped case (the paper's machine) the hot path is a single array
-   compare-and-store.  For set-associative caches each set keeps its ways in
-   LRU order: way 0 is most recently used; eviction takes the last way. *)
+(* The tag state and LRU/direct-mapped machinery live in [Replace] (shared
+   with the flow table); this module adds the address-to-line mapping and
+   the hit/miss counters the cost model reads. *)
 
 type t = {
   cfg : Config.t;
   set_shift : int; (* log2 line_bytes, to go from addr to line *)
-  set_mask : int; (* sets - 1 *)
-  ways : int;
-  tags : int array; (* sets * ways, row-major, LRU-ordered within a set *)
+  rep : Replace.t;
   mutable hits : int;
   mutable misses : int;
 }
@@ -18,13 +15,10 @@ let log2 n =
   go 0 n
 
 let create cfg =
-  let sets = Config.sets cfg in
   {
     cfg;
     set_shift = log2 cfg.Config.line_bytes;
-    set_mask = sets - 1;
-    ways = cfg.Config.associativity;
-    tags = Array.make (sets * cfg.Config.associativity) (-1);
+    rep = Replace.create ~sets:(Config.sets cfg) ~ways:cfg.Config.associativity;
     hits = 0;
     misses = 0;
   }
@@ -32,46 +26,13 @@ let create cfg =
 let config t = t.cfg
 
 let access_line t line =
-  let set = line land t.set_mask in
-  if t.ways = 1 then begin
-    if t.tags.(set) = line then begin
-      t.hits <- t.hits + 1;
-      true
-    end
-    else begin
-      t.tags.(set) <- line;
-      t.misses <- t.misses + 1;
-      false
-    end
+  if Replace.access t.rep line then begin
+    t.hits <- t.hits + 1;
+    true
   end
   else begin
-    let base = set * t.ways in
-    let rec find i =
-      if i >= t.ways then -1
-      else if t.tags.(base + i) = line then i
-      else find (i + 1)
-    in
-    let i = find 0 in
-    if i >= 0 then begin
-      (* Hit in way [i]: rotate ways [0..i] so [line] lands at the MRU
-         position.  For [i = 0] the rotation is empty — an MRU hit costs
-         no tag traffic, with no special case. *)
-      for j = i downto 1 do
-        t.tags.(base + j) <- t.tags.(base + j - 1)
-      done;
-      if i > 0 then t.tags.(base) <- line;
-      t.hits <- t.hits + 1;
-      true
-    end
-    else begin
-      (* Miss: shift everything down, install at MRU position. *)
-      for j = t.ways - 1 downto 1 do
-        t.tags.(base + j) <- t.tags.(base + j - 1)
-      done;
-      t.tags.(base) <- line;
-      t.misses <- t.misses + 1;
-      false
-    end
+    t.misses <- t.misses + 1;
+    false
   end
 
 let access t addr = access_line t (addr asr t.set_shift)
@@ -88,23 +49,13 @@ let touch_range t ~addr ~len =
     !misses
   end
 
-let resident t addr =
-  let line = addr asr t.set_shift in
-  let set = line land t.set_mask in
-  let base = set * t.ways in
-  let rec find i =
-    if i >= t.ways then false
-    else t.tags.(base + i) = line || find (i + 1)
-  in
-  find 0
+let resident t addr = Replace.probe t.rep (addr asr t.set_shift)
 
-let flush t = Array.fill t.tags 0 (Array.length t.tags) (-1)
+let flush t = Replace.flush t.rep
 
-let occupancy t =
-  Array.fold_left (fun acc tag -> if tag >= 0 then acc + 1 else acc) 0 t.tags
+let occupancy t = Replace.occupancy t.rep
 
-let iter_resident t f =
-  Array.iter (fun tag -> if tag >= 0 then f tag) t.tags
+let iter_resident t f = Replace.iter t.rep f
 
 let hits t = t.hits
 

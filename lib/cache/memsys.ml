@@ -89,6 +89,21 @@ let read_data t ~addr ~len =
   | None -> ()
   | Some f -> f (Read_data { addr; len; misses = m })
 
+let charge_read t ~addr ~len ~misses =
+  if misses < 0 then invalid_arg "Memsys.charge_read: negative misses";
+  if misses > 0 then
+    t.c <-
+      {
+        t.c with
+        dcache_misses = t.c.dcache_misses + misses;
+        stall_cycles =
+          t.c.stall_cycles
+          + (misses * (Cache.config t.dcache).Config.miss_penalty);
+      };
+  match t.probe with
+  | None -> ()
+  | Some f -> f (Read_data { addr; len; misses })
+
 let write_data t ~addr ~len =
   let m = Cache.touch_range t.dcache ~addr ~len in
   if m > 0 then t.c <- { t.c with write_misses = t.c.write_misses + m };

@@ -13,6 +13,7 @@ type counters = {
   not_for_us : int;
   bad_udp : int;
   replies : int;
+  dup_queries : int;
 }
 
 type t = {
@@ -21,6 +22,9 @@ type t = {
   my_ip : Pkt.Addr.Ipv4.t;
   port : int;
   srv : Server.t;
+  txns : (int32 * int * int, unit) Ldlp_flowtable.Flowtable.t;
+      (* completed transactions keyed (client ip, client port, dns id):
+         a repeat of an answered query is a client retransmission *)
   mutable c : counters;
   mutable ident : int;
 }
@@ -32,7 +36,15 @@ let create ~pool ~mac ~ip ?(port = 53) ~server () =
     my_ip = ip;
     port;
     srv = server;
-    c = { frames_in = 0; not_for_us = 0; bad_udp = 0; replies = 0 };
+    txns = Ldlp_flowtable.Flowtable.create ~name:"dns-txn" ();
+    c =
+      {
+        frames_in = 0;
+        not_for_us = 0;
+        bad_udp = 0;
+        replies = 0;
+        dup_queries = 0;
+      };
     ident = 0;
   }
 
@@ -41,6 +53,12 @@ let wrap t m = { buf = m; src_ip = t.my_ip; src_port = 0 }
 let counters t = t.c
 
 let server t = t.srv
+
+let transactions t = t.txns
+
+(* The wire id is the first header field; peeking it avoids a second full
+   decode on the hot path. *)
+let wire_id wire = if Bytes.length wire >= 2 then Bytes.get_uint16_be wire 0 else 0
 
 let udp_ip_ether t ~src_ip ~src_port ~dst_ip ~dst_port payload =
   let dgram = Bytes.create (Pkt.Udp.header_bytes + Bytes.length payload) in
@@ -135,10 +153,19 @@ let layers t =
         let m = msg.Core.Msg.payload.buf in
         let wire = Mbuf.to_bytes m in
         Mbuf.free t.pool m;
+        let txn_key =
+          ( Pkt.Addr.Ipv4.to_int32 msg.Core.Msg.payload.src_ip,
+            msg.Core.Msg.payload.src_port,
+            wire_id wire )
+        in
+        (match Ldlp_flowtable.Flowtable.lookup t.txns txn_key with
+        | Some () -> t.c <- { t.c with dup_queries = t.c.dup_queries + 1 }
+        | None -> ());
         match Server.handle t.srv wire with
         | None -> [ Core.Layer.Consume ]
         | Some reply_bytes ->
           t.c <- { t.c with replies = t.c.replies + 1 };
+          Ldlp_flowtable.Flowtable.insert t.txns txn_key ();
           let frame =
             udp_ip_ether t ~src_ip:t.my_ip ~src_port:t.port
               ~dst_ip:msg.Core.Msg.payload.src_ip

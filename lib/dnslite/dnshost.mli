@@ -16,6 +16,10 @@ type counters = {
   not_for_us : int;  (** Wrong ethertype/address/protocol/port. *)
   bad_udp : int;  (** Short datagrams or checksum failures. *)
   replies : int;
+  dup_queries : int;
+      (** Queries whose (client, id) transaction was already answered —
+          client retransmissions detected via the transaction flow
+          table. *)
 }
 
 val create :
@@ -35,6 +39,10 @@ val wrap : t -> Ldlp_buf.Mbuf.t -> item
 val counters : t -> counters
 
 val server : t -> Server.t
+
+val transactions : t -> (int32 * int * int, unit) Ldlp_flowtable.Flowtable.t
+(** Completed-transaction table, keyed (client address, client port, DNS
+    id) — the dnslite lookup path on the unified flow table. *)
 
 (** {1 Client helpers} *)
 

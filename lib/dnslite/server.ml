@@ -6,8 +6,10 @@ type stats = {
   malformed : int;
 }
 
+module Flowtable = Ldlp_flowtable.Flowtable
+
 type t = {
-  zone : (string, Ldlp_packet.Addr.Ipv4.t list) Hashtbl.t;
+  zone : (string, Ldlp_packet.Addr.Ipv4.t list) Flowtable.t;
   mutable s : stats;
 }
 
@@ -16,13 +18,14 @@ let canonical name = String.lowercase_ascii (Name.to_string name)
 let add_record t ~name ~addr =
   let key = String.lowercase_ascii name in
   let ip = Ldlp_packet.Addr.Ipv4.of_string addr in
-  let existing = Option.value ~default:[] (Hashtbl.find_opt t.zone key) in
-  Hashtbl.replace t.zone key (existing @ [ ip ])
+  let existing = Option.value ~default:[] (Flowtable.lookup t.zone key) in
+  Flowtable.insert t.zone key (existing @ [ ip ])
 
 let create ~zone () =
   let t =
     {
-      zone = Hashtbl.create 64;
+      (* [buckets] matches the Hashtbl.create 64 this zone map replaced. *)
+      zone = Flowtable.create ~buckets:64 ~name:"dns-zone" ();
       s = { queries = 0; answered = 0; nxdomain = 0; refused = 0; malformed = 0 };
     }
   in
@@ -30,7 +33,7 @@ let create ~zone () =
   t
 
 let lookup t name =
-  Option.value ~default:[] (Hashtbl.find_opt t.zone (canonical name))
+  Option.value ~default:[] (Flowtable.lookup t.zone (canonical name))
 
 let handle t wire =
   match Dnsmsg.decode wire with

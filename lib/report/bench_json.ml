@@ -1015,3 +1015,115 @@ let parse_shards text =
       raise (Bad "header: inconsistent hosts/pairs/host_cores");
     Ok doc
   with Bad msg -> Error msg
+
+(* ---------- flow-table locality study (bench --flows) ---------- *)
+
+type flow_row = {
+  fl_flows : int;
+  fl_scheme : string;
+  fl_ldlp : bool;
+  fl_lookups : int;
+  fl_model_misses : int;
+  fl_misses_per_lookup : float;
+  fl_evictions : int;
+  fl_digest : int;
+  fl_ok : bool;
+}
+
+type flows_doc = {
+  fld_seed : int;
+  fld_slots : int;
+  fld_batch : int;
+  flow_rows : flow_row list;
+}
+
+let flows_schema = "ldlp-bench-flows/1"
+
+let flow_row_json r =
+  Printf.sprintf
+    "    {\n\
+    \      \"flows\": %d,\n\
+    \      \"scheme\": \"%s\",\n\
+    \      \"discipline\": \"%s\",\n\
+    \      \"lookups\": %d,\n\
+    \      \"model_misses\": %d,\n\
+    \      \"misses_per_lookup\": %.6f,\n\
+    \      \"evictions\": %d,\n\
+    \      \"digest\": %d,\n\
+    \      \"ok\": %b\n\
+    \    }"
+    r.fl_flows (escape r.fl_scheme)
+    (if r.fl_ldlp then "ldlp" else "conv")
+    r.fl_lookups r.fl_model_misses r.fl_misses_per_lookup r.fl_evictions
+    r.fl_digest r.fl_ok
+
+let render_flows ~seed ~slots ~batch rows =
+  Printf.sprintf
+    "{\n\
+    \  \"schema\": \"%s\",\n\
+    \  \"seed\": %d,\n\
+    \  \"slots\": %d,\n\
+    \  \"batch\": %d,\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    flows_schema seed slots batch
+    (String.concat ",\n" (List.map flow_row_json rows))
+
+let parse_flows text =
+  try
+    let root =
+      match parse_json text with
+      | Obj o -> o
+      | _ -> raise (Bad "top level is not an object")
+    in
+    let tag = str_field root "schema" in
+    if tag <> flows_schema then
+      raise (Bad (Printf.sprintf "schema %S, expected %S" tag flows_schema));
+    let row_of entry =
+      let o = obj_entry entry in
+      let r =
+        {
+          fl_flows = int_field o "flows";
+          fl_scheme = str_field o "scheme";
+          fl_ldlp =
+            (match str_field o "discipline" with
+            | "ldlp" -> true
+            | "conv" -> false
+            | d -> raise (Bad (Printf.sprintf "discipline %S" d)));
+          fl_lookups = int_field o "lookups";
+          fl_model_misses = int_field o "model_misses";
+          fl_misses_per_lookup = num_field o "misses_per_lookup";
+          fl_evictions = int_field o "evictions";
+          fl_digest = int_field o "digest";
+          fl_ok = bool_field o "ok";
+        }
+      in
+      if r.fl_flows < 1 || r.fl_lookups < 1 then
+        raise (Bad (Printf.sprintf "flow row %d: empty run" r.fl_flows));
+      if r.fl_model_misses < 0 || r.fl_model_misses > r.fl_lookups then
+        raise
+          (Bad
+             (Printf.sprintf "flow row %d: misses outside [0, lookups]"
+                r.fl_flows));
+      let expect = float_of_int r.fl_model_misses /. float_of_int r.fl_lookups in
+      if abs_float (r.fl_misses_per_lookup -. expect) > 1e-4 then
+        raise
+          (Bad
+             (Printf.sprintf "flow row %d: misses/lookup %.6f, expected %.6f"
+                r.fl_flows r.fl_misses_per_lookup expect));
+      r
+    in
+    let doc =
+      {
+        fld_seed = int_field root "seed";
+        fld_slots = int_field root "slots";
+        fld_batch = int_field root "batch";
+        flow_rows = List.map row_of (arr_field root "rows");
+      }
+    in
+    if doc.fld_slots < 1 || doc.fld_batch < 1 then
+      raise (Bad "header: inconsistent slots/batch");
+    Ok doc
+  with Bad msg -> Error msg

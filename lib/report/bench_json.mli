@@ -280,3 +280,40 @@ val parse_shards : string -> (shards_doc, string) result
 (** Read {!render_shards} output back; validates the schema tag, every
     field, non-negative measures, [shards >= 1] and that
     [cpu_pairs_per_s] matches [completed / cpu_s_max]. *)
+
+(** {1 Flow-table locality study (bench --flows)}
+
+    One row per (flow count, replacement scheme, lookup discipline):
+    modeled D-misses per lookup under conventional arrival-order lookup
+    vs LDLP batch-sorted lookup, plus the order-sensitive delivered-state
+    digest the cross-scheme equivalence gate compares. *)
+
+type flow_row = {
+  fl_flows : int;  (** Concurrent flows resident in the table. *)
+  fl_scheme : string;  (** ["direct"], ["assoc4"], ["lru"]. *)
+  fl_ldlp : bool;  (** [false] = conv arrival order, [true] = batch-sorted. *)
+  fl_lookups : int;
+  fl_model_misses : int;  (** Modeled front-cache misses over the replay. *)
+  fl_misses_per_lookup : float;
+  fl_evictions : int;
+  fl_digest : int;  (** Delivered-state digest (equivalence gate). *)
+  fl_ok : bool;  (** Row passed conservation + equivalence (+ win gate). *)
+}
+
+type flows_doc = {
+  fld_seed : int;
+  fld_slots : int;  (** Modeled front-cache entries per scheme. *)
+  fld_batch : int;  (** LDLP receive-batch size. *)
+  flow_rows : flow_row list;
+}
+
+val flows_schema : string
+(** ["ldlp-bench-flows/1"]. *)
+
+val render_flows :
+  seed:int -> slots:int -> batch:int -> flow_row list -> string
+
+val parse_flows : string -> (flows_doc, string) result
+(** Read {!render_flows} output back; validates the schema tag, every
+    field, the discipline tags, [misses <= lookups] and that
+    [misses_per_lookup] matches [model_misses / lookups]. *)

@@ -587,6 +587,53 @@ let fault_sheet ~seed =
   Ldlp_fault.Impair.metrics_scalars m imp;
   m
 
+(* The unified flow table's lookup split as a scalar sheet: a
+   deterministic tcpmini replay — one listener, a fleet of accepted
+   connections, then a lookup stream that mixes repeat traffic (one-entry
+   cache hits), connection changes (table hits) and unknown remotes
+   (misses, the slow demultiplexing path).  The [flow.table.*] scalars
+   underneath are the modeled front-cache ledger charged to the memory
+   system in the `flows` study.  All simulated — identical on any host. *)
+let flow_sheet ~seed =
+  let module Pcb = Ldlp_tcpmini.Pcb in
+  let module Ipv4 = Ldlp_packet.Addr.Ipv4 in
+  let rng = Ldlp_sim.Rng.create ~seed in
+  let table = Pcb.create_table () in
+  let listener = Pcb.listen table ~port:80 () in
+  let remotes =
+    Array.init 96 (fun i ->
+        (Ipv4.of_string (Printf.sprintf "10.0.%d.%d" (i / 64) (1 + (i mod 64))),
+         4000 + i))
+  in
+  Array.iter
+    (fun remote -> ignore (Pcb.insert_connection table ~listener ~remote))
+    remotes;
+  let lookups = 4096 in
+  for _ = 1 to lookups do
+    match Ldlp_sim.Rng.int rng 100 with
+    | r when r < 90 ->
+      (* Established traffic, skewed so the one-entry cache sees trains. *)
+      let i =
+        if Ldlp_sim.Rng.int rng 100 < 60 then Ldlp_sim.Rng.int rng 4
+        else Ldlp_sim.Rng.int rng (Array.length remotes)
+      in
+      ignore (Pcb.lookup table ~local_port:80 ~remote:remotes.(i))
+    | _ ->
+      (* An unknown remote: connection-table miss, listener slow path. *)
+      let stray = (Ipv4.of_string "10.9.9.9", 50000 + Ldlp_sim.Rng.int rng 64) in
+      ignore (Pcb.lookup table ~local_port:80 ~remote:stray)
+  done;
+  (match Pcb.lookup table ~local_port:80 ~remote:remotes.(0) with
+  | Some pcb when pcb != listener -> Pcb.drop table pcb
+  | _ -> ());
+  let label =
+    Printf.sprintf "flow table: %d connections, %d lookups"
+      (Array.length remotes) lookups
+  in
+  let m = Metrics.create ~label ~layer_names:[] in
+  Pcb.metrics_scalars m table;
+  m
+
 let observability_sheets ?domains ?(params = Params.quick) ?(seed = 1996)
     ?(rate = 9000.0) () =
   Ldlp_obs.Obs.with_enabled true (fun () ->
@@ -621,7 +668,12 @@ let observability_sheets ?domains ?(params = Params.quick) ?(seed = 1996)
         List.iter (fun src -> Metrics.merge_into ~dst src) per_run;
         dst
       in
-      [ sheet_of Simrun.Conventional; sheet_of Simrun.Ldlp; fault_sheet ~seed ])
+      [
+        sheet_of Simrun.Conventional;
+        sheet_of Simrun.Ldlp;
+        fault_sheet ~seed;
+        flow_sheet ~seed;
+      ])
 
 let observability ?domains ?(params = Params.quick) ?(seed = 1996)
     ?(rate = 9000.0) () =

@@ -21,11 +21,13 @@ type call = {
   from_originator : bool;
 }
 
+module Flowtable = Ldlp_flowtable.Flowtable
+
 type t = {
   sscop : Sscop_conn.t;
   t303 : float;
   t308 : float;
-  calls : (int, call) Hashtbl.t;
+  calls : (int, call) Flowtable.t;
   mutable ready : bool;
 }
 
@@ -34,16 +36,19 @@ let create ?sscop ?(t303 = 4.0) ?(t308 = 30.0) () =
     sscop = Sscop_conn.create ?config:sscop ();
     t303;
     t308;
-    calls = Hashtbl.create 16;
+    (* [buckets] matches the Hashtbl.create 16 this map replaced: the
+       backing store's fold order — which drives tick/deadline event
+       ordering in the mesh storms — is preserved byte for byte. *)
+    calls = Flowtable.create ~buckets:16 ~name:"uni-calls" ();
     ready = false;
   }
 
 let link_ready t = t.ready
 
-let active_calls t = Hashtbl.length t.calls
+let active_calls t = Flowtable.length t.calls
 
 let call_state t ~call_ref =
-  Option.map (fun c -> c.fsm) (Hashtbl.find_opt t.calls call_ref)
+  Option.map (fun c -> c.fsm) (Flowtable.lookup t.calls call_ref)
 
 let of_sscop (o : Sscop_conn.outcome) =
   { to_wire = o.Sscop_conn.to_send; events = [] }
@@ -65,7 +70,7 @@ let step_call t ~now call_ref (call : call) ev =
   | Fsm.Protocol_error e ->
     (* Answer with STATUS per Q.93B and surface the error; a call that
        never left Null holds no state worth keeping. *)
-    if call.fsm = Fsm.Null then Hashtbl.remove t.calls call_ref;
+    if call.fsm = Fsm.Null then Flowtable.remove t.calls call_ref;
     ship t ~now ~call_ref ~from_originator:(not call.from_originator)
       Sigmsg.Status []
     ++ { empty with events = [ Call_failed (call_ref, e) ] }
@@ -93,37 +98,37 @@ let step_call t ~now call_ref (call : call) ev =
             acc ++ { empty with events = [ Call_released call_ref ] })
         empty actions
     in
-    if Fsm.is_terminal call.fsm then Hashtbl.remove t.calls call_ref;
+    if Fsm.is_terminal call.fsm then Flowtable.remove t.calls call_ref;
     out
 
 let originate t ~now ~call_ref ies =
   if not t.ready then Error `Link_down
-  else if Hashtbl.mem t.calls call_ref then Error `Busy_ref
+  else if Flowtable.mem t.calls call_ref then Error `Busy_ref
   else begin
     let call = fresh_call ~from_originator:true in
     call.last_setup_ies <- ies;
-    Hashtbl.replace t.calls call_ref call;
+    Flowtable.insert t.calls call_ref call;
     let out = step_call t ~now call_ref call Fsm.Api_setup in
     call.timer <- Some (T303_running 0, now +. t.t303);
     Ok out
   end
 
 let abort t ~call_ref =
-  let existed = Hashtbl.mem t.calls call_ref in
-  Hashtbl.remove t.calls call_ref;
+  let existed = Flowtable.mem t.calls call_ref in
+  Flowtable.remove t.calls call_ref;
   existed
 
 let accept t ~now ~call_ref =
-  match Hashtbl.find_opt t.calls call_ref with
+  match Flowtable.lookup t.calls call_ref with
   | None -> Error `No_call
   | Some call -> Ok (step_call t ~now call_ref call Fsm.Api_accept)
 
 let hangup t ~now ~call_ref =
-  match Hashtbl.find_opt t.calls call_ref with
+  match Flowtable.lookup t.calls call_ref with
   | None -> Error `No_call
   | Some call ->
     let out = step_call t ~now call_ref call Fsm.Api_release in
-    if Hashtbl.mem t.calls call_ref then
+    if Flowtable.mem t.calls call_ref then
       call.timer <- Some (T308_running 0, now +. t.t308);
     Ok out
 
@@ -133,12 +138,12 @@ let on_signalling t ~now wire =
   | Ok m ->
     let call_ref = m.Sigmsg.call_ref in
     let call =
-      match Hashtbl.find_opt t.calls call_ref with
+      match Flowtable.lookup t.calls call_ref with
       | Some c -> c
       | None ->
         let c = fresh_call ~from_originator:false in
         c.last_setup_ies <- m.Sigmsg.ies;
-        Hashtbl.replace t.calls call_ref c;
+        Flowtable.insert t.calls call_ref c;
         c
     in
     if m.Sigmsg.typ = Sigmsg.Setup then call.last_setup_ies <- m.Sigmsg.ies;
@@ -173,7 +178,7 @@ let on_wire t ~now frame =
     o.Sscop_conn.deliveries
 
 let call_deadlines t =
-  Hashtbl.fold
+  Flowtable.fold
     (fun call_ref call acc ->
       match call.timer with
       | Some (_, d) -> (call_ref, call, d) :: acc
@@ -218,13 +223,13 @@ let tick t ~now =
           ++ ship t ~now ~call_ref ~from_originator:true Sigmsg.Setup
                call.last_setup_ies
         | Some (T303_running _, _) ->
-          Hashtbl.remove t.calls call_ref;
+          Flowtable.remove t.calls call_ref;
           acc ++ { empty with events = [ Call_failed (call_ref, "T303 expired") ] }
         | Some (T308_running n, _) when n = 0 ->
           call.timer <- Some (T308_running 1, now +. t.t308);
           acc ++ ship t ~now ~call_ref ~from_originator:call.from_originator Sigmsg.Release []
         | Some (T308_running _, _) ->
-          Hashtbl.remove t.calls call_ref;
+          Flowtable.remove t.calls call_ref;
           acc ++ { empty with events = [ Call_failed (call_ref, "T308 expired") ] }
         | None -> acc
       end)

@@ -37,17 +37,21 @@ type t = {
   mutable delack_armed : bool;
 }
 
+module Flowtable = Ldlp_flowtable.Flowtable
+
 type key = int * int32 * int (* local port, remote ip, remote port *)
 
 type stats = {
   lookups : int;
   cache_hits : int;
+  table_hits : int;
+  misses : int;
   allocated : int;
   freed : int;
 }
 
 type table = {
-  conns : (key, t) Hashtbl.t;
+  conns : (key, t) Flowtable.t;
   listeners : (int, t) Hashtbl.t;
   mutable cache : (key * t) option;  (* the paper's single-entry PCB cache *)
   mutable s : stats;
@@ -55,10 +59,21 @@ type table = {
 
 let create_table () =
   {
-    conns = Hashtbl.create 64;
+    (* [buckets] matches the Hashtbl.create 64 this table replaced, so the
+       exact backing store behaves identically; the modeled front cache
+       rides behind the paper's one-entry cache. *)
+    conns = Flowtable.create ~buckets:64 ~name:"tcp-pcb" ();
     listeners = Hashtbl.create 8;
     cache = None;
-    s = { lookups = 0; cache_hits = 0; allocated = 0; freed = 0 };
+    s =
+      {
+        lookups = 0;
+        cache_hits = 0;
+        table_hits = 0;
+        misses = 0;
+        allocated = 0;
+        freed = 0;
+      };
   }
 
 let fresh ~local_port ~state ?(hiwat = 16384) () =
@@ -98,11 +113,16 @@ let lookup table ~local_port ~remote =
     table.s <- { table.s with cache_hits = table.s.cache_hits + 1 };
     Some pcb
   | _ -> (
-    match Hashtbl.find_opt table.conns k with
+    match Flowtable.lookup table.conns k with
     | Some pcb ->
       table.cache <- Some (k, pcb);
+      table.s <- { table.s with table_hits = table.s.table_hits + 1 };
       Some pcb
-    | None -> Hashtbl.find_opt table.listeners local_port)
+    | None ->
+      (* A listener match is still a connection-table miss: the segment
+         took the slow path through demultiplexing. *)
+      table.s <- { table.s with misses = table.s.misses + 1 };
+      Hashtbl.find_opt table.listeners local_port)
 
 let insert_connection table ~listener ~remote =
   let pcb =
@@ -111,18 +131,18 @@ let insert_connection table ~listener ~remote =
   in
   pcb.remote <- Some remote;
   let k = key ~local_port:listener.local_port ~remote in
-  Hashtbl.replace table.conns k pcb;
+  Flowtable.insert table.conns k pcb;
   table.cache <- Some (k, pcb);
   table.s <- { table.s with allocated = table.s.allocated + 1 };
   pcb
 
 let insert_active table ~local_port ~remote ?(hiwat = 16384) () =
   let k = key ~local_port ~remote in
-  if Hashtbl.mem table.conns k then
+  if Flowtable.mem table.conns k then
     invalid_arg "Pcb.insert_active: connection exists";
   let pcb = fresh ~local_port ~state:Syn_sent ~hiwat () in
   pcb.remote <- Some remote;
-  Hashtbl.replace table.conns k pcb;
+  Flowtable.insert table.conns k pcb;
   table.cache <- Some (k, pcb);
   table.s <- { table.s with allocated = table.s.allocated + 1 };
   pcb
@@ -132,16 +152,29 @@ let drop table pcb =
   | None -> ()
   | Some remote ->
     let k = key ~local_port:pcb.local_port ~remote in
-    Hashtbl.remove table.conns k;
+    Flowtable.remove table.conns k;
     (match table.cache with
     | Some (ck, _) when ck = k -> table.cache <- None
     | _ -> ());
     pcb.state <- Closed;
     table.s <- { table.s with freed = table.s.freed + 1 }
 
-let connections table = Hashtbl.length table.conns
+let connections table = Flowtable.length table.conns
 
 let stats table = table.s
+
+let flowtable table = table.conns
+
+let metrics_scalars m table =
+  let module Metrics = Ldlp_obs.Metrics in
+  let set n v = Metrics.scalar m ("flow." ^ n) := v in
+  set "lookups" table.s.lookups;
+  set "cache_hits" table.s.cache_hits;
+  set "table_hits" table.s.table_hits;
+  set "misses" table.s.misses;
+  set "allocated" table.s.allocated;
+  set "freed" table.s.freed;
+  Flowtable.metrics_scalars ~prefix:"flow.table" m table.conns
 
 (* ---------- retransmission bookkeeping ---------- *)
 

@@ -53,8 +53,12 @@ type t = {
 type table
 
 type stats = {
-  lookups : int;
-  cache_hits : int;
+  lookups : int;  (** All connection lookups. *)
+  cache_hits : int;  (** Served by the one-entry cache. *)
+  table_hits : int;  (** Served by the flow table behind it. *)
+  misses : int;
+      (** Connection-table misses (including segments that then matched a
+          listener: those took the slow demultiplexing path). *)
   allocated : int;
   freed : int;
 }
@@ -90,6 +94,14 @@ val drop : table -> t -> unit
 val connections : table -> int
 
 val stats : table -> stats
+
+val flowtable : table -> (int * int32 * int, t) Ldlp_flowtable.Flowtable.t
+(** The unified flow table backing the connection lookup path (for
+    attaching a memory system or reading the modeled-locality stats). *)
+
+val metrics_scalars : Ldlp_obs.Metrics.t -> table -> unit
+(** Set the [flow.*] scalars (lookup split, allocation balance) and the
+    [flow.table.*] scalars (modeled front-cache behaviour) on a sheet. *)
 
 (** {1 Retransmission bookkeeping}
 

@@ -152,6 +152,16 @@ let () =
    let cfg = Mesh.config ~hosts:16 ~degree:3 ~seed ~lifecycle () in
    let storms = Mesh.compare_storm ~domains ~calls_per_pair:6 cfg in
    write "recovery" (String.trim (Mesh.render_recovery cfg ~storms)));
+  (* Flow-table locality: the Jain-style scheme comparison at the two
+     quick-fidelity points (the 1M-flow point lives in `bench --flows`). *)
+  (let module Study = Ldlp_flowtable.Study in
+   let config = Study.quick in
+   let rows =
+     List.concat_map
+       (fun flows -> Study.run ~config ~flows ~seed ())
+       [ 10_000; 100_000 ]
+   in
+   write "flows" (String.trim (Study.render ~config ~rows ~seed ())));
   (* Sharded data path: placement plan + fixed-seed replays. *)
   let shards_fig = Ldlp_shard.Demo.render ~seed in
   let shards_fig =

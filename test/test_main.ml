@@ -14,6 +14,7 @@ let () =
       ("engine", Test_engine.suite);
       ("graphsched", Test_graphsched.suite);
       ("nic", Test_nic.suite);
+      ("flowtable", Test_flowtable.suite);
       ("tcpmini", Test_tcpmini.suite);
       ("sigproto", Test_sigproto.suite);
       ("uni", Test_uni.suite);

@@ -177,9 +177,10 @@ let test_stats_json_roundtrip () =
   match Ldlp_report.Bench_json.parse_stats text with
   | Error e -> Alcotest.failf "render_stats output failed its schema: %s" e
   | Ok doc ->
-    (* Two discipline sheets plus the fault-replay scalar sheet. *)
+    (* Two discipline sheets plus the fault-replay and flow-table
+       scalar sheets. *)
     Alcotest.(check int)
-      "one sheet per discipline plus the fault sheet" 3
+      "one sheet per discipline plus the fault and flow sheets" 4
       (List.length doc.Ldlp_report.Bench_json.stats_sheets);
     List.iter2
       (fun m (s : Ldlp_report.Bench_json.stats_sheet) ->
